@@ -1,0 +1,82 @@
+"""Figure 13: false-negative rate and running time vs. temporal subscript.
+
+The paper sweeps the subscript (equivalently, the trace length) and
+measures (a) the percentage of tests on faulty implementations that
+unexpectedly pass (false negatives -- the spec's only inaccuracy mode
+for safety properties) and (b) the average running time for *passing*
+implementations (failing runs exit early at the counterexample).
+
+Expected shape (paper): running time grows linearly with the subscript;
+accuracy improves roughly logarithmically -- all faults are exposable by
+subscript 50, found reliably by 100 (the default), with diminishing
+returns beyond.  Times here are simulated seconds; the paper's absolute
+magnitudes (42 s at subscript 100, ~200 s at 500) fall out of the
+modelled per-state latencies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .harness import (
+    DEFAULT_SUBSCRIPTS,
+    DEFAULT_TRIALS,
+    false_negative_rate,
+    passing_run_seconds,
+    write_report,
+)
+
+
+def _generate_fig13():
+    series = []
+    for subscript in DEFAULT_SUBSCRIPTS:
+        fn_rate = false_negative_rate(subscript, trials=DEFAULT_TRIALS)
+        seconds = passing_run_seconds(subscript)
+        series.append((subscript, fn_rate, seconds))
+    return series
+
+
+def _format_fig13(series) -> str:
+    lines = [
+        "Figure 13. False negative rate and average running time "
+        "(reproduction)",
+        "=" * 68,
+        f"{'subscript':>9}  {'false negatives (%)':>20}  {'running time (s)':>17}",
+        "-" * 68,
+    ]
+    for subscript, fn_rate, seconds in series:
+        lines.append(f"{subscript:>9}  {fn_rate * 100:>20.1f}  {seconds:>17.1f}")
+    lines += [
+        "-" * 68,
+        f"(trials per faulty implementation: {DEFAULT_TRIALS}; "
+        "times are simulated seconds on passing implementations)",
+        "Paper reference: ~42 s at subscript 100; all faults exposable at "
+        "50; reliable at 100; linear time growth.",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_accuracy_vs_running_time(benchmark):
+    series = benchmark.pedantic(_generate_fig13, rounds=1, iterations=1)
+    report = _format_fig13(series)
+    write_report("fig13.txt", report)
+
+    subscripts = [s for s, _, _ in series]
+    fn_rates = [fn for _, fn, _ in series]
+    seconds = [sec for _, _, sec in series]
+
+    # Running time is (strictly) increasing in the subscript -- the
+    # paper's linear-growth axis.
+    assert all(b > a for a, b in zip(seconds, seconds[1:]))
+    # Accuracy improves from the smallest to the largest subscript.
+    assert fn_rates[-1] < fn_rates[0]
+    # The largest subscripts find the vast majority of faults.
+    assert fn_rates[-1] <= 0.25
+    # Small subscripts miss deep faults (the curve starts high).
+    assert fn_rates[0] >= fn_rates[-1]
+    # Linearity check on time: the ratio between largest/smallest
+    # subscript carries over to time within a loose factor.
+    ratio_x = subscripts[-1] / subscripts[0]
+    ratio_t = seconds[-1] / seconds[0]
+    assert 0.3 * ratio_x <= ratio_t <= 3.0 * ratio_x

@@ -1,0 +1,72 @@
+"""Table 1: pass/fail summary across the 43 TodoMVC implementations.
+
+Paper result: 23 passed (9 beta, 14 mature), 20 failed (8 beta, 12
+mature) -- "bugs or faults in 20 of those implementations -- almost
+half".  This bench checks every implementation against the formal
+TodoMVC safety specification at the paper's default subscript (100) and
+regenerates the table, asserting the same pass/fail split.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .harness import AuditRow, audit_all, write_report
+
+
+def _generate_table1():
+    rows = audit_all(subscript=100)
+    return rows
+
+
+def _format_table1(rows) -> str:
+    passed = [r for r in rows if r.passed]
+    failed = [r for r in rows if not r.passed]
+
+    def bucket(group):
+        beta = sorted(r.implementation.name for r in group if r.implementation.beta)
+        mature = sorted(
+            r.implementation.name for r in group if not r.implementation.beta
+        )
+        return beta, mature
+
+    passed_beta, passed_mature = bucket(passed)
+    failed_beta, failed_mature = bucket(failed)
+    lines = [
+        "Table 1. Summary of Results (reproduction)",
+        "=" * 60,
+        f"Passed -- {len(passed)} ({len(passed_beta)} beta, {len(passed_mature)} mature)",
+        "  " + ", ".join(sorted(r.implementation.name for r in passed)),
+        "",
+        f"Failed -- {len(failed)} ({len(failed_beta)} beta, {len(failed_mature)} mature)",
+    ]
+    for row in sorted(failed, key=lambda r: r.implementation.name):
+        numbers = ",".join(str(n) for n in row.implementation.fault_numbers)
+        lines.append(f"  {row.implementation.name}^{numbers}")
+    lines += [
+        "",
+        "Paper: Passed 23 (9 beta, 14 mature); Failed 20 (8 beta, 12 mature).",
+        f"Reproduction agreement: "
+        f"{sum(r.agrees_with_paper for r in rows)}/{len(rows)} implementations.",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_summary_of_results(benchmark):
+    rows = benchmark.pedantic(_generate_table1, rounds=1, iterations=1)
+    report = _format_table1(rows)
+    write_report("table1.txt", report)
+
+    passed = [r for r in rows if r.passed]
+    failed = [r for r in rows if not r.passed]
+    # The headline: bugs in almost half of the implementations.
+    assert len(failed) >= len(rows) // 3
+    # Exact agreement with the paper's pass/fail split.
+    assert len(passed) == 23
+    assert len(failed) == 20
+    assert sum(1 for r in passed if r.implementation.beta) == 9
+    assert sum(1 for r in failed if r.implementation.beta) == 8
+    # Every verdict matches the paper's per-implementation outcome.
+    disagreements = [r.implementation.name for r in rows if not r.agrees_with_paper]
+    assert not disagreements, f"disagree with paper on: {disagreements}"

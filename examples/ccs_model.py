@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Checking a CCS process model with the same checker (paper, §3.4).
+
+Nothing about the checker is WebDriver-specific: paired with the CCS
+executor, the very same Specstrom/QuickLTL pipeline tests models written
+in Milner's Calculus of Communicating Systems.  Here: a vending machine
+that accepts a coin and then dispenses tea or coffee; a broken variant
+can swallow the coin (an internal tau step back to idle).
+
+Run:  python examples/ccs_model.py
+"""
+
+from repro.checker import Runner, RunnerConfig
+from repro.executors import CCSExecutor, parse_definitions
+from repro.specstrom import load_module
+
+GOOD_MODEL = """
+Idle   = coin.Choose
+Choose = tea.Idle + coffee.Idle
+Idle
+"""
+
+# The broken machine may silently (tau) swallow the coin.
+BROKEN_MODEL = """
+Idle   = coin.Choose
+Choose = tea.Idle + coffee.Idle + tau.Idle
+Idle
+"""
+
+SPEC = """
+let ~canPay    = present(`coin`);
+let ~canChoose = present(`tea`) && present(`coffee`);
+
+action pay!    = ccs!("coin")   when canPay;
+action tea!    = ccs!("tea")    when canChoose;
+action coffee! = ccs!("coffee") when canChoose;
+
+// State machine: paying leads to the choice state; choosing leads back
+// to the pay state; and the machine never takes steps on its own.
+let ~vending =
+  canPay && always{15}
+    ((canPay && next (pay! in happened && canChoose))
+     || (canChoose && next ((tea! in happened || coffee! in happened)
+                            && canPay)));
+
+check vending;
+"""
+
+
+def run(model_source: str, label: str) -> bool:
+    defs, initial = parse_definitions(model_source)
+    module = load_module(SPEC)
+    runner = Runner(
+        module.checks[0],
+        lambda: CCSExecutor(initial, defs, tau_period_ms=700.0),
+        RunnerConfig(tests=8, scheduled_actions=15, demand_allowance=10, seed=5),
+    )
+    result = runner.run()
+    print(f"{label}: {result.summary()}")
+    if result.shrunk_counterexample is not None:
+        steps = " -> ".join(name for name, _ in result.shrunk_counterexample.actions)
+        print(f"  shrunk counterexample: {steps}")
+    return result.passed
+
+
+def main() -> int:
+    good = run(GOOD_MODEL, "well-behaved vending machine")
+    broken = run(BROKEN_MODEL, "coin-swallowing vending machine")
+    return 0 if good and not broken else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

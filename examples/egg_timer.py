@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The egg timer of paper Section 3.2, checked end to end.
+
+Demonstrates the full Figure 8 specification: the safety state machine
+(starting/stopping/waiting/ticking transitions over the `happened`
+variable), the liveness property, and the `timeUp` property checked with
+a *restricted* action set (`check timeUp with start! wait! tick?`) so the
+checker cannot defeat the timer by stopping it.
+
+Also shows Quickstrom as a bug finder: two broken timers (a
+double-decrement and a frozen display) produce shrunk counterexamples.
+
+Run:  python examples/egg_timer.py
+"""
+
+from repro.apps.eggtimer import egg_timer_app
+from repro.checker import Runner, RunnerConfig
+from repro.executors import DomExecutor
+from repro.specs import load_eggtimer_spec
+
+
+def check(check_spec, app_factory, **config_kwargs) -> bool:
+    config = RunnerConfig(**{"tests": 5, "seed": 11, **config_kwargs})
+    runner = Runner(check_spec, lambda: DomExecutor(app_factory), config)
+    result = runner.run()
+    print(f"  {result.summary()}")
+    if result.shrunk_counterexample is not None:
+        for line in result.shrunk_counterexample.describe().splitlines():
+            print(f"    {line}")
+    return result.passed
+
+
+def main() -> int:
+    module = load_eggtimer_spec()
+    safety = module.check_named("safety")
+    liveness = module.check_named("liveness")
+    time_up = module.check_named("timeUp")
+    ok = True
+
+    print("Correct timer (pauses when stopped):")
+    ok &= check(safety, egg_timer_app(), scheduled_actions=30)
+    ok &= check(liveness, egg_timer_app(initial_seconds=8), tests=2,
+                scheduled_actions=15, demand_allowance=40)
+
+    print("\nA timer that *resets* when stopped also satisfies the spec")
+    print("(the paper notes the specification deliberately allows both):")
+    ok &= check(safety, egg_timer_app(pause_on_stop=False), scheduled_actions=30)
+
+    print("\ntimeUp with the stop! action excluded (check ... with ...):")
+    ok &= check(time_up, egg_timer_app(initial_seconds=8), tests=2,
+                scheduled_actions=12, demand_allowance=40)
+
+    print("\nBuggy timer: ticks remove two seconds at a time:")
+    found_double = not check(safety, egg_timer_app(decrement=2),
+                             scheduled_actions=20)
+
+    print("\nBuggy timer: the display freezes below 178 seconds:")
+    found_frozen = not check(safety, egg_timer_app(stuck_at=178),
+                             scheduled_actions=20)
+
+    if ok and found_double and found_frozen:
+        print("\nAll egg-timer scenarios behaved as the paper describes.")
+        return 0
+    print("\nUnexpected outcome; see above.")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The checker/executor protocol in action (paper, Figures 9 and 10).
+
+Reconstructs Figure 10's interleaving: the checker requests actions
+carrying its view of the trace length (the *version*); the application
+asynchronously changes state while the checker is deciding; and the
+executor rejects the resulting out-of-date request, which the checker
+resolves by first absorbing the new events.
+
+The application is a label that a timer rewrites every 350 virtual
+milliseconds -- enough asynchronous traffic to make stale requests
+happen.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro.dom import Element
+from repro.executors import DomExecutor
+from repro.protocol.messages import Acted, Act, Event, Start, Timeout
+from repro.specstrom import load_module
+from repro.specstrom.actions import ResolvedAction
+
+
+def ticker_app(page):
+    doc = page.document
+    label = Element("span", {"id": "label"}, text="0")
+    button = Element("button", {"id": "press"}, text="press")
+    doc.root.append_child(label)
+    doc.root.append_child(button)
+    state = {"ticks": 0, "presses": 0}
+
+    def tick():
+        state["ticks"] += 1
+        label.text = str(state["ticks"])
+
+    def on_click(_event):
+        state["presses"] += 1
+        button.text = f"press ({state['presses']})"
+
+    doc.add_event_listener(button, "click", on_click)
+    page.set_interval(tick, 350)
+    return state
+
+
+SPEC = """
+let ~label = `#label`.text;
+action press! = click!(`#press`);
+action tick?  = changed?(`#label`);
+let ~prop = always{5} true;
+check prop;
+"""
+
+
+def show(direction: str, text: str) -> None:
+    if direction == ">":
+        print(f"  checker  --{text}-->  executor")
+    else:
+        print(f"  checker  <--{text}--  executor")
+
+
+def main() -> int:
+    module = load_module(SPEC)
+    executor = DomExecutor(ticker_app)
+    watched = []
+    ctx_events = module.checks[0].events
+    from repro.specstrom.eval import EvalContext, evaluate
+
+    for event in ctx_events:
+        primitive = evaluate(event.body, event.env, EvalContext())
+        watched.append((event.name, primitive))
+
+    print("Start: instrument #label / #press; watch tick? (changed #label)")
+    executor.start(Start(module.checks[0].dependencies, tuple(watched)))
+    version = 0
+    stale_seen = 0
+    press = ResolvedAction("click", "#press", 0, ())
+    for message in executor.drain():
+        version += 1
+        show("<", f"Event loaded? (state {version})")
+
+    for round_number in range(6):
+        decision_version = version
+        # The checker 'thinks'; the app keeps ticking meanwhile.
+        executor.pass_time(200.0)
+        show(">", f"Act press! (version {decision_version})")
+        accepted = executor.act(
+            Act(press, "press!", decision_version, timeout_ms=None)
+        )
+        if not accepted:
+            stale_seen += 1
+            print("           (stale: executor ignored the request)")
+        for message in executor.drain():
+            version += 1
+            if isinstance(message, Acted):
+                show("<", f"Acted press! (state {version})")
+            elif isinstance(message, Event):
+                show("<", f"Event {message.name} (state {version})")
+            elif isinstance(message, Timeout):
+                show("<", f"Timeout (state {version})")
+
+    print(f"\ntrace length {version}; "
+          f"stale requests rejected: {executor.recorder.stale_rejections}")
+    return 0 if executor.recorder.stale_rejections >= 1 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

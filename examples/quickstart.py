@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: specify and test a tiny counter app in ~60 lines.
+
+The complete Quickstrom workflow: write an application against the
+simulated DOM, write a Specstrom specification with a QuickLTL property,
+and let the checker hunt for counterexamples with randomly generated
+interactions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.checker import Runner, RunnerConfig
+from repro.dom import Element
+from repro.executors import DomExecutor
+from repro.specstrom import load_module
+
+# ----------------------------------------------------------------------
+# 1. An application under test: a counter with increment/reset buttons.
+#    (Try the off-by-one bug: change `state["n"] += 1` to `+= 2`.)
+# ----------------------------------------------------------------------
+
+
+def counter_app(page):
+    doc = page.document
+    label = Element("span", {"id": "value"}, text="0")
+    inc = Element("button", {"id": "inc"}, text="+1")
+    reset = Element("button", {"id": "reset"}, text="reset")
+    for el in (label, inc, reset):
+        doc.root.append_child(el)
+    state = {"n": 0}
+
+    def render():
+        label.text = str(state["n"])
+
+    def on_inc(_event):
+        state["n"] += 1
+        render()
+
+    def on_reset(_event):
+        state["n"] = 0
+        render()
+
+    doc.add_event_listener(inc, "click", on_inc)
+    doc.add_event_listener(reset, "click", on_reset)
+    return state
+
+
+# ----------------------------------------------------------------------
+# 2. A Specstrom specification: state machine + invariant.
+# ----------------------------------------------------------------------
+
+SPEC = """
+let ~value = parseInt(`#value`.text);
+
+action increment! = click!(`#inc`);
+action reset!     = click!(`#reset`);
+
+let ~incremented { let old = value;
+  next (increment! in happened && value == old + 1) };
+
+let ~resetted = next (reset! in happened && value == 0);
+
+let ~safety =
+  loaded? in happened && value == 0
+  && always{50} ((incremented || resetted) && value >= 0);
+
+check safety;
+"""
+
+# ----------------------------------------------------------------------
+# 3. Check it: hundreds of generated interactions, shrunk failures.
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    module = load_module(SPEC)
+    spec = module.checks[0]
+    runner = Runner(
+        spec,
+        executor_factory=lambda: DomExecutor(counter_app),
+        config=RunnerConfig(tests=10, scheduled_actions=50, seed=2024),
+    )
+    result = runner.run()
+    print(result.summary())
+    if result.shrunk_counterexample is not None:
+        print(result.shrunk_counterexample.describe())
+    return 0 if result.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

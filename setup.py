@@ -1,0 +1,35 @@
+"""Packaging via classic setuptools.
+
+This project intentionally ships a ``setup.py`` (and no pyproject
+``[build-system]`` table): the reproduction environment is fully offline
+and has no ``wheel`` package, so pip's PEP 517 build-isolation path --
+which tries to download setuptools/wheel -- cannot work.  The legacy
+path makes ``pip install -e .`` work everywhere, online or not.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Quickstrom reproduction: property-based acceptance testing with "
+        "QuickLTL specifications (PLDI 2022)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.specs": ["*.strom"]},
+    entry_points={
+        "console_scripts": ["quickstrom-repro = repro.cli:main"],
+    },
+    keywords=[
+        "property-based testing",
+        "linear temporal logic",
+        "acceptance testing",
+        "quickstrom",
+    ],
+)

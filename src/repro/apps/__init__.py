@@ -1,0 +1,6 @@
+"""Applications under test: the egg timer (Section 3.2) and TodoMVC
+(Section 4), both built on the simulated DOM/browser substrate."""
+
+from .eggtimer import EggTimerApp, egg_timer_app
+
+__all__ = ["EggTimerApp", "egg_timer_app"]

@@ -1,0 +1,113 @@
+"""The egg-timer application of Section 3.2.
+
+A three-minute timer: a start/stop toggle button (``#toggle``, label
+``start``/``stop``) and a remaining-seconds label (``#remaining``).
+Started timers tick once per second via the page scheduler; reaching zero
+stops the timer.
+
+Variants (the paper notes its specification deliberately covers both
+pausing and resetting timers, and uses the start/stop-faster-than-a-tick
+scenario to motivate ``check ... with`` action restriction):
+
+* ``pause_on_stop=True``  -- stopping pauses; restarting resumes,
+* ``pause_on_stop=False`` -- stopping resets to the initial time,
+* ``decrement``           -- seconds removed per tick (2 = a buggy timer
+  that violates the ``ticking`` transition),
+* ``stuck_at``            -- the label stops updating below this value
+  (a "frozen display" bug caught by the safety property).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..browser.webdriver import Page
+from ..dom.node import Element
+
+__all__ = ["EggTimerApp", "egg_timer_app"]
+
+DEFAULT_SECONDS = 180
+
+
+class EggTimerApp:
+    """DOM-backed egg timer."""
+
+    def __init__(
+        self,
+        page: Page,
+        initial_seconds: int = DEFAULT_SECONDS,
+        pause_on_stop: bool = True,
+        decrement: int = 1,
+        stuck_at: Optional[int] = None,
+    ) -> None:
+        self.page = page
+        self.initial_seconds = initial_seconds
+        self.pause_on_stop = pause_on_stop
+        self.decrement = decrement
+        self.stuck_at = stuck_at
+        self.remaining = initial_seconds
+        self.running = False
+        self._interval_id: Optional[int] = None
+
+        document = page.document
+        self.toggle = Element("button", {"id": "toggle"}, text="start")
+        self.label = Element("span", {"id": "remaining"}, text=str(self.remaining))
+        document.root.append_child(self.toggle)
+        document.root.append_child(self.label)
+        document.add_event_listener(self.toggle, "click", self._on_toggle)
+
+    # ------------------------------------------------------------------
+
+    def _on_toggle(self, _event) -> None:
+        if self.running:
+            self._stop()
+        else:
+            self._start()
+
+    def _start(self) -> None:
+        if self.remaining <= 0:
+            return  # nothing to count down; stay stopped
+        self.running = True
+        self.toggle.text = "stop"
+        self._interval_id = self.page.set_interval(self._tick, 1000)
+
+    def _stop(self) -> None:
+        self.running = False
+        self.toggle.text = "start"
+        if self._interval_id is not None:
+            self.page.clear_timer(self._interval_id)
+            self._interval_id = None
+        if not self.pause_on_stop:
+            self.remaining = self.initial_seconds
+            self._render()
+
+    def _tick(self) -> None:
+        self.remaining = max(0, self.remaining - self.decrement)
+        self._render()
+        if self.remaining == 0:
+            self._stop()
+
+    def _render(self) -> None:
+        if self.stuck_at is not None and self.remaining < self.stuck_at:
+            return  # buggy: display frozen
+        self.label.text = str(self.remaining)
+
+
+def egg_timer_app(
+    initial_seconds: int = DEFAULT_SECONDS,
+    pause_on_stop: bool = True,
+    decrement: int = 1,
+    stuck_at: Optional[int] = None,
+):
+    """An app factory for :class:`repro.browser.Browser`/DomExecutor."""
+
+    def factory(page: Page) -> EggTimerApp:
+        return EggTimerApp(
+            page,
+            initial_seconds=initial_seconds,
+            pause_on_stop=pause_on_stop,
+            decrement=decrement,
+            stuck_at=stuck_at,
+        )
+
+    return factory

@@ -1,0 +1,31 @@
+"""TodoMVC: reference implementation, fault injection, and the 43
+implementations of the paper's evaluation."""
+
+from .model import TodoItem, TodoModel, FILTERS
+from .faults import Faults, FAULT_DESCRIPTIONS, fault_by_number
+from .app import TodoMvcApp, todomvc_app
+from .implementations import (
+    Implementation,
+    IMPLEMENTATIONS,
+    all_implementations,
+    implementation_named,
+    passing_implementations,
+    failing_implementations,
+)
+
+__all__ = [
+    "TodoItem",
+    "TodoModel",
+    "FILTERS",
+    "Faults",
+    "FAULT_DESCRIPTIONS",
+    "fault_by_number",
+    "TodoMvcApp",
+    "todomvc_app",
+    "Implementation",
+    "IMPLEMENTATIONS",
+    "all_implementations",
+    "implementation_named",
+    "passing_implementations",
+    "failing_implementations",
+]

@@ -1,0 +1,98 @@
+"""The fault-injection layer: Table 2's fourteen problem classes.
+
+Each flag switches one behavioural or markup deviation into the reference
+TodoMVC application, reproducing a problem class the paper found in real
+implementations.  The numbering follows Table 2; ``broken_persistence``
+is this reproduction's extension (Section 4.1 leaves persistence as
+future work -- we implement it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["Faults", "FAULT_DESCRIPTIONS", "fault_by_number"]
+
+
+@dataclass(frozen=True)
+class Faults:
+    """Behaviour deviations; all off = the reference implementation."""
+
+    missing_checkboxes: bool = False        # P1: items have no checkboxes
+    missing_filters: bool = False           # P2: there are no filter controls
+    missing_strong: bool = False            # P3: a <strong> element is missing
+    allows_blank_items: bool = False        # P4: blank items can be added
+    edit_not_focused: bool = False          # P5: edit input not focused
+    bad_pluralization: bool = False         # P6: count text pluralised wrongly
+    clears_pending_input: bool = False      # P7: pending input cleared on
+    #                                             filter change / last removal
+    commits_pending_input: bool = False     # P8: new item created from pending
+    #                                             input by non-create actions
+    toggle_all_filtered_only: bool = False  # P9: toggle-all misses hidden items
+    toggle_all_hidden_on_empty_filter: bool = False  # P10
+    empty_edit_keeps_item: bool = False     # P11: empty commit only hides the
+    #                                             item; toggle-all resurrects it
+    editing_hides_others: bool = False      # P12: editing hides other items
+    add_resets_filter: bool = False         # P13: adding switches filter to All
+    add_transient_empty: bool = False       # P14: adding briefly shows an
+    #                                             empty list before re-render
+    broken_persistence: bool = False        # extension: storage never written
+
+    @property
+    def any_active(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(self))
+
+    def active_numbers(self):
+        """Paper problem numbers of the active faults (sorted)."""
+        return sorted(
+            number
+            for number, (field_name, _) in FAULT_DESCRIPTIONS.items()
+            if getattr(self, field_name)
+        )
+
+
+#: Problem number -> (Faults field, paper's description).
+FAULT_DESCRIPTIONS = {
+    1: ("missing_checkboxes", "Items have no checkboxes"),
+    2: ("missing_filters", "There are no filter controls"),
+    3: ("missing_strong", "A <strong> element is missing"),
+    4: ("allows_blank_items", "Blank items can be added"),
+    5: ("edit_not_focused", "Edit input is not focused after double-click"),
+    6: ("bad_pluralization", "Incorrectly pluralizes the to-do count text"),
+    7: (
+        "clears_pending_input",
+        "Any pending input is cleared on filter change or removal of last item",
+    ),
+    8: (
+        "commits_pending_input",
+        "A new item is created from pending input after non-create actions",
+    ),
+    9: (
+        "toggle_all_filtered_only",
+        "“Toggle all” does not untoggle all items when certain "
+        "filters are enabled",
+    ),
+    10: (
+        "toggle_all_hidden_on_empty_filter",
+        "The “Toggle all” button disappears when the current filter "
+        "contains no items",
+    ),
+    11: (
+        "empty_edit_keeps_item",
+        "Committing an empty to-do item in edit mode does not fully delete "
+        "it—it can later be restored with “Toggle all”",
+    ),
+    12: ("editing_hides_others", "Editing an item hides other items"),
+    13: ("add_resets_filter", "Adding an item changes the filter to “All”"),
+    14: ("add_transient_empty", "Adding an item first shows an empty state"),
+}
+
+
+def fault_by_number(*numbers: int) -> Faults:
+    """Build a :class:`Faults` with the given paper problem numbers on."""
+    values = {}
+    for number in numbers:
+        if number not in FAULT_DESCRIPTIONS:
+            raise KeyError(f"no problem number {number}")
+        values[FAULT_DESCRIPTIONS[number][0]] = True
+    return Faults(**values)

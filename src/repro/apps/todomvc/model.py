@@ -1,0 +1,124 @@
+"""A pure functional model of TodoMVC.
+
+This is the *oracle*: the reference semantics of the (English) TodoMVC
+specification, independent of any DOM.  The DOM application
+(:mod:`repro.apps.todomvc.app`) is property-tested against it, and the
+formal Specstrom specification was written by reading the same English
+text, so the three artefacts triangulate each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+__all__ = ["TodoItem", "TodoModel", "FILTERS"]
+
+FILTERS = ("all", "active", "completed")
+
+
+@dataclass(frozen=True)
+class TodoItem:
+    """One to-do entry."""
+
+    text: str
+    completed: bool = False
+
+
+@dataclass(frozen=True)
+class TodoModel:
+    """Immutable TodoMVC state; operations return new models."""
+
+    items: Tuple[TodoItem, ...] = ()
+    filter: str = "all"
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for item in self.items if not item.completed)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for item in self.items if item.completed)
+
+    @property
+    def all_completed(self) -> bool:
+        return bool(self.items) and self.active_count == 0
+
+    def visible_items(self) -> Tuple[TodoItem, ...]:
+        if self.filter == "active":
+            return tuple(i for i in self.items if not i.completed)
+        if self.filter == "completed":
+            return tuple(i for i in self.items if i.completed)
+        return self.items
+
+    def count_text(self) -> str:
+        noun = "item" if self.active_count == 1 else "items"
+        return f"{self.active_count} {noun} left"
+
+    # ------------------------------------------------------------------
+    # Operations (the English spec, clause by clause)
+    # ------------------------------------------------------------------
+
+    def add(self, text: str) -> "TodoModel":
+        """New todos are trimmed; blank input is ignored."""
+        trimmed = text.strip()
+        if not trimmed:
+            return self
+        return replace(self, items=self.items + (TodoItem(trimmed),))
+
+    def set_completed(self, index: int, completed: bool) -> "TodoModel":
+        items = list(self.items)
+        items[index] = replace(items[index], completed=completed)
+        return replace(self, items=tuple(items))
+
+    def toggle(self, index: int) -> "TodoModel":
+        return self.set_completed(index, not self.items[index].completed)
+
+    def toggle_all(self) -> "TodoModel":
+        """Check every item; if all are checked, uncheck every item."""
+        target = not self.all_completed
+        items = tuple(replace(i, completed=target) for i in self.items)
+        return replace(self, items=items)
+
+    def delete(self, index: int) -> "TodoModel":
+        items = self.items[:index] + self.items[index + 1:]
+        return replace(self, items=items)
+
+    def edit(self, index: int, text: str) -> "TodoModel":
+        """Commit an edit: trimmed; an empty result deletes the item."""
+        trimmed = text.strip()
+        if not trimmed:
+            return self.delete(index)
+        items = list(self.items)
+        items[index] = replace(items[index], text=trimmed)
+        return replace(self, items=tuple(items))
+
+    def clear_completed(self) -> "TodoModel":
+        return replace(
+            self, items=tuple(i for i in self.items if not i.completed)
+        )
+
+    def set_filter(self, name: str) -> "TodoModel":
+        if name not in FILTERS:
+            raise ValueError(f"unknown filter {name!r}")
+        return replace(self, filter=name)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> List[dict]:
+        return [{"title": i.text, "completed": i.completed} for i in self.items]
+
+    @classmethod
+    def from_json(cls, data, filter_name: str = "all") -> "TodoModel":
+        items = []
+        for entry in data or []:
+            items.append(
+                TodoItem(str(entry.get("title", "")), bool(entry.get("completed")))
+            )
+        return cls(tuple(items), filter_name)

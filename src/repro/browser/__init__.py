@@ -1,0 +1,6 @@
+"""Simulated browser: virtual clock, task scheduler, WebDriver gestures."""
+
+from .clock import VirtualClock, Scheduler
+from .webdriver import Browser, Page, NotInteractableError
+
+__all__ = ["VirtualClock", "Scheduler", "Browser", "Page", "NotInteractableError"]

@@ -1,0 +1,132 @@
+"""Virtual time: clock and task scheduler for the simulated browser.
+
+The paper notes that Quickstrom's running time is dominated by waiting
+for events rather than by computation, so the reproduction uses virtual
+time throughout: the egg timer's ticks, TodoMVC's asynchronous re-renders
+and the executor's Wait/Timeout messages all run against this clock.
+Benchmarks report *simulated seconds*, which reproduces the paper's
+linear running-time-vs-subscript shape deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["VirtualClock", "Scheduler"]
+
+
+class VirtualClock:
+    """A monotone millisecond clock advanced explicitly."""
+
+    def __init__(self) -> None:
+        self._now_ms = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> None:
+        if delta_ms < 0:
+            raise ValueError("time cannot go backwards")
+        self._now_ms += delta_ms
+
+
+class Scheduler:
+    """``setTimeout``/``setInterval`` over a :class:`VirtualClock`.
+
+    Tasks fire when the owner advances time past their deadline via
+    :meth:`run_until`.  Within one deadline, tasks run in scheduling
+    order (a deterministic tie-break real browsers do not guarantee, but
+    determinism is exactly what a testing substrate wants).
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._heap: List[Tuple[float, int, int]] = []  # (deadline, seq, task_id)
+        self._tasks: Dict[int, Tuple[Callable[[], None], Optional[float]]] = {}
+        self._ids = itertools.count(1)
+        self._seq = itertools.count()
+
+    def set_timeout(self, callback: Callable[[], None], delay_ms: float) -> int:
+        """Schedule a one-shot task; returns a cancellation id."""
+        return self._schedule(callback, delay_ms, None)
+
+    def set_interval(self, callback: Callable[[], None], period_ms: float) -> int:
+        """Schedule a repeating task; returns a cancellation id."""
+        if period_ms <= 0:
+            raise ValueError("interval period must be positive")
+        return self._schedule(callback, period_ms, period_ms)
+
+    def _schedule(
+        self, callback: Callable[[], None], delay_ms: float, period: Optional[float]
+    ) -> int:
+        if delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        task_id = next(self._ids)
+        self._tasks[task_id] = (callback, period)
+        heapq.heappush(
+            self._heap, (self.clock.now + delay_ms, next(self._seq), task_id)
+        )
+        return task_id
+
+    def cancel(self, task_id: int) -> None:
+        """Cancel a pending timeout or interval (unknown ids are ignored)."""
+        self._tasks.pop(task_id, None)
+
+    @property
+    def next_deadline(self) -> Optional[float]:
+        """Virtual time of the earliest pending task, or None."""
+        while self._heap:
+            deadline, _, task_id = self._heap[0]
+            if task_id in self._tasks:
+                return deadline
+            heapq.heappop(self._heap)  # lazily drop cancelled entries
+        return None
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._tasks)
+
+    def run_until(self, target_ms: float) -> int:
+        """Advance the clock to ``target_ms``, firing all due tasks.
+
+        Returns the number of tasks fired.  Tasks scheduled *by* fired
+        tasks also run if they fall before the target.
+        """
+        if target_ms < self.clock.now:
+            raise ValueError("cannot run into the past")
+        fired = 0
+        while True:
+            deadline = self.next_deadline
+            if deadline is None or deadline > target_ms:
+                break
+            _, _, task_id = heapq.heappop(self._heap)
+            entry = self._tasks.get(task_id)
+            if entry is None:
+                continue
+            callback, period = entry
+            if period is None:
+                del self._tasks[task_id]
+            else:
+                heapq.heappush(
+                    self._heap, (deadline + period, next(self._seq), task_id)
+                )
+            # Fire at exactly the deadline.
+            if deadline > self.clock.now:
+                self.clock.advance(deadline - self.clock.now)
+            callback()
+            fired += 1
+        if target_ms > self.clock.now:
+            self.clock.advance(target_ms - self.clock.now)
+        return fired
+
+    def advance(self, delta_ms: float) -> int:
+        """Advance relative to the current time, firing due tasks."""
+        return self.run_until(self.clock.now + delta_ms)
+
+    def flush_immediate(self) -> int:
+        """Run tasks scheduled for *now* (zero-delay microtask-ish work)."""
+        return self.run_until(self.clock.now)

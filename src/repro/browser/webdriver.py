@@ -1,0 +1,208 @@
+"""The simulated WebDriver: trusted user gestures against the DOM.
+
+This replaces Selenium WebDriver in the reproduction.  A :class:`Browser`
+owns the pieces that outlive a page load (local storage, the virtual
+clock) and exposes the gesture vocabulary acceptance tests need:
+
+* ``click`` / ``dblclick`` / ``hover``,
+* keyboard input into the focused element (``type_text``, ``press_key``),
+* ``clear``, ``set_hash`` (routing), ``reload`` (persistence testing).
+
+Gestures enforce Selenium-like interactability: clicking an invisible or
+disabled element raises :class:`NotInteractableError`, which the checker
+treats as a misfired action (the guard should have prevented it).
+
+Applications are mounted from an *app factory*: a callable receiving a
+:class:`Page` and returning an application object.  ``reload`` tears the
+document down and mounts a fresh instance against the same storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..dom.document import Document
+from ..dom.events import Event
+from ..dom.node import Element
+from ..dom.storage import LocalStorage
+from .clock import Scheduler, VirtualClock
+
+__all__ = ["Browser", "Page", "NotInteractableError"]
+
+
+class NotInteractableError(RuntimeError):
+    """The gesture target is invisible, disabled or detached."""
+
+
+@dataclass
+class Page:
+    """Everything an application sees of its host browser."""
+
+    document: Document
+    storage: LocalStorage
+    clock: VirtualClock
+    scheduler: Scheduler
+
+    def set_timeout(self, callback, delay_ms):
+        return self.scheduler.set_timeout(callback, delay_ms)
+
+    def set_interval(self, callback, period_ms):
+        return self.scheduler.set_interval(callback, period_ms)
+
+    def clear_timer(self, task_id):
+        self.scheduler.cancel(task_id)
+
+
+class Browser:
+    """A single-tab simulated browser session."""
+
+    def __init__(self, app_factory: Callable[[Page], object]) -> None:
+        self._app_factory = app_factory
+        self.storage = LocalStorage()
+        self.clock = VirtualClock()
+        self.scheduler = Scheduler(self.clock)
+        self.page: Optional[Page] = None
+        self.app: Optional[object] = None
+        self._load_listeners: List[Callable[[], None]] = []
+        self.loads = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def document(self) -> Document:
+        if self.page is None:
+            raise RuntimeError("no page loaded; call load() first")
+        return self.page.document
+
+    def on_load(self, callback: Callable[[], None]) -> None:
+        self._load_listeners.append(callback)
+
+    def load(self, location_hash: str = "") -> None:
+        """(Re)load the page: fresh document, same storage and clock."""
+        # Cancel timers owned by the outgoing page, like a real unload.
+        if self.page is not None:
+            self._cancel_all_timers()
+        document = Document()
+        document._location_hash = location_hash
+        self.page = Page(document, self.storage, self.clock, self.scheduler)
+        self.app = self._app_factory(self.page)
+        self.loads += 1
+        for callback in list(self._load_listeners):
+            callback()
+
+    def reload(self) -> None:
+        """Navigate to the same app again (persistence testing).
+
+        Like a real browser, reloading keeps the URL -- the location hash
+        carries over to the fresh document.
+        """
+        hash_before = self.page.document.location_hash if self.page else ""
+        self.load(location_hash=hash_before)
+
+    def _cancel_all_timers(self) -> None:
+        for task_id in list(self.scheduler._tasks):
+            self.scheduler.cancel(task_id)
+
+    # ------------------------------------------------------------------
+    # Gestures
+    # ------------------------------------------------------------------
+
+    def _require_interactable(self, element: Element) -> None:
+        if element.document is not self.document:
+            raise NotInteractableError(f"{element!r} is not attached to this page")
+        if not element.visible:
+            raise NotInteractableError(f"{element!r} is not visible")
+        if element.disabled:
+            raise NotInteractableError(f"{element!r} is disabled")
+
+    def click(self, element: Element) -> None:
+        """A trusted click: focus, activation behaviour, events."""
+        self._require_interactable(element)
+        document = self.document
+        if _is_focusable(element):
+            document.focus(element)
+        else:
+            document.blur()
+        if element.is_checkbox:
+            element.checked = not element.checked
+            proceeded = document.dispatch_event(Event("click", target=element))
+            if not proceeded:
+                element.checked = not element.checked  # default prevented
+            else:
+                document.dispatch_event(Event("change", target=element))
+            return
+        proceeded = document.dispatch_event(Event("click", target=element))
+        if proceeded and element.tag == "a":
+            href = element.get_attribute("href") or ""
+            if href.startswith("#"):
+                document.set_location_hash(href[1:])
+
+    def dblclick(self, element: Element) -> None:
+        self.click(element)
+        self.click(element)
+        self._require_interactable(element)
+        self.document.dispatch_event(Event("dblclick", target=element))
+
+    def hover(self, element: Element) -> None:
+        self._require_interactable(element)
+        self.document.dispatch_event(Event("mouseover", target=element))
+
+    def focus(self, element: Element) -> None:
+        self._require_interactable(element)
+        self.document.focus(element)
+
+    def type_text(self, text: str, element: Optional[Element] = None) -> None:
+        """Type characters into ``element`` (or the focused element)."""
+        target = element or self.document.active_element
+        if target is None:
+            raise NotInteractableError("no element focused to type into")
+        if element is not None:
+            self._require_interactable(element)
+            self.document.focus(element)
+            target = element
+        if not target.is_text_input:
+            raise NotInteractableError(f"{target!r} does not accept text")
+        for char in text:
+            self.document.dispatch_event(Event("keydown", target=target, key=char))
+            target.value = target.value + char
+            self.document.dispatch_event(Event("input", target=target))
+            self.document.dispatch_event(Event("keyup", target=target, key=char))
+
+    def press_key(self, key: str, element: Optional[Element] = None) -> None:
+        """Press a named key (Enter, Escape, ...) on the focused element."""
+        target = element or self.document.active_element
+        if target is None:
+            raise NotInteractableError("no element focused to receive the key")
+        self.document.dispatch_event(Event("keydown", target=target, key=key))
+        self.document.dispatch_event(Event("keyup", target=target, key=key))
+
+    def clear(self, element: Element) -> None:
+        """Clear a text input's value (Selenium ``clear``)."""
+        self._require_interactable(element)
+        if not element.is_text_input:
+            raise NotInteractableError(f"{element!r} does not accept text")
+        self.document.focus(element)
+        element.value = ""
+        self.document.dispatch_event(Event("input", target=element))
+
+    def set_hash(self, value: str) -> None:
+        self.document.set_location_hash(value)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def advance(self, delta_ms: float) -> int:
+        """Advance virtual time, running due application timers."""
+        return self.scheduler.advance(delta_ms)
+
+    def flush(self) -> int:
+        """Run zero-delay tasks (asynchronous renders) without advancing."""
+        return self.scheduler.flush_immediate()
+
+
+def _is_focusable(element: Element) -> bool:
+    return element.tag in ("input", "textarea", "button", "a", "select")

@@ -1,0 +1,345 @@
+"""The checker's test loop (paper, Sections 2.3 and 3.4).
+
+For each generated test the runner:
+
+1. starts a fresh executor session (``Start`` with the dependency set and
+   watched events) and waits for the initial ``loaded?`` event,
+2. repeatedly picks a random *enabled* action -- guard satisfied and
+   primitive feasible in the current state -- fires it with the current
+   trace version (stale requests are dropped by the executor and the
+   freshly arrived events are processed instead, Figure 10), and feeds
+   every arriving state to the formula's progression checker,
+3. stops on a definitive verdict; otherwise runs ``scheduled_actions``
+   actions, extending the run while the formula demands more states, up
+   to ``demand_allowance`` extra actions, after which the verdict is
+   *forced* by the polarity rule.
+
+A failing test (negative verdict) yields a counterexample, which is then
+shrunk by replay (:mod:`repro.checker.shrink`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..protocol.messages import Acted, Act, Event, Start, Timeout
+from ..quickltl import FormulaChecker, Verdict
+from ..specstrom.actions import PrimitiveAction, PrimitiveEvent, ResolvedAction
+from ..specstrom.errors import SpecEvalError
+from ..specstrom.eval import EvalContext, evaluate
+from ..specstrom.module import CheckSpec
+from ..specstrom.state import StateSnapshot
+from ..specstrom.values import ActionValue
+from .config import RunnerConfig
+from .result import CampaignResult, Counterexample, TestResult
+
+__all__ = ["Runner", "check_spec"]
+
+
+@dataclass
+class _FiredAction:
+    name: str
+    resolved: ResolvedAction
+    timeout_ms: Optional[float]
+
+
+class Runner:
+    """Checks one :class:`CheckSpec` against executors from a factory."""
+
+    def __init__(
+        self,
+        spec: CheckSpec,
+        executor_factory: Callable[[], object],
+        config: Optional[RunnerConfig] = None,
+    ) -> None:
+        self.spec = spec
+        self.executor_factory = executor_factory
+        self.config = config or RunnerConfig()
+
+    # ------------------------------------------------------------------
+    # Campaign
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        results: List[TestResult] = []
+        counterexample: Optional[Counterexample] = None
+        shrunk: Optional[Counterexample] = None
+        for index in range(self.config.tests):
+            rng = random.Random(f"{self.config.seed}/{index}")
+            result = self.run_single_test(rng)
+            results.append(result)
+            if result.failed:
+                counterexample = Counterexample(
+                    actions=list(result.actions),
+                    trace=list(result.trace),
+                    verdict=result.verdict,
+                )
+                if self.config.shrink:
+                    from .shrink import shrink_counterexample
+
+                    shrunk = shrink_counterexample(self, counterexample)
+                if self.config.stop_on_failure:
+                    break
+        return CampaignResult(
+            property_name=self.spec.name,
+            results=results,
+            counterexample=counterexample,
+            shrunk_counterexample=shrunk,
+        )
+
+    # ------------------------------------------------------------------
+    # Single test
+    # ------------------------------------------------------------------
+
+    def watched_events(self) -> Tuple[Tuple[str, PrimitiveEvent], ...]:
+        """Evaluate event definitions to (name, primitive) pairs."""
+        watched = []
+        ctx = EvalContext(state=None, rng=None,
+                          default_subscript=self.spec.default_subscript)
+        for event in self.spec.events:
+            primitive = evaluate(event.body, event.env, ctx)
+            if not isinstance(primitive, PrimitiveEvent):
+                raise SpecEvalError(
+                    f"event {event.name} must be built from an event "
+                    f"primitive such as changed?"
+                )
+            watched.append((event.name, primitive))
+        return tuple(watched)
+
+    def run_single_test(self, rng: random.Random) -> TestResult:
+        executor = self.executor_factory()
+        executor.start(Start(self.spec.dependencies, self.watched_events()))
+        checker = FormulaChecker(self.spec.formula)
+        config = self.config
+
+        trace = []
+        fired: List[_FiredAction] = []
+        states = 0
+        actions_taken = 0
+        verdict = Verdict.DEMAND
+        current_state: Optional[StateSnapshot] = None
+        stall_reason: Optional[str] = None
+        start_ms = executor.now_ms
+
+        def absorb() -> None:
+            nonlocal states, verdict, current_state
+            for message in executor.drain():
+                state = message.state
+                kind = (
+                    "acted"
+                    if isinstance(message, Acted)
+                    else "timeout" if isinstance(message, Timeout) else "event"
+                )
+                from ..protocol.session import TraceEntry
+
+                trace.append(TraceEntry(kind, state.happened, state))
+                states += 1
+                current_state = state
+                if not verdict.is_definitive:
+                    verdict = checker.observe(state)
+
+        absorb()
+        while True:
+            if verdict.is_definitive:
+                break
+            if states >= config.max_states:
+                stall_reason = "max states reached"
+                break
+            budget_spent = actions_taken >= config.scheduled_actions
+            if budget_spent and verdict is not Verdict.DEMAND:
+                break
+            if actions_taken >= config.scheduled_actions + config.demand_allowance:
+                break
+            if current_state is None:
+                stall_reason = "no initial state"
+                break
+            enabled = self._enabled_actions(current_state, rng)
+            if not enabled:
+                # Nothing to do: wait for application events instead.
+                before = states
+                executor.await_events(config.idle_wait_ms)
+                absorb()
+                if states == before or trace[-1].kind == "timeout":
+                    stall_reason = "no enabled actions and no events"
+                    break
+                continue
+            action_value, primitive = enabled[rng.randrange(len(enabled))]
+            resolved = primitive.resolve(current_state, rng)
+            decision_version = states
+            # The checker "thinks" for a while; asynchronous events during
+            # that window make the upcoming Act stale (Figure 10).
+            executor.pass_time(config.decision_latency_ms)
+            accepted = executor.act(
+                Act(resolved, action_value.name, decision_version,
+                    action_value.timeout_ms)
+            )
+            if not accepted:
+                absorb()  # pick up the events that made us stale
+                continue
+            actions_taken += 1
+            fired.append(
+                _FiredAction(action_value.name, resolved, action_value.timeout_ms)
+            )
+            absorb()
+            if action_value.timeout_ms is not None:
+                executor.await_events(action_value.timeout_ms)
+            executor.pass_time(config.settle_ms)
+            absorb()
+
+        forced = False
+        if verdict is Verdict.DEMAND:
+            verdict = checker.force()
+            forced = True
+        executor.stop()
+        return TestResult(
+            verdict=verdict,
+            forced=forced,
+            states_observed=states,
+            actions_taken=actions_taken,
+            stale_rejections=getattr(
+                getattr(executor, "recorder", None), "stale_rejections", 0
+            ),
+            elapsed_virtual_ms=executor.now_ms - start_ms,
+            trace=trace,
+            actions=[(f.name, f.resolved) for f in fired],
+            stall_reason=stall_reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Action selection
+    # ------------------------------------------------------------------
+
+    def _enabled_actions(
+        self, state: StateSnapshot, rng: random.Random
+    ) -> List[Tuple[ActionValue, PrimitiveAction]]:
+        """All actions whose guard holds and whose primitive can fire."""
+        enabled = []
+        ctx = EvalContext(
+            state=state, rng=rng, default_subscript=self.spec.default_subscript
+        )
+        for action in self.spec.actions:
+            if action.guard is not None:
+                guard_value = evaluate(action.guard, action.env, ctx)
+                if not isinstance(guard_value, bool):
+                    raise SpecEvalError(
+                        f"guard of {action.name} must be a boolean"
+                    )
+                if not guard_value:
+                    continue
+            primitive = evaluate(action.body, action.env, ctx)
+            if not isinstance(primitive, PrimitiveAction):
+                raise SpecEvalError(
+                    f"action {action.name} must be built from an action "
+                    f"primitive such as click!"
+                )
+            if primitive.is_enabled(state):
+                enabled.append((action, primitive))
+        return enabled
+
+    def _action_legal(self, action: ActionValue, state: StateSnapshot) -> bool:
+        """Does the action's guard hold in ``state``?"""
+        if action.guard is None:
+            return True
+        ctx = EvalContext(
+            state=state, rng=None, default_subscript=self.spec.default_subscript
+        )
+        guard_value = evaluate(action.guard, action.env, ctx)
+        return guard_value is True
+
+    # ------------------------------------------------------------------
+    # Replay (used by shrinking)
+    # ------------------------------------------------------------------
+
+    def replay(self, actions: List[Tuple[str, ResolvedAction]]) -> Optional[TestResult]:
+        """Re-run a concrete action sequence; returns the result, or None
+        when the sequence is not replayable (an action lost its target)."""
+        executor = self.executor_factory()
+        executor.start(Start(self.spec.dependencies, self.watched_events()))
+        checker = FormulaChecker(self.spec.formula)
+        config = self.config
+        actions_by_name = {a.name: a for a in self.spec.actions}
+        timeout_by_name = {a.name: a.timeout_ms for a in self.spec.actions}
+
+        trace = []
+        states = 0
+        verdict = Verdict.DEMAND
+        current_state: Optional[StateSnapshot] = None
+        start_ms = executor.now_ms
+
+        def absorb() -> None:
+            nonlocal states, verdict, current_state
+            for message in executor.drain():
+                from ..protocol.session import TraceEntry
+
+                state = message.state
+                kind = (
+                    "acted"
+                    if isinstance(message, Acted)
+                    else "timeout" if isinstance(message, Timeout) else "event"
+                )
+                trace.append(TraceEntry(kind, state.happened, state))
+                states += 1
+                current_state = state
+                if not verdict.is_definitive:
+                    verdict = checker.observe(state)
+
+        absorb()
+        from ..executors.domexec import ActionFailed
+
+        for name, resolved in actions:
+            if verdict.is_definitive:
+                break
+            # A candidate is only valid if every action is *legal* where
+            # it fires: the real runner never fires a guarded-off action,
+            # so a shrink that would do so is rejected outright.
+            action_value = actions_by_name.get(name)
+            if action_value is None or current_state is None:
+                executor.stop()
+                return None
+            if not self._action_legal(action_value, current_state):
+                executor.stop()
+                return None
+            executor.pass_time(config.decision_latency_ms)
+            try:
+                accepted = executor.act(
+                    Act(resolved, name, executor.version, timeout_by_name.get(name))
+                )
+            except ActionFailed:
+                executor.stop()
+                return None
+            if not accepted:  # pragma: no cover - version always current here
+                executor.stop()
+                return None
+            absorb()
+            timeout_ms = timeout_by_name.get(name)
+            if timeout_ms is not None:
+                executor.await_events(timeout_ms)
+            executor.pass_time(config.settle_ms)
+            absorb()
+
+        forced = False
+        if verdict is Verdict.DEMAND:
+            verdict = checker.force()
+            forced = True
+        executor.stop()
+        return TestResult(
+            verdict=verdict,
+            forced=forced,
+            states_observed=states,
+            actions_taken=len(actions),
+            stale_rejections=0,
+            elapsed_virtual_ms=executor.now_ms - start_ms,
+            trace=trace,
+            actions=list(actions),
+        )
+
+
+def check_spec(
+    spec: CheckSpec,
+    executor_factory: Callable[[], object],
+    config: Optional[RunnerConfig] = None,
+) -> CampaignResult:
+    """Convenience wrapper: build a runner and run the campaign."""
+    return Runner(spec, executor_factory, config).run()

@@ -1,0 +1,70 @@
+"""Counterexample shrinking by replay.
+
+Failing traces from random exploration contain irrelevant actions.  The
+shrinker replays subsequences of the recorded *resolved* actions against
+fresh executor sessions (the simulated browser is deterministic), keeping
+a candidate when it still fails.  The strategy is a light-weight ddmin:
+repeatedly try to delete contiguous chunks, halving the chunk size until
+single-action deletions no longer help.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..specstrom.actions import ResolvedAction
+from .result import Counterexample
+
+__all__ = ["shrink_counterexample"]
+
+#: Upper bound on replays, to keep shrinking predictable.
+_MAX_REPLAYS = 200
+
+
+def shrink_counterexample(runner, counterexample: Counterexample) -> Counterexample:
+    """Shrink a failing action sequence; returns the smallest found."""
+    best_actions = list(counterexample.actions)
+    best_result = None
+    replays = 0
+
+    def still_fails(candidate: List[Tuple[str, ResolvedAction]]):
+        nonlocal replays
+        if replays >= _MAX_REPLAYS:
+            return None
+        replays += 1
+        result = runner.replay(candidate)
+        if result is not None and result.failed:
+            return result
+        return None
+
+    chunk = max(1, len(best_actions) // 2)
+    while chunk >= 1:
+        progressed = False
+        start = 0
+        while start < len(best_actions):
+            candidate = best_actions[:start] + best_actions[start + chunk:]
+            if len(candidate) == len(best_actions):
+                break
+            result = still_fails(candidate)
+            if result is not None:
+                best_actions = candidate
+                best_result = result
+                progressed = True
+                # Retry the same offset: the next chunk shifted into place.
+            else:
+                start += chunk
+            if replays >= _MAX_REPLAYS:
+                break
+        if replays >= _MAX_REPLAYS:
+            break
+        if not progressed:
+            chunk //= 2
+
+    if best_result is None:
+        # Nothing was removable (or replays exhausted before improving).
+        return counterexample
+    return Counterexample(
+        actions=best_actions,
+        trace=list(best_result.trace),
+        verdict=best_result.verdict,
+    )

@@ -1,0 +1,156 @@
+"""Command-line interface: check Specstrom specifications against apps.
+
+Usage (also via the ``quickstrom-repro`` console script)::
+
+    python -m repro check SPEC.strom --app todomvc[:implementation]
+    python -m repro check SPEC.strom --app eggtimer [--property NAME]
+    python -m repro audit [--subscript N] [--tests N] [IMPLEMENTATION ...]
+    python -m repro list-implementations
+
+``check`` loads a specification file and runs its properties against the
+chosen application; ``audit`` reproduces the paper's Table 1 workload
+over named (or all) TodoMVC implementations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps.eggtimer import egg_timer_app
+from .apps.todomvc import all_implementations, implementation_named, todomvc_app
+from .checker import Runner, RunnerConfig
+from .executors import DomExecutor
+from .quickltl import DEFAULT_SUBSCRIPT
+from .specstrom.module import load_module_file
+
+__all__ = ["main"]
+
+
+def _app_factory(spec: str):
+    kind, _, variant = spec.partition(":")
+    if kind == "todomvc":
+        if variant:
+            return implementation_named(variant).app_factory()
+        return todomvc_app()
+    if kind == "eggtimer":
+        return egg_timer_app()
+    raise SystemExit(f"unknown app {spec!r}; use todomvc[:name] or eggtimer")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quickstrom-repro",
+        description="Property-based acceptance testing with QuickLTL "
+        "(Quickstrom reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check a .strom spec against an app")
+    check.add_argument("spec", help="path to the Specstrom file")
+    check.add_argument("--app", required=True,
+                       help="todomvc[:implementation] or eggtimer")
+    check.add_argument("--property", dest="property_name", default=None,
+                       help="check only this property")
+    check.add_argument("--tests", type=int, default=10)
+    check.add_argument("--actions", type=int, default=None,
+                       help="scheduled actions per test (default: subscript)")
+    check.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT,
+                       help="default temporal subscript (paper default: 100)")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--no-shrink", action="store_true")
+
+    audit = sub.add_parser("audit", help="audit TodoMVC implementations "
+                                         "(the paper's Table 1)")
+    audit.add_argument("names", nargs="*",
+                       help="implementation names (default: all 43)")
+    audit.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT)
+    audit.add_argument("--tests", type=int, default=8)
+    audit.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list-implementations",
+                   help="list the 43 TodoMVC implementations")
+    return parser
+
+
+def _cmd_check(args) -> int:
+    module = load_module_file(args.spec, default_subscript=args.subscript)
+    factory = _app_factory(args.app)
+    checks = module.checks
+    if args.property_name is not None:
+        checks = [module.check_named(args.property_name)]
+    failures = 0
+    for check in checks:
+        config = RunnerConfig(
+            tests=args.tests,
+            scheduled_actions=args.actions or args.subscript,
+            demand_allowance=max(20, args.subscript // 5),
+            seed=args.seed,
+            shrink=not args.no_shrink,
+        )
+        result = Runner(check, lambda: DomExecutor(factory), config).run()
+        print(result.summary())
+        if result.shrunk_counterexample is not None:
+            for line in result.shrunk_counterexample.describe().splitlines():
+                print(f"  {line}")
+        failures += 0 if result.passed else 1
+    return 1 if failures else 0
+
+
+def _cmd_audit(args) -> int:
+    from .specs import load_todomvc_spec
+
+    spec = load_todomvc_spec(default_subscript=args.subscript).check_named("safety")
+    if args.names:
+        implementations = [implementation_named(name) for name in args.names]
+    else:
+        implementations = all_implementations()
+    disagreements = 0
+    for impl in implementations:
+        config = RunnerConfig(
+            tests=args.tests,
+            scheduled_actions=args.subscript,
+            demand_allowance=20,
+            seed=args.seed,
+            shrink=False,
+        )
+        result = Runner(
+            spec, lambda: DomExecutor(impl.app_factory()), config
+        ).run()
+        expected = "fail" if impl.should_fail else "pass"
+        got = "pass" if result.passed else "fail"
+        marker = "" if expected == got else "   <-- disagrees with paper"
+        print(f"{impl.name:<22} {got:<5} (paper: {expected}){marker}")
+        if expected != got:
+            disagreements += 1
+    print(f"\n{len(implementations) - disagreements}/{len(implementations)} "
+          "agree with the paper's Table 1.")
+    return 1 if disagreements else 0
+
+
+def _cmd_list(_args) -> int:
+    for impl in all_implementations():
+        label = "beta  " if impl.beta else "mature"
+        if impl.should_fail:
+            numbers = ",".join(str(n) for n in impl.fault_numbers)
+            print(f"{impl.name:<22} [{label}] fails (problems {numbers})")
+        else:
+            print(f"{impl.name:<22} [{label}] passes")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
+        return _cmd_list(args)
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Simulated DOM: node tree, CSS selectors, events, document, storage."""
+
+from .node import Node, Text, Element
+from .selector import SelectorError, parse_selector, matches, query_all, query_one
+from .events import Event, EventTarget, dispatch
+from .document import Document
+from .storage import LocalStorage
+
+__all__ = [
+    "Node",
+    "Text",
+    "Element",
+    "SelectorError",
+    "parse_selector",
+    "matches",
+    "query_all",
+    "query_one",
+    "Event",
+    "EventTarget",
+    "dispatch",
+    "Document",
+    "LocalStorage",
+]

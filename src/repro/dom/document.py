@@ -1,0 +1,129 @@
+"""The document: root element, focus, queries and mutation observation."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .events import Event, EventTarget, dispatch
+from .node import Element, Node
+from .selector import query_all, query_one
+
+__all__ = ["Document"]
+
+
+class Document:
+    """A minimal document: a ``<body>`` root plus focus and event plumbing.
+
+    The document also tracks a *location hash* (for TodoMVC's filter
+    routing) and notifies mutation observers, which the executor uses to
+    pick up asynchronous UI changes.
+    """
+
+    def __init__(self) -> None:
+        self.root = Element("body")
+        self.root._document = self
+        self.events = EventTarget()
+        self.active_element: Optional[Element] = None
+        self._mutation_observers: List[Callable[[Node], None]] = []
+        self._location_hash = ""
+        self._muted = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query_all(self, selector) -> List[Element]:
+        return query_all(self.root, selector, self)
+
+    def query_one(self, selector) -> Optional[Element]:
+        return query_one(self.root, selector, self)
+
+    def get_element_by_id(self, element_id: str) -> Optional[Element]:
+        for el in self.root.iter_elements():
+            if el.id == element_id:
+                return el
+        return None
+
+    def create_element(self, tag: str, **kwargs) -> Element:
+        return Element(tag, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Focus
+    # ------------------------------------------------------------------
+
+    def focus(self, element: Optional[Element]) -> None:
+        """Move focus, firing ``blur`` and ``focus`` events."""
+        if element is self.active_element:
+            return
+        previous = self.active_element
+        self.active_element = element
+        if previous is not None and previous.document is self:
+            dispatch(self.events, Event("blur", target=previous, bubbles=False))
+        if element is not None:
+            dispatch(self.events, Event("focus", target=element, bubbles=False))
+        self.notify_mutation(element or self.root)
+
+    def blur(self) -> None:
+        self.focus(None)
+
+    # ------------------------------------------------------------------
+    # Location hash (routing)
+    # ------------------------------------------------------------------
+
+    @property
+    def location_hash(self) -> str:
+        return self._location_hash
+
+    def set_location_hash(self, value: str) -> None:
+        if value == self._location_hash:
+            return
+        self._location_hash = value
+        dispatch(self.events, Event("hashchange", target=self.root))
+        self.notify_mutation(self.root)
+
+    # ------------------------------------------------------------------
+    # Events and mutation observation
+    # ------------------------------------------------------------------
+
+    def add_event_listener(self, element, event_type, handler, capture=False):
+        self.events.add_listener(element, event_type, handler, capture)
+
+    def remove_event_listener(self, element, event_type, handler, capture=False):
+        self.events.remove_listener(element, event_type, handler, capture)
+
+    def dispatch_event(self, event: Event) -> bool:
+        return dispatch(self.events, event)
+
+    def observe_mutations(self, callback: Callable[[Node], None]) -> Callable[[], None]:
+        """Register a mutation observer; returns an unsubscribe function."""
+        self._mutation_observers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._mutation_observers:
+                self._mutation_observers.remove(callback)
+
+        return unsubscribe
+
+    def notify_mutation(self, node: Node) -> None:
+        if self._muted:
+            return
+        for observer in list(self._mutation_observers):
+            observer(node)
+
+    class _Mute:
+        def __init__(self, document: "Document") -> None:
+            self._document = document
+
+        def __enter__(self):
+            self._document._muted += 1
+            return self
+
+        def __exit__(self, *exc):
+            self._document._muted -= 1
+            return False
+
+    def batched(self) -> "_Mute":
+        """Context manager suppressing mutation notifications inside; the
+        caller is expected to notify once afterwards (used by renderers
+        that rebuild whole subtrees)."""
+        return Document._Mute(self)

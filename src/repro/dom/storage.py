@@ -1,0 +1,59 @@
+"""``localStorage``: string key/value persistence for the simulated browser.
+
+TodoMVC implementations persist the to-do list here; the persistence
+extension (``reload!`` action) relies on storage surviving page reloads,
+which the :class:`repro.browser.webdriver.Browser` guarantees by owning
+the storage object across navigations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+__all__ = ["LocalStorage"]
+
+
+class LocalStorage:
+    """A string-to-string store with the WebStorage API surface."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, str] = {}
+
+    def get_item(self, key: str) -> Optional[str]:
+        return self._data.get(key)
+
+    def set_item(self, key: str, value: str) -> None:
+        self._data[str(key)] = str(value)
+
+    def remove_item(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def key(self, index: int) -> Optional[str]:
+        keys = list(self._data)
+        if 0 <= index < len(keys):
+            return keys[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # Convenience JSON accessors (applications store structured data).
+
+    def get_json(self, key: str, default=None):
+        raw = self.get_item(key)
+        if raw is None:
+            return default
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            return default
+
+    def set_json(self, key: str, value) -> None:
+        self.set_item(key, json.dumps(value))

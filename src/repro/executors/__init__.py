@@ -1,0 +1,44 @@
+"""Executors: the systems the checker can drive."""
+
+from .base import Executor
+from .domexec import DomExecutor, ActionFailed
+from .ccs import (
+    CCSDefinitions,
+    Process,
+    Nil,
+    Prefix,
+    Choice,
+    Parallel,
+    Restrict,
+    Relabel,
+    Ref,
+    TAU,
+    parse_ccs,
+    parse_definitions,
+    transitions,
+    enabled_labels,
+    CCSParseError,
+)
+from .ccsexec import CCSExecutor
+
+__all__ = [
+    "Executor",
+    "DomExecutor",
+    "ActionFailed",
+    "CCSDefinitions",
+    "Process",
+    "Nil",
+    "Prefix",
+    "Choice",
+    "Parallel",
+    "Restrict",
+    "Relabel",
+    "Ref",
+    "TAU",
+    "parse_ccs",
+    "parse_definitions",
+    "transitions",
+    "enabled_labels",
+    "CCSParseError",
+    "CCSExecutor",
+]

@@ -1,0 +1,383 @@
+"""Milner's Calculus of Communicating Systems: syntax and semantics.
+
+The paper (Section 3.4) mentions a second executor "which interprets
+models written in Milner's Calculus of Communicating Systems", used to
+test the Specstrom interpreter without a browser.  This module is a
+complete small CCS: process terms, the structural operational semantics
+(labelled transition relation), and a parser for a conventional textual
+syntax::
+
+    0                   inaction
+    a.P                 action prefix
+    'a.P                co-action prefix (output)
+    tau.P               internal action
+    P + Q               choice
+    P | Q               parallel composition (a with 'a synchronises to tau)
+    P \\ {a, b}          restriction
+    P [a/b]             relabelling (new/old)
+    X                   process identifier (defined via equations)
+
+Definitions are given as equations ``X = term`` and may be recursive
+(CCS models are allowed to loop; it is *Specstrom* that bans recursion).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Label",
+    "TAU",
+    "complement",
+    "Process",
+    "Nil",
+    "Prefix",
+    "Choice",
+    "Parallel",
+    "Restrict",
+    "Relabel",
+    "Ref",
+    "CCSDefinitions",
+    "transitions",
+    "enabled_labels",
+    "parse_ccs",
+    "parse_definitions",
+    "CCSParseError",
+]
+
+#: Labels are plain strings; co-names carry a leading apostrophe.
+Label = str
+TAU: Label = "tau"
+
+
+def complement(label: Label) -> Label:
+    """The co-name: ``a`` <-> ``'a`` (tau has no complement)."""
+    if label == TAU:
+        raise ValueError("tau has no complement")
+    if label.startswith("'"):
+        return label[1:]
+    return "'" + label
+
+
+def base_name(label: Label) -> str:
+    return label[1:] if label.startswith("'") else label
+
+
+class Process:
+    """Base class for CCS process terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Nil(Process):
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True)
+class Prefix(Process):
+    label: Label
+    continuation: Process
+
+    def __str__(self) -> str:
+        return f"{self.label}.{self.continuation}"
+
+
+@dataclass(frozen=True)
+class Choice(Process):
+    left: Process
+    right: Process
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class Parallel(Process):
+    left: Process
+    right: Process
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Restrict(Process):
+    body: Process
+    labels: FrozenSet[str]  # base names
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(self.labels))
+        return f"({self.body} \\ {{{inner}}})"
+
+
+@dataclass(frozen=True)
+class Relabel(Process):
+    body: Process
+    mapping: Tuple[Tuple[str, str], ...]  # (new, old) base-name pairs
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{new}/{old}" for new, old in self.mapping)
+        return f"({self.body} [{inner}])"
+
+
+@dataclass(frozen=True)
+class Ref(Process):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class CCSDefinitions:
+    """A system of process equations."""
+
+    def __init__(self, equations: Optional[Mapping[str, Process]] = None) -> None:
+        self.equations: Dict[str, Process] = dict(equations or {})
+
+    def define(self, name: str, process: Process) -> None:
+        self.equations[name] = process
+
+    def resolve(self, name: str) -> Process:
+        try:
+            return self.equations[name]
+        except KeyError:
+            raise KeyError(f"undefined CCS process {name!r}") from None
+
+
+def transitions(
+    process: Process, defs: Optional[CCSDefinitions] = None, _depth: int = 0
+) -> List[Tuple[Label, Process]]:
+    """The SOS transition relation: all ``(label, successor)`` pairs."""
+    if _depth > 500:
+        raise RecursionError("unguarded recursion in CCS definitions")
+    defs = defs or CCSDefinitions()
+    if isinstance(process, Nil):
+        return []
+    if isinstance(process, Prefix):
+        return [(process.label, process.continuation)]
+    if isinstance(process, Choice):
+        return transitions(process.left, defs, _depth + 1) + transitions(
+            process.right, defs, _depth + 1
+        )
+    if isinstance(process, Parallel):
+        result: List[Tuple[Label, Process]] = []
+        left_moves = transitions(process.left, defs, _depth + 1)
+        right_moves = transitions(process.right, defs, _depth + 1)
+        for label, successor in left_moves:
+            result.append((label, Parallel(successor, process.right)))
+        for label, successor in right_moves:
+            result.append((label, Parallel(process.left, successor)))
+        # Communication: a on one side with 'a on the other gives tau.
+        for l_label, l_next in left_moves:
+            if l_label == TAU:
+                continue
+            partner = complement(l_label)
+            for r_label, r_next in right_moves:
+                if r_label == partner:
+                    result.append((TAU, Parallel(l_next, r_next)))
+        return result
+    if isinstance(process, Restrict):
+        result = []
+        for label, successor in transitions(process.body, defs, _depth + 1):
+            if label != TAU and base_name(label) in process.labels:
+                continue
+            result.append((label, Restrict(successor, process.labels)))
+        return result
+    if isinstance(process, Relabel):
+        mapping = {old: new for new, old in process.mapping}
+        result = []
+        for label, successor in transitions(process.body, defs, _depth + 1):
+            if label == TAU:
+                renamed = TAU
+            else:
+                base = base_name(label)
+                renamed_base = mapping.get(base, base)
+                renamed = (
+                    "'" + renamed_base if label.startswith("'") else renamed_base
+                )
+            result.append((renamed, Relabel(successor, process.mapping)))
+        return result
+    if isinstance(process, Ref):
+        return transitions(defs.resolve(process.name), defs, _depth + 1)
+    raise TypeError(f"unknown CCS term {type(process).__name__}")
+
+
+def enabled_labels(process: Process, defs: Optional[CCSDefinitions] = None) -> List[Label]:
+    """Sorted distinct labels the process can currently perform."""
+    return sorted({label for label, _ in transitions(process, defs)})
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class CCSParseError(ValueError):
+    """Malformed CCS source."""
+
+
+_CCS_TOKEN = re.compile(
+    r"\s*(?:(?P<name>'?[A-Za-z_][A-Za-z0-9_]*|0)|(?P<punct>[().+|\\{},/\[\]=]))"
+)
+
+
+def _tokenize(source: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(source):
+        match = _CCS_TOKEN.match(source, pos)
+        if match is None or match.end() == pos:
+            rest = source[pos:].strip()
+            if not rest:
+                break
+            raise CCSParseError(f"unexpected character {rest[0]!r}")
+        tokens.append(match.group("name") or match.group("punct"))
+        pos = match.end()
+    return tokens
+
+
+class _CCSParser:
+    """Precedence: ``+``  <  ``|``  <  postfix (``\\``, ``[]``) < prefix."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise CCSParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise CCSParseError(f"expected {token!r}, got {got!r}")
+
+    def parse(self) -> Process:
+        process = self.choice()
+        if self.peek() is not None:
+            raise CCSParseError(f"trailing input at {self.peek()!r}")
+        return process
+
+    def choice(self) -> Process:
+        left = self.parallel()
+        while self.peek() == "+":
+            self.next()
+            left = Choice(left, self.parallel())
+        return left
+
+    def parallel(self) -> Process:
+        left = self.postfix()
+        while self.peek() == "|":
+            self.next()
+            left = Parallel(left, self.postfix())
+        return left
+
+    def postfix(self) -> Process:
+        process = self.prefix()
+        while True:
+            token = self.peek()
+            if token == "\\":
+                self.next()
+                self.expect("{")
+                labels = set()
+                if self.peek() != "}":
+                    while True:
+                        labels.add(self.next())
+                        if self.peek() == "}":
+                            break
+                        self.expect(",")
+                self.expect("}")
+                process = Restrict(process, frozenset(labels))
+            elif token == "[":
+                self.next()
+                pairs = []
+                while True:
+                    new = self.next()
+                    self.expect("/")
+                    old = self.next()
+                    pairs.append((new, old))
+                    if self.peek() == "]":
+                        break
+                    self.expect(",")
+                self.expect("]")
+                process = Relabel(process, tuple(pairs))
+            else:
+                return process
+
+    def prefix(self) -> Process:
+        token = self.peek()
+        if token == "(":
+            self.next()
+            inner = self.choice()
+            self.expect(")")
+            return inner
+        name = self.next()
+        if name in ("0", "nil"):
+            return Nil()
+        if not re.fullmatch(r"'?[A-Za-z_][A-Za-z0-9_]*", name):
+            raise CCSParseError(f"expected a process term, got {name!r}")
+        if self.peek() == ".":
+            self.next()
+            return Prefix(name, self.prefix_tail())
+        # Identifiers starting upper-case are process references; a bare
+        # lower-case name is a prefix of Nil (``a`` means ``a.0``).
+        if name[0].isupper():
+            return Ref(name)
+        return Prefix(name, Nil())
+
+    def prefix_tail(self) -> Process:
+        token = self.peek()
+        if token == "(":
+            return self.prefix()
+        name = self.next()
+        if name in ("0", "nil"):
+            return Nil()
+        if self.peek() == ".":
+            self.next()
+            return Prefix(name, self.prefix_tail())
+        if name[0].isupper():
+            return Ref(name)
+        return Prefix(name, Nil())
+
+
+def parse_ccs(source: str) -> Process:
+    """Parse one CCS process term."""
+    tokens = _tokenize(source)
+    # '0' lexes via the punct/name patterns oddly; normalise: the token
+    # regex has no digits, so handle '0' textually.
+    tokens = ["0" if t == "0" else t for t in tokens]
+    return _CCSParser(tokens).parse()
+
+
+def parse_definitions(source: str) -> Tuple[CCSDefinitions, Optional[Process]]:
+    """Parse a system of equations, one per line (``X = term``), with an
+    optional final bare term as the initial process."""
+    defs = CCSDefinitions()
+    initial: Optional[Process] = None
+    for raw_line in source.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if "=" in line:
+            name, _, term = line.partition("=")
+            name = name.strip()
+            if not re.fullmatch(r"[A-Z][A-Za-z0-9_]*", name):
+                raise CCSParseError(
+                    f"process names must start upper-case: {name!r}"
+                )
+            defs.define(name, parse_ccs(term.strip()))
+        else:
+            initial = parse_ccs(line)
+    return defs, initial

@@ -1,0 +1,16 @@
+"""Checker/executor protocol (paper, Figures 9 and 10)."""
+
+from .messages import Start, Act, Wait, Event, Acted, Timeout, ExecutorMessage
+from .session import TraceEntry, TraceRecorder
+
+__all__ = [
+    "Start",
+    "Act",
+    "Wait",
+    "Event",
+    "Acted",
+    "Timeout",
+    "ExecutorMessage",
+    "TraceEntry",
+    "TraceRecorder",
+]

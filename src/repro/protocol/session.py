@@ -1,0 +1,59 @@
+"""Session bookkeeping shared by checker and executor implementations.
+
+:class:`TraceRecorder` assembles the observed trace (for counterexample
+reporting) and implements the version arithmetic of Figure 10: every
+state appended bumps the trace length, and an ``Act`` carrying a version
+smaller than the current length is *stale* -- the checker decided before
+seeing the newest states -- and must be ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..specstrom.state import StateSnapshot
+
+__all__ = ["TraceEntry", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One observed state along with how it came about."""
+
+    kind: str  # "event" | "acted" | "timeout"
+    happened: Tuple[str, ...]
+    state: StateSnapshot
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates trace entries and answers staleness queries."""
+
+    entries: List[TraceEntry] = field(default_factory=list)
+    stale_rejections: int = field(default=0)
+
+    @property
+    def length(self) -> int:
+        return len(self.entries)
+
+    @property
+    def last_state(self) -> StateSnapshot:
+        if not self.entries:
+            raise RuntimeError("no states observed yet")
+        return self.entries[-1].state
+
+    def append(self, kind: str, happened: Tuple[str, ...], state: StateSnapshot) -> int:
+        """Record a state; returns the new trace length (the version)."""
+        self.entries.append(TraceEntry(kind, tuple(happened), state))
+        return self.length
+
+    def is_stale(self, version: int) -> bool:
+        """Is a request carrying ``version`` out of date (Figure 10)?"""
+        return version < self.length
+
+    def note_stale_rejection(self) -> None:
+        self.stale_rejections += 1
+
+    def happened_sequence(self) -> List[Tuple[str, ...]]:
+        return [entry.happened for entry in self.entries]

@@ -1,0 +1,196 @@
+"""Classic infinite-trace LTL (paper, Figures 1-2) over lasso traces.
+
+An infinite behaviour is represented as a *lasso*: a finite prefix
+followed by a finite, non-empty loop repeated forever.  Every
+ultimately-periodic behaviour has this shape, and they suffice to
+test the standard LTL identities (Figure 3) and the soundness of
+QuickLTL's definitive verdicts: if progression reports *definitely true*
+on a finite prefix, then every infinite completion of that prefix
+satisfies the subscript-erased formula (and dually for *definitely
+false*).
+
+Subscripts are erased when interpreting QuickLTL syntax classically:
+``always{n}`` means plain ``always`` and all three next operators mean
+the (unique) classical next, because an infinite trace always has a next
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    Until,
+)
+
+__all__ = ["Lasso", "holds"]
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """An ultimately periodic behaviour ``prefix (loop)^omega``."""
+
+    prefix: Tuple[object, ...]
+    loop: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.loop:
+            raise ValueError("lasso loop must be non-empty")
+
+    def __len__(self) -> int:
+        """Number of distinct positions (prefix + one unrolling of loop)."""
+        return len(self.prefix) + len(self.loop)
+
+    def state(self, position: int) -> object:
+        if position < len(self.prefix):
+            return self.prefix[position]
+        return self.loop[position - len(self.prefix)]
+
+    def successor(self, position: int) -> int:
+        if position + 1 < len(self):
+            return position + 1
+        return len(self.prefix)
+
+    def positions(self) -> range:
+        return range(len(self))
+
+
+def holds(formula: Formula, lasso: Lasso, position: int = 0) -> bool:
+    """Does ``lasso`` (from ``position``) satisfy ``formula`` classically?
+
+    Computed by labelling: for each subformula we compute the set of
+    positions where it holds, using fixpoint iteration for until/release
+    (the position graph is a single rho-shape, so iteration converges in
+    at most ``len(lasso)`` rounds).
+    """
+    sat = _satisfaction_set(formula, lasso, {})
+    return position in sat
+
+
+def _satisfaction_set(
+    formula: Formula, lasso: Lasso, memo: Dict[Formula, FrozenSet[int]]
+) -> FrozenSet[int]:
+    try:
+        cached = memo.get(formula)
+    except TypeError:  # pragma: no cover - unhashable (Defer-built) nodes
+        cached = None
+    if cached is not None:
+        return cached
+    result = _compute(formula, lasso, memo)
+    try:
+        memo[formula] = result
+    except TypeError:  # pragma: no cover
+        pass
+    return result
+
+
+def _compute(
+    formula: Formula, lasso: Lasso, memo: Dict[Formula, FrozenSet[int]]
+) -> FrozenSet[int]:
+    everything = frozenset(lasso.positions())
+    if isinstance(formula, Top):
+        return everything
+    if isinstance(formula, Bottom):
+        return frozenset()
+    if isinstance(formula, Atom):
+        return frozenset(
+            p for p in lasso.positions() if formula.evaluate(lasso.state(p))
+        )
+    if isinstance(formula, Defer):
+        # Force per position; deferred bodies may differ between states.
+        return frozenset(
+            p
+            for p in lasso.positions()
+            if p in _satisfaction_set(formula.force(lasso.state(p)), lasso, {})
+        )
+    if isinstance(formula, Not):
+        return everything - _satisfaction_set(formula.operand, lasso, memo)
+    if isinstance(formula, And):
+        return _satisfaction_set(formula.left, lasso, memo) & _satisfaction_set(
+            formula.right, lasso, memo
+        )
+    if isinstance(formula, Or):
+        return _satisfaction_set(formula.left, lasso, memo) | _satisfaction_set(
+            formula.right, lasso, memo
+        )
+    if isinstance(formula, (NextReq, NextWeak, NextStrong)):
+        inner = _satisfaction_set(formula.operand, lasso, memo)
+        return frozenset(p for p in lasso.positions() if lasso.successor(p) in inner)
+    if isinstance(formula, Always):
+        # always phi == bottom release phi
+        return _release_set(frozenset(), _satisfaction_set(formula.body, lasso, memo), lasso)
+    if isinstance(formula, Eventually):
+        # eventually phi == top until phi
+        return _until_set(everything, _satisfaction_set(formula.body, lasso, memo), lasso)
+    if isinstance(formula, Until):
+        return _until_set(
+            _satisfaction_set(formula.left, lasso, memo),
+            _satisfaction_set(formula.right, lasso, memo),
+            lasso,
+        )
+    if isinstance(formula, Release):
+        return _release_set(
+            _satisfaction_set(formula.left, lasso, memo),
+            _satisfaction_set(formula.right, lasso, memo),
+            lasso,
+        )
+    raise TypeError(f"cannot interpret {type(formula).__name__} classically")
+
+
+def _until_set(
+    left: FrozenSet[int], right: FrozenSet[int], lasso: Lasso
+) -> FrozenSet[int]:
+    """Least fixpoint of ``S = right | (left & pre(S))``."""
+    current: FrozenSet[int] = right
+    while True:
+        expanded = current | frozenset(
+            p for p in left if lasso.successor(p) in current
+        )
+        if expanded == current:
+            return current
+        current = expanded
+
+
+def _release_set(
+    left: FrozenSet[int], right: FrozenSet[int], lasso: Lasso
+) -> FrozenSet[int]:
+    """Greatest fixpoint of ``S = right & (left | pre(S))``."""
+    current: FrozenSet[int] = right
+    while True:
+        shrunk = frozenset(
+            p
+            for p in current
+            if p in right and (p in left or lasso.successor(p) in current)
+        )
+        if shrunk == current:
+            return current
+        current = shrunk
+
+
+def extensions(prefix: Sequence[object], states: Sequence[object], max_loop: int = 2):
+    """Enumerate small lasso completions of ``prefix`` over ``states``.
+
+    Yields lassos whose prefix is ``prefix`` and whose loop is any
+    non-empty sequence over ``states`` of length at most ``max_loop``.
+    Used by the soundness property tests.
+    """
+    from itertools import product
+
+    for length in range(1, max_loop + 1):
+        for loop in product(states, repeat=length):
+            yield Lasso(tuple(prefix), tuple(loop))

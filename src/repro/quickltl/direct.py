@@ -1,0 +1,121 @@
+"""Direct reference semantics of QuickLTL on complete finite traces.
+
+This is an independent, recursive evaluator used as a *test oracle* for
+the progression engine: for every formula ``phi`` and finite trace ``t``,
+
+    ``check_trace(phi, t, stop_on_definitive=False) == direct_eval(phi, t)``
+
+(property-tested in ``tests/quickltl/test_progression_vs_direct.py``).
+
+The semantics follows the expansion identities of Figure 5 directly:
+temporal operators are interpreted by recursion over the trace suffix,
+and the three next operators resolve at the end of the trace to
+``DEMAND`` (required), ``PROBABLY_TRUE`` (weak) and ``PROBABLY_FALSE``
+(strong) respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    Until,
+)
+from .verdict import Verdict, conj, disj, neg
+
+__all__ = ["direct_eval"]
+
+
+def direct_eval(formula: Formula, trace: Sequence[object]) -> Verdict:
+    """Evaluate ``formula`` over the whole finite ``trace`` (non-empty)."""
+    if not trace:
+        raise ValueError("QuickLTL verdicts need at least one state")
+    return _eval(formula, trace, 0)
+
+
+def _eval(formula: Formula, trace: Sequence[object], i: int) -> Verdict:
+    if isinstance(formula, Top):
+        return Verdict.DEFINITELY_TRUE
+    if isinstance(formula, Bottom):
+        return Verdict.DEFINITELY_FALSE
+    if isinstance(formula, Atom):
+        return Verdict.of_bool(formula.evaluate(trace[i]))
+    if isinstance(formula, Defer):
+        return _eval(formula.force(trace[i]), trace, i)
+    if isinstance(formula, Not):
+        return neg(_eval(formula.operand, trace, i))
+    if isinstance(formula, And):
+        return conj(_eval(formula.left, trace, i), _eval(formula.right, trace, i))
+    if isinstance(formula, Or):
+        return disj(_eval(formula.left, trace, i), _eval(formula.right, trace, i))
+    if isinstance(formula, NextReq):
+        if i + 1 < len(trace):
+            return _eval(formula.operand, trace, i + 1)
+        return Verdict.DEMAND
+    if isinstance(formula, NextWeak):
+        if i + 1 < len(trace):
+            return _eval(formula.operand, trace, i + 1)
+        return Verdict.PROBABLY_TRUE
+    if isinstance(formula, NextStrong):
+        if i + 1 < len(trace):
+            return _eval(formula.operand, trace, i + 1)
+        return Verdict.PROBABLY_FALSE
+    if isinstance(formula, Always):
+        now = _eval(formula.body, trace, i)
+        if i + 1 < len(trace):
+            rest = _eval(Always(max(formula.n - 1, 0), formula.body), trace, i + 1)
+        elif formula.n > 0:
+            rest = Verdict.DEMAND
+        else:
+            rest = Verdict.PROBABLY_TRUE
+        return conj(now, rest)
+    if isinstance(formula, Eventually):
+        now = _eval(formula.body, trace, i)
+        if i + 1 < len(trace):
+            rest = _eval(Eventually(max(formula.n - 1, 0), formula.body), trace, i + 1)
+        elif formula.n > 0:
+            rest = Verdict.DEMAND
+        else:
+            rest = Verdict.PROBABLY_FALSE
+        return disj(now, rest)
+    if isinstance(formula, Until):
+        right_now = _eval(formula.right, trace, i)
+        left_now = _eval(formula.left, trace, i)
+        if i + 1 < len(trace):
+            rest = _eval(
+                Until(max(formula.n - 1, 0), formula.left, formula.right), trace, i + 1
+            )
+        elif formula.n > 0:
+            rest = Verdict.DEMAND
+        else:
+            rest = Verdict.PROBABLY_FALSE
+        return disj(right_now, conj(left_now, rest))
+    if isinstance(formula, Release):
+        right_now = _eval(formula.right, trace, i)
+        left_now = _eval(formula.left, trace, i)
+        if i + 1 < len(trace):
+            rest = _eval(
+                Release(max(formula.n - 1, 0), formula.left, formula.right),
+                trace,
+                i + 1,
+            )
+        elif formula.n > 0:
+            rest = Verdict.DEMAND
+        else:
+            rest = Verdict.PROBABLY_TRUE
+        return conj(right_now, disj(left_now, rest))
+    raise TypeError(f"cannot evaluate {type(formula).__name__}")

@@ -1,0 +1,87 @@
+"""Forced valuation: ending a test while the formula still demands states.
+
+The formal semantics of the "required next" operator is that the checker
+*must* perform more actions (Section 2.3, phase 3).  Specifications such
+as the TodoMVC safety property -- ``always (t1 || t2 || ...)`` where each
+transition ``ti`` contains an explicit ``next`` -- therefore demand a new
+state at *every* step and never release the checker on their own.  A real
+test run has an action budget, so once the budget (scheduled actions plus
+a demand allowance) is exhausted, the runner must force a verdict out of
+the residual obligations.
+
+The *polarity rule* implemented here resolves the residual (the stepped
+formula the checker would otherwise unroll against the next state)
+without a state, using each operator's RV-LTL default:
+
+* ``always``/``release``         -> probably true  (safety: no
+  counterexample was observed),
+* ``eventually``/``until``       -> probably false (liveness: the
+  obligation was never fulfilled within the whole allowance),
+* weak next -> probably true, strong next -> probably false,
+  required next -> polarity of its body,
+* conjunction/disjunction/negation -> the verdict algebra,
+* atoms (and deferred formulae)  -> probably true.  This is the weak,
+  "innocent until proven guilty" bias: an explicit ``next p`` obligation
+  left dangling at the end of a trace (a transition the run cut short)
+  is not a concrete counterexample, and the paper notes Quickstrom only
+  reports safety failures on concrete counterexamples.
+
+Truth values are clamped to the presumptive range: a forced verdict is
+never definitive, because nothing new was witnessed.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    Until,
+)
+from .verdict import Verdict, conj, disj, neg
+
+__all__ = ["force_verdict"]
+
+
+def force_verdict(residual: Formula) -> Verdict:
+    """Resolve a residual formula to a presumptive verdict (polarity rule)."""
+    verdict = _polarity(residual)
+    assert verdict.is_presumptive
+    return verdict
+
+
+def _polarity(formula: Formula) -> Verdict:
+    if isinstance(formula, Top):
+        return Verdict.PROBABLY_TRUE
+    if isinstance(formula, Bottom):
+        return Verdict.PROBABLY_FALSE
+    if isinstance(formula, (Atom, Defer)):
+        return Verdict.PROBABLY_TRUE
+    if isinstance(formula, Not):
+        return neg(_polarity(formula.operand))
+    if isinstance(formula, And):
+        return conj(_polarity(formula.left), _polarity(formula.right))
+    if isinstance(formula, Or):
+        return disj(_polarity(formula.left), _polarity(formula.right))
+    if isinstance(formula, NextWeak):
+        return Verdict.PROBABLY_TRUE
+    if isinstance(formula, NextStrong):
+        return Verdict.PROBABLY_FALSE
+    if isinstance(formula, NextReq):
+        return _polarity(formula.operand)
+    if isinstance(formula, (Always, Release)):
+        return Verdict.PROBABLY_TRUE
+    if isinstance(formula, (Eventually, Until)):
+        return Verdict.PROBABLY_FALSE
+    raise TypeError(f"cannot force a verdict for {type(formula).__name__}")

@@ -1,0 +1,219 @@
+"""A small Pratt parser for the textual QuickLTL surface syntax.
+
+Grammar (loosest binding first)::
+
+    formula   ::= or_expr
+    or_expr   ::= and_expr ("||" and_expr)*
+    and_expr  ::= until_expr ("&&" until_expr)*
+    until_expr::= unary (("until" | "release") subscript? unary_chain)?
+                  -- right associative
+    unary     ::= "!" unary
+                | ("next" | "wnext" | "snext") unary
+                | ("always" | "eventually") subscript? unary
+                | "true" | "false" | IDENT | "(" formula ")"
+    subscript ::= "{" NUMBER "}"
+
+Identifiers become atoms: either looked up in the caller-supplied
+``atoms`` mapping or, by default, dictionary-reading atoms as built by
+:func:`repro.quickltl.syntax.atom`.
+
+Temporal operators written without a subscript get ``default_subscript``
+(the paper's Quickstrom default is 100).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Mapping, Optional
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    BOTTOM,
+    DEFAULT_SUBSCRIPT,
+    Eventually,
+    Formula,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Not,
+    Or,
+    Release,
+    TOP,
+    Until,
+    atom,
+)
+
+__all__ = ["parse_formula", "FormulaParseError"]
+
+
+class FormulaParseError(ValueError):
+    """Raised on malformed QuickLTL source text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)|(?P<punct>\|\||&&|[!(){}]))"
+)
+
+_KEYWORDS = {
+    "true",
+    "false",
+    "next",
+    "wnext",
+    "snext",
+    "always",
+    "eventually",
+    "until",
+    "release",
+    "not",
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].lstrip()
+            if not remainder:
+                break
+            raise FormulaParseError(f"unexpected character {remainder[0]!r}")
+        tokens.append(match.group("num") or match.group("ident") or match.group("punct"))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(
+        self,
+        tokens: list[str],
+        atoms: Optional[Mapping[str, Atom]],
+        make_atom: Callable[[str], Atom],
+        default_subscript: int,
+    ) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._atoms = atoms
+        self._make_atom = make_atom
+        self._default = default_subscript
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FormulaParseError("unexpected end of formula")
+        self._pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise FormulaParseError(f"expected {token!r}, got {got!r}")
+
+    def parse(self) -> Formula:
+        result = self.or_expr()
+        if self.peek() is not None:
+            raise FormulaParseError(f"trailing input at {self.peek()!r}")
+        return result
+
+    def or_expr(self) -> Formula:
+        left = self.and_expr()
+        while self.peek() == "||":
+            self.next()
+            left = Or(left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Formula:
+        left = self.until_expr()
+        while self.peek() == "&&":
+            self.next()
+            left = And(left, self.until_expr())
+        return left
+
+    def until_expr(self) -> Formula:
+        left = self.unary()
+        token = self.peek()
+        if token in ("until", "release"):
+            self.next()
+            n = self.subscript()
+            right = self.until_expr()  # right associative
+            if token == "until":
+                return Until(n, left, right)
+            return Release(n, left, right)
+        return left
+
+    def subscript(self) -> int:
+        if self.peek() == "{":
+            self.next()
+            number = self.next()
+            if not number.isdigit():
+                raise FormulaParseError(f"expected subscript number, got {number!r}")
+            self.expect("}")
+            return int(number)
+        return self._default
+
+    def unary(self) -> Formula:
+        token = self.next()
+        if token in ("!", "not"):
+            return Not(self.unary())
+        if token == "next":
+            return NextReq(self.unary())
+        if token == "wnext":
+            return NextWeak(self.unary())
+        if token == "snext":
+            return NextStrong(self.unary())
+        if token == "always":
+            n = self.subscript()
+            return Always(n, self.unary())
+        if token == "eventually":
+            n = self.subscript()
+            return Eventually(n, self.unary())
+        if token == "true":
+            return TOP
+        if token == "false":
+            return BOTTOM
+        if token == "(":
+            inner = self.or_expr()
+            self.expect(")")
+            return inner
+        if token.isdigit():
+            raise FormulaParseError(f"unexpected number {token!r}")
+        if token in _KEYWORDS or not token[0].isalpha() and token[0] != "_":
+            raise FormulaParseError(f"unexpected token {token!r}")
+        if self._atoms is not None:
+            try:
+                return self._atoms[token]
+            except KeyError:
+                raise FormulaParseError(f"unknown atom {token!r}") from None
+        return self._make_atom(token)
+
+
+def parse_formula(
+    text: str,
+    *,
+    atoms: Optional[Mapping[str, Atom]] = None,
+    make_atom: Callable[[str], Atom] = atom,
+    default_subscript: int = DEFAULT_SUBSCRIPT,
+) -> Formula:
+    """Parse QuickLTL surface syntax into a formula AST.
+
+    ``atoms`` restricts identifiers to a known set; otherwise
+    ``make_atom`` (default: dictionary-reading atoms) is applied to every
+    identifier.  Atoms with the same name are shared within one parse, so
+    the resulting AST deduplicates under simplification.
+    """
+    cache: dict[str, Atom] = {}
+
+    def shared_make(name: str) -> Atom:
+        if name not in cache:
+            cache[name] = make_atom(name)
+        return cache[name]
+
+    parser = _Parser(_tokenize(text), atoms, shared_make, default_subscript)
+    return parser.parse()

@@ -1,0 +1,98 @@
+"""Pretty-printing of QuickLTL formulae.
+
+The surface syntax produced here round-trips through
+:mod:`repro.quickltl.parser` (property-tested).  Operator precedence,
+loosest first::
+
+    ||  <  &&  <  until/release  <  unary (not, nexts, always, eventually)
+
+``always phi`` with an explicit subscript prints as ``always{n} phi``.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    Until,
+)
+
+__all__ = ["pretty"]
+
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_UNTIL = 3
+_PREC_UNARY = 4
+_PREC_ATOM = 5
+
+
+def pretty(formula: Formula) -> str:
+    """Render ``formula`` as parseable text."""
+    return _render(formula, 0)
+
+
+def _render(formula: Formula, parent_prec: int) -> str:
+    text, prec = _render_prec(formula)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _render_prec(formula: Formula) -> tuple[str, int]:
+    if isinstance(formula, Top):
+        return "true", _PREC_ATOM
+    if isinstance(formula, Bottom):
+        return "false", _PREC_ATOM
+    if isinstance(formula, Atom):
+        return formula.name, _PREC_ATOM
+    if isinstance(formula, Defer):
+        return f"<defer {formula.name}>", _PREC_ATOM
+    if isinstance(formula, Not):
+        return f"!{_render(formula.operand, _PREC_UNARY)}", _PREC_UNARY
+    if isinstance(formula, And):
+        # The parser is left-associative for && and ||, so the right
+        # operand is rendered one level tighter to keep round-trips exact.
+        left = _render(formula.left, _PREC_AND)
+        right = _render(formula.right, _PREC_AND + 1)
+        return f"{left} && {right}", _PREC_AND
+    if isinstance(formula, Or):
+        left = _render(formula.left, _PREC_OR)
+        right = _render(formula.right, _PREC_OR + 1)
+        return f"{left} || {right}", _PREC_OR
+    if isinstance(formula, NextReq):
+        return f"next {_render(formula.operand, _PREC_UNARY)}", _PREC_UNARY
+    if isinstance(formula, NextWeak):
+        return f"wnext {_render(formula.operand, _PREC_UNARY)}", _PREC_UNARY
+    if isinstance(formula, NextStrong):
+        return f"snext {_render(formula.operand, _PREC_UNARY)}", _PREC_UNARY
+    if isinstance(formula, Always):
+        return (
+            f"always{{{formula.n}}} {_render(formula.body, _PREC_UNARY)}",
+            _PREC_UNARY,
+        )
+    if isinstance(formula, Eventually):
+        return (
+            f"eventually{{{formula.n}}} {_render(formula.body, _PREC_UNARY)}",
+            _PREC_UNARY,
+        )
+    if isinstance(formula, Until):
+        left = _render(formula.left, _PREC_UNTIL + 1)
+        right = _render(formula.right, _PREC_UNTIL)
+        return f"{left} until{{{formula.n}}} {right}", _PREC_UNTIL
+    if isinstance(formula, Release):
+        left = _render(formula.left, _PREC_UNTIL + 1)
+        right = _render(formula.right, _PREC_UNTIL)
+        return f"{left} release{{{formula.n}}} {right}", _PREC_UNTIL
+    raise TypeError(f"cannot pretty-print {type(formula).__name__}")

@@ -1,0 +1,209 @@
+"""Formula progression: the three-phase evaluation loop of Section 2.3.
+
+:class:`FormulaChecker` consumes trace states one at a time.  For each
+state it
+
+1. unrolls the current formula against the state (Figure 6),
+2. simplifies the result; a literal ``top``/``bottom`` is a definitive
+   verdict and checking stops, otherwise the result is in guarded form
+   and a presumptive verdict (or a demand for more states) is computed,
+3. steps the guarded form forward (Figure 7), ready for the next state.
+
+The checker records the size of the progressed formula after every state,
+which the ablation bench uses to confirm that per-step simplification
+keeps progression from blowing up (Rosu & Havelund's caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .simplify import simplify
+from .step import demands_next, presumptive_valuation, step
+from .syntax import Bottom, Formula, Top
+from .unroll import unroll
+from .verdict import Verdict
+
+__all__ = ["FormulaChecker", "check_trace", "formula_size"]
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes (deferred bodies count as one node)."""
+    from .syntax import And, Or, Not, NextReq, NextWeak, NextStrong
+    from .syntax import Always, Eventually, Until, Release
+
+    if isinstance(formula, (And, Or)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Until, Release)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Not, NextReq, NextWeak, NextStrong)):
+        return 1 + formula_size(formula.operand)
+    if isinstance(formula, (Always, Eventually)):
+        return 1 + formula_size(formula.body)
+    return 1
+
+
+@dataclass
+class FormulaChecker:
+    """Incremental QuickLTL evaluator over a growing partial trace.
+
+    Typical use::
+
+        checker = FormulaChecker(formula)
+        for state in trace:
+            verdict = checker.observe(state)
+            if verdict.is_definitive:
+                break
+        final = checker.verdict   # may be presumptive (or DEMAND)
+
+    ``simplify_each_step`` exists for the ablation study only; turning it
+    off makes progression follow the naive expansion.
+    """
+
+    formula: Formula
+    simplify_each_step: bool = True
+    _current: Optional[Formula] = field(default=None, init=False, repr=False)
+    _verdict: Verdict = field(default=Verdict.DEMAND, init=False)
+    _states_seen: int = field(default=0, init=False)
+    _sizes: List[int] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._current = self.formula
+
+    @property
+    def verdict(self) -> Verdict:
+        """The verdict after the states observed so far.
+
+        Before any state is observed this is ``DEMAND``: evaluating any
+        formula requires at least one state.
+        """
+        return self._verdict
+
+    @property
+    def states_seen(self) -> int:
+        return self._states_seen
+
+    @property
+    def formula_sizes(self) -> List[int]:
+        """Size of the progressed formula after each observed state."""
+        return list(self._sizes)
+
+    @property
+    def is_definitive(self) -> bool:
+        return self._verdict.is_definitive
+
+    @property
+    def needs_more_states(self) -> bool:
+        """True when no presumptive answer may be given yet (required-next
+        obligations remain, or no state has been observed)."""
+        return self._verdict is Verdict.DEMAND
+
+    @property
+    def residual(self) -> Formula:
+        """The progressed formula awaiting the next state."""
+        return self._current
+
+    def force(self) -> Verdict:
+        """The verdict to report when the action budget is exhausted.
+
+        If the current verdict is already decided (or presumptive), it is
+        returned as-is; a demanding verdict is resolved by the polarity
+        rule of :mod:`repro.quickltl.forced` over the residual formula.
+        """
+        if self._verdict is not Verdict.DEMAND:
+            return self._verdict
+        from .forced import force_verdict
+
+        return force_verdict(self._current)
+
+    def observe(self, state: object) -> Verdict:
+        """Feed the next trace state and return the updated verdict.
+
+        Observing further states after a definitive verdict is a no-op
+        (``top``/``bottom`` are fixpoints of unrolling), so callers need
+        not special-case early termination.
+        """
+        # Phase 1: unroll against the new state.
+        unrolled = unroll(self._current, state)
+        # Phase 2: simplify; definitive answers stop checking.
+        reduced = simplify(unrolled) if self.simplify_each_step else unrolled
+        self._states_seen += 1
+        self._sizes.append(formula_size(reduced))
+        if isinstance(reduced, Top):
+            self._verdict = Verdict.DEFINITELY_TRUE
+            self._current = reduced
+            return self._verdict
+        if isinstance(reduced, Bottom):
+            self._verdict = Verdict.DEFINITELY_FALSE
+            self._current = reduced
+            return self._verdict
+        if not self.simplify_each_step and not _guardable(reduced):
+            # Naive progression (the ablation's baseline): the verdict is
+            # read off a simplified *copy*, but the formula that gets
+            # stepped forward is the raw unrolled one, dead truth-value
+            # weight and all -- this is precisely the configuration in
+            # which Rosu & Havelund's exponential blow-up appears.
+            cleaned = simplify(reduced)
+            if isinstance(cleaned, Top):
+                self._verdict = Verdict.DEFINITELY_TRUE
+                self._current = cleaned
+                return self._verdict
+            if isinstance(cleaned, Bottom):
+                self._verdict = Verdict.DEFINITELY_FALSE
+                self._current = cleaned
+                return self._verdict
+            self._verdict = presumptive_valuation(cleaned)
+            self._current = _lenient_step(reduced)
+            return self._verdict
+        # Phase 2 (cont.): guarded form; presumptive verdict or demand.
+        self._verdict = presumptive_valuation(reduced)
+        # Phase 3: step forward for the next state.
+        self._current = step(reduced)
+        return self._verdict
+
+
+def _guardable(formula: Formula) -> bool:
+    from .step import is_guarded_form
+
+    return is_guarded_form(formula)
+
+
+def _lenient_step(formula: Formula) -> Formula:
+    """Step an *unsimplified* unrolled formula forward.
+
+    Truth values are carried along unchanged (they are fixpoints of
+    unrolling), connectives are homomorphic and next guards are
+    stripped.  Semantically equivalent to simplify-then-step, but the
+    dead weight accumulates -- used only by the no-simplification
+    ablation baseline.
+    """
+    from .syntax import And, Bottom, Not, NextReq, NextStrong, NextWeak, Or, Top
+
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_lenient_step(formula.operand))
+    if isinstance(formula, And):
+        return And(_lenient_step(formula.left), _lenient_step(formula.right))
+    if isinstance(formula, Or):
+        return Or(_lenient_step(formula.left), _lenient_step(formula.right))
+    if isinstance(formula, (NextReq, NextWeak, NextStrong)):
+        return formula.operand
+    raise TypeError(f"cannot step {type(formula).__name__}")
+
+
+def check_trace(formula: Formula, trace, *, stop_on_definitive: bool = True) -> Verdict:
+    """Run a complete finite trace through a fresh checker.
+
+    Returns the final verdict; with ``stop_on_definitive`` (the default)
+    evaluation short-circuits as soon as the verdict is definitive, like
+    the real checker does.
+    """
+    checker = FormulaChecker(formula)
+    verdict = Verdict.DEMAND
+    for state in trace:
+        verdict = checker.observe(state)
+        if stop_on_definitive and verdict.is_definitive:
+            return verdict
+    return verdict

@@ -1,0 +1,105 @@
+"""RV-LTL and Pnueli-style finite LTL, for the Section 2.1 comparison.
+
+The paper positions QuickLTL as a superset of RV-LTL (Bauer et al.):
+erasing every subscript to 0 recovers RV-LTL's four-valued semantics on
+partial traces, where
+
+* ``always``/``release`` default to *weak* next (presumptively true when
+  the trace runs out), and
+* ``eventually``/``until`` default to *strong* next (presumptively false).
+
+Pnueli's finite LTL (for *completed* traces) is the two-valued collapse:
+presumptive answers become definitive because no further states can ever
+follow.
+
+This module implements both by subscript erasure plus the progression
+engine, and is used by the ablation bench that reproduces the paper's
+"menu is never disabled forever" example: RV-LTL yields a verdict that
+flaps with the final state of the trace, while a QuickLTL subscript
+stabilises it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .direct import direct_eval
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    Until,
+)
+from .verdict import Verdict
+
+__all__ = ["erase_subscripts", "rv_eval", "fltl_eval"]
+
+
+def erase_subscripts(formula: Formula) -> Formula:
+    """Rewrite every temporal subscript to 0 and every required next to a
+    weak next, yielding the RV-LTL reading of the formula.
+
+    (Required next does not exist in RV-LTL; a bare ``next`` in RV-LTL is
+    conventionally the strong one, but QuickLTL specifications only
+    produce required nexts through subscripts, which this erasure already
+    removes.  Explicit ``NextReq`` nodes are mapped to weak next, the
+    choice Bauer et al. make for the impartial ``always`` fragment.)
+    """
+    if isinstance(formula, (Top, Bottom, Atom, Defer)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(erase_subscripts(formula.operand))
+    if isinstance(formula, And):
+        return And(erase_subscripts(formula.left), erase_subscripts(formula.right))
+    if isinstance(formula, Or):
+        return Or(erase_subscripts(formula.left), erase_subscripts(formula.right))
+    if isinstance(formula, NextReq):
+        return NextWeak(erase_subscripts(formula.operand))
+    if isinstance(formula, NextWeak):
+        return NextWeak(erase_subscripts(formula.operand))
+    if isinstance(formula, NextStrong):
+        return NextStrong(erase_subscripts(formula.operand))
+    if isinstance(formula, Always):
+        return Always(0, erase_subscripts(formula.body))
+    if isinstance(formula, Eventually):
+        return Eventually(0, erase_subscripts(formula.body))
+    if isinstance(formula, Until):
+        return Until(0, erase_subscripts(formula.left), erase_subscripts(formula.right))
+    if isinstance(formula, Release):
+        return Release(
+            0, erase_subscripts(formula.left), erase_subscripts(formula.right)
+        )
+    raise TypeError(f"cannot erase subscripts in {type(formula).__name__}")
+
+
+def rv_eval(formula: Formula, trace: Sequence[object]) -> Verdict:
+    """RV-LTL's four-valued verdict for ``formula`` on a partial trace.
+
+    Subscript-0 QuickLTL never demands more states (property-tested), so
+    the result is always one of the four RV-LTL values.
+    """
+    verdict = direct_eval(erase_subscripts(formula), trace)
+    if verdict is Verdict.DEMAND:  # pragma: no cover - impossible by construction
+        raise AssertionError("subscript-erased formula demanded more states")
+    return verdict
+
+
+def fltl_eval(formula: Formula, trace: Sequence[object]) -> bool:
+    """Pnueli's finite LTL: two-valued semantics on a *completed* trace.
+
+    This is the presumptive collapse of RV-LTL: the trace is final, so
+    weak next on the last state is simply true and strong next simply
+    false.
+    """
+    return rv_eval(formula, trace).is_positive

@@ -1,0 +1,176 @@
+"""Simplification of unrolled formulae (paper, Section 2.3, phase 2).
+
+After unrolling, a formula is built from ``top``, ``bottom``, ``not``,
+``and``, ``or`` and next-guarded subformulae.  Simplification
+
+* pushes negations inwards using the negation identities (Figure 3,
+  identities 1-5, adapted to the three next operators:
+  ``!N p = Ns !p``, ``!Ns p = N !p``, ``!N! p = N! !p``), and through
+  temporal operators inside next bodies (until/release and
+  always/eventually duality),
+* flattens nested conjunctions/disjunctions,
+* applies unit/zero laws (``top && p = p``, ``bottom && p = bottom``, ...)
+  and idempotence (structurally equal siblings are merged).
+
+Simplification deliberately does **not** rewrite a next-guarded term into
+a truth value (e.g. ``N top`` is *not* ``top``): the weak/strong/required
+defaults only apply when the trace actually ends, so such rewrites would
+change where the checker is allowed to stop.  The presumptive valuation of
+next operators is the job of :mod:`repro.quickltl.step`.
+
+Per the paper (Section 2.3), this per-step simplification is what keeps
+formula progression from exhibiting the exponential blow-up described by
+Rosu and Havelund; ``benchmarks/bench_ablation_simplify.py`` measures that
+claim.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    BOTTOM,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    TOP,
+    Until,
+)
+
+__all__ = ["simplify", "negate"]
+
+
+def negate(formula: Formula) -> Formula:
+    """Push a negation one level into ``formula`` (building its dual).
+
+    Used both by the simplifier and by front ends that need negation
+    normal form.  ``Atom`` and ``Defer`` nodes are opaque, so their
+    negation stays as a ``Not`` wrapper.
+    """
+    if isinstance(formula, Top):
+        return BOTTOM
+    if isinstance(formula, Bottom):
+        return TOP
+    if isinstance(formula, Not):
+        return formula.operand
+    if isinstance(formula, And):
+        return Or(negate(formula.left), negate(formula.right))
+    if isinstance(formula, Or):
+        return And(negate(formula.left), negate(formula.right))
+    if isinstance(formula, NextWeak):
+        return NextStrong(negate(formula.operand))
+    if isinstance(formula, NextStrong):
+        return NextWeak(negate(formula.operand))
+    if isinstance(formula, NextReq):
+        return NextReq(negate(formula.operand))
+    if isinstance(formula, Always):
+        return Eventually(formula.n, negate(formula.body))
+    if isinstance(formula, Eventually):
+        return Always(formula.n, negate(formula.body))
+    if isinstance(formula, Until):
+        return Release(formula.n, negate(formula.left), negate(formula.right))
+    if isinstance(formula, Release):
+        return Until(formula.n, negate(formula.left), negate(formula.right))
+    # Atoms and deferred formulae are opaque.
+    return Not(formula)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Simplify ``formula`` using boolean and negation identities.
+
+    The result is either ``TOP``, ``BOTTOM``, or a formula in *guarded
+    form*: conjunctions/disjunctions of next-guarded subformulae
+    (Figure 4, bottom).  Next operator bodies are simplified recursively
+    (body-level rewriting is semantics-preserving because the next
+    operators are congruences).
+    """
+    if isinstance(formula, (Top, Bottom, Atom, Defer)):
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, (Atom, Defer)):
+            return Not(inner)
+        return simplify(negate(inner))
+    if isinstance(formula, And):
+        return _simplify_nary(formula, And, TOP, BOTTOM)
+    if isinstance(formula, Or):
+        return _simplify_nary(formula, Or, BOTTOM, TOP)
+    if isinstance(formula, NextReq):
+        return NextReq(simplify(formula.operand))
+    if isinstance(formula, NextWeak):
+        return NextWeak(simplify(formula.operand))
+    if isinstance(formula, NextStrong):
+        return NextStrong(simplify(formula.operand))
+    if isinstance(formula, Always):
+        return Always(formula.n, _simplify_body(formula.body))
+    if isinstance(formula, Eventually):
+        return Eventually(formula.n, _simplify_body(formula.body))
+    if isinstance(formula, Until):
+        return Until(
+            formula.n, _simplify_body(formula.left), _simplify_body(formula.right)
+        )
+    if isinstance(formula, Release):
+        return Release(
+            formula.n, _simplify_body(formula.left), _simplify_body(formula.right)
+        )
+    raise TypeError(f"cannot simplify {type(formula).__name__}")
+
+
+def _simplify_body(body: Formula) -> Formula:
+    """Simplify a temporal-operator body; deferred bodies stay opaque."""
+    if isinstance(body, Defer):
+        return body
+    return simplify(body)
+
+
+def _simplify_nary(formula, connective, unit, zero):
+    """Flatten an ``and``/``or`` tree, applying unit/zero and idempotence.
+
+    ``unit`` is the neutral element (top for ``and``) and ``zero`` the
+    absorbing one (bottom for ``and``).
+    """
+    children: list[Formula] = []
+    seen: set = set()
+    stack = [formula.right, formula.left]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, connective):
+            stack.append(node.right)
+            stack.append(node.left)
+            continue
+        node = simplify(node)
+        if node == zero:
+            return zero
+        if node == unit:
+            continue
+        if isinstance(node, connective):
+            # Simplification of a child re-introduced the connective
+            # (e.g. via negation pushing); splice its operands in.
+            stack.append(node.right)
+            stack.append(node.left)
+            continue
+        try:
+            is_dup = node in seen
+        except TypeError:  # pragma: no cover - unhashable custom atoms
+            is_dup = any(node == c for c in children)
+        if not is_dup:
+            children.append(node)
+            try:
+                seen.add(node)
+            except TypeError:  # pragma: no cover
+                pass
+    if not children:
+        return unit
+    result = children[-1]
+    for child in reversed(children[:-1]):
+        result = connective(child, result)
+    return result

@@ -1,0 +1,104 @@
+"""Guarded-form analysis and the step relation (paper, Figures 4 and 7).
+
+After unrolling and simplification, a formula is either a truth value or
+in *guarded form*: conjunctions and disjunctions of next-guarded
+subformulae.  This module provides
+
+* :func:`is_guarded_form` -- the syntactic check,
+* :func:`demands_next` -- does the guarded form contain a "required next"?
+  If so, the checker *must* perform more actions (Section 2.3, phase 3),
+* :func:`presumptive_valuation` -- the presumptive answer obtained by
+  reading every weak-next-guarded term as true and every
+  strong-next-guarded term as false,
+* :func:`step` -- the relation ``F => phi`` of Figure 7, which strips the
+  next guards to progress the formula to the next state.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    Bottom,
+    Formula,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Top,
+)
+from .verdict import Verdict, conj, disj
+
+__all__ = [
+    "is_guarded_form",
+    "demands_next",
+    "presumptive_valuation",
+    "step",
+    "NotGuardedError",
+]
+
+
+class NotGuardedError(TypeError):
+    """Raised when a formula expected to be in guarded form is not."""
+
+
+def is_guarded_form(formula: Formula) -> bool:
+    """Check that ``formula`` is conjunctions/disjunctions of next-guarded
+    terms (truth values do not count as guarded form)."""
+    if isinstance(formula, (NextReq, NextWeak, NextStrong)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return is_guarded_form(formula.left) and is_guarded_form(formula.right)
+    return False
+
+
+def demands_next(formula: Formula) -> bool:
+    """True when the guarded form contains any required-next term."""
+    if isinstance(formula, NextReq):
+        return True
+    if isinstance(formula, (NextWeak, NextStrong)):
+        return False
+    if isinstance(formula, (And, Or)):
+        return demands_next(formula.left) or demands_next(formula.right)
+    raise NotGuardedError(f"not in guarded form: {type(formula).__name__}")
+
+
+def presumptive_valuation(formula: Formula) -> Verdict:
+    """The presumptive verdict of a guarded-form formula.
+
+    Weak-next terms contribute ``PROBABLY_TRUE``, strong-next terms
+    ``PROBABLY_FALSE`` and required-next terms ``DEMAND``; the verdict
+    algebra then combines them, so a conjunction containing a required
+    next yields ``DEMAND`` (more states needed) rather than a guess,
+    exactly as prescribed in Section 2.3.
+    """
+    if isinstance(formula, Top):
+        return Verdict.DEFINITELY_TRUE
+    if isinstance(formula, Bottom):
+        return Verdict.DEFINITELY_FALSE
+    if isinstance(formula, NextWeak):
+        return Verdict.PROBABLY_TRUE
+    if isinstance(formula, NextStrong):
+        return Verdict.PROBABLY_FALSE
+    if isinstance(formula, NextReq):
+        return Verdict.DEMAND
+    if isinstance(formula, And):
+        return conj(
+            presumptive_valuation(formula.left), presumptive_valuation(formula.right)
+        )
+    if isinstance(formula, Or):
+        return disj(
+            presumptive_valuation(formula.left), presumptive_valuation(formula.right)
+        )
+    raise NotGuardedError(f"not in guarded form: {type(formula).__name__}")
+
+
+def step(formula: Formula) -> Formula:
+    """The step relation ``F => phi`` (Figure 7): strip next guards so the
+    formula can be unrolled against the next state."""
+    if isinstance(formula, (NextReq, NextWeak, NextStrong)):
+        return formula.operand
+    if isinstance(formula, And):
+        return And(step(formula.left), step(formula.right))
+    if isinstance(formula, Or):
+        return Or(step(formula.left), step(formula.right))
+    raise NotGuardedError(f"not in guarded form: {type(formula).__name__}")

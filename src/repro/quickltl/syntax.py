@@ -1,0 +1,298 @@
+"""Abstract syntax of QuickLTL formulae (paper, Figure 4).
+
+A formula is built from:
+
+* atomic propositions (arbitrary predicates over an opaque *state*),
+* the boolean connectives ``top``, ``bottom``, ``not``, ``and``, ``or``,
+* three "next" operators:
+
+  - ``NextReq``    (required next): demands that the checker produce a
+    next state,
+  - ``NextWeak``   (weak next): defaults to *presumptively true* when the
+    trace ends,
+  - ``NextStrong`` (strong next): defaults to *presumptively false* when
+    the trace ends,
+
+* the subscripted temporal operators ``Always(n, .)``, ``Eventually(n, .)``,
+  ``Until(n, ., .)`` and ``Release(n, ., .)``, whose numeric annotation is
+  the minimum number of states the checker must examine before a
+  presumptive answer is allowed (Figure 5).
+
+Temporal operator bodies may also be :class:`Defer` nodes, i.e. closures
+producing a formula once a concrete state is available.  This is how the
+Specstrom evaluator implements strict ``let`` bindings inside temporal
+contexts (paper, Section 3.1): the body expression is re-evaluated at every
+state the operator unrolls over, freezing any eagerly-bound values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+__all__ = [
+    "Formula",
+    "Top",
+    "Bottom",
+    "TOP",
+    "BOTTOM",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "NextReq",
+    "NextWeak",
+    "NextStrong",
+    "Always",
+    "Eventually",
+    "Until",
+    "Release",
+    "Defer",
+    "atom",
+    "implies",
+    "iff",
+    "conj",
+    "disj",
+    "DEFAULT_SUBSCRIPT",
+]
+
+#: Default subscript applied by front ends when the user writes a temporal
+#: operator without an annotation.  The paper reports 100 as Quickstrom's
+#: default (Section 4.3).
+DEFAULT_SUBSCRIPT = 100
+
+
+class Formula:
+    """Base class for all QuickLTL formula nodes.
+
+    Nodes are immutable and structurally comparable, which the simplifier
+    relies on for idempotence-based deduplication.  Operators are
+    overloaded for convenience: ``&``, ``|`` and ``~`` build conjunction,
+    disjunction and negation; ``>>`` builds implication.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return implies(self, other)
+
+    def __str__(self) -> str:
+        from .pretty import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Top(Formula):
+    """The constant true."""
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+
+@dataclass(frozen=True, slots=True)
+class Bottom(Formula):
+    """The constant false."""
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """An atomic proposition: a named predicate over states.
+
+    Two atoms are equal when they share both name and predicate object;
+    front ends that generate many atoms from one source expression should
+    therefore reuse predicate closures where sharing is intended.
+    """
+
+    name: str
+    predicate: Callable[[object], bool] = field(compare=True)
+
+    def evaluate(self, state: object) -> bool:
+        """Evaluate the predicate, coercing the result to ``bool``."""
+        return bool(self.predicate(state))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """Binary conjunction."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """Binary disjunction."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class NextReq(Formula):
+    """Required next: the checker must produce a next state."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class NextWeak(Formula):
+    """Weak next: presumptively true if the trace ends here."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class NextStrong(Formula):
+    """Strong next: presumptively false if the trace ends here."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Always(Formula):
+    """``always{n} phi`` -- henceforth, with minimum-trace annotation."""
+
+    n: int
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"subscript must be non-negative, got {self.n}")
+
+
+@dataclass(frozen=True, slots=True)
+class Eventually(Formula):
+    """``eventually{n} phi`` -- with minimum-trace annotation."""
+
+    n: int
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"subscript must be non-negative, got {self.n}")
+
+
+@dataclass(frozen=True, slots=True)
+class Until(Formula):
+    """``phi until{n} psi``."""
+
+    n: int
+    left: Formula
+    right: Formula
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"subscript must be non-negative, got {self.n}")
+
+
+@dataclass(frozen=True, slots=True)
+class Release(Formula):
+    """``phi release{n} psi``."""
+
+    n: int
+    left: Formula
+    right: Formula
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"subscript must be non-negative, got {self.n}")
+
+
+@dataclass(frozen=True, slots=True)
+class Defer(Formula):
+    """A formula computed from the state at unroll time.
+
+    ``build`` receives the current state and must return a
+    :class:`Formula`.  Two ``Defer`` nodes compare equal only when they
+    hold the *same* closure object, so deduplication across distinct
+    closures is (soundly) never attempted.
+    """
+
+    name: str
+    build: Callable[[object], Formula] = field(compare=True)
+
+    def force(self, state: object) -> Formula:
+        built = self.build(state)
+        if not isinstance(built, Formula):
+            raise TypeError(
+                f"deferred formula {self.name!r} produced {type(built).__name__},"
+                " expected a Formula"
+            )
+        return built
+
+    def __repr__(self) -> str:
+        return f"Defer({self.name!r})"
+
+
+def atom(name: str, predicate: Callable[[object], bool] | None = None) -> Atom:
+    """Build an atom; without a predicate, states are treated as mappings
+    and the atom reads the truthiness of ``state[name]`` (absent keys are
+    false).  This is the convenient form for tests and examples.
+    """
+    if predicate is None:
+        def predicate(state, _key=name):
+            if isinstance(state, dict):
+                return bool(state.get(_key, False))
+            return bool(getattr(state, _key))
+
+    return Atom(name, predicate)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Material implication, desugared to ``!a || b``."""
+    return Or(Not(antecedent), consequent)
+
+
+def iff(a: Formula, b: Formula) -> Formula:
+    """Biconditional, desugared to ``(a -> b) && (b -> a)``."""
+    return And(implies(a, b), implies(b, a))
+
+
+def conj(*formulas: Formula) -> Formula:
+    """Right-nested conjunction of any number of formulas (empty = top)."""
+    return _fold(And, TOP, formulas)
+
+
+def disj(*formulas: Formula) -> Formula:
+    """Right-nested disjunction of any number of formulas (empty = bottom)."""
+    return _fold(Or, BOTTOM, formulas)
+
+
+def _fold(
+    connective: Callable[[Formula, Formula], Formula],
+    unit: Formula,
+    formulas: Tuple[Formula, ...],
+) -> Formula:
+    if not formulas:
+        return unit
+    result = formulas[-1]
+    for f in reversed(formulas[:-1]):
+        result = connective(f, result)
+    return result

@@ -1,0 +1,102 @@
+"""The one-state unrolling relation of Figure 6: ``phi --sigma--> phi'``.
+
+Unrolling evaluates every atomic proposition against the given state and
+expands every temporal operator one step (per the expansion identities of
+Figure 5), leaving a formula in which every remaining non-trivial
+obligation sits under one of the three "next" operators.
+
+The expansion rules, with ``N!``, ``N`` and ``Ns`` standing for required,
+weak and strong next:
+
+==================  =======================================================
+``always{n+1} p``   ``p' && N!(always{n} p)``
+``always{0} p``     ``p' && N (always{0} p)``
+``eventually{n+1}`` ``p' || N!(eventually{n} p)``
+``eventually{0}``   ``p' || Ns(eventually{0} p)``
+``p until{n+1} q``  ``q' || (p' && N!(p until{n} q))``
+``p until{0} q``    ``q' || (p' && Ns(p until{0} q))``
+``p release{n+1}``  ``q' && (p' || N!(p release{n} q))``
+``p release{0} q``  ``q' && (p' || N (p release{0} q))``
+==================  =======================================================
+
+``Defer`` bodies are forced against the current state before being
+unrolled, which realises Specstrom's staged evaluation: a strict ``let``
+inside a temporal operator freezes the value the bound expression has in
+the state where the operator unrolls.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    Always,
+    And,
+    Atom,
+    Bottom,
+    BOTTOM,
+    Defer,
+    Eventually,
+    Formula,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Top,
+    TOP,
+    Until,
+)
+
+__all__ = ["unroll"]
+
+
+def unroll(formula: Formula, state: object) -> Formula:
+    """Unroll ``formula`` one step, partially evaluating it against ``state``.
+
+    The result contains no ``Atom``, ``Always``, ``Eventually``, ``Until``,
+    ``Release`` or ``Defer`` nodes outside of "next" operator bodies.
+    """
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        return TOP if formula.evaluate(state) else BOTTOM
+    if isinstance(formula, Defer):
+        return unroll(formula.force(state), state)
+    if isinstance(formula, Not):
+        return Not(unroll(formula.operand, state))
+    if isinstance(formula, And):
+        return And(unroll(formula.left, state), unroll(formula.right, state))
+    if isinstance(formula, Or):
+        return Or(unroll(formula.left, state), unroll(formula.right, state))
+    if isinstance(formula, (NextReq, NextWeak, NextStrong)):
+        # Next-guarded obligations are untouched by unrolling; they are
+        # discharged by the step relation (Figure 7) once a new state
+        # becomes available.
+        return formula
+    if isinstance(formula, Always):
+        body_now = unroll(formula.body, state)
+        if formula.n > 0:
+            return And(body_now, NextReq(Always(formula.n - 1, formula.body)))
+        return And(body_now, NextWeak(Always(0, formula.body)))
+    if isinstance(formula, Eventually):
+        body_now = unroll(formula.body, state)
+        if formula.n > 0:
+            return Or(body_now, NextReq(Eventually(formula.n - 1, formula.body)))
+        return Or(body_now, NextStrong(Eventually(0, formula.body)))
+    if isinstance(formula, Until):
+        left_now = unroll(formula.left, state)
+        right_now = unroll(formula.right, state)
+        if formula.n > 0:
+            rest = NextReq(Until(formula.n - 1, formula.left, formula.right))
+        else:
+            rest = NextStrong(Until(0, formula.left, formula.right))
+        return Or(right_now, And(left_now, rest))
+    if isinstance(formula, Release):
+        left_now = unroll(formula.left, state)
+        right_now = unroll(formula.right, state)
+        if formula.n > 0:
+            rest = NextReq(Release(formula.n - 1, formula.left, formula.right))
+        else:
+            rest = NextWeak(Release(0, formula.left, formula.right))
+        return And(right_now, Or(left_now, rest))
+    raise TypeError(f"cannot unroll {type(formula).__name__}")

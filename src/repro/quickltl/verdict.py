@@ -1,0 +1,135 @@
+"""The QuickLTL evaluation algebra.
+
+QuickLTL (paper, Section 2.2) refines RV-LTL's four truth values:
+
+* ``DEFINITELY_FALSE``  -- a concrete counterexample was observed,
+* ``PROBABLY_FALSE``    -- presumptively false (e.g. an unfulfilled
+  liveness obligation at the end of the trace),
+* ``PROBABLY_TRUE``     -- presumptively true (e.g. no counterexample to a
+  safety property was observed),
+* ``DEFINITELY_TRUE``   -- the formula was positively witnessed.
+
+The progression procedure (Section 2.3) additionally needs an internal
+fifth state, ``DEMAND``: the guarded-form formula still contains a
+"required next" operator, so the checker *must* perform more actions to
+produce another state before any presumptive answer may be given.
+
+The four proper values form a chain under the truth ordering
+
+    DEFINITELY_FALSE < PROBABLY_FALSE < PROBABLY_TRUE < DEFINITELY_TRUE
+
+and conjunction/disjunction are meet/join on that chain (exactly as in
+RV-LTL).  ``DEMAND`` absorbs both connectives unless the other operand
+already decides the connective definitively: a definite ``False``
+short-circuits a conjunction and a definite ``True`` short-circuits a
+disjunction, mirroring how the syntactic simplifier deletes a
+required-next obligation only when a sibling is literally top or bottom.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Verdict", "conj", "disj", "neg", "conj_all", "disj_all"]
+
+
+class Verdict(enum.Enum):
+    """A QuickLTL evaluation outcome (four RV-LTL values plus ``DEMAND``)."""
+
+    DEFINITELY_FALSE = 0
+    PROBABLY_FALSE = 1
+    PROBABLY_TRUE = 2
+    DEFINITELY_TRUE = 3
+    DEMAND = 4
+
+    @property
+    def is_definitive(self) -> bool:
+        """True for the two verdicts that no further testing can change."""
+        return self in (Verdict.DEFINITELY_FALSE, Verdict.DEFINITELY_TRUE)
+
+    @property
+    def is_presumptive(self) -> bool:
+        """True for the two "presumptive" (indeterminate) verdicts."""
+        return self in (Verdict.PROBABLY_FALSE, Verdict.PROBABLY_TRUE)
+
+    @property
+    def is_demand(self) -> bool:
+        """True when the checker must produce more states before answering."""
+        return self is Verdict.DEMAND
+
+    @property
+    def is_positive(self) -> bool:
+        """True for the two "pass" verdicts (definitely/probably true)."""
+        return self in (Verdict.PROBABLY_TRUE, Verdict.DEFINITELY_TRUE)
+
+    @property
+    def is_negative(self) -> bool:
+        """True for the two "fail" verdicts (definitely/probably false)."""
+        return self in (Verdict.DEFINITELY_FALSE, Verdict.PROBABLY_FALSE)
+
+    @classmethod
+    def of_bool(cls, value: bool) -> "Verdict":
+        """The definitive verdict corresponding to a boolean."""
+        return cls.DEFINITELY_TRUE if value else cls.DEFINITELY_FALSE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Verdict.{self.name}"
+
+
+def neg(v: Verdict) -> Verdict:
+    """Negation: swaps definite with definite, presumptive with presumptive.
+
+    ``DEMAND`` is self-dual, matching the self-dual "required next"
+    operator (``not next phi  ==  next not phi``).
+    """
+    if v is Verdict.DEMAND:
+        return Verdict.DEMAND
+    return Verdict(3 - v.value)
+
+
+def conj(a: Verdict, b: Verdict) -> Verdict:
+    """Conjunction.
+
+    On the four-valued chain this is the minimum (meet).  ``DEMAND``
+    propagates unless either side is definitively false, which decides
+    the conjunction outright.
+    """
+    if a is Verdict.DEFINITELY_FALSE or b is Verdict.DEFINITELY_FALSE:
+        return Verdict.DEFINITELY_FALSE
+    if a is Verdict.DEMAND or b is Verdict.DEMAND:
+        return Verdict.DEMAND
+    return a if a.value <= b.value else b
+
+
+def disj(a: Verdict, b: Verdict) -> Verdict:
+    """Disjunction.
+
+    On the four-valued chain this is the maximum (join).  ``DEMAND``
+    propagates unless either side is definitively true, which decides
+    the disjunction outright.
+    """
+    if a is Verdict.DEFINITELY_TRUE or b is Verdict.DEFINITELY_TRUE:
+        return Verdict.DEFINITELY_TRUE
+    if a is Verdict.DEMAND or b is Verdict.DEMAND:
+        return Verdict.DEMAND
+    return a if a.value >= b.value else b
+
+
+def conj_all(verdicts) -> Verdict:
+    """Conjunction over an iterable (empty conjunction is definitely true)."""
+    result = Verdict.DEFINITELY_TRUE
+    for v in verdicts:
+        result = conj(result, v)
+        if result is Verdict.DEFINITELY_FALSE:
+            return result
+    return result
+
+
+def disj_all(verdicts) -> Verdict:
+    """Disjunction over an iterable (empty disjunction is definitely false)."""
+    result = Verdict.DEFINITELY_FALSE
+    for v in verdicts:
+        result = disj(result, v)
+        if result is Verdict.DEFINITELY_TRUE:
+            return result
+    return result

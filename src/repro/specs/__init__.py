@@ -1,0 +1,35 @@
+"""Bundled formal specifications (.strom files) and loader helpers."""
+
+from __future__ import annotations
+
+import os
+
+from ..quickltl import DEFAULT_SUBSCRIPT
+from ..specstrom.module import SpecModule, load_module
+
+__all__ = ["spec_path", "load_spec", "load_eggtimer_spec", "load_todomvc_spec"]
+
+_HERE = os.path.dirname(__file__)
+
+
+def spec_path(name: str) -> str:
+    """Absolute path of a bundled .strom file."""
+    path = os.path.join(_HERE, name)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no bundled spec named {name!r}")
+    return path
+
+
+def load_spec(name: str, *, default_subscript: int = DEFAULT_SUBSCRIPT) -> SpecModule:
+    with open(spec_path(name), "r", encoding="utf-8") as handle:
+        return load_module(handle.read(), default_subscript=default_subscript)
+
+
+def load_eggtimer_spec(*, default_subscript: int = DEFAULT_SUBSCRIPT) -> SpecModule:
+    """The Figure 8 egg-timer specification."""
+    return load_spec("eggtimer.strom", default_subscript=default_subscript)
+
+
+def load_todomvc_spec(*, default_subscript: int = DEFAULT_SUBSCRIPT) -> SpecModule:
+    """The formal TodoMVC specification (Section 4.1)."""
+    return load_spec("todomvc.strom", default_subscript=default_subscript)

@@ -1,0 +1,132 @@
+"""Primitive actions and events, and their resolution against states.
+
+A Specstrom ``action`` definition's body evaluates to a
+:class:`PrimitiveAction` (for ``!`` names) or :class:`PrimitiveEvent`
+(for ``?`` names).  Primitives are *abstract* -- ``click`` on a selector
+that matches several elements stands for clicking any one of them.  The
+checker resolves a primitive against the current state snapshot by
+picking a concrete target index with its RNG, producing a
+:class:`ResolvedAction` that the executor can perform verbatim.
+
+Built-in primitives (paper, Section 3.2 plus the persistence extension):
+
+=============  =========================================================
+``noop!``      do nothing (used with ``timeout`` to wait for events)
+``click!``     click a random visible match of the selector
+``dblclick!``  double-click a random visible match
+``hover!``     hover a random visible match
+``focus!``     focus a random visible match
+``clear!``     clear the value of a random visible text input
+``input!``     focus a random visible match and type the given text
+``pressKey!``  focus a random visible match and press the named key
+``reload!``    reload the page (local storage survives)
+``loaded?``    the page-load event (built in; fires on every load)
+``changed?``   fires when an element matching the selector mutates
+               asynchronously
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .state import StateSnapshot
+
+__all__ = [
+    "PrimitiveAction",
+    "PrimitiveEvent",
+    "ResolvedAction",
+    "USER_PRIMITIVES",
+    "EVENT_PRIMITIVES",
+]
+
+#: Primitive name -> (needs_selector, extra_arg_names)
+USER_PRIMITIVES = {
+    "noop": (False, ()),
+    "click": (True, ()),
+    "dblclick": (True, ()),
+    "hover": (True, ()),
+    "focus": (True, ()),
+    "clear": (True, ()),
+    "input": (True, ("text",)),
+    "pressKey": (True, ("key",)),
+    "reload": (False, ()),
+}
+
+EVENT_PRIMITIVES = {
+    "loaded": (False,),
+    "changed": (True,),
+}
+
+
+@dataclass(frozen=True)
+class PrimitiveAction:
+    """An abstract user-interface action."""
+
+    kind: str
+    selector: Optional[str] = None
+    args: Tuple[object, ...] = ()
+
+    def is_enabled(self, state: StateSnapshot) -> bool:
+        """Can this primitive fire in ``state``?
+
+        Selector-based primitives need at least one *visible* match;
+        ``noop`` and ``reload`` are always possible.
+        """
+        if self.selector is None:
+            return True
+        try:
+            return len(state.visible_elements(self.selector)) > 0
+        except KeyError:
+            return False
+
+    def resolve(self, state: StateSnapshot, rng: random.Random) -> "ResolvedAction":
+        """Pick a concrete target among the visible matches."""
+        if self.selector is None:
+            return ResolvedAction(self.kind, None, None, self.args)
+        candidates = state.visible_elements(self.selector)
+        if not candidates:
+            raise ValueError(f"primitive {self.kind}!({self.selector!r}) has no target")
+        index = rng.randrange(len(candidates))
+        # The index is relative to *visible* matches; the executor applies
+        # the same filter so the pick is stable even if hidden elements
+        # precede the target in document order.
+        return ResolvedAction(self.kind, self.selector, index, self.args)
+
+
+@dataclass(frozen=True)
+class PrimitiveEvent:
+    """An abstract application event."""
+
+    kind: str
+    selector: Optional[str] = None
+
+    @property
+    def watches_selector(self) -> bool:
+        return self.selector is not None
+
+
+@dataclass(frozen=True)
+class ResolvedAction:
+    """A concrete action the executor can perform.
+
+    ``index`` selects among the visible matches of ``selector`` at the
+    time the action was chosen (None for selector-free primitives).
+    """
+
+    kind: str
+    selector: Optional[str]
+    index: Optional[int]
+    args: Tuple[object, ...] = ()
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.selector is not None:
+            target = f"`{self.selector}`"
+            if self.index is not None:
+                target += f"[{self.index}]"
+            parts.append(target)
+        parts.extend(repr(a) for a in self.args)
+        return f"{parts[0]}!({', '.join(parts[1:])})"

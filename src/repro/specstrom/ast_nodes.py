@@ -1,0 +1,232 @@
+"""Specstrom abstract syntax.
+
+Expression nodes carry source positions for error reporting.  Top-level
+definitions mirror the paper's Figure 8: (lazy) lets, optionally with
+parameters; action/event definitions with ``when`` guards and
+``timeout``s; and ``check`` commands with optional ``with`` action lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Expr",
+    "Lit",
+    "SelectorLit",
+    "Var",
+    "Member",
+    "Index",
+    "Call",
+    "Unary",
+    "Binary",
+    "IfExpr",
+    "Binding",
+    "Block",
+    "ArrayLit",
+    "ObjectLit",
+    "TemporalUnary",
+    "TemporalBinary",
+    "Param",
+    "LetDef",
+    "ActionDef",
+    "CheckDef",
+    "Module",
+]
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Lit(Expr):
+    """A literal: number, string, bool or null."""
+
+    value: object
+
+
+@dataclass
+class SelectorLit(Expr):
+    """A backtick CSS selector literal."""
+
+    css: str
+
+
+@dataclass
+class Var(Expr):
+    """A variable reference (possibly an action/event name)."""
+
+    name: str
+
+
+@dataclass
+class Member(Expr):
+    """``obj.name`` -- property access (on selectors: a state query)."""
+
+    obj: Expr
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """``obj[index]``."""
+
+    obj: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """``callee(arg, ...)``."""
+
+    callee: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Unary(Expr):
+    """``!e`` or ``-e``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operators, including ``&&``/``||``/``==>`` (which lift to
+    QuickLTL connectives when an operand is temporal) and ``in``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class IfExpr(Expr):
+    """``if c { a } else { b }`` -- an expression, both branches required."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclass
+class Binding:
+    """One ``let`` inside a block; ``lazy`` bindings re-evaluate at use."""
+
+    name: str
+    lazy: bool
+    expr: Expr
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class Block(Expr):
+    """``{ let ...; ...; result }``."""
+
+    bindings: List[Binding]
+    result: Expr
+
+
+@dataclass
+class ArrayLit(Expr):
+    items: List[Expr]
+
+
+@dataclass
+class ObjectLit(Expr):
+    pairs: List[Tuple[str, Expr]]
+
+
+@dataclass
+class TemporalUnary(Expr):
+    """``always{n} e``, ``eventually{n} e``, ``next/wnext/snext e``.
+
+    ``subscript`` is None when the user omitted it (the elaborator
+    substitutes the spec's default; the paper notes omitted subscripts
+    "use a user-specified default value", Section 4.1).
+    """
+
+    op: str
+    subscript: Optional[int]
+    body: Expr
+
+
+@dataclass
+class TemporalBinary(Expr):
+    """``a until{n} b`` / ``a release{n} b``."""
+
+    op: str
+    subscript: Optional[int]
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Param:
+    """A function parameter; ``lazy`` (written ``~x``) receives the
+    argument unevaluated, per Section 3.1's ``evovae`` example."""
+
+    name: str
+    lazy: bool
+
+
+@dataclass
+class LetDef:
+    """Top-level ``let [~]name[(params)] = body;``."""
+
+    name: str
+    lazy: bool
+    params: Optional[List[Param]]
+    body: Expr
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class ActionDef:
+    """``action name! = body [timeout ms] [when guard];``
+
+    Event definitions use the same node with a ``?``-suffixed name.
+    """
+
+    name: str
+    body: Expr
+    guard: Optional[Expr]
+    timeout: Optional[Expr]
+    line: int = 0
+    column: int = 0
+
+    @property
+    def is_event(self) -> bool:
+        return self.name.endswith("?")
+
+
+@dataclass
+class CheckDef:
+    """``check prop1 prop2 ... [with a!, b!, c?];``"""
+
+    properties: List[Expr]
+    with_actions: Optional[List[str]]
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class Module:
+    """A parsed specification file."""
+
+    lets: List[LetDef]
+    actions: List[ActionDef]
+    checks: List[CheckDef]
+
+    @property
+    def definitions(self):
+        return list(self.lets) + list(self.actions)

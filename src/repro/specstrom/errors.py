@@ -1,0 +1,46 @@
+"""Specstrom error hierarchy.
+
+All user-facing errors carry a source location (line, column) when one is
+available, so that specification authors get actionable messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "SpecError",
+    "SpecSyntaxError",
+    "SpecTypeError",
+    "SpecEvalError",
+    "StateQueryOutsideStateError",
+]
+
+
+class SpecError(Exception):
+    """Base class for Specstrom front-end and runtime errors."""
+
+    def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{line}:{column or 0}: {message}"
+        super().__init__(message)
+
+
+class SpecSyntaxError(SpecError):
+    """Lexing or parsing failure."""
+
+
+class SpecTypeError(SpecError):
+    """Type system violation: recursion, functions inside data, arity, ..."""
+
+
+class SpecEvalError(SpecError):
+    """Runtime evaluation failure."""
+
+
+class StateQueryOutsideStateError(SpecEvalError):
+    """A state query (selector access, ``happened``) was evaluated where no
+    state is available -- typically a strict top-level ``let`` that should
+    have been marked lazy with ``~`` (paper, Section 3.2)."""

@@ -1,0 +1,138 @@
+"""The Specstrom lexer.
+
+Notable lexical features (paper, Section 3):
+
+* backtick-quoted CSS selectors: ``` `#toggle` ``` lexes to a ``selector``
+  token whose value is the raw selector text,
+* action/event naming convention: identifiers may end in ``!`` (user
+  actions) or ``?`` (events); the suffix is part of the identifier,
+* ``//`` line comments,
+* JS-style string literals with escapes, and int/float numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import SpecSyntaxError
+from .tokens import KEYWORDS, PUNCTUATION, Token
+
+__all__ = ["tokenize"]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "'": "'", "`": "`"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens, ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    pos = 0
+    length = len(source)
+
+    def error(message: str) -> SpecSyntaxError:
+        return SpecSyntaxError(message, line, column)
+
+    while pos < length:
+        char = source[pos]
+        # Whitespace ------------------------------------------------------
+        if char == "\n":
+            pos += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            pos += 1
+            column += 1
+            continue
+        # Comments ---------------------------------------------------------
+        if source.startswith("//", pos):
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        start_line, start_column = line, column
+        # Identifiers and keywords ------------------------------------------
+        if char in _IDENT_START:
+            end = pos
+            while end < length and source[end] in _IDENT_CONT:
+                end += 1
+            name = source[pos:end]
+            # Action (!) / event (?) suffix is part of the name, but only
+            # when directly attached and not part of `!=` / `?.` etc.
+            if end < length and source[end] in "!?" and not source.startswith("!=", end):
+                name += source[end]
+                end += 1
+            column += end - pos
+            pos = end
+            kind = "keyword" if name in KEYWORDS else "ident"
+            tokens.append(Token(kind, name, start_line, start_column))
+            continue
+        # Numbers -----------------------------------------------------------
+        if char.isdigit():
+            end = pos
+            while end < length and source[end].isdigit():
+                end += 1
+            is_float = False
+            if (
+                end < length - 1
+                and source[end] == "."
+                and source[end + 1].isdigit()
+            ):
+                is_float = True
+                end += 1
+                while end < length and source[end].isdigit():
+                    end += 1
+            text = source[pos:end]
+            value = float(text) if is_float else int(text)
+            column += end - pos
+            pos = end
+            tokens.append(Token("number", value, start_line, start_column))
+            continue
+        # Strings ------------------------------------------------------------
+        if char == '"':
+            value, consumed = _scan_quoted(source, pos, '"', error)
+            tokens.append(Token("string", value, start_line, start_column))
+            pos += consumed
+            column += consumed
+            continue
+        # Selectors ------------------------------------------------------------
+        if char == "`":
+            value, consumed = _scan_quoted(source, pos, "`", error)
+            tokens.append(Token("selector", value, start_line, start_column))
+            pos += consumed
+            column += consumed
+            continue
+        # Punctuation ------------------------------------------------------------
+        for punct in PUNCTUATION:
+            if source.startswith(punct, pos):
+                tokens.append(Token("punct", punct, start_line, start_column))
+                pos += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+    tokens.append(Token("eof", None, line, column))
+    return tokens
+
+
+def _scan_quoted(source: str, pos: int, quote: str, error) -> tuple:
+    """Scan a quoted literal starting at ``pos``; returns (value, consumed)."""
+    chars: List[str] = []
+    i = pos + 1
+    while i < len(source):
+        char = source[i]
+        if char == quote:
+            return "".join(chars), i - pos + 1
+        if char == "\n":
+            raise error(f"unterminated {quote}-quoted literal")
+        if char == "\\":
+            if i + 1 >= len(source):
+                raise error("dangling escape")
+            escaped = source[i + 1]
+            chars.append(_ESCAPES.get(escaped, escaped))
+            i += 2
+            continue
+        chars.append(char)
+        i += 1
+    raise error(f"unterminated {quote}-quoted literal")

@@ -1,0 +1,100 @@
+"""Token definitions for the Specstrom lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Token", "KEYWORDS", "TEMPORAL_KEYWORDS", "PUNCTUATION"]
+
+#: Reserved words.  ``always``/``eventually``/... are temporal operators;
+#: the rest structure definitions and expressions.
+KEYWORDS = frozenset(
+    {
+        "let",
+        "action",
+        "check",
+        "with",
+        "when",
+        "timeout",
+        "if",
+        "else",
+        "in",
+        "not",
+        "true",
+        "false",
+        "null",
+        "always",
+        "eventually",
+        "until",
+        "release",
+        "next",
+        "wnext",
+        "snext",
+        "fun",
+        "import",
+    }
+)
+
+TEMPORAL_KEYWORDS = frozenset(
+    {"always", "eventually", "until", "release", "next", "wnext", "snext"}
+)
+
+#: Multi-character punctuation must be listed longest-first so the lexer
+#: prefers the longest match.
+PUNCTUATION = (
+    "==>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    ".",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "?",
+    "~",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token.
+
+    ``kind`` is one of ``ident``, ``keyword``, ``number``, ``string``,
+    ``selector``, ``punct`` or ``eof``.  ``value`` is the decoded payload
+    (e.g. the string contents without quotes, the parsed number).  Action
+    and event names keep their ``!``/``?`` suffix as part of the ``ident``
+    value, matching the paper's naming convention.
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    @property
+    def is_eof(self) -> bool:
+        return self.kind == "eof"
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return f"{self.kind} {self.value!r}"

@@ -1,0 +1,99 @@
+"""The egg-timer application (Section 3.2)."""
+
+import pytest
+
+from repro.apps.eggtimer import egg_timer_app
+from repro.browser import Browser
+
+
+def make(browser_kwargs=None, **app_kwargs):
+    browser = Browser(egg_timer_app(**app_kwargs))
+    browser.load()
+    return browser
+
+
+def toggle(browser):
+    return browser.document.get_element_by_id("toggle")
+
+
+def remaining(browser):
+    return int(browser.document.get_element_by_id("remaining").text)
+
+
+class TestBasicOperation:
+    def test_initial_state(self):
+        browser = make()
+        assert toggle(browser).text == "start"
+        assert remaining(browser) == 180
+
+    def test_start_changes_button(self):
+        browser = make()
+        browser.click(toggle(browser))
+        assert toggle(browser).text == "stop"
+
+    def test_ticks_once_per_second(self):
+        browser = make()
+        browser.click(toggle(browser))
+        browser.advance(5000)
+        assert remaining(browser) == 175
+
+    def test_stop_pauses(self):
+        browser = make()
+        browser.click(toggle(browser))
+        browser.advance(3000)
+        browser.click(toggle(browser))
+        browser.advance(10000)
+        assert remaining(browser) == 177
+        assert toggle(browser).text == "start"
+
+    def test_restart_resumes_from_pause(self):
+        browser = make()
+        browser.click(toggle(browser))
+        browser.advance(3000)
+        browser.click(toggle(browser))
+        browser.click(toggle(browser))
+        browser.advance(2000)
+        assert remaining(browser) == 175
+
+    def test_reaching_zero_stops(self):
+        browser = make(initial_seconds=3)
+        browser.click(toggle(browser))
+        browser.advance(10000)
+        assert remaining(browser) == 0
+        assert toggle(browser).text == "start"
+
+    def test_start_at_zero_does_nothing(self):
+        browser = make(initial_seconds=0)
+        browser.click(toggle(browser))
+        assert toggle(browser).text == "start"
+
+
+class TestResetVariant:
+    def test_stop_resets_to_initial(self):
+        browser = make(pause_on_stop=False, initial_seconds=60)
+        browser.click(toggle(browser))
+        browser.advance(5000)
+        browser.click(toggle(browser))
+        assert remaining(browser) == 60
+
+
+class TestBuggyVariants:
+    def test_double_decrement(self):
+        browser = make(decrement=2)
+        browser.click(toggle(browser))
+        browser.advance(3000)
+        assert remaining(browser) == 174
+
+    def test_frozen_display(self):
+        browser = make(stuck_at=178, initial_seconds=180)
+        browser.click(toggle(browser))
+        browser.advance(5000)
+        # The model keeps counting; the display froze at 178.
+        assert remaining(browser) == 178
+
+    def test_frozen_display_never_reaches_zero_visibly(self):
+        browser = make(stuck_at=2, initial_seconds=3)
+        browser.click(toggle(browser))
+        browser.advance(10000)
+        assert remaining(browser) == 2
+        assert toggle(browser).text == "start"  # model still stopped

@@ -1,0 +1,245 @@
+"""The DOM-backed TodoMVC app: behaviour and equivalence with the model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.todomvc import TodoModel, todomvc_app
+from repro.browser import Browser
+
+
+@pytest.fixture()
+def browser():
+    b = Browser(todomvc_app())
+    b.load()
+    return b
+
+
+def add_item(browser, text):
+    field = browser.document.query_one(".new-todo")
+    browser.clear(field)
+    browser.type_text(text, element=field)
+    browser.press_key("Enter")
+
+
+def labels(browser, visible_only=False):
+    items = browser.document.query_all(".todo-list li label")
+    if visible_only:
+        items = [el for el in items if el.visible]
+    return [el.text for el in items]
+
+
+class TestCreating:
+    def test_add_item(self, browser):
+        add_item(browser, "walk")
+        assert labels(browser) == ["walk"]
+        assert browser.document.query_one(".new-todo").value == ""
+
+    def test_add_trims(self, browser):
+        add_item(browser, "  walk  ")
+        assert labels(browser) == ["walk"]
+
+    def test_blank_input_ignored(self, browser):
+        add_item(browser, "   ")
+        assert labels(browser) == []
+        # pending input untouched
+        assert browser.document.query_one(".new-todo").value == "   "
+
+    def test_chrome_hidden_when_empty(self, browser):
+        assert not browser.document.query_one(".footer").visible
+        assert not browser.document.query_one(".toggle-all").visible
+        add_item(browser, "x")
+        assert browser.document.query_one(".footer").visible
+        assert browser.document.query_one(".toggle-all").visible
+
+
+class TestToggling:
+    def test_toggle_one(self, browser):
+        add_item(browser, "a")
+        browser.click(browser.document.query_one(".toggle"))
+        assert browser.document.query_one("li").has_class("completed")
+
+    def test_toggle_all(self, browser):
+        add_item(browser, "a")
+        add_item(browser, "b")
+        browser.click(browser.document.query_one(".toggle-all"))
+        assert len(browser.document.query_all("li.completed")) == 2
+        browser.click(browser.document.query_one(".toggle-all"))
+        assert len(browser.document.query_all("li.completed")) == 0
+
+    def test_count_text(self, browser):
+        add_item(browser, "a")
+        assert browser.document.query_one(".todo-count").text == "1 item left"
+        add_item(browser, "b")
+        assert browser.document.query_one(".todo-count").text == "2 items left"
+        assert browser.document.query_one(".todo-count strong").text == "2"
+
+
+class TestFilters:
+    def test_filter_routing(self, browser):
+        add_item(browser, "a")
+        add_item(browser, "b")
+        browser.click(browser.document.query_one(".toggle"))  # complete 'a'
+        active_link = [
+            el for el in browser.document.query_all(".filters a")
+            if el.text == "Active"
+        ][0]
+        browser.click(active_link)
+        assert labels(browser, visible_only=True) == ["b"]
+        assert active_link.has_class("selected")
+
+    def test_filter_preserves_pending_input(self, browser):
+        add_item(browser, "a")
+        field = browser.document.query_one(".new-todo")
+        browser.type_text("pending", element=field)
+        browser.click(browser.document.query_all(".filters a")[1])
+        assert field.value == "pending"
+
+    def test_items_stay_in_dom_when_filtered(self, browser):
+        add_item(browser, "a")
+        browser.click(browser.document.query_one(".toggle"))
+        browser.click(browser.document.query_all(".filters a")[1])  # Active
+        assert labels(browser) == ["a"]  # still present
+        assert labels(browser, visible_only=True) == []
+
+
+class TestEditing:
+    def enter_edit(self, browser, index=0):
+        label = browser.document.query_all(".todo-list li label")[index]
+        browser.dblclick(label)
+        return browser.document.query_one(".todo-list li.editing .edit")
+
+    def test_dblclick_enters_editing_focused(self, browser):
+        add_item(browser, "a")
+        edit = self.enter_edit(browser)
+        assert edit is not None
+        assert browser.document.active_element is edit
+        assert edit.value == "a"
+
+    def test_commit_edit(self, browser):
+        add_item(browser, "a")
+        edit = self.enter_edit(browser)
+        browser.clear(edit)
+        browser.type_text("b", element=edit)
+        browser.press_key("Enter")
+        assert labels(browser) == ["b"]
+        assert not browser.document.query_all(".todo-list li.editing")
+
+    def test_commit_empty_deletes(self, browser):
+        add_item(browser, "a")
+        add_item(browser, "b")
+        edit = self.enter_edit(browser, index=0)
+        browser.clear(edit)
+        browser.press_key("Enter")
+        assert labels(browser) == ["b"]
+
+    def test_abort_restores(self, browser):
+        add_item(browser, "a")
+        edit = self.enter_edit(browser)
+        browser.clear(edit)
+        browser.type_text("zzz", element=edit)
+        browser.press_key("Escape")
+        assert labels(browser) == ["a"]
+
+
+class TestDeleting:
+    def test_destroy_button(self, browser):
+        add_item(browser, "a")
+        add_item(browser, "b")
+        browser.click(browser.document.query_all(".destroy")[0])
+        assert labels(browser) == ["b"]
+
+    def test_clear_completed(self, browser):
+        add_item(browser, "a")
+        add_item(browser, "b")
+        browser.click(browser.document.query_all(".toggle")[0])
+        assert browser.document.query_one(".clear-completed").visible
+        browser.click(browser.document.query_one(".clear-completed"))
+        assert labels(browser) == ["b"]
+        assert not browser.document.query_one(".clear-completed").visible
+
+
+class TestPersistence:
+    def test_items_survive_reload(self, browser):
+        add_item(browser, "a")
+        browser.click(browser.document.query_one(".toggle"))
+        browser.reload()
+        assert labels(browser) == ["a"]
+        assert browser.document.query_one("li").has_class("completed")
+
+    def test_filter_survives_reload_via_hash(self, browser):
+        add_item(browser, "a")
+        browser.click(browser.document.query_all(".filters a")[1])
+        browser.reload()
+        selected = browser.document.query_one(".filters a.selected")
+        assert selected.text == "Active"
+
+
+# ----------------------------------------------------------------------
+# Model equivalence: random gesture scripts drive both the DOM app and
+# the pure model; their observable states must coincide.
+# ----------------------------------------------------------------------
+
+gestures = st.sampled_from(
+    ["add", "toggle", "toggle_all", "delete", "clear_completed", "filter"]
+)
+
+
+@given(st.lists(st.tuples(gestures, st.integers(0, 4),
+                          st.text(alphabet="ab ", min_size=0, max_size=5)),
+                max_size=25))
+@settings(max_examples=120, deadline=None)
+def test_app_equals_model_under_random_gestures(script):
+    browser = Browser(todomvc_app())
+    browser.load()
+    model = TodoModel()
+    doc = browser.document
+    for op, index, text in script:
+        if op == "add":
+            add_item(browser, text)
+            model = model.add(text)
+        elif op == "toggle":
+            toggles = doc.query_all(".todo-list li .toggle")
+            if toggles:
+                i = index % len(toggles)
+                if toggles[i].visible:
+                    browser.click(toggles[i])
+                    model = model.toggle(i)
+        elif op == "toggle_all":
+            control = doc.query_one(".toggle-all")
+            if control.visible:
+                browser.click(control)
+                model = model.toggle_all()
+        elif op == "delete":
+            destroys = doc.query_all(".todo-list li .destroy")
+            if destroys:
+                i = index % len(destroys)
+                if destroys[i].visible:
+                    browser.click(destroys[i])
+                    model = model.delete(i)
+        elif op == "clear_completed":
+            button = doc.query_one(".clear-completed")
+            if button.visible:
+                browser.click(button)
+                model = model.clear_completed()
+        elif op == "filter":
+            links = doc.query_all(".filters a")
+            if links and links[0].visible:
+                i = index % 3
+                browser.click(links[i])
+                model = model.set_filter(("all", "active", "completed")[i])
+        # Observable equivalence after every step:
+        dom_texts = [el.text for el in doc.query_all(".todo-list li label")]
+        assert dom_texts == [item.text for item in model.items]
+        dom_completed = [
+            el.has_class("completed") for el in doc.query_all(".todo-list li")
+        ]
+        assert dom_completed == [item.completed for item in model.items]
+        visible = [
+            el.text
+            for el in doc.query_all(".todo-list li label")
+            if el.visible
+        ]
+        assert visible == [item.text for item in model.visible_items()]
+        if model.items:
+            assert doc.query_one(".todo-count").text == model.count_text()

@@ -1,0 +1,144 @@
+"""The pure TodoMVC model (the oracle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.todomvc import TodoItem, TodoModel
+
+
+class TestAdd:
+    def test_add_trims(self):
+        model = TodoModel().add("  walk  ")
+        assert model.items == (TodoItem("walk"),)
+
+    def test_add_blank_ignored(self):
+        assert TodoModel().add("   ").items == ()
+        assert TodoModel().add("").items == ()
+
+    def test_add_appends_uncompleted(self):
+        model = TodoModel().add("a").add("b")
+        assert [i.text for i in model.items] == ["a", "b"]
+        assert all(not i.completed for i in model.items)
+
+
+class TestToggle:
+    def test_toggle_one(self):
+        model = TodoModel().add("a").toggle(0)
+        assert model.items[0].completed
+        assert not model.toggle(0).items[0].completed
+
+    def test_toggle_all_completes_when_any_active(self):
+        model = TodoModel().add("a").add("b").toggle(0).toggle_all()
+        assert all(i.completed for i in model.items)
+
+    def test_toggle_all_uncompletes_when_all_completed(self):
+        model = TodoModel().add("a").add("b").toggle_all().toggle_all()
+        assert all(not i.completed for i in model.items)
+
+    def test_toggle_all_empty_noop(self):
+        assert TodoModel().toggle_all().items == ()
+
+
+class TestEditDelete:
+    def test_edit_replaces_trimmed(self):
+        model = TodoModel().add("a").edit(0, "  b  ")
+        assert model.items[0].text == "b"
+
+    def test_edit_empty_deletes(self):
+        model = TodoModel().add("a").add("b").edit(0, "   ")
+        assert [i.text for i in model.items] == ["b"]
+
+    def test_delete(self):
+        model = TodoModel().add("a").add("b").delete(0)
+        assert [i.text for i in model.items] == ["b"]
+
+    def test_clear_completed(self):
+        model = TodoModel().add("a").add("b").toggle(0).clear_completed()
+        assert [i.text for i in model.items] == ["b"]
+
+
+class TestDerived:
+    def test_counts(self):
+        model = TodoModel().add("a").add("b").toggle(0)
+        assert model.active_count == 1
+        assert model.completed_count == 1
+
+    def test_count_text_pluralisation(self):
+        assert TodoModel().add("a").count_text() == "1 item left"
+        assert TodoModel().add("a").add("b").count_text() == "2 items left"
+        assert TodoModel().count_text() == "0 items left"
+
+    def test_visible_items_by_filter(self):
+        model = TodoModel().add("a").add("b").toggle(0)
+        assert [i.text for i in model.set_filter("active").visible_items()] == ["b"]
+        assert [i.text for i in model.set_filter("completed").visible_items()] == ["a"]
+        assert len(model.visible_items()) == 2
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ValueError):
+            TodoModel().set_filter("bogus")
+
+    def test_all_completed(self):
+        assert not TodoModel().all_completed
+        assert TodoModel().add("a").toggle(0).all_completed
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        model = TodoModel().add("a").add("b").toggle(1)
+        restored = TodoModel.from_json(model.to_json())
+        assert restored.items == model.items
+
+    def test_from_json_tolerates_garbage(self):
+        model = TodoModel.from_json([{"bogus": 1}, {"title": "x"}])
+        assert [i.text for i in model.items] == ["", "x"]
+        assert TodoModel.from_json(None).items == ()
+
+
+# Property-based: the model never reaches inconsistent states.
+
+ops = st.sampled_from(["add", "toggle", "toggle_all", "delete", "edit",
+                       "clear_completed", "filter"])
+
+
+@given(st.lists(st.tuples(ops, st.integers(0, 5), st.text(max_size=6)),
+                max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_model_invariants_under_random_operations(script):
+    model = TodoModel()
+    for op, index, text in script:
+        if op == "add":
+            model = model.add(text)
+        elif op == "toggle" and model.items:
+            model = model.toggle(index % len(model.items))
+        elif op == "toggle_all":
+            model = model.toggle_all()
+        elif op == "delete" and model.items:
+            model = model.delete(index % len(model.items))
+        elif op == "edit" and model.items:
+            model = model.edit(index % len(model.items), text)
+        elif op == "clear_completed":
+            model = model.clear_completed()
+        elif op == "filter":
+            model = model.set_filter(("all", "active", "completed")[index % 3])
+        # Invariants:
+        assert model.active_count + model.completed_count == len(model.items)
+        assert all(i.text == i.text.strip() and i.text for i in model.items)
+        assert len(model.visible_items()) <= len(model.items)
+        if model.filter == "active":
+            assert all(not i.completed for i in model.visible_items())
+        if model.filter == "completed":
+            assert all(i.completed for i in model.visible_items())
+
+
+@given(st.lists(st.text(min_size=1, max_size=6), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_toggle_all_twice_restores_mixed_state_to_all_active(texts):
+    model = TodoModel()
+    for text in texts:
+        model = model.add(text)
+    if not model.items:
+        return
+    double = model.toggle_all().toggle_all()
+    assert all(not i.completed for i in double.items)

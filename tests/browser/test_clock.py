@@ -1,0 +1,162 @@
+"""Virtual clock and scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser import Scheduler, VirtualClock
+
+
+@pytest.fixture()
+def sched():
+    return Scheduler(VirtualClock())
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        clock.advance(50)
+        assert clock.now == 150
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestTimeouts:
+    def test_fires_at_deadline(self, sched):
+        fired = []
+        sched.set_timeout(lambda: fired.append(sched.clock.now), 100)
+        sched.advance(99)
+        assert fired == []
+        sched.advance(1)
+        assert fired == [100]
+
+    def test_fires_exactly_once(self, sched):
+        fired = []
+        sched.set_timeout(lambda: fired.append(1), 10)
+        sched.advance(100)
+        sched.advance(100)
+        assert fired == [1]
+
+    def test_zero_delay_fires_on_flush(self, sched):
+        fired = []
+        sched.set_timeout(lambda: fired.append(1), 0)
+        sched.flush_immediate()
+        assert fired == [1]
+
+    def test_cancel(self, sched):
+        fired = []
+        tid = sched.set_timeout(lambda: fired.append(1), 10)
+        sched.cancel(tid)
+        sched.advance(100)
+        assert fired == []
+
+    def test_cancel_unknown_is_noop(self, sched):
+        sched.cancel(999)
+
+    def test_negative_delay_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.set_timeout(lambda: None, -5)
+
+    def test_tasks_scheduled_by_tasks_fire_in_same_advance(self, sched):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sched.set_timeout(lambda: fired.append("inner"), 10)
+
+        sched.set_timeout(outer, 10)
+        sched.advance(30)
+        assert fired == ["outer", "inner"]
+
+    def test_order_within_same_deadline_is_fifo(self, sched):
+        fired = []
+        sched.set_timeout(lambda: fired.append("a"), 10)
+        sched.set_timeout(lambda: fired.append("b"), 10)
+        sched.advance(10)
+        assert fired == ["a", "b"]
+
+
+class TestIntervals:
+    def test_fires_repeatedly(self, sched):
+        fired = []
+        sched.set_interval(lambda: fired.append(sched.clock.now), 1000)
+        sched.advance(3500)
+        assert fired == [1000, 2000, 3000]
+
+    def test_cancel_stops_interval(self, sched):
+        fired = []
+        tid = sched.set_interval(lambda: fired.append(1), 100)
+        sched.advance(250)
+        sched.cancel(tid)
+        sched.advance(1000)
+        assert fired == [1, 1]
+
+    def test_nonpositive_period_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.set_interval(lambda: None, 0)
+
+
+class TestDeadlines:
+    def test_next_deadline(self, sched):
+        assert sched.next_deadline is None
+        sched.set_timeout(lambda: None, 50)
+        sched.set_timeout(lambda: None, 20)
+        assert sched.next_deadline == 20
+
+    def test_next_deadline_skips_cancelled(self, sched):
+        tid = sched.set_timeout(lambda: None, 20)
+        sched.set_timeout(lambda: None, 50)
+        sched.cancel(tid)
+        assert sched.next_deadline == 50
+
+    def test_pending_count(self, sched):
+        sched.set_timeout(lambda: None, 10)
+        sched.set_interval(lambda: None, 10)
+        assert sched.pending_count == 2
+
+    def test_run_until_past_rejected(self, sched):
+        sched.advance(100)
+        with pytest.raises(ValueError):
+            sched.run_until(50)
+
+    def test_clock_lands_on_target(self, sched):
+        sched.set_timeout(lambda: None, 30)
+        sched.advance(100)
+        assert sched.clock.now == 100
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_timeouts_fire_in_deadline_order(self, delays):
+        sched = Scheduler(VirtualClock())
+        fired = []
+        for delay in delays:
+            sched.set_timeout(lambda d=delay: fired.append(d), delay)
+        sched.advance(2000)
+        assert fired == sorted(delays)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interval_count_matches_elapsed_time(self, periods, horizon):
+        sched = Scheduler(VirtualClock())
+        counts = {i: 0 for i in range(len(periods))}
+
+        def bump(i):
+            counts[i] += 1
+
+        for i, period in enumerate(periods):
+            sched.set_interval(lambda i=i: bump(i), period)
+        sched.advance(horizon)
+        for i, period in enumerate(periods):
+            assert counts[i] == horizon // period

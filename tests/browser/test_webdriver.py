@@ -1,0 +1,195 @@
+"""The simulated WebDriver: gestures, interactability, lifecycle."""
+
+import pytest
+
+from repro.browser import Browser, NotInteractableError
+from repro.dom import Element, Event
+
+
+def blank_app(page):
+    """An app exposing a button, a text input, a checkbox and a link."""
+    doc = page.document
+    doc.root.append_child(Element("button", {"id": "btn"}, text="go"))
+    doc.root.append_child(Element("input", {"id": "field", "type": "text"}))
+    doc.root.append_child(Element("input", {"id": "box", "type": "checkbox"}))
+    doc.root.append_child(Element("a", {"id": "link", "href": "#/active"}, text="Active"))
+    return object()
+
+
+@pytest.fixture()
+def browser():
+    b = Browser(blank_app)
+    b.load()
+    return b
+
+
+class TestLifecycle:
+    def test_document_requires_load(self):
+        b = Browser(blank_app)
+        with pytest.raises(RuntimeError):
+            b.document
+
+    def test_load_fires_listeners(self):
+        b = Browser(blank_app)
+        loads = []
+        b.on_load(lambda: loads.append(1))
+        b.load()
+        assert loads == [1]
+        assert b.loads == 1
+
+    def test_reload_replaces_document_keeps_storage(self, browser):
+        browser.storage.set_item("k", "v")
+        old_doc = browser.document
+        browser.reload()
+        assert browser.document is not old_doc
+        assert browser.storage.get_item("k") == "v"
+
+    def test_reload_cancels_old_timers(self, browser):
+        fired = []
+        browser.page.set_interval(lambda: fired.append(1), 10)
+        browser.reload()
+        browser.advance(100)
+        assert fired == []
+
+
+class TestClick:
+    def test_click_dispatches(self, browser):
+        btn = browser.document.get_element_by_id("btn")
+        clicks = []
+        browser.document.add_event_listener(btn, "click", lambda e: clicks.append(1))
+        browser.click(btn)
+        assert clicks == [1]
+
+    def test_click_focuses_focusable(self, browser):
+        field = browser.document.get_element_by_id("field")
+        browser.click(field)
+        assert browser.document.active_element is field
+
+    def test_click_nonfocusable_blurs(self, browser):
+        doc = browser.document
+        div = doc.root.append_child(Element("div", {"id": "d"}, text="x"))
+        browser.click(doc.get_element_by_id("field"))
+        browser.click(div)
+        assert doc.active_element is None
+
+    def test_click_checkbox_toggles_and_fires_change(self, browser):
+        box = browser.document.get_element_by_id("box")
+        changes = []
+        browser.document.add_event_listener(box, "change", lambda e: changes.append(box.checked))
+        browser.click(box)
+        assert box.checked is True
+        browser.click(box)
+        assert box.checked is False
+        assert changes == [True, False]
+
+    def test_click_checkbox_prevent_default_reverts(self, browser):
+        box = browser.document.get_element_by_id("box")
+        browser.document.add_event_listener(box, "click", lambda e: e.prevent_default())
+        browser.click(box)
+        assert box.checked is False
+
+    def test_click_hash_link_routes(self, browser):
+        link = browser.document.get_element_by_id("link")
+        browser.click(link)
+        assert browser.document.location_hash == "/active"
+
+    def test_click_invisible_raises(self, browser):
+        btn = browser.document.get_element_by_id("btn")
+        btn.set_style("display", "none")
+        with pytest.raises(NotInteractableError):
+            browser.click(btn)
+
+    def test_click_disabled_raises(self, browser):
+        btn = browser.document.get_element_by_id("btn")
+        btn.set_attribute("disabled", "")
+        with pytest.raises(NotInteractableError):
+            browser.click(btn)
+
+    def test_click_detached_raises(self, browser):
+        orphan = Element("button")
+        with pytest.raises(NotInteractableError):
+            browser.click(orphan)
+
+
+class TestDblclickHover:
+    def test_dblclick_fires_two_clicks_then_dblclick(self, browser):
+        btn = browser.document.get_element_by_id("btn")
+        order = []
+        browser.document.add_event_listener(btn, "click", lambda e: order.append("c"))
+        browser.document.add_event_listener(btn, "dblclick", lambda e: order.append("d"))
+        browser.dblclick(btn)
+        assert order == ["c", "c", "d"]
+
+    def test_hover_fires_mouseover(self, browser):
+        btn = browser.document.get_element_by_id("btn")
+        seen = []
+        browser.document.add_event_listener(btn, "mouseover", lambda e: seen.append(1))
+        browser.hover(btn)
+        assert seen == [1]
+
+
+class TestTyping:
+    def test_type_into_focused(self, browser):
+        field = browser.document.get_element_by_id("field")
+        browser.click(field)
+        browser.type_text("hi")
+        assert field.value == "hi"
+
+    def test_type_fires_input_per_char(self, browser):
+        field = browser.document.get_element_by_id("field")
+        inputs = []
+        browser.document.add_event_listener(field, "input", lambda e: inputs.append(field.value))
+        browser.type_text("abc", element=field)
+        assert inputs == ["a", "ab", "abc"]
+
+    def test_type_with_element_focuses_it(self, browser):
+        field = browser.document.get_element_by_id("field")
+        browser.type_text("x", element=field)
+        assert browser.document.active_element is field
+
+    def test_type_without_focus_raises(self, browser):
+        with pytest.raises(NotInteractableError):
+            browser.type_text("x")
+
+    def test_type_into_non_input_raises(self, browser):
+        btn = browser.document.get_element_by_id("btn")
+        browser.document.focus(btn)
+        with pytest.raises(NotInteractableError):
+            browser.type_text("x")
+
+    def test_press_key_dispatches_keydown_keyup(self, browser):
+        field = browser.document.get_element_by_id("field")
+        browser.click(field)
+        keys = []
+        browser.document.add_event_listener(
+            field, "keydown", lambda e: keys.append(("down", e.key))
+        )
+        browser.document.add_event_listener(
+            field, "keyup", lambda e: keys.append(("up", e.key))
+        )
+        browser.press_key("Enter")
+        assert keys == [("down", "Enter"), ("up", "Enter")]
+
+    def test_press_key_without_focus_raises(self, browser):
+        with pytest.raises(NotInteractableError):
+            browser.press_key("Enter")
+
+    def test_clear(self, browser):
+        field = browser.document.get_element_by_id("field")
+        browser.type_text("hello", element=field)
+        browser.clear(field)
+        assert field.value == ""
+
+
+class TestTime:
+    def test_advance_runs_timers(self, browser):
+        fired = []
+        browser.page.set_timeout(lambda: fired.append(1), 500)
+        browser.advance(1000)
+        assert fired == [1]
+
+    def test_flush_runs_zero_delay(self, browser):
+        fired = []
+        browser.page.set_timeout(lambda: fired.append(1), 0)
+        browser.flush()
+        assert fired == [1]

@@ -1,0 +1,72 @@
+"""Counterexample shrinking by replay."""
+
+import pytest
+
+from repro.apps.eggtimer import egg_timer_app
+from repro.checker import Runner, RunnerConfig
+from repro.executors import DomExecutor
+from repro.specs import load_eggtimer_spec
+
+
+@pytest.fixture(scope="module")
+def safety():
+    return load_eggtimer_spec().check_named("safety")
+
+
+def failing_campaign(safety, **app_kwargs):
+    factory = lambda: DomExecutor(egg_timer_app(**app_kwargs))
+    config = RunnerConfig(tests=5, scheduled_actions=20, demand_allowance=10,
+                          seed=3, shrink=True)
+    return Runner(safety, factory, config).run()
+
+
+class TestShrinking:
+    def test_shrunk_is_no_longer_than_original(self, safety):
+        result = failing_campaign(safety, decrement=2)
+        assert not result.passed
+        assert result.shrunk_counterexample is not None
+        assert len(result.shrunk_counterexample.actions) <= len(
+            result.counterexample.actions
+        )
+
+    def test_double_decrement_shrinks_to_start_then_wait(self, safety):
+        result = failing_campaign(safety, decrement=2)
+        names = [n for n, _ in result.shrunk_counterexample.actions]
+        assert names == ["start!", "wait!"]
+
+    def test_shrunk_counterexample_still_fails_on_replay(self, safety):
+        result = failing_campaign(safety, decrement=2)
+        runner = Runner(
+            safety,
+            lambda: DomExecutor(egg_timer_app(decrement=2)),
+            RunnerConfig(seed=0),
+        )
+        replayed = runner.replay(result.shrunk_counterexample.actions)
+        assert replayed is not None
+        assert replayed.failed
+
+    def test_shrinking_respects_guards(self, safety):
+        """Every action in the shrunk sequence must be legal where it
+        fires (a wait! while stopped would itself violate the spec and
+        manufacture a bogus 'counterexample')."""
+        result = failing_campaign(safety, decrement=2)
+        runner = Runner(
+            safety,
+            lambda: DomExecutor(egg_timer_app(decrement=2)),
+            RunnerConfig(seed=0),
+        )
+        # wait! alone (without start!) is guarded off; the replay must
+        # refuse it rather than produce a fake failure.
+        wait_only = [a for a in result.counterexample.actions if a[0] == "wait!"][:1]
+        assert runner.replay(wait_only) is None
+
+    def test_correct_app_replay_of_failing_trace_passes(self, safety):
+        """The same action sequence on the *correct* timer passes: the
+        failure lives in the app, not in the trace."""
+        result = failing_campaign(safety, decrement=2)
+        runner = Runner(
+            safety, lambda: DomExecutor(egg_timer_app()), RunnerConfig(seed=0)
+        )
+        replayed = runner.replay(result.shrunk_counterexample.actions)
+        assert replayed is not None
+        assert not replayed.failed

@@ -1,0 +1,72 @@
+"""Document-level behaviour not covered by the event/selector suites."""
+
+from repro.dom import Document, Element, Text
+
+
+class TestLookup:
+    def test_get_element_by_id(self):
+        doc = Document()
+        el = Element("div", {"id": "target"})
+        doc.root.append_child(Element("section", children=[el]))
+        assert doc.get_element_by_id("target") is el
+        assert doc.get_element_by_id("missing") is None
+
+    def test_create_element(self):
+        doc = Document()
+        el = doc.create_element("span", attrs={"class": "x"}, text="hi")
+        assert el.tag == "span"
+        assert el.text == "hi"
+
+    def test_query_helpers_use_document_for_focus(self):
+        doc = Document()
+        field = doc.root.append_child(Element("input"))
+        doc.focus(field)
+        assert doc.query_one(":focus") is field
+
+
+class TestOwnership:
+    def test_document_property_follows_attachment(self):
+        doc = Document()
+        el = Element("div")
+        assert el.document is None
+        doc.root.append_child(el)
+        assert el.document is doc
+        el.detach()
+        assert el.document is None
+
+    def test_subtree_adopts_document(self):
+        doc = Document()
+        parent = Element("div", children=[Element("span")])
+        doc.root.append_child(parent)
+        assert parent.element_children[0].document is doc
+
+
+class TestBatching:
+    def test_nested_batches_suppress_until_outermost_exit(self):
+        doc = Document()
+        seen = []
+        doc.observe_mutations(lambda node: seen.append(node))
+        with doc.batched():
+            with doc.batched():
+                doc.root.append_child(Element("div"))
+            doc.root.append_child(Element("p"))
+        assert seen == []
+        doc.root.append_child(Element("b"))
+        assert len(seen) == 1
+
+    def test_focus_notifies_mutation_observers(self):
+        doc = Document()
+        field = doc.root.append_child(Element("input"))
+        seen = []
+        doc.observe_mutations(lambda node: seen.append(node))
+        doc.focus(field)
+        assert seen
+
+    def test_text_node_edit_notifies(self):
+        doc = Document()
+        text = Text("before")
+        doc.root.append_child(text)
+        seen = []
+        doc.observe_mutations(lambda node: seen.append(node))
+        text.data = "after"
+        assert seen and text.text == "after"

@@ -1,0 +1,149 @@
+"""Event dispatch: phases, bubbling, default prevention."""
+
+import pytest
+
+from repro.dom import Document, Element, Event
+
+
+@pytest.fixture()
+def doc():
+    d = Document()
+    outer = Element("div", {"id": "outer"})
+    inner = Element("button", {"id": "inner"})
+    outer.append_child(inner)
+    d.root.append_child(outer)
+    return d
+
+
+def targets(doc):
+    return doc.get_element_by_id("outer"), doc.get_element_by_id("inner")
+
+
+class TestDispatchPhases:
+    def test_bubbling_order(self, doc):
+        outer, inner = targets(doc)
+        order = []
+        doc.add_event_listener(inner, "click", lambda e: order.append("inner"))
+        doc.add_event_listener(outer, "click", lambda e: order.append("outer"))
+        doc.add_event_listener(doc.root, "click", lambda e: order.append("root"))
+        doc.dispatch_event(Event("click", target=inner))
+        assert order == ["inner", "outer", "root"]
+
+    def test_capture_runs_before_target(self, doc):
+        outer, inner = targets(doc)
+        order = []
+        doc.add_event_listener(outer, "click", lambda e: order.append("capture"), capture=True)
+        doc.add_event_listener(inner, "click", lambda e: order.append("target"))
+        doc.dispatch_event(Event("click", target=inner))
+        assert order == ["capture", "target"]
+
+    def test_stop_propagation(self, doc):
+        outer, inner = targets(doc)
+        order = []
+
+        def stop(e):
+            order.append("inner")
+            e.stop_propagation()
+
+        doc.add_event_listener(inner, "click", stop)
+        doc.add_event_listener(outer, "click", lambda e: order.append("outer"))
+        doc.dispatch_event(Event("click", target=inner))
+        assert order == ["inner"]
+
+    def test_focus_does_not_bubble(self, doc):
+        outer, inner = targets(doc)
+        order = []
+        doc.add_event_listener(outer, "focus", lambda e: order.append("outer"))
+        doc.add_event_listener(inner, "focus", lambda e: order.append("inner"))
+        doc.dispatch_event(Event("focus", target=inner))
+        assert order == ["inner"]
+
+    def test_current_target_updates(self, doc):
+        outer, inner = targets(doc)
+        seen = []
+        doc.add_event_listener(outer, "click", lambda e: seen.append(e.current_target))
+        doc.dispatch_event(Event("click", target=inner))
+        assert seen == [outer]
+
+    def test_dispatch_needs_target(self, doc):
+        with pytest.raises(ValueError):
+            doc.dispatch_event(Event("click"))
+
+
+class TestDefaultPrevention:
+    def test_dispatch_returns_false_when_prevented(self, doc):
+        _, inner = targets(doc)
+        doc.add_event_listener(inner, "click", lambda e: e.prevent_default())
+        assert doc.dispatch_event(Event("click", target=inner)) is False
+
+    def test_dispatch_returns_true_otherwise(self, doc):
+        _, inner = targets(doc)
+        assert doc.dispatch_event(Event("click", target=inner)) is True
+
+
+class TestListenerManagement:
+    def test_remove_listener(self, doc):
+        _, inner = targets(doc)
+        count = []
+        handler = lambda e: count.append(1)
+        doc.add_event_listener(inner, "click", handler)
+        doc.remove_event_listener(inner, "click", handler)
+        doc.dispatch_event(Event("click", target=inner))
+        assert count == []
+
+    def test_remove_unknown_listener_is_noop(self, doc):
+        _, inner = targets(doc)
+        doc.remove_event_listener(inner, "click", lambda e: None)
+
+    def test_multiple_listeners_in_order(self, doc):
+        _, inner = targets(doc)
+        order = []
+        doc.add_event_listener(inner, "click", lambda e: order.append(1))
+        doc.add_event_listener(inner, "click", lambda e: order.append(2))
+        doc.dispatch_event(Event("click", target=inner))
+        assert order == [1, 2]
+
+
+class TestFocusManagement:
+    def test_focus_fires_blur_then_focus(self, doc):
+        _, inner = targets(doc)
+        other = Element("input")
+        doc.root.append_child(other)
+        order = []
+        doc.add_event_listener(inner, "focus", lambda e: order.append("focus-inner"))
+        doc.add_event_listener(inner, "blur", lambda e: order.append("blur-inner"))
+        doc.add_event_listener(other, "focus", lambda e: order.append("focus-other"))
+        doc.focus(inner)
+        doc.focus(other)
+        assert order == ["focus-inner", "blur-inner", "focus-other"]
+        assert doc.active_element is other
+
+    def test_refocus_is_noop(self, doc):
+        _, inner = targets(doc)
+        order = []
+        doc.add_event_listener(inner, "focus", lambda e: order.append("focus"))
+        doc.focus(inner)
+        doc.focus(inner)
+        assert order == ["focus"]
+
+    def test_blur_clears_active_element(self, doc):
+        _, inner = targets(doc)
+        doc.focus(inner)
+        doc.blur()
+        assert doc.active_element is None
+
+
+class TestLocationHash:
+    def test_hashchange_event(self, doc):
+        seen = []
+        doc.add_event_listener(doc.root, "hashchange", lambda e: seen.append(doc.location_hash))
+        doc.set_location_hash("/active")
+        assert seen == ["/active"]
+        assert doc.location_hash == "/active"
+
+    def test_same_hash_no_event(self, doc):
+        doc.set_location_hash("/x")
+        seen = []
+        doc.add_event_listener(doc.root, "hashchange", lambda e: seen.append(1))
+        doc.set_location_hash("/x")
+        assert seen == []

@@ -1,0 +1,267 @@
+"""CSS selector engine: parsing, matching, combinators, pseudo-classes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dom import Document, Element, SelectorError, matches, parse_selector
+from repro.dom.selector import query_all, query_one
+
+
+@pytest.fixture()
+def todo_doc():
+    """A TodoMVC-shaped document."""
+    doc = Document()
+    body = doc.root
+    body.append_child(
+        Element(
+            "section",
+            {"class": "todoapp"},
+            children=[
+                Element(
+                    "header",
+                    {"class": "header"},
+                    children=[
+                        Element("h1", text="todos"),
+                        Element(
+                            "input",
+                            {"class": "new-todo", "placeholder": "What needs to be done?"},
+                        ),
+                    ],
+                ),
+                Element(
+                    "section",
+                    {"class": "main"},
+                    children=[
+                        Element("input", {"id": "toggle-all", "type": "checkbox", "class": "toggle-all"}),
+                        Element(
+                            "ul",
+                            {"class": "todo-list"},
+                            children=[
+                                Element(
+                                    "li",
+                                    {"class": "completed"},
+                                    children=[
+                                        Element("input", {"type": "checkbox", "class": "toggle"}),
+                                        Element("label", text="Meditate"),
+                                        Element("button", {"class": "destroy"}),
+                                    ],
+                                ),
+                                Element(
+                                    "li",
+                                    children=[
+                                        Element("input", {"type": "checkbox", "class": "toggle"}),
+                                        Element("label", text="Walk"),
+                                        Element("button", {"class": "destroy"}),
+                                    ],
+                                ),
+                            ],
+                        ),
+                    ],
+                ),
+                Element(
+                    "footer",
+                    {"class": "footer"},
+                    children=[
+                        Element(
+                            "span",
+                            {"class": "todo-count"},
+                            children=[Element("strong", text="1"), Element("span", text=" item left")],
+                        ),
+                        Element(
+                            "ul",
+                            {"class": "filters"},
+                            children=[
+                                Element("li", children=[Element("a", {"href": "#/", "class": "selected"}, text="All")]),
+                                Element("li", children=[Element("a", {"href": "#/active"}, text="Active")]),
+                                Element("li", children=[Element("a", {"href": "#/completed"}, text="Completed")]),
+                            ],
+                        ),
+                    ],
+                ),
+            ],
+        )
+    )
+    return doc
+
+
+class TestSimpleSelectors:
+    def test_tag(self, todo_doc):
+        assert len(todo_doc.query_all("li")) == 5
+
+    def test_universal(self, todo_doc):
+        assert len(todo_doc.query_all("*")) > 10
+
+    def test_id(self, todo_doc):
+        assert todo_doc.query_one("#toggle-all").tag == "input"
+
+    def test_class(self, todo_doc):
+        assert len(todo_doc.query_all(".toggle")) == 2
+
+    def test_compound_tag_class(self, todo_doc):
+        assert len(todo_doc.query_all("li.completed")) == 1
+
+    def test_attribute_presence(self, todo_doc):
+        assert len(todo_doc.query_all("[placeholder]")) == 1
+
+    def test_attribute_equals(self, todo_doc):
+        assert len(todo_doc.query_all('[type="checkbox"]')) == 3
+        assert len(todo_doc.query_all("[type=checkbox]")) == 3
+
+    def test_attribute_prefix_suffix_contains(self, todo_doc):
+        assert len(todo_doc.query_all('a[href^="#/a"]')) == 1
+        assert len(todo_doc.query_all('a[href$="completed"]')) == 1
+        assert len(todo_doc.query_all('a[href*="/"]')) == 3
+
+
+class TestCombinators:
+    def test_descendant(self, todo_doc):
+        assert len(todo_doc.query_all(".todo-list label")) == 2
+
+    def test_child(self, todo_doc):
+        assert len(todo_doc.query_all(".todo-list > li")) == 2
+        assert len(todo_doc.query_all(".todoapp > li")) == 0
+
+    def test_adjacent_sibling(self, todo_doc):
+        assert [el.text for el in todo_doc.query_all(".toggle + label")] == [
+            "Meditate",
+            "Walk",
+        ]
+
+    def test_general_sibling(self, todo_doc):
+        assert len(todo_doc.query_all(".toggle ~ button.destroy")) == 2
+
+    def test_selector_list(self, todo_doc):
+        found = todo_doc.query_all("h1, .new-todo")
+        assert {el.tag for el in found} == {"h1", "input"}
+
+
+class TestPseudoClasses:
+    def test_checked(self, todo_doc):
+        todo_doc.query_all(".toggle")[0].checked = True
+        assert len(todo_doc.query_all(".toggle:checked")) == 1
+
+    def test_focus(self, todo_doc):
+        box = todo_doc.query_one(".new-todo")
+        todo_doc.focus(box)
+        assert todo_doc.query_one("input:focus") is box
+
+    def test_visible_and_hidden(self, todo_doc):
+        li = todo_doc.query_all(".todo-list li")[0]
+        li.set_style("display", "none")
+        assert len(todo_doc.query_all(".todo-list li:visible")) == 1
+        assert len(todo_doc.query_all(".todo-list li:hidden")) == 1
+
+    def test_first_last_child(self, todo_doc):
+        assert todo_doc.query_one(".filters li:first-child a").text == "All"
+        assert todo_doc.query_one(".filters li:last-child a").text == "Completed"
+
+    def test_nth_child(self, todo_doc):
+        assert todo_doc.query_one(".filters li:nth-child(2) a").text == "Active"
+
+    def test_not(self, todo_doc):
+        assert [el.tag for el in todo_doc.query_all(".todo-list li:not(.completed)")]
+
+    def test_not_with_nested_pseudo(self, todo_doc):
+        found = todo_doc.query_all(".filters li:not(:first-child) a")
+        assert [a.text for a in found] == ["Active", "Completed"]
+
+    def test_enabled_disabled(self, todo_doc):
+        button = todo_doc.query_all(".destroy")[0]
+        button.set_attribute("disabled", "")
+        assert len(todo_doc.query_all(".destroy:disabled")) == 1
+        assert len(todo_doc.query_all(".destroy:enabled")) == 1
+
+    def test_empty(self, todo_doc):
+        assert todo_doc.query_one("button:empty") is not None
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "div,,p",
+            "> div",
+            "div >",
+            "div ! p",
+            ":bogus",
+            ":nth-child(x)",
+            ":nth-child",
+            ":not()",
+            ":not(a b)",
+            "p:checked(1)",
+            "div p..",
+            "a#b#c$",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SelectorError):
+            parse_selector(bad)
+
+    def test_type_selector_must_come_first(self):
+        # Valid: whitespace makes this a descendant selector.
+        parse_selector(".cls div")
+        # Invalid: a universal/type selector glued after a simple selector.
+        with pytest.raises(SelectorError):
+            parse_selector(".cls*")
+        with pytest.raises(SelectorError):
+            parse_selector("[type=text]input")
+
+
+class TestReferenceEquivalence:
+    """The engine agrees with a naive reference matcher on random trees
+    for single-compound selectors."""
+
+    tags = st.sampled_from(["div", "p", "span", "li"])
+    classes = st.lists(st.sampled_from(["a", "b", "c"]), max_size=2, unique=True)
+
+    @st.composite
+    @staticmethod
+    def trees(draw, depth=3):
+        tag = draw(TestReferenceEquivalence.tags)
+        cls = " ".join(draw(TestReferenceEquivalence.classes))
+        attrs = {"class": cls} if cls else {}
+        children = []
+        if depth > 0:
+            for _ in range(draw(st.integers(0, 3))):
+                children.append(draw(TestReferenceEquivalence.trees(depth=depth - 1)))
+        return Element(tag, attrs, children=children)
+
+    @given(trees(), tags, st.sampled_from(["a", "b", "c"]))
+    @settings(max_examples=100, deadline=None)
+    def test_tag_and_class_queries(self, tree, tag, cls):
+        selector = f"{tag}.{cls}"
+        expected = [
+            el
+            for el in tree.iter_elements()
+            if el.tag == tag and cls in el.classes
+        ]
+        assert query_all(tree, selector) == expected
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_descendant_query_is_subset_of_class_query(self, tree):
+        outer = query_all(tree, ".a .b")
+        for el in outer:
+            assert "b" in el.classes
+            ancestor_classes = []
+            node = el.parent
+            while node is not None:
+                ancestor_classes.extend(node.classes)
+                node = node.parent
+            assert "a" in ancestor_classes
+
+
+class TestQueryHelpers:
+    def test_query_one_returns_first(self, todo_doc):
+        assert todo_doc.query_one("li").has_class("completed")
+
+    def test_query_one_none_when_missing(self, todo_doc):
+        assert todo_doc.query_one(".nope") is None
+
+    def test_matches_accepts_parsed_selector(self, todo_doc):
+        parsed = parse_selector("li.completed")
+        li = todo_doc.query_one("li")
+        assert matches(li, parsed, todo_doc)

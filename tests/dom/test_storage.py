@@ -1,0 +1,60 @@
+"""LocalStorage semantics."""
+
+from repro.dom import LocalStorage
+
+
+class TestBasicApi:
+    def test_get_missing_is_none(self):
+        assert LocalStorage().get_item("x") is None
+
+    def test_set_get(self):
+        s = LocalStorage()
+        s.set_item("k", "v")
+        assert s.get_item("k") == "v"
+
+    def test_values_coerced_to_str(self):
+        s = LocalStorage()
+        s.set_item("n", 42)
+        assert s.get_item("n") == "42"
+
+    def test_remove(self):
+        s = LocalStorage()
+        s.set_item("k", "v")
+        s.remove_item("k")
+        assert s.get_item("k") is None
+        s.remove_item("k")  # idempotent
+
+    def test_clear_and_len(self):
+        s = LocalStorage()
+        s.set_item("a", "1")
+        s.set_item("b", "2")
+        assert len(s) == 2
+        s.clear()
+        assert len(s) == 0
+
+    def test_contains(self):
+        s = LocalStorage()
+        s.set_item("a", "1")
+        assert "a" in s and "b" not in s
+
+    def test_key_by_index(self):
+        s = LocalStorage()
+        s.set_item("a", "1")
+        assert s.key(0) == "a"
+        assert s.key(5) is None
+
+
+class TestJsonHelpers:
+    def test_roundtrip(self):
+        s = LocalStorage()
+        payload = [{"title": "walk", "completed": False}]
+        s.set_json("todos", payload)
+        assert s.get_json("todos") == payload
+
+    def test_default_when_missing(self):
+        assert LocalStorage().get_json("x", default=[]) == []
+
+    def test_default_on_corrupt_data(self):
+        s = LocalStorage()
+        s.set_item("todos", "{not json")
+        assert s.get_json("todos", default=[]) == []

@@ -1,0 +1,166 @@
+"""CCS syntax, SOS semantics and parser."""
+
+import pytest
+
+from repro.executors import (
+    CCSDefinitions,
+    CCSParseError,
+    Choice,
+    Nil,
+    Parallel,
+    Prefix,
+    Ref,
+    Relabel,
+    Restrict,
+    TAU,
+    enabled_labels,
+    parse_ccs,
+    parse_definitions,
+    transitions,
+)
+from repro.executors.ccs import complement
+
+
+class TestComplement:
+    def test_name_to_coname(self):
+        assert complement("a") == "'a"
+        assert complement("'a") == "a"
+
+    def test_tau_has_no_complement(self):
+        with pytest.raises(ValueError):
+            complement(TAU)
+
+
+class TestTransitions:
+    def test_nil_is_stuck(self):
+        assert transitions(Nil()) == []
+
+    def test_prefix(self):
+        process = Prefix("a", Nil())
+        assert transitions(process) == [("a", Nil())]
+
+    def test_choice_offers_both(self):
+        process = Choice(Prefix("a", Nil()), Prefix("b", Nil()))
+        assert {label for label, _ in transitions(process)} == {"a", "b"}
+
+    def test_choice_commits(self):
+        process = Choice(Prefix("a", Prefix("c", Nil())), Prefix("b", Nil()))
+        successors = dict(transitions(process))
+        assert successors["a"] == Prefix("c", Nil())
+        assert successors["b"] == Nil()
+
+    def test_parallel_interleaves(self):
+        process = Parallel(Prefix("a", Nil()), Prefix("b", Nil()))
+        labels = [label for label, _ in transitions(process)]
+        assert labels.count("a") == 1 and labels.count("b") == 1
+
+    def test_parallel_communicates_via_tau(self):
+        process = Parallel(Prefix("a", Nil()), Prefix("'a", Nil()))
+        labels = [label for label, _ in transitions(process)]
+        assert TAU in labels
+        tau_successor = dict(transitions(process))[TAU]
+        assert tau_successor == Parallel(Nil(), Nil())
+
+    def test_restriction_blocks_names_and_conames(self):
+        process = Restrict(
+            Choice(Prefix("a", Nil()), Prefix("b", Nil())), frozenset({"a"})
+        )
+        assert enabled_labels(process) == ["b"]
+        conamed = Restrict(Prefix("'a", Nil()), frozenset({"a"}))
+        assert enabled_labels(conamed) == []
+
+    def test_restriction_lets_tau_through(self):
+        inner = Parallel(Prefix("a", Nil()), Prefix("'a", Nil()))
+        process = Restrict(inner, frozenset({"a"}))
+        assert enabled_labels(process) == [TAU]
+
+    def test_relabelling(self):
+        process = Relabel(Prefix("a", Nil()), (("b", "a"),))
+        assert enabled_labels(process) == ["b"]
+
+    def test_relabelling_preserves_polarity(self):
+        process = Relabel(Prefix("'a", Nil()), (("b", "a"),))
+        assert enabled_labels(process) == ["'b"]
+
+    def test_recursive_definitions(self):
+        defs = CCSDefinitions({"X": Prefix("a", Ref("X"))})
+        (label, successor) = transitions(Ref("X"), defs)[0]
+        assert label == "a"
+        assert successor == Ref("X")
+
+    def test_undefined_reference(self):
+        with pytest.raises(KeyError):
+            transitions(Ref("Nope"))
+
+    def test_unguarded_recursion_detected(self):
+        defs = CCSDefinitions({"X": Choice(Ref("X"), Prefix("a", Nil()))})
+        with pytest.raises(RecursionError):
+            transitions(Ref("X"), defs)
+
+
+class TestParser:
+    def test_nil(self):
+        assert parse_ccs("0") == Nil()
+
+    def test_prefix_chain(self):
+        assert parse_ccs("a.b.0") == Prefix("a", Prefix("b", Nil()))
+
+    def test_bare_action_means_prefix_nil(self):
+        assert parse_ccs("a") == Prefix("a", Nil())
+
+    def test_coname(self):
+        assert parse_ccs("'a.0") == Prefix("'a", Nil())
+
+    def test_choice_and_parallel_precedence(self):
+        # '|' binds tighter than '+'
+        process = parse_ccs("a.0 + b.0 | c.0")
+        assert isinstance(process, Choice)
+        assert isinstance(process.right, Parallel)
+
+    def test_parentheses(self):
+        process = parse_ccs("(a.0 + b.0) | c.0")
+        assert isinstance(process, Parallel)
+
+    def test_restriction(self):
+        process = parse_ccs("(a.0 | 'a.0) \\ {a}")
+        assert isinstance(process, Restrict)
+        assert process.labels == frozenset({"a"})
+
+    def test_relabelling(self):
+        process = parse_ccs("a.0 [b/a]")
+        assert isinstance(process, Relabel)
+        assert process.mapping == (("b", "a"),)
+
+    def test_reference_uppercase(self):
+        assert parse_ccs("Machine") == Ref("Machine")
+
+    def test_prefix_then_reference(self):
+        assert parse_ccs("a.Machine") == Prefix("a", Ref("Machine"))
+
+    @pytest.mark.parametrize("bad", ["", "a..b", "(a", "a +", "a \\ {", "a [b]", "a @ b"])
+    def test_errors(self, bad):
+        with pytest.raises(CCSParseError):
+            parse_ccs(bad)
+
+
+class TestDefinitions:
+    def test_parse_equations_and_initial(self):
+        defs, initial = parse_definitions(
+            """
+            // a vending machine
+            Idle = coin.Choose
+            Choose = tea.Idle + coffee.Idle
+            Idle
+            """
+        )
+        assert set(defs.equations) == {"Idle", "Choose"}
+        assert initial == Ref("Idle")
+        assert enabled_labels(initial, defs) == ["coin"]
+
+    def test_lowercase_definition_rejected(self):
+        with pytest.raises(CCSParseError):
+            parse_definitions("idle = a.0")
+
+    def test_no_initial_is_none(self):
+        defs, initial = parse_definitions("X = a.X")
+        assert initial is None

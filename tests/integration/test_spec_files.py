@@ -1,0 +1,104 @@
+"""The bundled .strom specification files: structure and elaboration."""
+
+import pytest
+
+from repro.quickltl import Always
+from repro.specs import load_eggtimer_spec, load_todomvc_spec, load_spec, spec_path
+
+
+class TestSpecPath:
+    def test_known_specs_resolve(self):
+        assert spec_path("eggtimer.strom").endswith("eggtimer.strom")
+        assert spec_path("todomvc.strom").endswith("todomvc.strom")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(FileNotFoundError):
+            spec_path("nope.strom")
+
+    def test_load_spec_generic(self):
+        module = load_spec("eggtimer.strom")
+        assert module.checks
+
+
+class TestEggTimerSpec:
+    def test_structure(self):
+        module = load_eggtimer_spec()
+        assert [c.name for c in module.checks] == ["safety", "liveness", "timeUp"]
+        assert sorted(module.actions) == ["start!", "stop!", "tick?", "wait!"]
+        assert module.actions["wait!"].timeout_ms == 1000.0
+
+    def test_dependencies_are_the_two_widgets(self):
+        module = load_eggtimer_spec()
+        for check in module.checks:
+            assert check.dependencies == frozenset({"#toggle", "#remaining"})
+
+    def test_time_up_restricts_actions(self):
+        module = load_eggtimer_spec()
+        time_up = module.check_named("timeUp")
+        assert sorted(a.name for a in time_up.actions) == ["start!", "wait!"]
+        assert [e.name for e in time_up.events] == ["tick?"]
+
+
+class TestTodoMvcSpec:
+    def test_structure(self):
+        module = load_todomvc_spec()
+        names = [c.name for c in module.checks]
+        assert names == ["safety", "persistence"]
+
+    def test_safety_excludes_reload(self):
+        module = load_todomvc_spec()
+        safety = module.check_named("safety")
+        assert "reloadPage!" not in [a.name for a in safety.actions]
+        assert "render?" in [e.name for e in safety.events]
+
+    def test_persistence_includes_reload(self):
+        module = load_todomvc_spec()
+        persistence = module.check_named("persistence")
+        assert "reloadPage!" in [a.name for a in persistence.actions]
+
+    def test_fourteen_user_actions_defined(self):
+        module = load_todomvc_spec()
+        user_actions = [a for a in module.actions.values() if a.is_user_action]
+        assert len(user_actions) == 15  # 14 interactions + reloadPage!
+
+    def test_dependency_set_covers_the_whole_ui(self):
+        module = load_todomvc_spec()
+        deps = module.check_named("safety").dependencies
+        for selector in (".new-todo", ".todo-list li", ".filters a",
+                         ".toggle-all", ".todo-count", ".clear-completed"):
+            assert selector in deps
+
+    def test_default_subscript_threads_into_the_always(self):
+        module = load_todomvc_spec(default_subscript=77)
+        from tests.specstrom.helpers import element, snapshot
+
+        deps = module.check_named("safety").dependencies
+        queries = {css: [] for css in deps}
+        # A fresh page: empty list but the input present, so the
+        # property's initial conjunct holds and the always survives.
+        queries[".new-todo"] = [element(tag="input", value="")]
+        state = snapshot(queries, happened=["loaded?"])
+        forced = module.check_named("safety").formula.force(state)
+        always_nodes = _find_always(forced)
+        assert 77 in {node.n for node in always_nodes}
+
+
+def _find_always(formula):
+    from repro.quickltl import And, Or, Not, NextReq, NextStrong, NextWeak
+    from repro.quickltl import Always, Eventually, Until, Release
+
+    found = []
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Always):
+            found.append(node)
+            stack.append(node.body)
+        elif isinstance(node, (Eventually,)):
+            stack.append(node.body)
+        elif isinstance(node, (And, Or, Until, Release)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, (Not, NextReq, NextStrong, NextWeak)):
+            stack.append(node.operand)
+    return found

@@ -1,0 +1,47 @@
+"""Trace recording and the version/staleness arithmetic (Figure 10)."""
+
+import pytest
+
+from repro.protocol import TraceRecorder
+from repro.specstrom.state import StateSnapshot
+
+
+def snap(version=0):
+    return StateSnapshot({}, (), version, 0.0)
+
+
+class TestRecorder:
+    def test_empty(self):
+        recorder = TraceRecorder()
+        assert recorder.length == 0
+        with pytest.raises(RuntimeError):
+            recorder.last_state
+
+    def test_append_returns_version(self):
+        recorder = TraceRecorder()
+        assert recorder.append("event", ("loaded?",), snap()) == 1
+        assert recorder.append("acted", ("go!",), snap()) == 2
+        assert recorder.length == 2
+
+    def test_staleness_rule(self):
+        """An Act carrying a version smaller than the trace length is
+        out of date: the checker decided before seeing the new states."""
+        recorder = TraceRecorder()
+        recorder.append("event", ("loaded?",), snap())
+        assert not recorder.is_stale(1)  # decided after seeing state 1
+        recorder.append("event", ("tick?",), snap())
+        assert recorder.is_stale(1)  # a state arrived meanwhile
+        assert not recorder.is_stale(2)
+
+    def test_rejection_counter(self):
+        recorder = TraceRecorder()
+        recorder.note_stale_rejection()
+        recorder.note_stale_rejection()
+        assert recorder.stale_rejections == 2
+
+    def test_happened_sequence(self):
+        recorder = TraceRecorder()
+        recorder.append("event", ("loaded?",), snap())
+        recorder.append("acted", ("a!",), snap())
+        recorder.append("timeout", (), snap())
+        assert recorder.happened_sequence() == [("loaded?",), ("a!",), ()]

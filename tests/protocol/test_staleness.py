@@ -1,0 +1,116 @@
+"""Figure 10 end-to-end: asynchronous events make Act requests stale."""
+
+import pytest
+
+from repro.dom import Element
+from repro.executors import DomExecutor
+from repro.protocol.messages import Acted, Act, Event, Start, Timeout
+from repro.specstrom.actions import PrimitiveEvent, ResolvedAction
+
+
+def ticking_app(page):
+    """A label rewritten by a timer plus a click counter button."""
+    doc = page.document
+    label = Element("span", {"id": "label"}, text="0")
+    button = Element("button", {"id": "button"}, text="go")
+    doc.root.append_child(label)
+    doc.root.append_child(button)
+    state = {"ticks": 0, "clicks": 0}
+
+    def tick():
+        state["ticks"] += 1
+        label.text = str(state["ticks"])
+
+    doc.add_event_listener(
+        button, "click", lambda e: state.__setitem__("clicks", state["clicks"] + 1)
+    )
+    page.set_interval(tick, 250)
+    return state
+
+
+@pytest.fixture()
+def executor():
+    ex = DomExecutor(ticking_app)
+    ex.start(
+        Start(
+            frozenset({"#label", "#button"}),
+            (("tick?", PrimitiveEvent("changed", "#label")),),
+        )
+    )
+    return ex
+
+
+CLICK = ResolvedAction("click", "#button", 0, ())
+
+
+class TestFigureTenScenario:
+    def test_initial_loaded_event(self, executor):
+        messages = executor.drain()
+        assert len(messages) == 1
+        assert isinstance(messages[0], Event)
+        assert messages[0].name == "loaded?"
+        assert messages[0].state.happened == ("loaded?",)
+
+    def test_fresh_act_is_performed(self, executor):
+        executor.drain()
+        assert executor.act(Act(CLICK, "go!", version=1)) is True
+        (message,) = executor.drain()
+        assert isinstance(message, Acted)
+        assert message.state.happened == ("go!",)
+
+    def test_async_event_makes_request_stale(self, executor):
+        executor.drain()
+        # The checker decides at version 1... but a tick fires while it
+        # is thinking.
+        executor.pass_time(300.0)
+        accepted = executor.act(Act(CLICK, "go!", version=1))
+        assert accepted is False
+        assert executor.recorder.stale_rejections == 1
+        messages = executor.drain()
+        assert any(isinstance(m, Event) and m.name == "tick?" for m in messages)
+        # No Acted message: the stale request was dropped entirely.
+        assert not any(isinstance(m, Acted) for m in messages)
+
+    def test_retry_with_fresh_version_succeeds(self, executor):
+        executor.drain()
+        executor.pass_time(300.0)
+        executor.act(Act(CLICK, "go!", version=1))  # stale
+        executor.drain()
+        assert executor.act(Act(CLICK, "go!", version=executor.version)) is True
+
+    def test_stale_request_does_not_mutate_app(self, executor):
+        executor.drain()
+        executor.pass_time(300.0)
+        executor.act(Act(CLICK, "go!", version=1))
+        assert executor.browser.app["clicks"] == 0
+
+    def test_event_states_carry_updated_label(self, executor):
+        executor.drain()
+        executor.pass_time(600.0)  # two ticks
+        messages = [m for m in executor.drain() if isinstance(m, Event)]
+        assert len(messages) == 2
+        texts = [m.state.queries["#label"][0].text for m in messages]
+        assert texts == ["1", "2"]
+
+    def test_timeout_when_no_event(self, executor):
+        executor.drain()
+        # Await events but the next tick is 250ms away; time out sooner.
+        executor.await_events(100.0)
+        (message,) = executor.drain()
+        assert isinstance(message, Timeout)
+        assert message.state.happened == ()
+
+    def test_await_stops_at_first_event(self, executor):
+        executor.drain()
+        executor.await_events(10_000.0)
+        messages = executor.drain()
+        assert len(messages) == 1
+        assert isinstance(messages[0], Event)
+        # Virtual time stopped at the tick, not the full timeout.
+        assert executor.now_ms == 250.0
+
+    def test_snapshots_are_immutable_views(self, executor):
+        (loaded,) = executor.drain()
+        before = loaded.state.queries["#label"][0].text
+        executor.pass_time(1000.0)
+        assert loaded.state.queries["#label"][0].text == before

@@ -1,0 +1,166 @@
+"""Classic LTL on lassos: the Figure 3 identities and QuickLTL soundness."""
+
+from hypothesis import given, settings
+
+from repro.quickltl import (
+    Always,
+    And,
+    BOTTOM,
+    Eventually,
+    Not,
+    NextReq,
+    Or,
+    Release,
+    TOP,
+    Until,
+    atom,
+    check_trace,
+)
+from repro.quickltl.classic import Lasso, extensions, holds
+
+from .strategies import classic_formulas, lassos, states, traces
+
+import pytest
+
+P = atom("p")
+Q = atom("q")
+
+
+class TestLasso:
+    def test_loop_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Lasso((), ())
+
+    def test_successor_wraps_into_loop(self):
+        l = Lasso(({"p": 1},), ({"p": 2}, {"p": 3}))
+        assert l.successor(0) == 1
+        assert l.successor(1) == 2
+        assert l.successor(2) == 1  # wraps to loop start
+
+    def test_state_lookup(self):
+        l = Lasso(({"p": 1},), ({"p": 2},))
+        assert l.state(0) == {"p": 1}
+        assert l.state(1) == {"p": 2}
+
+
+class TestBasicSemantics:
+    def test_always_on_constant_true_loop(self):
+        l = Lasso((), ({"p": True},))
+        assert holds(Always(0, P), l)
+
+    def test_always_fails_if_loop_violates(self):
+        l = Lasso(({"p": True},), ({"p": False},))
+        assert not holds(Always(0, P), l)
+
+    def test_eventually_found_in_loop(self):
+        l = Lasso(({"p": False},), ({"p": False}, {"p": True}))
+        assert holds(Eventually(0, P), l)
+
+    def test_eventually_false_when_never(self):
+        l = Lasso((), ({"p": False},))
+        assert not holds(Eventually(0, P), l)
+
+    def test_infinitely_often_on_alternating_loop(self):
+        l = Lasso((), ({"p": True}, {"p": False}))
+        assert holds(Always(0, Eventually(0, P)), l)
+        assert not holds(Eventually(0, Always(0, P)), l)
+
+    def test_next_operators_coincide(self):
+        from repro.quickltl import NextStrong, NextWeak
+
+        l = Lasso(({"p": False},), ({"p": True},))
+        for ctor in (NextReq, NextWeak, NextStrong):
+            assert holds(ctor(P), l)
+
+
+class TestFigure3Identities:
+    """Identities 1-11 of Figure 3, checked on random lassos."""
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_negation_identities(self, lasso):
+        assert holds(Not(NextReq(P)), lasso) == holds(NextReq(Not(P)), lasso)
+        assert holds(Not(Eventually(0, P)), lasso) == holds(Always(0, Not(P)), lasso)
+        assert holds(Not(Always(0, P)), lasso) == holds(Eventually(0, Not(P)), lasso)
+        assert holds(Not(Until(0, P, Q)), lasso) == holds(
+            Release(0, Not(P), Not(Q)), lasso
+        )
+        assert holds(Not(Release(0, P, Q)), lasso) == holds(
+            Until(0, Not(P), Not(Q)), lasso
+        )
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_eventually_is_top_until(self, lasso):
+        assert holds(Eventually(0, P), lasso) == holds(Until(0, TOP, P), lasso)
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_always_is_bottom_release(self, lasso):
+        assert holds(Always(0, P), lasso) == holds(Release(0, BOTTOM, P), lasso)
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_expansion_identities(self, lasso):
+        # always p == p && next always p
+        assert holds(Always(0, P), lasso) == holds(
+            And(P, NextReq(Always(0, P))), lasso
+        )
+        # eventually p == p || next eventually p
+        assert holds(Eventually(0, P), lasso) == holds(
+            Or(P, NextReq(Eventually(0, P))), lasso
+        )
+        # p U q == q || (p && next (p U q))
+        assert holds(Until(0, P, Q), lasso) == holds(
+            Or(Q, And(P, NextReq(Until(0, P, Q)))), lasso
+        )
+        # p R q == q && (p || next (p R q))
+        assert holds(Release(0, P, Q), lasso) == holds(
+            And(Q, Or(P, NextReq(Release(0, P, Q)))), lasso
+        )
+
+    @given(lassos(), classic_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_subscripts_do_not_matter_classically(self, lasso, formula):
+        from repro.quickltl.rvltl import erase_subscripts
+
+        assert holds(formula, lasso) == holds(erase_subscripts(formula), lasso)
+
+
+class TestQuickLTLSoundness:
+    """Definitive verdicts are sound with respect to classic LTL: if the
+    progression engine answers definitively on a finite prefix, then every
+    small lasso completion of that prefix agrees (Section 5.5 relates
+    QuickLTL to infinite-trace dialects; this is the testable core)."""
+
+    @given(classic_formulas(max_depth=2), traces(min_size=1, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_definitely_true_holds_on_all_completions(self, formula, trace):
+        from repro.quickltl import Verdict
+
+        verdict = check_trace(formula, trace, stop_on_definitive=False)
+        if verdict is Verdict.DEFINITELY_TRUE:
+            all_states = [
+                {"p": a, "q": b, "r": c}
+                for a in (False, True)
+                for b in (False, True)
+                for c in (False, True)
+            ]
+            for lasso in extensions(trace, all_states, max_loop=1):
+                assert holds(formula, lasso)
+
+    @given(classic_formulas(max_depth=2), traces(min_size=1, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_definitely_false_fails_on_all_completions(self, formula, trace):
+        from repro.quickltl import Verdict
+
+        verdict = check_trace(formula, trace, stop_on_definitive=False)
+        if verdict is Verdict.DEFINITELY_FALSE:
+            all_states = [
+                {"p": a, "q": b, "r": c}
+                for a in (False, True)
+                for b in (False, True)
+                for c in (False, True)
+            ]
+            for lasso in extensions(trace, all_states, max_loop=1):
+                assert not holds(formula, lasso)

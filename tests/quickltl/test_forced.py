@@ -1,0 +1,97 @@
+"""Forced valuation (polarity rule) for budget-exhausted runs."""
+
+from hypothesis import given, settings
+
+from repro.quickltl import (
+    Always,
+    And,
+    BOTTOM,
+    Eventually,
+    FormulaChecker,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    TOP,
+    Until,
+    Verdict,
+    atom,
+    force_verdict,
+)
+
+from .strategies import formulas, traces
+
+p = atom("p")
+q = atom("q")
+
+
+class TestPolarityRule:
+    def test_safety_operators_default_true(self):
+        assert force_verdict(Always(0, p)) is Verdict.PROBABLY_TRUE
+        assert force_verdict(Release(3, p, q)) is Verdict.PROBABLY_TRUE
+
+    def test_liveness_operators_default_false(self):
+        assert force_verdict(Eventually(0, p)) is Verdict.PROBABLY_FALSE
+        assert force_verdict(Until(3, p, q)) is Verdict.PROBABLY_FALSE
+
+    def test_atoms_default_true(self):
+        assert force_verdict(p) is Verdict.PROBABLY_TRUE
+
+    def test_negation_flips(self):
+        assert force_verdict(Not(p)) is Verdict.PROBABLY_FALSE
+        assert force_verdict(Not(Eventually(0, p))) is Verdict.PROBABLY_TRUE
+
+    def test_truth_values_clamped_to_presumptive(self):
+        assert force_verdict(TOP) is Verdict.PROBABLY_TRUE
+        assert force_verdict(BOTTOM) is Verdict.PROBABLY_FALSE
+
+    def test_next_operators(self):
+        assert force_verdict(NextWeak(BOTTOM)) is Verdict.PROBABLY_TRUE
+        assert force_verdict(NextStrong(TOP)) is Verdict.PROBABLY_FALSE
+        assert force_verdict(NextReq(Eventually(0, p))) is Verdict.PROBABLY_FALSE
+
+    def test_pending_liveness_dominates_conjunction(self):
+        residual = And(Eventually(1, p), Always(0, Eventually(1, p)))
+        assert force_verdict(residual) is Verdict.PROBABLY_FALSE
+
+    def test_transition_obligations_do_not_fail_safety(self):
+        """A dangling transition obligation (explicit next over atoms) is
+        not a concrete counterexample."""
+        residual = And(Or(p, q), Always(0, Or(p, q)))
+        assert force_verdict(residual) is Verdict.PROBABLY_TRUE
+
+    @given(formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_always_presumptive(self, formula):
+        assert force_verdict(formula).is_presumptive
+
+
+class TestCheckerForce:
+    def test_force_passes_through_non_demand(self):
+        checker = FormulaChecker(Always(0, p))
+        checker.observe({"p": True})
+        assert checker.verdict is Verdict.PROBABLY_TRUE
+        assert checker.force() is Verdict.PROBABLY_TRUE
+
+    def test_force_resolves_stuck_liveness(self):
+        checker = FormulaChecker(Always(0, Eventually(1, p)))
+        for _ in range(5):
+            checker.observe({"p": False})
+        assert checker.verdict is Verdict.DEMAND
+        assert checker.force() is Verdict.PROBABLY_FALSE
+
+    def test_force_resolves_fulfilled_liveness_positively(self):
+        checker = FormulaChecker(Eventually(3, p))
+        checker.observe({"p": True})
+        assert checker.verdict is Verdict.DEFINITELY_TRUE
+        assert checker.force() is Verdict.DEFINITELY_TRUE
+
+    @given(formulas(), traces(max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_force_always_yields_reportable_verdict(self, formula, trace):
+        checker = FormulaChecker(formula)
+        for state in trace:
+            checker.observe(state)
+        assert checker.force() is not Verdict.DEMAND

@@ -1,0 +1,171 @@
+"""Semantic laws of QuickLTL on finite traces (beyond the oracle tests).
+
+These pin down how the subscript annotations interact with the verdict
+lattice: subscripts trade presumptive answers for demands (more testing)
+but never flip an answer's polarity, and the Figure 5 expansions are
+definitionally exact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quickltl import (
+    Always,
+    And,
+    Eventually,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    Until,
+    Verdict,
+    direct_eval,
+)
+
+from .strategies import ATOMS, formulas, traces
+
+p = ATOMS["p"]
+q = ATOMS["q"]
+
+
+class TestExpansionIdentities:
+    """Figure 5: the subscripted operators *are* their expansions."""
+
+    @given(traces(max_size=6), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_always_expansion(self, trace, n):
+        lhs = Always(n, p)
+        if n > 0:
+            rhs = And(p, NextReq(Always(n - 1, p)))
+        else:
+            rhs = And(p, NextWeak(Always(0, p)))
+        assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
+
+    @given(traces(max_size=6), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_eventually_expansion(self, trace, n):
+        lhs = Eventually(n, p)
+        if n > 0:
+            rhs = Or(p, NextReq(Eventually(n - 1, p)))
+        else:
+            rhs = Or(p, NextStrong(Eventually(0, p)))
+        assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
+
+    @given(traces(max_size=6), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_until_expansion(self, trace, n):
+        lhs = Until(n, p, q)
+        rest = (
+            NextReq(Until(n - 1, p, q)) if n > 0 else NextStrong(Until(0, p, q))
+        )
+        rhs = Or(q, And(p, rest))
+        assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
+
+    @given(traces(max_size=6), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_release_expansion(self, trace, n):
+        lhs = Release(n, p, q)
+        rest = (
+            NextReq(Release(n - 1, p, q)) if n > 0 else NextWeak(Release(0, p, q))
+        )
+        rhs = And(q, Or(p, rest))
+        assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
+
+    @given(traces(max_size=6), st.integers(0, 2))
+    @settings(max_examples=200, deadline=None)
+    def test_eventually_is_top_until(self, trace, n):
+        from repro.quickltl import TOP
+
+        assert direct_eval(Eventually(n, p), trace) == direct_eval(
+            Until(n, TOP, p), trace
+        )
+
+    @given(traces(max_size=6), st.integers(0, 2))
+    @settings(max_examples=200, deadline=None)
+    def test_always_is_bottom_release(self, trace, n):
+        from repro.quickltl import BOTTOM
+
+        assert direct_eval(Always(n, p), trace) == direct_eval(
+            Release(n, BOTTOM, p), trace
+        )
+
+
+def _compatible(small: Verdict, large: Verdict) -> bool:
+    """Raising a subscript may only (a) keep the verdict, or (b) turn a
+    presumptive answer into a demand for more states.  Definitive
+    verdicts are immune, and no answer ever flips polarity."""
+    if small == large:
+        return True
+    return large is Verdict.DEMAND and small.is_presumptive
+
+
+class TestSubscriptMonotonicity:
+    @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=300, deadline=None)
+    def test_always_subscripts_trade_presumption_for_demand(self, trace, a, b):
+        low, high = sorted((a, b))
+        assert _compatible(
+            direct_eval(Always(low, p), trace),
+            direct_eval(Always(high, p), trace),
+        )
+
+    @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=300, deadline=None)
+    def test_eventually_subscripts_trade_presumption_for_demand(self, trace, a, b):
+        low, high = sorted((a, b))
+        assert _compatible(
+            direct_eval(Eventually(low, p), trace),
+            direct_eval(Eventually(high, p), trace),
+        )
+
+    @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_until_subscripts_trade_presumption_for_demand(self, trace, a, b):
+        low, high = sorted((a, b))
+        assert _compatible(
+            direct_eval(Until(low, p, q), trace),
+            direct_eval(Until(high, p, q), trace),
+        )
+
+    @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_release_subscripts_trade_presumption_for_demand(self, trace, a, b):
+        low, high = sorted((a, b))
+        assert _compatible(
+            direct_eval(Release(low, p, q), trace),
+            direct_eval(Release(high, p, q), trace),
+        )
+
+    @given(traces(min_size=5, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_long_enough_traces_discharge_the_subscript(self, trace):
+        """Once the trace is longer than the subscript, the subscripted
+        operator agrees with its subscript-0 (RV-LTL) reading."""
+        n = len(trace) - 1
+        assert direct_eval(Always(n, p), trace) == direct_eval(Always(0, p), trace)
+        assert direct_eval(Eventually(n, p), trace) == direct_eval(
+            Eventually(0, p), trace
+        )
+
+
+class TestDualityOnFiniteTraces:
+    @given(formulas(max_depth=3), traces(max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_double_negation(self, formula, trace):
+        from repro.quickltl import Not
+
+        assert direct_eval(Not(Not(formula)), trace) == direct_eval(formula, trace)
+
+    @given(traces(max_size=6), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_always_eventually_de_morgan(self, trace, n):
+        from repro.quickltl import Not
+        from repro.quickltl.verdict import neg
+
+        assert direct_eval(Not(Always(n, p)), trace) == neg(
+            direct_eval(Always(n, p), trace)
+        )
+        assert direct_eval(Not(Always(n, p)), trace) == direct_eval(
+            Eventually(n, Not(p)), trace
+        )

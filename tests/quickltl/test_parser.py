@@ -1,0 +1,170 @@
+"""Parser and pretty-printer for the QuickLTL surface syntax."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.quickltl import (
+    Always,
+    And,
+    BOTTOM,
+    Eventually,
+    FormulaParseError,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    TOP,
+    Until,
+    atom,
+    parse_formula,
+    pretty,
+)
+
+from .strategies import formulas
+
+
+def parse(text, **kwargs):
+    return parse_formula(text, **kwargs)
+
+
+class TestBasicParsing:
+    def test_constants(self):
+        assert parse("true") == TOP
+        assert parse("false") == BOTTOM
+
+    def test_atom(self):
+        f = parse("menuEnabled")
+        assert f.name == "menuEnabled"
+
+    def test_negation(self):
+        f = parse("!p")
+        assert isinstance(f, Not)
+
+    def test_not_keyword(self):
+        assert pretty(parse("not p")) == pretty(parse("!p"))
+
+    def test_next_variants(self):
+        assert isinstance(parse("next p"), NextReq)
+        assert isinstance(parse("wnext p"), NextWeak)
+        assert isinstance(parse("snext p"), NextStrong)
+
+    def test_subscripted_operators(self):
+        f = parse("always{100} eventually{5} menuEnabled")
+        assert isinstance(f, Always) and f.n == 100
+        assert isinstance(f.body, Eventually) and f.body.n == 5
+
+    def test_default_subscript(self):
+        f = parse("always p", default_subscript=42)
+        assert f.n == 42
+
+    def test_paper_default_subscript_is_100(self):
+        assert parse("always p").n == 100
+
+    def test_until_release(self):
+        f = parse("p until{3} q")
+        assert isinstance(f, Until) and f.n == 3
+        g = parse("p release{2} q")
+        assert isinstance(g, Release) and g.n == 2
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        f = parse("p || q && r")
+        assert isinstance(f, Or)
+        assert isinstance(f.right, And)
+
+    def test_until_binds_tighter_than_and(self):
+        f = parse("p && q until{1} r")
+        assert isinstance(f, And)
+        assert isinstance(f.right, Until)
+
+    def test_unary_binds_tightest(self):
+        f = parse("!p && q")
+        assert isinstance(f, And)
+        assert isinstance(f.left, Not)
+
+    def test_until_is_right_associative(self):
+        f = parse("p until{1} q until{2} r")
+        assert isinstance(f, Until) and f.n == 1
+        assert isinstance(f.right, Until) and f.right.n == 2
+
+    def test_parentheses_override(self):
+        f = parse("(p || q) && r")
+        assert isinstance(f, And)
+        assert isinstance(f.left, Or)
+
+    def test_temporal_scope_extends_right(self):
+        f = parse("always{1} p && q")
+        # 'always' is unary, so it grabs only p; && combines afterwards
+        assert isinstance(f, And)
+        assert isinstance(f.left, Always)
+
+
+class TestAtomSharing:
+    def test_same_identifier_shares_atom_object(self):
+        f = parse("p && p")
+        assert f.left is f.right
+
+    def test_known_atoms_mapping(self):
+        p = atom("p")
+        f = parse("p", atoms={"p": p})
+        assert f is p
+
+    def test_unknown_atom_rejected_with_mapping(self):
+        with pytest.raises(FormulaParseError, match="unknown atom"):
+            parse("q", atoms={"p": atom("p")})
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "p &&",
+            "(p",
+            "p)",
+            "always{} p",
+            "always{x} p",
+            "p until q r",
+            "&& p",
+            "p @ q",
+            "42",
+        ],
+    )
+    def test_malformed_input(self, text):
+        with pytest.raises(FormulaParseError):
+            parse(text)
+
+
+class TestRoundTrip:
+    @given(formulas(max_depth=4))
+    @settings(max_examples=300, deadline=None)
+    def test_pretty_then_parse_is_identity(self, formula):
+        """pretty-printing and reparsing rebuilds the same tree, up to
+        atom identity (the parser shares atoms by name)."""
+        text = pretty(formula)
+        reparsed = parse_formula(text)
+        assert pretty(reparsed) == text
+        assert _shape(reparsed) == _shape(formula)
+
+
+def _shape(formula):
+    """Structural fingerprint ignoring atom predicate identity."""
+    from repro.quickltl import Atom, Top, Bottom
+
+    if isinstance(formula, Atom):
+        return ("atom", formula.name)
+    if isinstance(formula, (Top, Bottom)):
+        return (type(formula).__name__,)
+    if isinstance(formula, (And, Or, Until, Release)):
+        parts = (
+            _shape(formula.left),
+            _shape(formula.right),
+        )
+        n = getattr(formula, "n", None)
+        return (type(formula).__name__, n) + parts
+    if isinstance(formula, (Always, Eventually)):
+        return (type(formula).__name__, formula.n, _shape(formula.body))
+    return (type(formula).__name__, _shape(formula.operand))

@@ -1,0 +1,53 @@
+"""Pretty-printer details beyond the parser round-trip suite."""
+
+from repro.quickltl import (
+    Always,
+    And,
+    BOTTOM,
+    Defer,
+    Eventually,
+    NextReq,
+    Not,
+    Or,
+    Release,
+    TOP,
+    Until,
+    atom,
+    pretty,
+)
+
+p = atom("p")
+q = atom("q")
+
+
+class TestRendering:
+    def test_constants(self):
+        assert pretty(TOP) == "true"
+        assert pretty(BOTTOM) == "false"
+
+    def test_subscripts_always_shown(self):
+        assert pretty(Always(100, p)) == "always{100} p"
+        assert pretty(Eventually(0, p)) == "eventually{0} p"
+
+    def test_until_release_infix(self):
+        assert pretty(Until(3, p, q)) == "p until{3} q"
+        assert pretty(Release(0, p, q)) == "p release{0} q"
+
+    def test_parenthesisation_minimal(self):
+        assert pretty(And(Or(p, q), p)) == "(p || q) && p"
+        assert pretty(Or(And(p, q), p)) == "p && q || p"
+
+    def test_right_nested_connectives_parenthesised(self):
+        # Keeps round-trips exact under the left-associative parser.
+        assert pretty(And(p, And(q, p))) == "p && (q && p)"
+
+    def test_unary_chains(self):
+        assert pretty(Not(NextReq(p))) == "!next p"
+        assert pretty(Always(2, Not(p))) == "always{2} !p"
+
+    def test_defer_is_opaque(self):
+        text = pretty(Defer("spec@3:1", lambda s: TOP))
+        assert "spec@3:1" in text
+
+    def test_str_dunder_uses_pretty(self):
+        assert str(Always(1, p)) == pretty(Always(1, p))

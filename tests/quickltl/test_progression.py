@@ -1,0 +1,178 @@
+"""The progression checker on the paper's motivating scenarios."""
+
+import pytest
+
+from repro.quickltl import (
+    Always,
+    Eventually,
+    FormulaChecker,
+    Release,
+    Until,
+    Verdict,
+    atom,
+    check_trace,
+    implies,
+)
+
+menu_enabled = atom("menuEnabled")
+logged_in = atom("loggedIn")
+finances = atom("financesPage")
+p = atom("p")
+
+
+def alternating(n, start=True):
+    return [{"menuEnabled": (i % 2 == 0) == start} for i in range(n)]
+
+
+class TestSafetyProperties:
+    def test_invariant_holds_presumptively(self):
+        """No counterexample found => presumptively true (never definitive:
+        a later state could still violate it)."""
+        f = Always(0, implies(finances, logged_in))
+        trace = [{"financesPage": False, "loggedIn": False}] * 5
+        assert check_trace(f, trace) is Verdict.PROBABLY_TRUE
+
+    def test_invariant_violation_is_definitive(self):
+        f = Always(0, implies(finances, logged_in))
+        trace = [
+            {"financesPage": False, "loggedIn": False},
+            {"financesPage": True, "loggedIn": False},
+        ]
+        assert check_trace(f, trace) is Verdict.DEFINITELY_FALSE
+
+    def test_definitive_verdict_is_a_fixpoint(self):
+        f = Always(0, p)
+        checker = FormulaChecker(f)
+        checker.observe({"p": True})
+        verdict = checker.observe({"p": False})
+        assert verdict is Verdict.DEFINITELY_FALSE
+        # Further observations cannot change a definitive verdict.
+        assert checker.observe({"p": True}) is Verdict.DEFINITELY_FALSE
+
+
+class TestLivenessProperties:
+    def test_witness_is_definitive(self):
+        f = Eventually(0, menu_enabled)
+        trace = [{"menuEnabled": False}, {"menuEnabled": True}]
+        assert check_trace(f, trace) is Verdict.DEFINITELY_TRUE
+
+    def test_unfulfilled_is_presumptively_false(self):
+        f = Eventually(0, menu_enabled)
+        trace = [{"menuEnabled": False}] * 4
+        assert check_trace(f, trace) is Verdict.PROBABLY_FALSE
+
+    def test_subscript_demands_minimum_states(self):
+        """eventually{3} p cannot be answered before 4 states were seen."""
+        f = Eventually(3, p)
+        checker = FormulaChecker(f)
+        for _ in range(3):
+            assert checker.observe({"p": False}) is Verdict.DEMAND
+        assert checker.observe({"p": False}) is Verdict.PROBABLY_FALSE
+
+
+class TestMenuEnabledExample:
+    """Section 2.1-2.2: ``always eventually{k} menuEnabled`` on a menu that
+    alternates between enabled and disabled."""
+
+    def test_rvltl_style_flaps_with_last_state(self):
+        f = Always(0, Eventually(0, menu_enabled))
+        ends_enabled = alternating(6, start=False)
+        ends_disabled = alternating(6, start=True)
+        assert check_trace(f, ends_enabled) is Verdict.PROBABLY_TRUE
+        assert check_trace(f, ends_disabled) is Verdict.PROBABLY_FALSE
+
+    def test_subscript_eliminates_spurious_counterexample(self):
+        """With eventually{1}, ending in a disabled state demands one more
+        state instead of reporting a spurious presumptive failure."""
+        f = Always(0, Eventually(1, menu_enabled))
+        ends_disabled = alternating(6, start=True)
+        assert check_trace(f, ends_disabled) is Verdict.DEMAND
+
+    def test_subscript_satisfied_when_menu_reenabled_in_time(self):
+        f = Always(0, Eventually(1, menu_enabled))
+        ends_enabled = alternating(7, start=True)
+        assert check_trace(f, ends_enabled) is Verdict.PROBABLY_TRUE
+
+    def test_menu_disabled_forever_keeps_demanding(self):
+        """A stuck-disabled menu never fulfils the eventually{1}
+        obligation, so the formula demands more states at every step:
+        the *runner* is responsible for forcing a verdict once its
+        action budget runs out (see repro.checker.runner)."""
+        f = Always(0, Eventually(1, menu_enabled))
+        trace = alternating(2, start=True) + [{"menuEnabled": False}] * 4
+        assert check_trace(f, trace) is Verdict.DEMAND
+
+
+class TestUntilRelease:
+    def test_until_fulfilled(self):
+        f = Until(0, p, menu_enabled)
+        trace = [
+            {"p": True, "menuEnabled": False},
+            {"p": True, "menuEnabled": False},
+            {"p": False, "menuEnabled": True},
+        ]
+        assert check_trace(f, trace) is Verdict.DEFINITELY_TRUE
+
+    def test_until_violated_when_left_fails_first(self):
+        f = Until(0, p, menu_enabled)
+        trace = [
+            {"p": True, "menuEnabled": False},
+            {"p": False, "menuEnabled": False},
+        ]
+        assert check_trace(f, trace) is Verdict.DEFINITELY_FALSE
+
+    def test_cannot_reach_secret_page_without_login(self):
+        """LogIn release{0} !SecretPage (Section 2)."""
+        secret = atom("secretPage")
+        f = Release(0, logged_in, ~secret)
+        bad = [
+            {"loggedIn": False, "secretPage": False},
+            {"loggedIn": False, "secretPage": True},
+        ]
+        good = [
+            {"loggedIn": False, "secretPage": False},
+            {"loggedIn": True, "secretPage": False},
+            {"loggedIn": False, "secretPage": True},
+        ]
+        assert check_trace(f, bad) is Verdict.DEFINITELY_FALSE
+        assert check_trace(f, good) is Verdict.DEFINITELY_TRUE
+
+
+class TestCheckerBookkeeping:
+    def test_initial_state_is_demand(self):
+        checker = FormulaChecker(Always(0, p))
+        assert checker.verdict is Verdict.DEMAND
+        assert checker.needs_more_states
+        assert checker.states_seen == 0
+
+    def test_states_seen_counts(self):
+        checker = FormulaChecker(Always(0, p))
+        checker.observe({"p": True})
+        checker.observe({"p": True})
+        assert checker.states_seen == 2
+
+    def test_formula_sizes_recorded(self):
+        checker = FormulaChecker(Always(0, p))
+        checker.observe({"p": True})
+        checker.observe({"p": True})
+        assert len(checker.formula_sizes) == 2
+
+    def test_simplification_keeps_formula_bounded(self):
+        """The Rosu-Havelund blow-up is avoided: nested temporal operators
+        progress to a bounded-size formula when simplifying each step."""
+        f = Always(0, Eventually(0, p))
+        checker = FormulaChecker(f)
+        for i in range(50):
+            checker.observe({"p": i % 2 == 0})
+        sizes = checker.formula_sizes
+        assert max(sizes) <= 16
+
+    def test_unsimplified_progression_still_sound(self):
+        f = Always(0, Eventually(0, p))
+        fast = FormulaChecker(f)
+        slow = FormulaChecker(f, simplify_each_step=False)
+        for i in range(8):
+            state = {"p": i % 2 == 0}
+            v_fast = fast.observe(state)
+            v_slow = slow.observe(state)
+            assert v_fast == v_slow

@@ -1,0 +1,78 @@
+"""Oracle equivalence: progression == direct reference semantics.
+
+This is the central correctness property of the QuickLTL engine: the
+three-phase progression loop of Section 2.3 computes exactly the verdict
+given by the recursive reference semantics over the complete trace.
+"""
+
+from hypothesis import given, settings
+
+from repro.quickltl import (
+    Always,
+    Defer,
+    Eventually,
+    FormulaChecker,
+    TOP,
+    Verdict,
+    atom,
+    check_trace,
+    direct_eval,
+)
+
+from .strategies import formulas, traces
+
+
+@given(formulas(), traces(max_size=8))
+@settings(max_examples=400, deadline=None)
+def test_progression_equals_direct_semantics(formula, trace):
+    progressed = check_trace(formula, trace, stop_on_definitive=False)
+    assert progressed == direct_eval(formula, trace)
+
+
+@given(formulas(), traces(max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_unsimplified_progression_equals_direct(formula, trace):
+    checker = FormulaChecker(formula, simplify_each_step=False)
+    verdict = Verdict.DEMAND
+    for state in trace:
+        verdict = checker.observe(state)
+    assert verdict == direct_eval(formula, trace)
+
+
+@given(formulas(), traces(max_size=6), traces(max_size=4))
+@settings(max_examples=300, deadline=None)
+def test_definitive_verdicts_stable_under_extension(formula, trace, extension):
+    """Once definitive, any extension of the trace yields the same verdict
+    (the real checker stops at definitive verdicts; this confirms that
+    stopping early never changes the answer)."""
+    verdict = direct_eval(formula, trace)
+    if verdict.is_definitive:
+        assert direct_eval(formula, list(trace) + list(extension)) == verdict
+
+
+@given(formulas(), traces(max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_early_stop_agrees_with_full_run(formula, trace):
+    """check_trace with stop_on_definitive gives the same result as a
+    full run whenever the full run is definitive."""
+    full = check_trace(formula, trace, stop_on_definitive=False)
+    early = check_trace(formula, trace, stop_on_definitive=True)
+    if full.is_definitive:
+        assert early == full
+
+
+@given(traces(max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_deferred_bodies_freeze_state_values(trace):
+    """A Defer body mimicking Specstrom's strict let: ``let v = p; always
+    (p == v)`` -- the deferred build must see the state where the
+    enclosing operator unrolled."""
+    p = atom("p")
+
+    def build(state):
+        frozen = state["p"]
+        return atom(f"p=={frozen}", lambda s, f=frozen: s["p"] == f)
+
+    f = Always(0, Defer("evovae-ish", build))
+    progressed = check_trace(f, trace, stop_on_definitive=False)
+    assert progressed == direct_eval(f, trace)

@@ -1,0 +1,109 @@
+"""RV-LTL and finite-LTL comparison semantics (Section 2.1)."""
+
+from hypothesis import given, settings
+
+from repro.quickltl import (
+    Always,
+    Eventually,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Until,
+    Verdict,
+    atom,
+    check_trace,
+    direct_eval,
+    erase_subscripts,
+    fltl_eval,
+    rv_eval,
+)
+
+from .strategies import formulas, traces
+
+menu = atom("menuEnabled")
+p = atom("p")
+
+
+class TestEraseSubscripts:
+    def test_zeroes_all_subscripts(self):
+        f = Always(100, Eventually(5, p))
+        assert erase_subscripts(f) == Always(0, Eventually(0, p))
+
+    def test_required_next_becomes_weak(self):
+        assert erase_subscripts(NextReq(p)) == NextWeak(p)
+
+    def test_weak_strong_preserved(self):
+        assert erase_subscripts(NextWeak(p)) == NextWeak(p)
+        assert erase_subscripts(NextStrong(p)) == NextStrong(p)
+
+    def test_until_subscript_erased(self):
+        assert erase_subscripts(Until(7, p, menu)) == Until(0, p, menu)
+
+
+class TestRVNeverDemands:
+    @given(formulas(), traces(max_size=8))
+    @settings(max_examples=300, deadline=None)
+    def test_rv_eval_returns_proper_verdict(self, formula, trace):
+        """Subscript-erased formulas never demand more states: RV-LTL is
+        total on partial traces."""
+        assert rv_eval(formula, trace) is not Verdict.DEMAND
+
+    @given(formulas(), traces(max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_subscript_zero_quickltl_is_rvltl(self, formula, trace):
+        """QuickLTL restricted to subscript 0 *is* RV-LTL (the paper calls
+        QuickLTL 'by definition a superset' of RV-LTL)."""
+        erased = erase_subscripts(formula)
+        assert direct_eval(erased, trace) == rv_eval(formula, trace)
+        assert check_trace(erased, trace, stop_on_definitive=False) == rv_eval(
+            formula, trace
+        )
+
+
+class TestSpuriousCounterexamples:
+    """The Section 2.1 example: 'the menu should never be disabled
+    forever' on a continuously alternating menu."""
+
+    def alternating(self, n, start=True):
+        return [{"menuEnabled": (i % 2 == 0) == start} for i in range(n)]
+
+    def test_rvltl_depends_on_last_state(self):
+        f = Always(0, Eventually(0, menu))
+        assert rv_eval(f, self.alternating(6, start=False)).is_positive
+        assert rv_eval(f, self.alternating(6, start=True)).is_negative
+
+    def test_quickltl_subscript_removes_the_flap(self):
+        """With eventually{1}, both alternating traces give a positive or
+        demanding answer -- never a spurious presumptive failure."""
+        f = Always(0, Eventually(1, menu))
+        good = check_trace(f, self.alternating(6, start=False), stop_on_definitive=False)
+        pending = check_trace(f, self.alternating(6, start=True), stop_on_definitive=False)
+        assert good is Verdict.PROBABLY_TRUE
+        assert pending is Verdict.DEMAND
+
+    def test_real_failures_keep_demanding_until_runner_forces(self):
+        """A genuinely stuck menu demands states forever; the runner's
+        forced valuation (polarity rule) then reports probably-false.
+        Here we check the raw formula verdict stays DEMAND."""
+        f = Always(0, Eventually(1, menu))
+        stuck = self.alternating(2) + [{"menuEnabled": False}] * 5
+        assert check_trace(f, stuck, stop_on_definitive=False) is Verdict.DEMAND
+
+
+class TestFiniteLTL:
+    def test_collapse_of_presumptive_true(self):
+        f = Always(0, p)
+        assert fltl_eval(f, [{"p": True}] * 3) is True
+
+    def test_collapse_of_presumptive_false(self):
+        f = Eventually(0, p)
+        assert fltl_eval(f, [{"p": False}] * 3) is False
+
+    def test_definitive_cases_unchanged(self):
+        assert fltl_eval(Eventually(0, p), [{"p": False}, {"p": True}]) is True
+        assert fltl_eval(Always(0, p), [{"p": True}, {"p": False}]) is False
+
+    @given(formulas(), traces(max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_fltl_is_positivity_of_rv(self, formula, trace):
+        assert fltl_eval(formula, trace) == rv_eval(formula, trace).is_positive

@@ -1,0 +1,134 @@
+"""Simplifier: boolean identities, negation pushing, guarded form."""
+
+from hypothesis import given
+
+from repro.quickltl import (
+    Always,
+    And,
+    BOTTOM,
+    Bottom,
+    Eventually,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    TOP,
+    Top,
+    Until,
+    atom,
+    direct_eval,
+    is_guarded_form,
+    negate,
+    simplify,
+    unroll,
+)
+
+from .strategies import formulas, traces
+
+P = atom("p")
+Q = atom("q")
+
+
+class TestBooleanIdentities:
+    def test_unit_laws(self):
+        assert simplify(And(TOP, NextWeak(P))) == NextWeak(P)
+        assert simplify(Or(BOTTOM, NextWeak(P))) == NextWeak(P)
+
+    def test_zero_laws(self):
+        assert simplify(And(BOTTOM, NextReq(P))) == BOTTOM
+        assert simplify(Or(TOP, NextReq(P))) == TOP
+
+    def test_idempotence_dedups_structurally_equal_terms(self):
+        assert simplify(And(NextWeak(P), NextWeak(P))) == NextWeak(P)
+        assert simplify(Or(NextStrong(P), NextStrong(P))) == NextStrong(P)
+
+    def test_flattening_nested_connectives(self):
+        f = And(And(TOP, NextWeak(P)), And(NextWeak(P), TOP))
+        assert simplify(f) == NextWeak(P)
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(NextWeak(P)))) == NextWeak(P)
+
+    def test_atom_negation_is_preserved(self):
+        assert simplify(Not(P)) == Not(P)
+
+
+class TestNegationIdentities:
+    """The negation identities 1-5 of Figure 3, adapted to QuickLTL."""
+
+    def test_not_weak_next_is_strong_next_not(self):
+        assert negate(NextWeak(P)) == NextStrong(Not(P))
+
+    def test_not_strong_next_is_weak_next_not(self):
+        assert negate(NextStrong(P)) == NextWeak(Not(P))
+
+    def test_required_next_is_self_dual(self):
+        assert negate(NextReq(P)) == NextReq(Not(P))
+
+    def test_not_until_is_release(self):
+        assert negate(Until(2, P, Q)) == Release(2, Not(P), Not(Q))
+
+    def test_not_release_is_until(self):
+        assert negate(Release(2, P, Q)) == Until(2, Not(P), Not(Q))
+
+    def test_always_eventually_duality(self):
+        assert negate(Always(3, P)) == Eventually(3, Not(P))
+        assert negate(Eventually(3, P)) == Always(3, Not(P))
+
+    def test_simplify_pushes_negations_through_nexts(self):
+        f = Not(And(NextWeak(P), NextStrong(Q)))
+        assert simplify(f) == Or(NextStrong(Not(P)), NextWeak(Not(Q)))
+
+
+class TestNextBodiesNotCollapsed:
+    """``wnext true`` is *not* ``true``: the weak default only applies when
+    the trace actually ends, so collapsing would let the checker stop in
+    the wrong states (see module docstring of repro.quickltl.simplify)."""
+
+    def test_weak_next_top_kept(self):
+        assert simplify(NextWeak(TOP)) == NextWeak(TOP)
+
+    def test_strong_next_bottom_kept(self):
+        assert simplify(NextStrong(BOTTOM)) == NextStrong(BOTTOM)
+
+    def test_required_next_top_kept(self):
+        assert simplify(NextReq(TOP)) == NextReq(TOP)
+
+    def test_bodies_are_simplified(self):
+        assert simplify(NextReq(And(TOP, P))) == NextReq(P)
+
+
+class TestGuardedForm:
+    @given(formulas(), traces(min_size=1, max_size=1))
+    def test_unroll_then_simplify_is_constant_or_guarded(self, formula, trace):
+        reduced = simplify(unroll(formula, trace[0]))
+        assert isinstance(reduced, (Top, Bottom)) or is_guarded_form(reduced)
+
+    def test_guarded_form_examples(self):
+        assert is_guarded_form(NextWeak(P))
+        assert is_guarded_form(And(NextReq(P), Or(NextWeak(P), NextStrong(Q))))
+        assert not is_guarded_form(P)
+        assert not is_guarded_form(And(P, NextWeak(P)))
+        assert not is_guarded_form(TOP)
+
+
+class TestSemanticsPreservation:
+    @given(formulas(), traces(max_size=6))
+    def test_simplified_unrolling_preserves_direct_verdict(self, formula, trace):
+        """simplify(unroll(phi, s0)) must evaluate like phi on the trace.
+
+        direct_eval treats the unrolled formula's next operators relative
+        to the same trace, so this checks both unroll and simplify at
+        once.
+        """
+        unrolled = unroll(formula, trace[0])
+        assert direct_eval(unrolled, trace) == direct_eval(formula, trace)
+        assert direct_eval(simplify(unrolled), trace) == direct_eval(formula, trace)
+
+    @given(formulas(), traces(max_size=6))
+    def test_negate_is_semantic_negation(self, formula, trace):
+        from repro.quickltl.verdict import neg
+
+        assert direct_eval(negate(formula), trace) == neg(direct_eval(formula, trace))

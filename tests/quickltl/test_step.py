@@ -1,0 +1,86 @@
+"""Guarded-form valuation and the step relation (Figure 7)."""
+
+import pytest
+
+from repro.quickltl import (
+    And,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    NotGuardedError,
+    Or,
+    Verdict,
+    atom,
+    demands_next,
+    presumptive_valuation,
+    step,
+)
+
+P = atom("p")
+Q = atom("q")
+
+
+class TestDemandsNext:
+    def test_required_next_demands(self):
+        assert demands_next(NextReq(P))
+
+    def test_weak_and_strong_do_not(self):
+        assert not demands_next(NextWeak(P))
+        assert not demands_next(NextStrong(P))
+
+    def test_propagates_through_connectives(self):
+        assert demands_next(And(NextWeak(P), NextReq(Q)))
+        assert demands_next(Or(NextStrong(P), NextReq(Q)))
+        assert not demands_next(And(NextWeak(P), NextStrong(Q)))
+
+    def test_rejects_unguarded(self):
+        with pytest.raises(NotGuardedError):
+            demands_next(P)
+
+
+class TestPresumptiveValuation:
+    def test_weak_next_reads_true(self):
+        assert presumptive_valuation(NextWeak(P)) is Verdict.PROBABLY_TRUE
+
+    def test_strong_next_reads_false(self):
+        assert presumptive_valuation(NextStrong(P)) is Verdict.PROBABLY_FALSE
+
+    def test_required_next_demands(self):
+        assert presumptive_valuation(NextReq(P)) is Verdict.DEMAND
+
+    def test_mixed_conjunction(self):
+        f = And(NextWeak(P), NextStrong(Q))
+        assert presumptive_valuation(f) is Verdict.PROBABLY_FALSE
+
+    def test_mixed_disjunction(self):
+        f = Or(NextWeak(P), NextStrong(Q))
+        assert presumptive_valuation(f) is Verdict.PROBABLY_TRUE
+
+    def test_demand_wins_in_conjunction_with_presumptive(self):
+        f = And(NextWeak(P), NextReq(Q))
+        assert presumptive_valuation(f) is Verdict.DEMAND
+
+    def test_demand_wins_in_disjunction_with_presumptive(self):
+        """Section 2.3: a presumptive answer may only be given when *no*
+        required-next terms remain anywhere in the guarded form."""
+        f = Or(NextWeak(P), NextReq(Q))
+        assert presumptive_valuation(f) is Verdict.DEMAND
+
+    def test_rejects_unguarded(self):
+        with pytest.raises(NotGuardedError):
+            presumptive_valuation(And(P, NextWeak(Q)))
+
+
+class TestStep:
+    def test_strips_each_next_kind(self):
+        assert step(NextReq(P)) == P
+        assert step(NextWeak(P)) == P
+        assert step(NextStrong(P)) == P
+
+    def test_homomorphic_on_connectives(self):
+        f = And(NextReq(P), Or(NextWeak(Q), NextStrong(P)))
+        assert step(f) == And(P, Or(Q, P))
+
+    def test_rejects_unguarded(self):
+        with pytest.raises(NotGuardedError):
+            step(P)

@@ -1,0 +1,132 @@
+"""Formula constructors, operator overloads and structural equality."""
+
+import pytest
+
+from repro.quickltl import (
+    Always,
+    And,
+    Atom,
+    BOTTOM,
+    Bottom,
+    Defer,
+    Eventually,
+    Not,
+    NextReq,
+    Or,
+    Release,
+    TOP,
+    Top,
+    Until,
+    atom,
+    conj,
+    disj,
+    iff,
+    implies,
+)
+
+
+class TestAtoms:
+    def test_default_atom_reads_dict(self):
+        p = atom("p")
+        assert p.evaluate({"p": True})
+        assert not p.evaluate({"p": False})
+
+    def test_default_atom_missing_key_is_false(self):
+        assert not atom("p").evaluate({})
+
+    def test_default_atom_reads_attribute(self):
+        class State:
+            ready = True
+
+        assert atom("ready").evaluate(State())
+
+    def test_custom_predicate(self):
+        q = atom("big", lambda s: s["n"] > 10)
+        assert q.evaluate({"n": 11})
+        assert not q.evaluate({"n": 3})
+
+    def test_predicate_result_coerced_to_bool(self):
+        q = atom("n", lambda s: s["n"])  # returns an int
+        assert q.evaluate({"n": 5}) is True
+        assert q.evaluate({"n": 0}) is False
+
+    def test_atom_equality_requires_same_predicate(self):
+        pred = lambda s: True
+        assert Atom("p", pred) == Atom("p", pred)
+        assert Atom("p", pred) != Atom("p", lambda s: True)
+
+
+class TestConstructors:
+    def test_operator_overloads(self):
+        p, q = atom("p"), atom("q")
+        assert (p & q) == And(p, q)
+        assert (p | q) == Or(p, q)
+        assert ~p == Not(p)
+        assert (p >> q) == Or(Not(p), q)
+
+    def test_implies_desugars(self):
+        p, q = atom("p"), atom("q")
+        assert implies(p, q) == Or(Not(p), q)
+
+    def test_iff_desugars(self):
+        p, q = atom("p"), atom("q")
+        assert iff(p, q) == And(implies(p, q), implies(q, p))
+
+    def test_conj_fold(self):
+        p, q, r = atom("p"), atom("q"), atom("r")
+        assert conj() == TOP
+        assert conj(p) == p
+        assert conj(p, q, r) == And(p, And(q, r))
+
+    def test_disj_fold(self):
+        p, q = atom("p"), atom("q")
+        assert disj() == BOTTOM
+        assert disj(p, q) == Or(p, q)
+
+    def test_negative_subscripts_rejected(self):
+        p = atom("p")
+        with pytest.raises(ValueError):
+            Always(-1, p)
+        with pytest.raises(ValueError):
+            Eventually(-2, p)
+        with pytest.raises(ValueError):
+            Until(-1, p, p)
+        with pytest.raises(ValueError):
+            Release(-1, p, p)
+
+    def test_constants_are_singleton_like(self):
+        assert Top() == TOP
+        assert Bottom() == BOTTOM
+        assert TOP != BOTTOM
+
+
+class TestStructuralEquality:
+    def test_equal_trees_compare_equal(self):
+        p = atom("p")
+        assert Always(3, Eventually(1, p)) == Always(3, Eventually(1, p))
+
+    def test_different_subscripts_differ(self):
+        p = atom("p")
+        assert Always(3, p) != Always(4, p)
+
+    def test_hashable(self):
+        p = atom("p")
+        formulas = {Always(1, p), Eventually(1, p), Always(1, p)}
+        assert len(formulas) == 2
+
+
+class TestDefer:
+    def test_force_builds_formula(self):
+        d = Defer("sel", lambda state: TOP if state["x"] else BOTTOM)
+        assert d.force({"x": True}) == TOP
+        assert d.force({"x": False}) == BOTTOM
+
+    def test_force_rejects_non_formula(self):
+        d = Defer("bad", lambda state: 42)
+        with pytest.raises(TypeError, match="bad"):
+            d.force({})
+
+    def test_equality_is_closure_identity(self):
+        build = lambda s: TOP
+        assert Defer("a", build) == Defer("a", build)
+        assert Defer("a", build) != Defer("a", lambda s: TOP)

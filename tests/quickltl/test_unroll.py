@@ -1,0 +1,108 @@
+"""Directed tests for the unrolling relation (Figure 6)."""
+
+import pytest
+
+from repro.quickltl import (
+    Always,
+    And,
+    BOTTOM,
+    Defer,
+    Eventually,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    Release,
+    TOP,
+    Until,
+    atom,
+    unroll,
+)
+
+P = atom("p")
+Q = atom("q")
+T = {"p": True, "q": True}
+F = {"p": False, "q": False}
+
+
+class TestBaseCases:
+    def test_constants(self):
+        assert unroll(TOP, T) == TOP
+        assert unroll(BOTTOM, T) == BOTTOM
+
+    def test_atom_evaluates_against_state(self):
+        assert unroll(P, T) == TOP
+        assert unroll(P, F) == BOTTOM
+
+    def test_negation_is_homomorphic(self):
+        assert unroll(Not(P), F) == Not(BOTTOM)
+
+    def test_connectives_are_homomorphic(self):
+        assert unroll(And(P, Q), T) == And(TOP, TOP)
+        assert unroll(Or(P, Q), F) == Or(BOTTOM, BOTTOM)
+
+    def test_next_operators_pass_through(self):
+        for ctor in (NextReq, NextWeak, NextStrong):
+            assert unroll(ctor(P), T) == ctor(P)
+
+
+class TestTemporalExpansions:
+    def test_always_positive_subscript_uses_required_next(self):
+        assert unroll(Always(2, P), T) == And(TOP, NextReq(Always(1, P)))
+
+    def test_always_zero_subscript_uses_weak_next(self):
+        assert unroll(Always(0, P), T) == And(TOP, NextWeak(Always(0, P)))
+
+    def test_eventually_positive_subscript_uses_required_next(self):
+        assert unroll(Eventually(2, P), F) == Or(BOTTOM, NextReq(Eventually(1, P)))
+
+    def test_eventually_zero_subscript_uses_strong_next(self):
+        assert unroll(Eventually(0, P), F) == Or(BOTTOM, NextStrong(Eventually(0, P)))
+
+    def test_until_positive_subscript(self):
+        expected = Or(BOTTOM, And(TOP, NextReq(Until(0, P, Q))))
+        assert unroll(Until(1, P, Q), {"p": True, "q": False}) == expected
+
+    def test_until_zero_subscript(self):
+        expected = Or(BOTTOM, And(TOP, NextStrong(Until(0, P, Q))))
+        assert unroll(Until(0, P, Q), {"p": True, "q": False}) == expected
+
+    def test_release_positive_subscript(self):
+        expected = And(TOP, Or(BOTTOM, NextReq(Release(0, P, Q))))
+        assert unroll(Release(1, P, Q), {"p": False, "q": True}) == expected
+
+    def test_release_zero_subscript(self):
+        expected = And(TOP, Or(BOTTOM, NextWeak(Release(0, P, Q))))
+        assert unroll(Release(0, P, Q), {"p": False, "q": True}) == expected
+
+    def test_subscript_counts_down_not_below_zero(self):
+        step1 = unroll(Always(1, P), T)
+        assert step1 == And(TOP, NextReq(Always(0, P)))
+
+    def test_nested_operators_unroll_inner_body(self):
+        result = unroll(Always(0, Eventually(0, P)), F)
+        inner = Or(BOTTOM, NextStrong(Eventually(0, P)))
+        assert result == And(inner, NextWeak(Always(0, Eventually(0, P))))
+
+
+class TestDefer:
+    def test_defer_forced_with_current_state(self):
+        d = Defer("pick", lambda s: P if s["q"] else Q)
+        assert unroll(d, {"p": True, "q": True}) == TOP
+        assert unroll(d, {"p": True, "q": False}) == BOTTOM
+
+    def test_defer_inside_temporal_body_forced_each_unroll(self):
+        seen = []
+
+        def build(state):
+            seen.append(state["p"])
+            return P
+
+        f = Always(1, Defer("d", build))
+        unroll(f, T)
+        assert seen == [True]
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            unroll("not a formula", T)

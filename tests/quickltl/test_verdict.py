@@ -1,0 +1,128 @@
+"""Laws of the five-valued verdict algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quickltl.verdict import Verdict, conj, conj_all, disj, disj_all, neg
+
+ALL = list(Verdict)
+PROPER = [v for v in ALL if v is not Verdict.DEMAND]
+
+verdicts = st.sampled_from(ALL)
+proper_verdicts = st.sampled_from(PROPER)
+
+
+class TestClassification:
+    def test_definitive(self):
+        assert Verdict.DEFINITELY_TRUE.is_definitive
+        assert Verdict.DEFINITELY_FALSE.is_definitive
+        assert not Verdict.PROBABLY_TRUE.is_definitive
+        assert not Verdict.PROBABLY_FALSE.is_definitive
+        assert not Verdict.DEMAND.is_definitive
+
+    def test_presumptive(self):
+        assert Verdict.PROBABLY_TRUE.is_presumptive
+        assert Verdict.PROBABLY_FALSE.is_presumptive
+        assert not Verdict.DEFINITELY_TRUE.is_presumptive
+        assert not Verdict.DEMAND.is_presumptive
+
+    def test_positive_negative_partition(self):
+        for v in PROPER:
+            assert v.is_positive != v.is_negative
+        assert not Verdict.DEMAND.is_positive
+        assert not Verdict.DEMAND.is_negative
+
+    def test_of_bool(self):
+        assert Verdict.of_bool(True) is Verdict.DEFINITELY_TRUE
+        assert Verdict.of_bool(False) is Verdict.DEFINITELY_FALSE
+
+
+class TestNegation:
+    def test_swaps_definites(self):
+        assert neg(Verdict.DEFINITELY_TRUE) is Verdict.DEFINITELY_FALSE
+        assert neg(Verdict.DEFINITELY_FALSE) is Verdict.DEFINITELY_TRUE
+
+    def test_swaps_presumptives(self):
+        assert neg(Verdict.PROBABLY_TRUE) is Verdict.PROBABLY_FALSE
+        assert neg(Verdict.PROBABLY_FALSE) is Verdict.PROBABLY_TRUE
+
+    def test_demand_self_dual(self):
+        assert neg(Verdict.DEMAND) is Verdict.DEMAND
+
+    @given(verdicts)
+    def test_involution(self, v):
+        assert neg(neg(v)) is v
+
+
+class TestConnectives:
+    @given(verdicts, verdicts)
+    def test_commutative(self, a, b):
+        assert conj(a, b) is conj(b, a)
+        assert disj(a, b) is disj(b, a)
+
+    @given(verdicts, verdicts, verdicts)
+    def test_associative(self, a, b, c):
+        assert conj(conj(a, b), c) is conj(a, conj(b, c))
+        assert disj(disj(a, b), c) is disj(a, disj(b, c))
+
+    @given(verdicts)
+    def test_idempotent(self, v):
+        assert conj(v, v) is v
+        assert disj(v, v) is v
+
+    @given(verdicts)
+    def test_units(self, v):
+        assert conj(Verdict.DEFINITELY_TRUE, v) is v
+        assert disj(Verdict.DEFINITELY_FALSE, v) is v
+
+    @given(verdicts)
+    def test_absorbing_elements(self, v):
+        assert conj(Verdict.DEFINITELY_FALSE, v) is Verdict.DEFINITELY_FALSE
+        assert disj(Verdict.DEFINITELY_TRUE, v) is Verdict.DEFINITELY_TRUE
+
+    @given(verdicts, verdicts)
+    def test_de_morgan(self, a, b):
+        assert neg(conj(a, b)) is disj(neg(a), neg(b))
+        assert neg(disj(a, b)) is conj(neg(a), neg(b))
+
+    @given(proper_verdicts, proper_verdicts)
+    def test_proper_values_are_chain_meet_join(self, a, b):
+        assert conj(a, b) is (a if a.value <= b.value else b)
+        assert disj(a, b) is (a if a.value >= b.value else b)
+
+    def test_demand_absorbs_unless_decided(self):
+        d = Verdict.DEMAND
+        assert conj(d, Verdict.PROBABLY_TRUE) is d
+        assert conj(d, Verdict.PROBABLY_FALSE) is d
+        assert conj(d, Verdict.DEFINITELY_TRUE) is d
+        assert conj(d, Verdict.DEFINITELY_FALSE) is Verdict.DEFINITELY_FALSE
+        assert disj(d, Verdict.PROBABLY_TRUE) is d
+        assert disj(d, Verdict.PROBABLY_FALSE) is d
+        assert disj(d, Verdict.DEFINITELY_FALSE) is d
+        assert disj(d, Verdict.DEFINITELY_TRUE) is Verdict.DEFINITELY_TRUE
+
+
+class TestAggregates:
+    def test_empty_conjunction_is_true(self):
+        assert conj_all([]) is Verdict.DEFINITELY_TRUE
+
+    def test_empty_disjunction_is_false(self):
+        assert disj_all([]) is Verdict.DEFINITELY_FALSE
+
+    @given(st.lists(verdicts, min_size=1, max_size=6))
+    def test_aggregates_match_folds(self, vs):
+        expected_conj = vs[0]
+        expected_disj = vs[0]
+        for v in vs[1:]:
+            expected_conj = conj(expected_conj, v)
+            expected_disj = disj(expected_disj, v)
+        assert conj_all(vs) is expected_conj
+        assert disj_all(vs) is expected_disj
+
+    def test_conj_all_short_circuits(self):
+        def gen():
+            yield Verdict.DEFINITELY_FALSE
+            raise AssertionError("must short-circuit")
+
+        assert conj_all(gen()) is Verdict.DEFINITELY_FALSE

@@ -1,0 +1,39 @@
+"""Shared helpers for Specstrom tests: snapshot builders and evaluation."""
+
+from __future__ import annotations
+
+from repro.specstrom import (
+    ElementSnapshot,
+    EvalContext,
+    StateSnapshot,
+    evaluate,
+    global_environment,
+    parse_expression,
+)
+
+__all__ = ["snapshot", "run_expr", "element"]
+
+
+def element(**kwargs) -> ElementSnapshot:
+    kwargs.setdefault("tag", "div")
+    if "classes" in kwargs:
+        kwargs["classes"] = tuple(kwargs["classes"])
+    if "attributes" in kwargs:
+        kwargs["attributes"] = tuple(sorted(kwargs["attributes"].items()))
+    return ElementSnapshot(**kwargs)
+
+
+def snapshot(queries=None, happened=(), version=0) -> StateSnapshot:
+    """Build a snapshot; ``queries`` maps selector -> list of elements."""
+    prepared = {}
+    for css, elements in (queries or {}).items():
+        prepared[css] = tuple(elements)
+    return StateSnapshot(prepared, tuple(happened), version, float(version))
+
+
+def run_expr(source: str, state=None, env=None, rng=None, default_subscript=100):
+    """Parse and evaluate a single expression."""
+    expr = parse_expression(source)
+    environment = env if env is not None else global_environment()
+    ctx = EvalContext(state=state, rng=rng, default_subscript=default_subscript)
+    return evaluate(expr, environment, ctx)

@@ -1,0 +1,116 @@
+"""Specstrom lexer."""
+
+import pytest
+
+from repro.specstrom import SpecSyntaxError, tokenize
+
+
+def kinds_and_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if not t.is_eof]
+
+
+class TestIdentifiers:
+    def test_plain(self):
+        assert kinds_and_values("menuEnabled") == [("ident", "menuEnabled")]
+
+    def test_action_suffix(self):
+        assert kinds_and_values("start!") == [("ident", "start!")]
+
+    def test_event_suffix(self):
+        assert kinds_and_values("tick?") == [("ident", "tick?")]
+
+    def test_bang_not_confused_with_neq(self):
+        assert kinds_and_values("a != b") == [
+            ("ident", "a"),
+            ("punct", "!="),
+            ("ident", "b"),
+        ]
+
+    def test_keywords(self):
+        assert kinds_and_values("let action check when") == [
+            ("keyword", "let"),
+            ("keyword", "action"),
+            ("keyword", "check"),
+            ("keyword", "when"),
+        ]
+
+    def test_keyword_prefix_is_ident(self):
+        assert kinds_and_values("letter") == [("ident", "letter")]
+
+
+class TestLiterals:
+    def test_integers(self):
+        assert kinds_and_values("42") == [("number", 42)]
+
+    def test_floats(self):
+        assert kinds_and_values("3.25") == [("number", 3.25)]
+
+    def test_int_dot_member_not_float(self):
+        # `1.x` should lex as number 1, '.', ident x (member access).
+        assert kinds_and_values("1.x") == [
+            ("number", 1),
+            ("punct", "."),
+            ("ident", "x"),
+        ]
+
+    def test_strings(self):
+        assert kinds_and_values('"hello"') == [("string", "hello")]
+
+    def test_string_escapes(self):
+        assert kinds_and_values(r'"a\n\"b\""') == [("string", 'a\n"b"')]
+
+    def test_selectors(self):
+        assert kinds_and_values("`#toggle .on`") == [("selector", "#toggle .on")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize('"oops')
+
+    def test_unterminated_selector(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize("`#a")
+
+    def test_newline_in_string_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize('"a\nb"')
+
+
+class TestPunctuation:
+    def test_longest_match(self):
+        assert kinds_and_values("==> == =") == [
+            ("punct", "==>"),
+            ("punct", "=="),
+            ("punct", "="),
+        ]
+
+    def test_logical_operators(self):
+        assert kinds_and_values("&& || !") == [
+            ("punct", "&&"),
+            ("punct", "||"),
+            ("punct", "!"),
+        ]
+
+    def test_tilde(self):
+        assert kinds_and_values("~x") == [("punct", "~"), ("ident", "x")]
+
+    def test_unknown_character(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize("a @ b")
+
+
+class TestCommentsAndLayout:
+    def test_line_comments_skipped(self):
+        assert kinds_and_values("a // comment\nb") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("let x =\n  5;")
+        let_token = tokens[0]
+        five = [t for t in tokens if t.kind == "number"][0]
+        assert (let_token.line, let_token.column) == (1, 1)
+        assert five.line == 2
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].is_eof

@@ -1,0 +1,183 @@
+"""Module elaboration: lets, actions, checks, and error cases."""
+
+import pytest
+
+from repro.quickltl import FormulaChecker, Verdict
+from repro.specstrom import (
+    ActionValue,
+    SpecEvalError,
+    StateQueryOutsideStateError,
+    load_module,
+)
+
+from .helpers import element, snapshot
+
+EGG_TIMER = """
+let ~stopped = `#toggle`.text == "start";
+let ~started = `#toggle`.text == "stop";
+let ~time = parseInt(`#remaining`.text);
+
+action start! = click!(`#toggle`) when stopped;
+action stop!  = click!(`#toggle`) when started;
+action wait!  = noop! timeout 1000 when started;
+action tick?  = changed?(`#remaining`);
+
+let ~ticking {
+  let old = time;
+  started && next (tick? in happened
+                   && time == old - 1
+                   && if time == 0 { stopped } else { started })
+};
+
+let ~waiting = started && next (wait! in happened && started);
+let ~starting = stopped && next (start! in happened
+                                 && if time == 0 { stopped } else { started });
+let ~stopping = started && next (stop! in happened && stopped);
+
+let ~safety =
+  loaded? in happened && time == 180
+  && always{400} (starting || stopping || waiting || ticking);
+
+let ~liveness = always{400} (start! in happened ==> eventually{360} stopped);
+let ~timeUp   = always{400} (start! in happened ==> eventually{360} (time == 0));
+
+check safety, liveness;
+check timeUp with start!, wait!, tick?;
+"""
+
+
+@pytest.fixture(scope="module")
+def egg_timer():
+    return load_module(EGG_TIMER)
+
+
+def timer_state(button, remaining, happened, version=0):
+    return snapshot(
+        {
+            "#toggle": [element(tag="button", text=button)],
+            "#remaining": [element(tag="span", text=str(remaining))],
+        },
+        happened=happened,
+        version=version,
+    )
+
+
+class TestElaboration:
+    def test_checks_are_split_per_property(self, egg_timer):
+        assert [c.name for c in egg_timer.checks] == ["safety", "liveness", "timeUp"]
+
+    def test_actions_and_events_separated(self, egg_timer):
+        assert sorted(a.name for a in egg_timer.user_actions) == [
+            "start!",
+            "stop!",
+            "wait!",
+        ]
+        assert [e.name for e in egg_timer.events] == ["tick?"]
+
+    def test_with_clause_restricts_actions(self, egg_timer):
+        time_up = egg_timer.check_named("timeUp")
+        assert sorted(a.name for a in time_up.actions) == ["start!", "wait!"]
+        assert [e.name for e in time_up.events] == ["tick?"]
+
+    def test_default_check_uses_all_actions(self, egg_timer):
+        safety = egg_timer.check_named("safety")
+        assert sorted(a.name for a in safety.actions) == ["start!", "stop!", "wait!"]
+
+    def test_timeout_captured(self, egg_timer):
+        assert egg_timer.actions["wait!"].timeout_ms == 1000.0
+        assert egg_timer.actions["start!"].timeout_ms is None
+
+    def test_dependencies(self, egg_timer):
+        assert egg_timer.checks[0].dependencies == frozenset(
+            {"#toggle", "#remaining"}
+        )
+
+    def test_action_values_bound_in_env(self, egg_timer):
+        assert isinstance(egg_timer.env.lookup("start!"), ActionValue)
+
+    def test_check_named_missing(self, egg_timer):
+        with pytest.raises(KeyError):
+            egg_timer.check_named("nope")
+
+
+class TestSafetyPropertyBehaviour:
+    def run_safety(self, egg_timer, trace):
+        checker = FormulaChecker(egg_timer.check_named("safety").formula)
+        verdict = Verdict.DEMAND
+        for state in trace:
+            verdict = checker.observe(state)
+            if verdict.is_definitive:
+                break
+        return verdict, checker
+
+    def test_valid_run_keeps_demanding_then_forces_true(self, egg_timer):
+        trace = [
+            timer_state("start", 180, ["loaded?"], 1),
+            timer_state("stop", 180, ["start!"], 2),
+            timer_state("stop", 179, ["tick?"], 3),
+            timer_state("start", 179, ["stop!"], 4),
+        ]
+        verdict, checker = self.run_safety(egg_timer, trace)
+        assert verdict is Verdict.DEMAND  # transition obligations pending
+        assert checker.force() is Verdict.PROBABLY_TRUE
+
+    def test_wrong_initial_time_fails(self, egg_timer):
+        trace = [timer_state("start", 120, ["loaded?"], 1)]
+        verdict, _ = self.run_safety(egg_timer, trace)
+        assert verdict is Verdict.DEFINITELY_FALSE
+
+    def test_time_jump_fails(self, egg_timer):
+        trace = [
+            timer_state("start", 180, ["loaded?"], 1),
+            timer_state("stop", 180, ["start!"], 2),
+            timer_state("stop", 150, ["tick?"], 3),
+        ]
+        verdict, _ = self.run_safety(egg_timer, trace)
+        assert verdict is Verdict.DEFINITELY_FALSE
+
+    def test_tick_without_started_fails(self, egg_timer):
+        trace = [
+            timer_state("start", 180, ["loaded?"], 1),
+            timer_state("start", 179, ["tick?"], 2),
+        ]
+        verdict, _ = self.run_safety(egg_timer, trace)
+        assert verdict is Verdict.DEFINITELY_FALSE
+
+
+class TestLivenessPropertyBehaviour:
+    def test_time_up_witnessed(self, egg_timer):
+        time_up = egg_timer.check_named("timeUp")
+        checker = FormulaChecker(time_up.formula)
+        checker.observe(timer_state("start", 2, ["loaded?"], 1))
+        checker.observe(timer_state("stop", 2, ["start!"], 2))
+        checker.observe(timer_state("stop", 1, ["tick?"], 3))
+        verdict = checker.observe(timer_state("start", 0, ["tick?"], 4))
+        # The eventually obligation is fulfilled; remaining demand comes
+        # only from the enclosing always's subscript countdown.
+        assert verdict is not Verdict.DEFINITELY_FALSE
+        assert checker.force() is Verdict.PROBABLY_TRUE
+
+
+class TestElaborationErrors:
+    def test_strict_state_query_rejected_at_load(self):
+        with pytest.raises(StateQueryOutsideStateError):
+            load_module('let broken = `#x`.text == "a";')
+
+    def test_non_numeric_timeout_rejected(self):
+        with pytest.raises(SpecEvalError, match="timeout"):
+            load_module('action a! = noop! timeout "soon";')
+
+    def test_default_subscript_flows_into_formulas(self):
+        from repro.quickltl import Always
+
+        module = load_module(
+            "let ~ok = true; check always ok;", default_subscript=123
+        )
+        # Force the deferred property with a dummy state.
+        from repro.quickltl import unroll
+
+        state = snapshot({})
+        formula = module.checks[0].formula
+        forced = formula.force(state)
+        assert isinstance(forced, Always)
+        assert forced.n == 123

@@ -1,0 +1,270 @@
+"""Specstrom parser: expressions and top-level definitions."""
+
+import pytest
+
+from repro.specstrom import SpecSyntaxError, parse_expression, parse_module
+from repro.specstrom.ast_nodes import (
+    ArrayLit,
+    Binary,
+    Block,
+    Call,
+    IfExpr,
+    Index,
+    Lit,
+    Member,
+    ObjectLit,
+    SelectorLit,
+    TemporalBinary,
+    TemporalUnary,
+    Unary,
+    Var,
+)
+
+
+class TestExpressionBasics:
+    def test_literals(self):
+        assert parse_expression("42").value == 42
+        assert parse_expression('"hi"').value == "hi"
+        assert parse_expression("true").value is True
+        assert parse_expression("null").value is None
+
+    def test_selector_literal(self):
+        expr = parse_expression("`#toggle`")
+        assert isinstance(expr, SelectorLit) and expr.css == "#toggle"
+
+    def test_member_chain(self):
+        expr = parse_expression("`#toggle`.text")
+        assert isinstance(expr, Member) and expr.name == "text"
+        assert isinstance(expr.obj, SelectorLit)
+
+    def test_index(self):
+        expr = parse_expression("xs[0]")
+        assert isinstance(expr, Index)
+
+    def test_call_with_args(self):
+        expr = parse_expression("parseInt(`#remaining`.text)")
+        assert isinstance(expr, Call) and len(expr.args) == 1
+
+    def test_call_action_name(self):
+        expr = parse_expression("click!(`#toggle`)")
+        assert isinstance(expr, Call)
+        assert isinstance(expr.callee, Var) and expr.callee.name == "click!"
+
+    def test_array_and_object(self):
+        arr = parse_expression("[1, 2, 3]")
+        assert isinstance(arr, ArrayLit) and len(arr.items) == 3
+        obj = parse_expression('{a: 1, "b c": 2}')
+        assert isinstance(obj, ObjectLit)
+        assert [k for k, _ in obj.pairs] == ["a", "b c"]
+
+    def test_empty_object(self):
+        assert isinstance(parse_expression("{}"), ObjectLit)
+
+
+class TestPrecedence:
+    def test_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_comparison_binds_tighter_than_and(self):
+        expr = parse_expression("time == 180 && started")
+        assert expr.op == "&&"
+        assert expr.left.op == "=="
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_implication_loosest_and_right_assoc(self):
+        expr = parse_expression("a ==> b ==> c")
+        assert expr.op == "==>"
+        assert expr.right.op == "==>"
+
+    def test_in_operator(self):
+        expr = parse_expression("start! in happened && ok")
+        assert expr.op == "&&"
+        assert expr.left.op == "in"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, Unary)
+
+    def test_not(self):
+        expr = parse_expression("!a && b")
+        assert expr.op == "&&"
+        assert isinstance(expr.left, Unary)
+
+    def test_parentheses(self):
+        expr = parse_expression("(a || b) && c")
+        assert expr.op == "&&"
+        assert expr.left.op == "||"
+
+
+class TestTemporalSyntax:
+    def test_always_with_subscript(self):
+        expr = parse_expression("always{400} ok")
+        assert isinstance(expr, TemporalUnary)
+        assert expr.op == "always" and expr.subscript == 400
+
+    def test_always_without_subscript(self):
+        expr = parse_expression("always ok")
+        assert expr.subscript is None
+
+    def test_eventually_nested(self):
+        expr = parse_expression("always{100} eventually{5} menuEnabled")
+        assert expr.op == "always"
+        assert expr.body.op == "eventually" and expr.body.subscript == 5
+
+    def test_next_variants(self):
+        for op in ("next", "wnext", "snext"):
+            expr = parse_expression(f"{op} ok")
+            assert isinstance(expr, TemporalUnary) and expr.op == op
+
+    def test_until_release(self):
+        expr = parse_expression("a until{3} b")
+        assert isinstance(expr, TemporalBinary) and expr.subscript == 3
+        expr = parse_expression("a release b")
+        assert expr.op == "release" and expr.subscript is None
+
+    def test_always_with_block_body(self):
+        expr = parse_expression("always { let x = 1; x == 1 }")
+        assert expr.op == "always" and expr.subscript is None
+        assert isinstance(expr.body, Block)
+
+    def test_subscript_then_parenthesised_body(self):
+        expr = parse_expression("always{400} (a || b)")
+        assert expr.subscript == 400
+        assert isinstance(expr.body, Binary)
+
+    def test_temporal_binds_tighter_than_and(self):
+        expr = parse_expression("always a && b")
+        assert expr.op == "&&"
+        assert isinstance(expr.left, TemporalUnary)
+
+
+class TestBlocksAndIf:
+    def test_block_with_bindings(self):
+        expr = parse_expression("{ let x = 1; let ~y = x; x == 1 }")
+        assert isinstance(expr, Block)
+        assert [b.name for b in expr.bindings] == ["x", "y"]
+        assert [b.lazy for b in expr.bindings] == [False, True]
+
+    def test_if_else(self):
+        expr = parse_expression("if time == 0 { stopped } else { started }")
+        assert isinstance(expr, IfExpr)
+
+    def test_else_if_chain(self):
+        expr = parse_expression("if a { 1 } else if b { 2 } else { 3 }")
+        assert isinstance(expr.orelse, IfExpr)
+
+    def test_if_requires_else(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_expression("if a { 1 }")
+
+
+class TestTopLevel:
+    def test_simple_let(self):
+        module = parse_module("let x = 1;")
+        assert module.lets[0].name == "x"
+        assert not module.lets[0].lazy
+
+    def test_lazy_let(self):
+        module = parse_module("let ~stopped = `#toggle`.text == \"start\";")
+        assert module.lets[0].lazy
+
+    def test_function_let(self):
+        module = parse_module("let f(a, ~b) = a;")
+        let = module.lets[0]
+        assert [p.name for p in let.params] == ["a", "b"]
+        assert [p.lazy for p in let.params] == [False, True]
+
+    def test_block_form_let(self):
+        module = parse_module("let ~ticking { let old = 1; old == 1 }")
+        assert isinstance(module.lets[0].body, Block)
+
+    def test_action_definition(self):
+        module = parse_module("action start! = click!(`#toggle`) when stopped;")
+        action = module.actions[0]
+        assert action.name == "start!"
+        assert action.guard is not None
+        assert action.timeout is None
+
+    def test_action_with_timeout(self):
+        module = parse_module("action wait! = noop! timeout 1000 when started;")
+        action = module.actions[0]
+        assert action.timeout.value == 1000
+        assert action.guard is not None
+
+    def test_event_definition(self):
+        module = parse_module("action tick? = changed?(`#remaining`);")
+        assert module.actions[0].is_event
+
+    def test_action_name_needs_suffix(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_module("action go = noop!;")
+
+    def test_check_single(self):
+        module = parse_module("let ~p = true; check p;")
+        assert len(module.checks) == 1
+        assert len(module.checks[0].properties) == 1
+
+    def test_check_juxtaposed_properties(self):
+        """Paper syntax: ``check safety liveness;``"""
+        module = parse_module("let ~a = true; let ~b = true; check a b;")
+        assert len(module.checks[0].properties) == 2
+
+    def test_check_comma_properties(self):
+        module = parse_module("let ~a = true; let ~b = true; check a, b;")
+        assert len(module.checks[0].properties) == 2
+
+    def test_check_with_actions(self):
+        module = parse_module(
+            "let ~p = true; action go! = noop!; check p with go!;"
+        )
+        assert module.checks[0].with_actions == ["go!"]
+
+    def test_check_with_multiple_actions(self):
+        module = parse_module(
+            "let ~p = true;"
+            "action a! = noop!; action b! = noop!; action t? = changed?(`#x`);"
+            "check p with a!, b!, t?;"
+        )
+        assert module.checks[0].with_actions == ["a!", "b!", "t?"]
+
+    def test_module_rejects_garbage(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_module("42;")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "let = 1;",
+            "let x 1;",
+            "let x = ;",
+            "a &&",
+            "(a",
+            "xs[1",
+            "{ let x = 1; }",
+            "f(a,)",
+            "check ;",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(SpecSyntaxError):
+            if source.startswith(("let", "check")):
+                parse_module(source)
+            else:
+                parse_expression(source)
+
+    def test_error_carries_position(self):
+        try:
+            parse_module("let x =\n  ;")
+        except SpecSyntaxError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")

@@ -1,0 +1,122 @@
+"""The invisible type system: recursion ban, functions-as-data ban, arity."""
+
+import pytest
+
+from repro.specstrom import SpecTypeError, load_module, parse_module
+from repro.specstrom.types import check_module
+
+
+def check(source):
+    return check_module(parse_module(source))
+
+
+class TestRecursionBan:
+    def test_self_recursion_rejected(self):
+        with pytest.raises(SpecTypeError, match="recursion"):
+            check("let f(x) = f(x);")
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(SpecTypeError, match="recursion"):
+            check("let f(x) = g(x); let g(x) = f(x);")
+
+    def test_self_reference_in_lazy_let_rejected(self):
+        with pytest.raises(SpecTypeError, match="recursion"):
+            check("let ~x = next x;")
+
+    def test_cycle_through_action_rejected(self):
+        with pytest.raises(SpecTypeError, match="recursion"):
+            check("let ~g = a! in happened; action a! = noop! when g;")
+
+    def test_dag_references_fine(self):
+        check("let a = 1; let b = a + 1; let c = a + b;")
+
+    def test_use_before_definition_in_source_order_is_fine(self):
+        # Lazy lets may reference later definitions (the graph is still
+        # acyclic); the real TodoMVC spec relies on this.
+        check("let ~a = b; let ~b = 1;")
+
+
+class TestDuplicatesAndUnknowns:
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(SpecTypeError, match="duplicate"):
+            check("let x = 1; let x = 2;")
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(SpecTypeError, match="shadows"):
+            check("let parseInt = 1;")
+
+    def test_undefined_name_rejected(self):
+        with pytest.raises(SpecTypeError, match="undefined"):
+            check("let x = nope;")
+
+    def test_undefined_action_in_check_rejected(self):
+        with pytest.raises(SpecTypeError, match="undefined action"):
+            check("let ~p = true; check p with go!;")
+
+
+class TestFunctionsAsData:
+    def test_function_in_array_rejected(self):
+        with pytest.raises(SpecTypeError, match="function"):
+            check("let f(x) = x; let xs = [f];")
+
+    def test_function_in_object_rejected(self):
+        with pytest.raises(SpecTypeError, match="function"):
+            check("let f(x) = x; let o = {g: f};")
+
+    def test_function_as_operand_rejected(self):
+        with pytest.raises(SpecTypeError, match="function"):
+            check("let f(x) = x; let y = f + 1;")
+
+    def test_function_in_comparison_rejected(self):
+        with pytest.raises(SpecTypeError, match="function"):
+            check("let f(x) = x; let y = f == f;")
+
+    def test_function_as_if_branch_rejected(self):
+        with pytest.raises(SpecTypeError, match="function"):
+            check("let f(x) = x; let y = if true { f } else { f };")
+
+    def test_function_as_builtin_data_arg_rejected(self):
+        with pytest.raises(SpecTypeError, match="function"):
+            check("let f(x) = x; let y = parseInt(f);")
+
+    def test_higher_order_builtins_accept_functions(self):
+        check("let isPositive(x) = x > 0; let ys = filter(isPositive, [1, 0 - 2]);")
+
+    def test_functions_passable_to_user_functions(self):
+        check("let apply(f, x) = f(x); let inc(n) = n + 1; let y = apply(inc, 1);")
+
+
+class TestArityAndCalls:
+    def test_calling_non_function_rejected(self):
+        with pytest.raises(SpecTypeError, match="not a function"):
+            check("let x = 1; let y = x(2);")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SpecTypeError, match="argument"):
+            check("let f(a, b) = a; let y = f(1);")
+
+    def test_builtin_data_call_rejected(self):
+        with pytest.raises(SpecTypeError, match="not a function"):
+            check("let y = happened(1);")
+
+    def test_param_used_both_ways_rejected(self):
+        with pytest.raises(SpecTypeError):
+            check("let f(g) = g(1) + g; let y = f(1);")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(SpecTypeError, match="duplicate parameter"):
+            check("let f(a, a) = a;")
+
+    def test_map_predicate_must_be_function(self):
+        with pytest.raises(SpecTypeError, match="must be a function"):
+            check("let y = map(1, [1, 2]);")
+
+
+class TestLoadModuleIntegration:
+    def test_type_errors_surface_through_load(self):
+        with pytest.raises(SpecTypeError):
+            load_module("let f(x) = f(x);")
+
+    def test_valid_module_loads(self):
+        module = load_module("let inc(n) = n + 1; let three = inc(2);")
+        assert module.env.lookup("three") == 3

@@ -1,0 +1,79 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.specs import spec_path
+
+
+class TestListImplementations:
+    def test_lists_all(self, capsys):
+        assert main(["list-implementations"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 43
+        assert "vanillajs" in out
+        assert "problems 8" in out
+
+
+class TestCheck:
+    def test_eggtimer_safety_passes(self, capsys):
+        code = main(
+            [
+                "check", spec_path("eggtimer.strom"),
+                "--app", "eggtimer",
+                "--property", "safety",
+                "--tests", "2",
+                "--actions", "15",
+                "--subscript", "400",
+                "--seed", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "safety: PASSED" in out
+
+    def test_todomvc_faulty_implementation_fails(self, capsys):
+        code = main(
+            [
+                "check", spec_path("todomvc.strom"),
+                "--app", "todomvc:polymer",
+                "--property", "safety",
+                "--tests", "6",
+                "--actions", "40",
+                "--subscript", "40",
+                "--seed", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "safety: FAILED" in out
+        assert "counterexample" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", spec_path("eggtimer.strom"), "--app", "nope"])
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(KeyError):
+            main(
+                [
+                    "check", spec_path("eggtimer.strom"),
+                    "--app", "eggtimer",
+                    "--property", "bogus",
+                ]
+            )
+
+
+class TestAudit:
+    def test_audit_named_implementations(self, capsys):
+        code = main(
+            [
+                "audit", "vue", "polymer",
+                "--subscript", "40",
+                "--tests", "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "vue" in out and "polymer" in out
+        assert "2/2 agree" in out
