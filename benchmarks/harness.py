@@ -12,12 +12,16 @@ vs. QuickLTL presumptive answers; per-step formula simplification).
 
 Times are *simulated seconds* (virtual clock): the paper notes testing
 time is dominated by waiting for events, which the virtual clock models
-deterministically.  Environment knobs (for quicker runs):
+deterministically.  Campaigns run through :class:`repro.api.CheckSession`;
+pass ``jobs=N`` (or set ``REPRO_BENCH_JOBS``) to fan each campaign's
+tests out over the parallel engine -- verdicts are identical to serial.
+Environment knobs (for quicker runs):
 
 =======================  ==========================================
 ``REPRO_BENCH_TESTS``    tests per implementation for Table 1/2 (8)
 ``REPRO_BENCH_TRIALS``   trials per point for Figure 13 (3)
 ``REPRO_BENCH_SUBSCRIPTS``  comma-separated Figure 13 x-axis values
+``REPRO_BENCH_JOBS``     parallel workers per campaign (1 = serial)
 =======================  ==========================================
 """
 
@@ -27,15 +31,16 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api import CheckSession
 from repro.apps.todomvc import Implementation, all_implementations
-from repro.checker import CampaignResult, Runner, RunnerConfig
-from repro.executors import DomExecutor
+from repro.checker import CampaignResult, RunnerConfig
 from repro.specs import load_todomvc_spec
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 DEFAULT_TESTS = int(os.environ.get("REPRO_BENCH_TESTS", "8"))
 DEFAULT_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "3"))
+DEFAULT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 DEFAULT_SUBSCRIPTS = tuple(
     int(x)
     for x in os.environ.get(
@@ -71,6 +76,7 @@ def audit_implementation(
     tests: int = DEFAULT_TESTS,
     seed: int = 0,
     shrink: bool = False,
+    jobs: int = DEFAULT_JOBS,
 ) -> CampaignResult:
     """Check one implementation against the TodoMVC safety property."""
     key = (impl.name, subscript, tests, seed, shrink)
@@ -85,7 +91,8 @@ def audit_implementation(
         shrink=shrink,
         stop_on_failure=True,
     )
-    result = Runner(spec, lambda: DomExecutor(impl.app_factory()), config).run()
+    session = CheckSession(impl.app_factory(), jobs=jobs)
+    result = session.check(spec, config=config)
     _audit_cache[key] = result
     return result
 
@@ -105,12 +112,13 @@ class AuditRow:
 
 
 def audit_all(
-    *, subscript: int = 100, tests: int = DEFAULT_TESTS, seed: int = 0
+    *, subscript: int = 100, tests: int = DEFAULT_TESTS, seed: int = 0,
+    jobs: int = DEFAULT_JOBS,
 ) -> List[AuditRow]:
     """Audit all 43 implementations (Table 1's workload)."""
     return [
         AuditRow(impl, audit_implementation(impl, subscript=subscript,
-                                            tests=tests, seed=seed))
+                                            tests=tests, seed=seed, jobs=jobs))
         for impl in all_implementations()
     ]
 
@@ -127,6 +135,7 @@ def false_negative_rate(
     passes = 0
     total = 0
     for impl in failing_implementations():
+        session = CheckSession(impl.app_factory())
         for trial in range(trials):
             config = RunnerConfig(
                 tests=1,
@@ -135,9 +144,7 @@ def false_negative_rate(
                 seed=seed_base + trial * 31 + hash(impl.name) % 1000,
                 shrink=False,
             )
-            result = Runner(
-                spec, lambda: DomExecutor(impl.app_factory()), config
-            ).run()
+            result = session.check(spec, config=config)
             total += 1
             if result.passed:
                 passes += 1
@@ -162,7 +169,7 @@ def passing_run_seconds(
             seed=seed,
             shrink=False,
         )
-        result = Runner(spec, lambda: DomExecutor(impl.app_factory()), config).run()
+        result = CheckSession(impl.app_factory()).check(spec, config=config)
         for test in result.results:
             total_ms += test.elapsed_virtual_ms
             count += 1

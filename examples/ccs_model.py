@@ -10,7 +10,8 @@ can swallow the coin (an internal tau step back to idle).
 Run:  python examples/ccs_model.py
 """
 
-from repro.checker import Runner, RunnerConfig
+from repro.api import CheckSession
+from repro.checker import RunnerConfig
 from repro.executors import CCSExecutor, parse_definitions
 from repro.specstrom import load_module
 
@@ -50,12 +51,15 @@ check vending;
 def run(model_source: str, label: str) -> bool:
     defs, initial = parse_definitions(model_source)
     module = load_module(SPEC)
-    runner = Runner(
-        module.checks[0],
-        lambda: CCSExecutor(initial, defs, tau_period_ms=700.0),
-        RunnerConfig(tests=8, scheduled_actions=15, demand_allowance=10, seed=5),
+    # A zero-argument factory is used as the executor factory directly:
+    # the same session API drives the CCS backend (paper, Section 3.4).
+    session = CheckSession(lambda: CCSExecutor(initial, defs, tau_period_ms=700.0))
+    result = session.check(
+        module,
+        property="vending",
+        config=RunnerConfig(tests=8, scheduled_actions=15,
+                            demand_allowance=10, seed=5),
     )
-    result = runner.run()
     print(f"{label}: {result.summary()}")
     if result.shrunk_counterexample is not None:
         steps = " -> ".join(name for name, _ in result.shrunk_counterexample.actions)

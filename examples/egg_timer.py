@@ -13,16 +13,15 @@ double-decrement and a frozen display) produce shrunk counterexamples.
 Run:  python examples/egg_timer.py
 """
 
+from repro.api import CheckSession
 from repro.apps.eggtimer import egg_timer_app
-from repro.checker import Runner, RunnerConfig
-from repro.executors import DomExecutor
+from repro.checker import RunnerConfig
 from repro.specs import load_eggtimer_spec
 
 
 def check(check_spec, app_factory, **config_kwargs) -> bool:
     config = RunnerConfig(**{"tests": 5, "seed": 11, **config_kwargs})
-    runner = Runner(check_spec, lambda: DomExecutor(app_factory), config)
-    result = runner.run()
+    result = CheckSession(app_factory).check(check_spec, config=config)
     print(f"  {result.summary()}")
     if result.shrunk_counterexample is not None:
         for line in result.shrunk_counterexample.describe().splitlines():

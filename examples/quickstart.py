@@ -9,9 +9,9 @@ interactions.
 Run:  python examples/quickstart.py
 """
 
-from repro.checker import Runner, RunnerConfig
+from repro.api import CheckSession, ConsoleReporter
+from repro.checker import RunnerConfig
 from repro.dom import Element
-from repro.executors import DomExecutor
 from repro.specstrom import load_module
 
 # ----------------------------------------------------------------------
@@ -74,16 +74,12 @@ check safety;
 
 def main() -> int:
     module = load_module(SPEC)
-    spec = module.checks[0]
-    runner = Runner(
-        spec,
-        executor_factory=lambda: DomExecutor(counter_app),
+    session = CheckSession(counter_app, reporters=[ConsoleReporter()])
+    result = session.check(
+        module,
+        property="safety",
         config=RunnerConfig(tests=10, scheduled_actions=50, seed=2024),
     )
-    result = runner.run()
-    print(result.summary())
-    if result.shrunk_counterexample is not None:
-        print(result.shrunk_counterexample.describe())
     return 0 if result.passed else 1
 
 

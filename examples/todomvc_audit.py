@@ -8,19 +8,21 @@ failures.
 
 By default a representative sample is audited; pass implementation names
 or ``--all`` for the full Table 1 population (43 implementations).
+``--jobs N`` runs each campaign's tests on the parallel engine
+(identical verdicts, wall-clock bounded by your core count).
 
-Run:  python examples/todomvc_audit.py [--all | name ...]
+Run:  python examples/todomvc_audit.py [--jobs N] [--all | name ...]
 """
 
 import sys
 
+from repro.api import CheckSession
 from repro.apps.todomvc import (
     FAULT_DESCRIPTIONS,
     all_implementations,
     implementation_named,
 )
-from repro.checker import Runner, RunnerConfig
-from repro.executors import DomExecutor
+from repro.checker import RunnerConfig
 from repro.specs import load_todomvc_spec
 
 SAMPLE = [
@@ -33,15 +35,14 @@ SAMPLE = [
 ]
 
 
-def audit(name: str, spec) -> bool:
+def audit(name: str, spec, jobs: int = 1) -> bool:
     impl = implementation_named(name)
-    runner = Runner(
+    session = CheckSession(impl.app_factory(), jobs=jobs)
+    result = session.check(
         spec,
-        lambda: DomExecutor(impl.app_factory()),
-        RunnerConfig(tests=10, scheduled_actions=100, demand_allowance=20,
-                     seed=42, shrink=True),
+        config=RunnerConfig(tests=10, scheduled_actions=100,
+                            demand_allowance=20, seed=42, shrink=True),
     )
-    result = runner.run()
     label = "beta" if impl.beta else "mature"
     status = "PASS" if result.passed else "FAIL"
     print(f"{impl.name:<22} [{label:<6}] {status}  "
@@ -61,6 +62,16 @@ def audit(name: str, spec) -> bool:
 
 def main() -> int:
     args = sys.argv[1:]
+    jobs = 1
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        try:
+            jobs = int(args[at + 1])
+        except (IndexError, ValueError):
+            raise SystemExit(
+                "usage: todomvc_audit.py [--jobs N] [--all | name ...]"
+            )
+        args = args[:at] + args[at + 2:]
     if args == ["--all"]:
         names = [impl.name for impl in all_implementations()]
     elif args:
@@ -68,7 +79,7 @@ def main() -> int:
     else:
         names = SAMPLE
     spec = load_todomvc_spec(default_subscript=100).check_named("safety")
-    agreed = sum(audit(name, spec) for name in names)
+    agreed = sum(audit(name, spec, jobs=jobs) for name in names)
     print(f"\n{agreed}/{len(names)} verdicts agree with the paper's Table 1.")
     return 0 if agreed == len(names) else 1
 

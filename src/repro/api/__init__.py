@@ -1,0 +1,31 @@
+"""The public checking API: session facade, campaign engines, reporters.
+
+This layer is the front door for running checking campaigns::
+
+    from repro.api import CheckSession, ConsoleReporter
+
+    session = CheckSession(todomvc_app(), jobs=4,
+                           reporters=[ConsoleReporter()])
+    result = session.check("specs/todomvc.strom", property="safety")
+
+``CheckSession`` owns executor lifecycle, spec loading and result
+aggregation; :class:`CampaignEngine` strategies decide *how* the test
+loop runs (serially, or fanned out over workers with identical
+verdicts); :class:`Reporter` hooks observe progress.  The lower-level
+:class:`repro.checker.Runner` remains available as the single-test
+engine underneath.
+"""
+
+from .engines import CampaignEngine, ParallelEngine, SerialEngine
+from .reporters import ConsoleReporter, JsonlReporter, Reporter
+from .session import CheckSession
+
+__all__ = [
+    "CheckSession",
+    "CampaignEngine",
+    "SerialEngine",
+    "ParallelEngine",
+    "Reporter",
+    "ConsoleReporter",
+    "JsonlReporter",
+]

@@ -1,0 +1,315 @@
+"""Campaign engines: strategies for running the generated-test loop.
+
+The checker's per-test seeding (``Random(f"{seed}/{index}")``) makes the
+``tests`` loop embarrassingly parallel: no state flows between tests, so
+any schedule that runs every index with its own seed and merges results
+*in index order* is observationally identical to the serial loop.  This
+module provides that seam:
+
+* :class:`SerialEngine` -- the classic loop, bit-for-bit what
+  ``Runner.run()`` always did (and still does, by delegating here);
+* :class:`ParallelEngine` -- fans the loop out over worker processes
+  (``fork`` start method; falls back to threads where ``fork`` is
+  unavailable) and merges results by index, so the *first failing
+  index* -- not the first failure to arrive -- wins ``stop_on_failure``
+  and shrinking.  Verdicts, counterexamples and per-test results are
+  identical to the serial engine for the same seed.
+
+Reporters (see :mod:`repro.api.reporters`) are only ever invoked from
+the merging side, in index order, so their output is deterministic even
+under parallel execution.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..checker.result import CampaignResult, Counterexample, TestResult
+from ..checker.runner import Runner
+from .reporters import Reporter
+
+__all__ = ["CampaignEngine", "SerialEngine", "ParallelEngine"]
+
+
+def _test_seed(seed: object, index: int) -> str:
+    """The campaign's per-test RNG seed (kept verbatim from the classic
+    loop: changing this string would change every generated trace)."""
+    return f"{seed}/{index}"
+
+
+class CampaignEngine(ABC):
+    """Strategy for running one property's campaign of generated tests."""
+
+    @abstractmethod
+    def run(
+        self, runner: Runner, reporters: Sequence[Reporter] = ()
+    ) -> CampaignResult:
+        """Run the campaign described by ``runner.config``."""
+
+
+class SerialEngine(CampaignEngine):
+    """The classic strictly-ordered test loop."""
+
+    def run(
+        self, runner: Runner, reporters: Sequence[Reporter] = ()
+    ) -> CampaignResult:
+        config = runner.config
+
+        def produce():
+            for index in range(config.tests):
+                seed = _test_seed(config.seed, index)
+                for reporter in reporters:
+                    reporter.on_test_start(runner.spec.name, index, seed)
+                yield index, runner.run_single_test(random.Random(seed))
+
+        return _consume_campaign(runner, produce(), reporters)
+
+
+class ParallelEngine(CampaignEngine):
+    """Runs test indices on a pool of workers, merging by index.
+
+    ``jobs`` bounds the worker count (default: the CPU count).  Workers
+    receive indices round-robin and publish ``(index, result)`` pairs;
+    the merge replays the serial loop over the index-ordered results, so
+    failure handling, shrinking and reporter output are exactly the
+    serial engine's.  With ``stop_on_failure``, workers skip indices
+    beyond the earliest failure seen so far -- those indices are
+    unreachable in the serial loop, so skipping them never changes the
+    outcome, it only saves work.
+
+    Worker processes are created with the ``fork`` start method (the
+    executor factories are closures, which ``spawn`` cannot ship); on
+    platforms without ``fork`` a thread pool is used instead -- same
+    semantics, less parallelism under the GIL.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        if jobs is None:
+            import os
+
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+
+    def run(
+        self, runner: Runner, reporters: Sequence[Reporter] = ()
+    ) -> CampaignResult:
+        tests = runner.config.tests
+        workers = min(self.jobs, tests)
+        if workers <= 1:
+            return SerialEngine().run(runner, reporters)
+        try:
+            outcomes = self._run_forked(runner, workers)
+        except _ForkUnavailable:
+            outcomes = self._run_threaded(runner, workers)
+        return self._merge(runner, outcomes, reporters)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _run_forked(self, runner: Runner, workers: int) -> Dict[int, object]:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as err:  # pragma: no cover - non-POSIX platforms
+            raise _ForkUnavailable() from err
+
+        import queue as queue_module
+
+        config = runner.config
+        tests = config.tests
+        queue = ctx.Queue()
+        first_fail = ctx.Value("i", tests)
+
+        def work(worker_id: int) -> None:
+            for index in range(worker_id, tests, workers):
+                if config.stop_on_failure and index > first_fail.value:
+                    queue.put((index, _SKIPPED))
+                    continue
+                try:
+                    result = runner.run_single_test(
+                        random.Random(_test_seed(config.seed, index))
+                    )
+                except Exception as err:  # propagate to the parent
+                    # (KeyboardInterrupt/SystemExit are deliberately NOT
+                    # caught: they must kill the worker promptly, and the
+                    # parent notices the death below.)
+                    queue.put((index, _WorkerError(err)))
+                    continue
+                if result.failed:
+                    with first_fail.get_lock():
+                        if index < first_fail.value:
+                            first_fail.value = index
+                queue.put((index, result))
+
+        processes = [
+            ctx.Process(target=work, args=(w,), daemon=True)
+            for w in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        outcomes: Dict[int, object] = {}
+        try:
+            while len(outcomes) < tests:
+                try:
+                    index, outcome = queue.get(timeout=0.2)
+                except queue_module.Empty:
+                    if any(process.is_alive() for process in processes):
+                        continue
+                    # Every worker is gone; drain the stragglers their
+                    # feeder threads flushed on the way out, then check
+                    # whether anyone died without reporting.
+                    while len(outcomes) < tests:
+                        try:
+                            index, outcome = queue.get(timeout=0.2)
+                        except queue_module.Empty:
+                            break
+                        outcomes[index] = outcome
+                    if len(outcomes) < tests:
+                        missing = sorted(set(range(tests)) - set(outcomes))
+                        raise RuntimeError(
+                            "parallel campaign worker(s) died without "
+                            f"reporting test(s) {missing}"
+                        )
+                    break
+                else:
+                    outcomes[index] = outcome
+        finally:
+            for process in processes:
+                process.join()
+        return outcomes
+
+    def _run_threaded(self, runner: Runner, workers: int) -> Dict[int, object]:
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        config = runner.config
+        tests = config.tests
+        lock = threading.Lock()
+        state = {"first_fail": tests}
+
+        def work(index: int) -> object:
+            if config.stop_on_failure and index > state["first_fail"]:
+                return _SKIPPED
+            try:
+                result = runner.run_single_test(
+                    random.Random(_test_seed(config.seed, index))
+                )
+            except Exception as err:
+                return _WorkerError(err)
+            if result.failed:
+                with lock:
+                    state["first_fail"] = min(state["first_fail"], index)
+            return result
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {index: pool.submit(work, index) for index in range(tests)}
+            return {index: future.result() for index, future in futures.items()}
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+
+    def _merge(
+        self,
+        runner: Runner,
+        outcomes: Dict[int, object],
+        reporters: Sequence[Reporter],
+    ) -> CampaignResult:
+        config = runner.config
+
+        def produce():
+            for index in range(config.tests):
+                outcome = outcomes[index]
+                if outcome is _SKIPPED:
+                    # Only indices past the first failure are skipped; the
+                    # campaign loop stops before reaching one.
+                    raise AssertionError(
+                        f"test {index} was skipped but the merge reached it"
+                    )
+                if isinstance(outcome, _WorkerError):
+                    raise outcome.error
+                seed = _test_seed(config.seed, index)
+                for reporter in reporters:
+                    reporter.on_test_start(runner.spec.name, index, seed)
+                yield index, outcome
+
+        return _consume_campaign(runner, produce(), reporters)
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+
+def _consume_campaign(
+    runner: Runner, outcomes, reporters: Sequence[Reporter]
+) -> CampaignResult:
+    """THE campaign loop, shared by both engines.
+
+    ``outcomes`` is a lazy stream of ``(index, TestResult)`` pairs in
+    index order; the producer fires ``on_test_start`` (it knows when a
+    test actually begins).  Consuming lazily means a ``stop_on_failure``
+    break also stops the serial producer from generating further tests.
+    """
+    config = runner.config
+    name = runner.spec.name
+    results: List[TestResult] = []
+    counterexample: Optional[Counterexample] = None
+    shrunk: Optional[Counterexample] = None
+    for index, result in outcomes:
+        results.append(result)
+        for reporter in reporters:
+            reporter.on_test_end(name, index, result)
+        if result.failed:
+            counterexample, shrunk = _record_failure(runner, result, reporters)
+            if config.stop_on_failure:
+                break
+    campaign = CampaignResult(
+        property_name=name,
+        results=results,
+        counterexample=counterexample,
+        shrunk_counterexample=shrunk,
+    )
+    for reporter in reporters:
+        reporter.on_campaign_end(campaign)
+    return campaign
+
+
+_SKIPPED = "__skipped__"
+
+
+class _WorkerError:
+    """Wraps an exception raised inside a worker for transport."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class _ForkUnavailable(RuntimeError):
+    """The platform has no ``fork`` start method."""
+
+
+def _record_failure(
+    runner: Runner, result: TestResult, reporters: Sequence[Reporter]
+) -> Tuple[Counterexample, Optional[Counterexample]]:
+    """Build (and optionally shrink) the counterexample for a failing
+    test; shared between engines so both report identically."""
+    counterexample = Counterexample(
+        actions=list(result.actions),
+        trace=list(result.trace),
+        verdict=result.verdict,
+    )
+    shrunk: Optional[Counterexample] = None
+    if runner.config.shrink:
+        from ..checker.shrink import shrink_counterexample
+
+        shrunk = shrink_counterexample(runner, counterexample)
+    for reporter in reporters:
+        reporter.on_counterexample(runner.spec.name, counterexample, shrunk)
+    return counterexample, shrunk

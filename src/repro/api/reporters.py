@@ -1,0 +1,158 @@
+"""Reporter hooks: pluggable observers of a checking campaign.
+
+A :class:`Reporter` receives the campaign's lifecycle events from the
+engine that runs it (see :mod:`repro.api.engines`):
+
+* :meth:`~Reporter.on_test_start` -- before a generated test runs,
+* :meth:`~Reporter.on_test_end` -- after it produced a
+  :class:`~repro.checker.result.TestResult`,
+* :meth:`~Reporter.on_counterexample` -- when a failing trace has been
+  recorded (and, when shrinking is enabled, minimised),
+* :meth:`~Reporter.on_campaign_end` -- with the final
+  :class:`~repro.checker.result.CampaignResult`.
+
+Engines always deliver events in *test-index order*, even when tests run
+in parallel, so a reporter never needs locking and its output is
+deterministic for a given seed.
+
+Two implementations ship with the reproduction: the human-readable
+:class:`ConsoleReporter` (what the CLI prints) and the machine-readable
+:class:`JsonlReporter` (one JSON object per event, for dashboards and
+CI artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Optional
+
+from ..checker.result import CampaignResult, Counterexample, TestResult
+
+__all__ = ["Reporter", "ConsoleReporter", "JsonlReporter"]
+
+
+class Reporter:
+    """Base reporter: every hook is a no-op, override what you need."""
+
+    def on_test_start(self, property_name: str, index: int, seed: object) -> None:
+        """A generated test is about to run."""
+
+    def on_test_end(self, property_name: str, index: int, result: TestResult) -> None:
+        """A generated test finished."""
+
+    def on_counterexample(
+        self,
+        property_name: str,
+        counterexample: Counterexample,
+        shrunk: Optional[Counterexample],
+    ) -> None:
+        """A failing trace was recorded (``shrunk`` when minimised)."""
+
+    def on_campaign_end(self, result: CampaignResult) -> None:
+        """The campaign is over."""
+
+
+class ConsoleReporter(Reporter):
+    """Human-readable progress: per-test lines (verbose) and the final
+    summary line that ``CampaignResult.summary()`` used to hand-print."""
+
+    def __init__(self, stream: Optional[IO[str]] = None, verbose: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.verbose = verbose
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.stream)
+
+    def on_test_end(self, property_name: str, index: int, result: TestResult) -> None:
+        if not self.verbose:
+            return
+        status = "ok" if result.passed else "FAIL"
+        forced = " (forced)" if result.forced else ""
+        self._print(
+            f"  test {index}: {status} {result.verdict.name}{forced} "
+            f"[{result.actions_taken} action(s), {result.states_observed} state(s)]"
+        )
+
+    def on_counterexample(
+        self,
+        property_name: str,
+        counterexample: Counterexample,
+        shrunk: Optional[Counterexample],
+    ) -> None:
+        best = shrunk if shrunk is not None else counterexample
+        for line in best.describe().splitlines():
+            self._print(f"  {line}")
+
+    def on_campaign_end(self, result: CampaignResult) -> None:
+        self._print(result.summary())
+
+
+class JsonlReporter(Reporter):
+    """One JSON object per event (JSON Lines), for machine consumption."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def _emit(self, record: dict) -> None:
+        print(json.dumps(record, sort_keys=True), file=self.stream)
+
+    def on_test_start(self, property_name: str, index: int, seed: object) -> None:
+        self._emit(
+            {"event": "test_start", "property": property_name,
+             "index": index, "seed": seed}
+        )
+
+    def on_test_end(self, property_name: str, index: int, result: TestResult) -> None:
+        self._emit(
+            {
+                "event": "test_end",
+                "property": property_name,
+                "index": index,
+                "verdict": result.verdict.name,
+                "passed": result.passed,
+                "forced": result.forced,
+                "actions_taken": result.actions_taken,
+                "states_observed": result.states_observed,
+                "stale_rejections": result.stale_rejections,
+                "elapsed_virtual_ms": result.elapsed_virtual_ms,
+                "stall_reason": result.stall_reason,
+            }
+        )
+
+    def on_counterexample(
+        self,
+        property_name: str,
+        counterexample: Counterexample,
+        shrunk: Optional[Counterexample],
+    ) -> None:
+        self._emit(
+            {
+                "event": "counterexample",
+                "property": property_name,
+                "verdict": counterexample.verdict.name,
+                "actions": _action_records(counterexample),
+                "shrunk_actions": (
+                    _action_records(shrunk) if shrunk is not None else None
+                ),
+            }
+        )
+
+    def on_campaign_end(self, result: CampaignResult) -> None:
+        self._emit(
+            {
+                "event": "campaign_end",
+                "property": result.property_name,
+                "passed": result.passed,
+                "tests_run": result.tests_run,
+                "total_actions": result.total_actions,
+                "total_virtual_ms": result.total_virtual_ms,
+            }
+        )
+
+
+def _action_records(counterexample: Counterexample) -> list:
+    return [
+        {"name": name, "action": resolved.describe()}
+        for name, resolved in counterexample.actions
+    ]

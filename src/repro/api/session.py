@@ -1,0 +1,184 @@
+"""The CheckSession facade: one object that owns a checking campaign.
+
+Before this layer existed, every caller (the CLI, the benchmark
+harness, the examples) re-assembled the same plumbing by hand: load a
+.strom module, pick a property, wrap the application in an executor
+factory, build a :class:`~repro.checker.runner.Runner`, run it, print
+``result.summary()``.  ``CheckSession`` bundles that wiring::
+
+    session = CheckSession(todomvc_app())          # an app factory
+    result = session.check("specs/todomvc.strom", property="safety",
+                           config=RunnerConfig(tests=20))
+
+    session = CheckSession(lambda: CCSExecutor(initial, defs))
+    result = session.check(module, property="vending")
+
+The first argument is *what to test*: either an application factory
+(``Callable[[Page], app]``, wrapped in a fresh
+:class:`~repro.executors.DomExecutor` per test) or a zero-argument
+executor factory for any other backend -- the checker stays
+executor-agnostic (paper, Section 3.4).  ``engine`` picks the campaign
+strategy (:class:`~repro.api.engines.SerialEngine` by default, or
+``jobs=N`` as a shortcut for :class:`~repro.api.engines.ParallelEngine`)
+and ``reporters`` observe progress.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..checker.config import RunnerConfig
+from ..checker.result import CampaignResult
+from ..checker.runner import Runner
+from ..executors.domexec import DomExecutor
+from ..quickltl import DEFAULT_SUBSCRIPT
+from ..specstrom.module import CheckSpec, SpecModule, load_module_file
+from .engines import CampaignEngine, ParallelEngine, SerialEngine
+from .reporters import Reporter
+
+__all__ = ["CheckSession"]
+
+SpecLike = Union[str, "os.PathLike[str]", SpecModule, CheckSpec]
+
+
+class CheckSession:
+    """A reusable checking context for one system under test."""
+
+    def __init__(
+        self,
+        app_or_factory: Callable,
+        *,
+        engine: Optional[CampaignEngine] = None,
+        jobs: Optional[int] = None,
+        reporters: Sequence[Reporter] = (),
+        default_subscript: int = DEFAULT_SUBSCRIPT,
+    ) -> None:
+        if engine is not None and jobs is not None:
+            raise ValueError("pass either engine= or jobs=, not both")
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        if engine is None:
+            engine = ParallelEngine(jobs) if jobs and jobs > 1 else SerialEngine()
+        self.executor_factory = _coerce_executor_factory(app_or_factory)
+        self.engine = engine
+        self.reporters: List[Reporter] = list(reporters)
+        self.default_subscript = default_subscript
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        spec: SpecLike,
+        *,
+        property: Optional[str] = None,
+        config: Optional[RunnerConfig] = None,
+    ) -> CampaignResult:
+        """Check one property and return its campaign result.
+
+        ``spec`` may be a ``.strom`` file path, an elaborated
+        :class:`SpecModule`, or a single :class:`CheckSpec`.  For a
+        module (or path), ``property`` names the check to run; it may be
+        omitted when the module declares exactly one.
+        """
+        check_spec = self._resolve(spec, property)
+        return self.engine.run(self._runner(check_spec, config), self.reporters)
+
+    def check_all(
+        self,
+        spec: SpecLike,
+        *,
+        config: Optional[RunnerConfig] = None,
+    ) -> List[CampaignResult]:
+        """Check every property of a module, in declaration order."""
+        if isinstance(spec, CheckSpec):
+            return [self.check(spec, config=config)]
+        module = self._load(spec)
+        return [
+            self.engine.run(self._runner(check, config), self.reporters)
+            for check in module.checks
+        ]
+
+    def runner(
+        self,
+        spec: SpecLike,
+        *,
+        property: Optional[str] = None,
+        config: Optional[RunnerConfig] = None,
+    ) -> Runner:
+        """The underlying single-test engine (for replay/shrink access)."""
+        return self._runner(self._resolve(spec, property), config)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _runner(self, check_spec: CheckSpec, config: Optional[RunnerConfig]) -> Runner:
+        return Runner(check_spec, self.executor_factory, config)
+
+    def _load(self, spec: SpecLike) -> SpecModule:
+        if isinstance(spec, SpecModule):
+            return spec
+        if isinstance(spec, (str, os.PathLike)):
+            return load_module_file(
+                os.fspath(spec), default_subscript=self.default_subscript
+            )
+        raise TypeError(
+            f"cannot load a specification from {type(spec).__name__}; "
+            "pass a .strom path, a SpecModule or a CheckSpec"
+        )
+
+    def _resolve(self, spec: SpecLike, property: Optional[str]) -> CheckSpec:
+        if isinstance(spec, CheckSpec):
+            if property is not None and property != spec.name:
+                raise ValueError(
+                    f"property {property!r} does not match the CheckSpec "
+                    f"{spec.name!r}"
+                )
+            return spec
+        module = self._load(spec)
+        if property is not None:
+            return module.check_named(property)
+        if len(module.checks) == 1:
+            return module.checks[0]
+        names = [c.name for c in module.checks]
+        raise ValueError(
+            f"the module declares {len(names)} properties {names}; "
+            "pass property= to pick one (or use check_all)"
+        )
+
+
+def _coerce_executor_factory(app_or_factory: Callable) -> Callable[[], object]:
+    """Turn *what to test* into a zero-argument executor factory.
+
+    A callable with no required parameters is taken to be an executor
+    factory already (e.g. ``lambda: CCSExecutor(...)``); a callable with
+    required parameters is an application factory ``page -> app`` and is
+    wrapped in a fresh :class:`DomExecutor` per test.
+    """
+    if not callable(app_or_factory):
+        raise TypeError(
+            f"expected an app factory or executor factory, "
+            f"got {type(app_or_factory).__name__}"
+        )
+    try:
+        signature = inspect.signature(app_or_factory)
+    except (TypeError, ValueError):  # builtins without introspection
+        signature = None
+    if signature is not None:
+        required = [
+            parameter
+            for parameter in signature.parameters.values()
+            if parameter.default is inspect.Parameter.empty
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        ]
+        if not required:
+            return app_or_factory
+    return lambda: DomExecutor(app_or_factory)

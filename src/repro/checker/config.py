@@ -34,3 +34,17 @@ class RunnerConfig:
     max_states: int = 5000
     shrink: bool = True
     stop_on_failure: bool = True
+
+    def __post_init__(self) -> None:
+        """Fail fast on misconfigured campaigns (e.g. zero tests would
+        otherwise "pass" vacuously)."""
+        if self.tests < 1:
+            raise ValueError(f"tests must be at least 1, got {self.tests}")
+        for name in ("scheduled_actions", "demand_allowance", "max_states"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        for name in ("decision_latency_ms", "settle_ms", "idle_wait_ms"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")

@@ -24,7 +24,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..executors.base import ActionFailed
 from ..protocol.messages import Acted, Act, Event, Start, Timeout
+from ..protocol.session import TraceEntry
 from ..quickltl import FormulaChecker, Verdict
 from ..specstrom.actions import PrimitiveAction, PrimitiveEvent, ResolvedAction
 from ..specstrom.errors import SpecEvalError
@@ -33,9 +35,9 @@ from ..specstrom.module import CheckSpec
 from ..specstrom.state import StateSnapshot
 from ..specstrom.values import ActionValue
 from .config import RunnerConfig
-from .result import CampaignResult, Counterexample, TestResult
+from .result import CampaignResult, TestResult
 
-__all__ = ["Runner", "check_spec"]
+__all__ = ["Runner", "TraceAccumulator", "check_spec"]
 
 
 @dataclass
@@ -43,6 +45,39 @@ class _FiredAction:
     name: str
     resolved: ResolvedAction
     timeout_ms: Optional[float]
+
+
+class TraceAccumulator:
+    """Drains executor messages into a trace while feeding the checker.
+
+    Shared by the random test loop and the replay loop (they used to
+    carry near-identical ``absorb`` closures): every drained message
+    becomes a :class:`TraceEntry`, advances the state count, and -- until
+    the verdict is definitive -- is observed by the formula checker.
+    """
+
+    __slots__ = ("checker", "trace", "states", "verdict", "current_state")
+
+    def __init__(self, checker: FormulaChecker) -> None:
+        self.checker = checker
+        self.trace: List[TraceEntry] = []
+        self.states = 0
+        self.verdict = Verdict.DEMAND
+        self.current_state: Optional[StateSnapshot] = None
+
+    def absorb(self, executor) -> None:
+        for message in executor.drain():
+            state = message.state
+            kind = (
+                "acted"
+                if isinstance(message, Acted)
+                else "timeout" if isinstance(message, Timeout) else "event"
+            )
+            self.trace.append(TraceEntry(kind, state.happened, state))
+            self.states += 1
+            self.current_state = state
+            if not self.verdict.is_definitive:
+                self.verdict = self.checker.observe(state)
 
 
 class Runner:
@@ -63,31 +98,17 @@ class Runner:
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignResult:
-        results: List[TestResult] = []
-        counterexample: Optional[Counterexample] = None
-        shrunk: Optional[Counterexample] = None
-        for index in range(self.config.tests):
-            rng = random.Random(f"{self.config.seed}/{index}")
-            result = self.run_single_test(rng)
-            results.append(result)
-            if result.failed:
-                counterexample = Counterexample(
-                    actions=list(result.actions),
-                    trace=list(result.trace),
-                    verdict=result.verdict,
-                )
-                if self.config.shrink:
-                    from .shrink import shrink_counterexample
+        """Run the campaign serially.
 
-                    shrunk = shrink_counterexample(self, counterexample)
-                if self.config.stop_on_failure:
-                    break
-        return CampaignResult(
-            property_name=self.spec.name,
-            results=results,
-            counterexample=counterexample,
-            shrunk_counterexample=shrunk,
-        )
+        Deprecated entry point: the campaign loop lives in
+        :mod:`repro.api.engines` now (`SerialEngine` preserves this
+        method's exact behaviour; `ParallelEngine` fans it out).  Prefer
+        :class:`repro.api.CheckSession` for new code; ``Runner`` remains
+        the single-test engine (:meth:`run_single_test`, :meth:`replay`).
+        """
+        from ..api.engines import SerialEngine
+
+        return SerialEngine().run(self)
 
     # ------------------------------------------------------------------
     # Single test
@@ -114,60 +135,40 @@ class Runner:
         checker = FormulaChecker(self.spec.formula)
         config = self.config
 
-        trace = []
+        acc = TraceAccumulator(checker)
         fired: List[_FiredAction] = []
-        states = 0
         actions_taken = 0
-        verdict = Verdict.DEMAND
-        current_state: Optional[StateSnapshot] = None
         stall_reason: Optional[str] = None
         start_ms = executor.now_ms
 
-        def absorb() -> None:
-            nonlocal states, verdict, current_state
-            for message in executor.drain():
-                state = message.state
-                kind = (
-                    "acted"
-                    if isinstance(message, Acted)
-                    else "timeout" if isinstance(message, Timeout) else "event"
-                )
-                from ..protocol.session import TraceEntry
-
-                trace.append(TraceEntry(kind, state.happened, state))
-                states += 1
-                current_state = state
-                if not verdict.is_definitive:
-                    verdict = checker.observe(state)
-
-        absorb()
+        acc.absorb(executor)
         while True:
-            if verdict.is_definitive:
+            if acc.verdict.is_definitive:
                 break
-            if states >= config.max_states:
+            if acc.states >= config.max_states:
                 stall_reason = "max states reached"
                 break
             budget_spent = actions_taken >= config.scheduled_actions
-            if budget_spent and verdict is not Verdict.DEMAND:
+            if budget_spent and acc.verdict is not Verdict.DEMAND:
                 break
             if actions_taken >= config.scheduled_actions + config.demand_allowance:
                 break
-            if current_state is None:
+            if acc.current_state is None:
                 stall_reason = "no initial state"
                 break
-            enabled = self._enabled_actions(current_state, rng)
+            enabled = self._enabled_actions(acc.current_state, rng)
             if not enabled:
                 # Nothing to do: wait for application events instead.
-                before = states
+                before = acc.states
                 executor.await_events(config.idle_wait_ms)
-                absorb()
-                if states == before or trace[-1].kind == "timeout":
+                acc.absorb(executor)
+                if acc.states == before or acc.trace[-1].kind == "timeout":
                     stall_reason = "no enabled actions and no events"
                     break
                 continue
             action_value, primitive = enabled[rng.randrange(len(enabled))]
-            resolved = primitive.resolve(current_state, rng)
-            decision_version = states
+            resolved = primitive.resolve(acc.current_state, rng)
+            decision_version = acc.states
             # The checker "thinks" for a while; asynchronous events during
             # that window make the upcoming Act stale (Figure 10).
             executor.pass_time(config.decision_latency_ms)
@@ -176,18 +177,19 @@ class Runner:
                     action_value.timeout_ms)
             )
             if not accepted:
-                absorb()  # pick up the events that made us stale
+                acc.absorb(executor)  # pick up the events that made us stale
                 continue
             actions_taken += 1
             fired.append(
                 _FiredAction(action_value.name, resolved, action_value.timeout_ms)
             )
-            absorb()
+            acc.absorb(executor)
             if action_value.timeout_ms is not None:
                 executor.await_events(action_value.timeout_ms)
             executor.pass_time(config.settle_ms)
-            absorb()
+            acc.absorb(executor)
 
+        verdict = acc.verdict
         forced = False
         if verdict is Verdict.DEMAND:
             verdict = checker.force()
@@ -196,13 +198,13 @@ class Runner:
         return TestResult(
             verdict=verdict,
             forced=forced,
-            states_observed=states,
+            states_observed=acc.states,
             actions_taken=actions_taken,
             stale_rejections=getattr(
                 getattr(executor, "recorder", None), "stale_rejections", 0
             ),
             elapsed_virtual_ms=executor.now_ms - start_ms,
-            trace=trace,
+            trace=acc.trace,
             actions=[(f.name, f.resolved) for f in fired],
             stall_reason=stall_reason,
         )
@@ -262,43 +264,21 @@ class Runner:
         actions_by_name = {a.name: a for a in self.spec.actions}
         timeout_by_name = {a.name: a.timeout_ms for a in self.spec.actions}
 
-        trace = []
-        states = 0
-        verdict = Verdict.DEMAND
-        current_state: Optional[StateSnapshot] = None
+        acc = TraceAccumulator(checker)
         start_ms = executor.now_ms
 
-        def absorb() -> None:
-            nonlocal states, verdict, current_state
-            for message in executor.drain():
-                from ..protocol.session import TraceEntry
-
-                state = message.state
-                kind = (
-                    "acted"
-                    if isinstance(message, Acted)
-                    else "timeout" if isinstance(message, Timeout) else "event"
-                )
-                trace.append(TraceEntry(kind, state.happened, state))
-                states += 1
-                current_state = state
-                if not verdict.is_definitive:
-                    verdict = checker.observe(state)
-
-        absorb()
-        from ..executors.domexec import ActionFailed
-
+        acc.absorb(executor)
         for name, resolved in actions:
-            if verdict.is_definitive:
+            if acc.verdict.is_definitive:
                 break
             # A candidate is only valid if every action is *legal* where
             # it fires: the real runner never fires a guarded-off action,
             # so a shrink that would do so is rejected outright.
             action_value = actions_by_name.get(name)
-            if action_value is None or current_state is None:
+            if action_value is None or acc.current_state is None:
                 executor.stop()
                 return None
-            if not self._action_legal(action_value, current_state):
+            if not self._action_legal(action_value, acc.current_state):
                 executor.stop()
                 return None
             executor.pass_time(config.decision_latency_ms)
@@ -312,13 +292,14 @@ class Runner:
             if not accepted:  # pragma: no cover - version always current here
                 executor.stop()
                 return None
-            absorb()
+            acc.absorb(executor)
             timeout_ms = timeout_by_name.get(name)
             if timeout_ms is not None:
                 executor.await_events(timeout_ms)
             executor.pass_time(config.settle_ms)
-            absorb()
+            acc.absorb(executor)
 
+        verdict = acc.verdict
         forced = False
         if verdict is Verdict.DEMAND:
             verdict = checker.force()
@@ -327,11 +308,11 @@ class Runner:
         return TestResult(
             verdict=verdict,
             forced=forced,
-            states_observed=states,
+            states_observed=acc.states,
             actions_taken=len(actions),
             stale_rejections=0,
             elapsed_virtual_ms=executor.now_ms - start_ms,
-            trace=trace,
+            trace=acc.trace,
             actions=list(actions),
         )
 

@@ -1,10 +1,19 @@
 """Command-line interface: check Specstrom specifications against apps.
 
+Built on the checking API (:mod:`repro.api`): every command assembles a
+:class:`~repro.api.CheckSession` -- which owns executor lifecycle, spec
+loading and result aggregation -- picks a campaign engine (serial by
+default, ``--jobs N`` for the parallel engine with identical verdicts),
+and attaches a reporter (``--format console`` or ``--format json`` for
+JSON-Lines output).
+
 Usage (also via the ``quickstrom-repro`` console script)::
 
     python -m repro check SPEC.strom --app todomvc[:implementation]
     python -m repro check SPEC.strom --app eggtimer [--property NAME]
-    python -m repro audit [--subscript N] [--tests N] [IMPLEMENTATION ...]
+                                     [--jobs N] [--format json]
+    python -m repro audit [--subscript N] [--tests N] [--jobs N]
+                          [--format json] [IMPLEMENTATION ...]
     python -m repro list-implementations
 
 ``check`` loads a specification file and runs its properties against the
@@ -15,13 +24,14 @@ over named (or all) TodoMVC implementations.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from .api import CheckSession, ConsoleReporter, JsonlReporter
 from .apps.eggtimer import egg_timer_app
 from .apps.todomvc import all_implementations, implementation_named, todomvc_app
-from .checker import Runner, RunnerConfig
-from .executors import DomExecutor
+from .checker import RunnerConfig
 from .quickltl import DEFAULT_SUBSCRIPT
 from .specstrom.module import load_module_file
 
@@ -53,47 +63,69 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="todomvc[:implementation] or eggtimer")
     check.add_argument("--property", dest="property_name", default=None,
                        help="check only this property")
-    check.add_argument("--tests", type=int, default=10)
+    check.add_argument("--tests", type=_positive_int, default=10)
     check.add_argument("--actions", type=int, default=None,
                        help="scheduled actions per test (default: subscript)")
     check.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT,
                        help="default temporal subscript (paper default: 100)")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--no-shrink", action="store_true")
+    _campaign_options(check)
 
     audit = sub.add_parser("audit", help="audit TodoMVC implementations "
                                          "(the paper's Table 1)")
     audit.add_argument("names", nargs="*",
                        help="implementation names (default: all 43)")
     audit.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT)
-    audit.add_argument("--tests", type=int, default=8)
+    audit.add_argument("--tests", type=_positive_int, default=8)
     audit.add_argument("--seed", type=int, default=0)
+    _campaign_options(audit)
 
     sub.add_parser("list-implementations",
                    help="list the 43 TodoMVC implementations")
     return parser
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
+def _campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="run each campaign's tests on N parallel "
+                             "workers (verdicts are identical to serial)")
+    parser.add_argument("--format", choices=("console", "json"),
+                        default="console",
+                        help="console output or one JSON object per event")
+
+
+def _reporters(args):
+    if args.format == "json":
+        return [JsonlReporter()]
+    return [ConsoleReporter()]
+
+
 def _cmd_check(args) -> int:
     module = load_module_file(args.spec, default_subscript=args.subscript)
-    factory = _app_factory(args.app)
+    session = CheckSession(
+        _app_factory(args.app), jobs=args.jobs, reporters=_reporters(args)
+    )
     checks = module.checks
     if args.property_name is not None:
         checks = [module.check_named(args.property_name)]
+    config = RunnerConfig(
+        tests=args.tests,
+        scheduled_actions=args.actions or args.subscript,
+        demand_allowance=max(20, args.subscript // 5),
+        seed=args.seed,
+        shrink=not args.no_shrink,
+    )
     failures = 0
     for check in checks:
-        config = RunnerConfig(
-            tests=args.tests,
-            scheduled_actions=args.actions or args.subscript,
-            demand_allowance=max(20, args.subscript // 5),
-            seed=args.seed,
-            shrink=not args.no_shrink,
-        )
-        result = Runner(check, lambda: DomExecutor(factory), config).run()
-        print(result.summary())
-        if result.shrunk_counterexample is not None:
-            for line in result.shrunk_counterexample.describe().splitlines():
-                print(f"  {line}")
+        result = session.check(check, config=config)
         failures += 0 if result.passed else 1
     return 1 if failures else 0
 
@@ -106,26 +138,41 @@ def _cmd_audit(args) -> int:
         implementations = [implementation_named(name) for name in args.names]
     else:
         implementations = all_implementations()
+    config = RunnerConfig(
+        tests=args.tests,
+        scheduled_actions=args.subscript,
+        demand_allowance=20,
+        seed=args.seed,
+        shrink=False,
+    )
+    as_json = args.format == "json"
     disagreements = 0
     for impl in implementations:
-        config = RunnerConfig(
-            tests=args.tests,
-            scheduled_actions=args.subscript,
-            demand_allowance=20,
-            seed=args.seed,
-            shrink=False,
-        )
-        result = Runner(
-            spec, lambda: DomExecutor(impl.app_factory()), config
-        ).run()
+        session = CheckSession(impl.app_factory(), jobs=args.jobs)
+        result = session.check(spec, config=config)
         expected = "fail" if impl.should_fail else "pass"
         got = "pass" if result.passed else "fail"
-        marker = "" if expected == got else "   <-- disagrees with paper"
-        print(f"{impl.name:<22} {got:<5} (paper: {expected}){marker}")
         if expected != got:
             disagreements += 1
-    print(f"\n{len(implementations) - disagreements}/{len(implementations)} "
-          "agree with the paper's Table 1.")
+        if as_json:
+            print(json.dumps(
+                {"implementation": impl.name, "result": got,
+                 "paper": expected, "agrees": expected == got,
+                 "tests_run": result.tests_run},
+                sort_keys=True,
+            ))
+        else:
+            marker = "" if expected == got else "   <-- disagrees with paper"
+            print(f"{impl.name:<22} {got:<5} (paper: {expected}){marker}")
+    agreeing = len(implementations) - disagreements
+    if as_json:
+        print(json.dumps(
+            {"event": "audit_end", "implementations": len(implementations),
+             "agreeing": agreeing}, sort_keys=True,
+        ))
+    else:
+        print(f"\n{agreeing}/{len(implementations)} "
+              "agree with the paper's Table 1.")
     return 1 if disagreements else 0
 
 

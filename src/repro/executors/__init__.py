@@ -1,7 +1,7 @@
 """Executors: the systems the checker can drive."""
 
-from .base import Executor
-from .domexec import DomExecutor, ActionFailed
+from .base import ActionFailed, Executor
+from .domexec import DomExecutor
 from .ccs import (
     CCSDefinitions,
     Process,

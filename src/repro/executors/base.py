@@ -22,7 +22,16 @@ from typing import List, Optional
 
 from ..protocol.messages import Act, Start
 
-__all__ = ["Executor"]
+__all__ = ["ActionFailed", "Executor"]
+
+
+class ActionFailed(RuntimeError):
+    """A resolved action could not be performed (e.g. target vanished
+    between selection and execution).
+
+    Raised by every executor backend -- the checker catches it during
+    replay without knowing which backend is in use.
+    """
 
 
 class Executor(ABC):

@@ -27,7 +27,7 @@ from ..protocol.session import TraceRecorder
 from ..specstrom.state import ElementSnapshot, StateSnapshot
 from .base import Executor
 from .ccs import CCSDefinitions, Process, TAU, enabled_labels, transitions
-from .domexec import ActionFailed
+from .base import ActionFailed
 
 __all__ = ["CCSExecutor"]
 

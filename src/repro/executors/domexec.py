@@ -20,14 +20,9 @@ from ..protocol.messages import Acted, Act, Event, Start, Timeout, Wait
 from ..protocol.session import TraceRecorder
 from ..specstrom.actions import PrimitiveEvent, ResolvedAction
 from ..specstrom.state import ElementSnapshot, StateSnapshot
-from .base import Executor
+from .base import ActionFailed, Executor
 
 __all__ = ["DomExecutor", "ActionFailed"]
-
-
-class ActionFailed(RuntimeError):
-    """A resolved action could not be performed (e.g. target vanished
-    between selection and execution)."""
 
 
 class DomExecutor(Executor):

@@ -1,0 +1,160 @@
+"""Engine equivalence: parallel campaigns are observationally serial.
+
+The acceptance bar for the parallel engine is *bit-for-bit agreement*
+with the serial loop for the same seed: identical verdicts, identical
+counterexample action sequences, identical per-test results, identical
+``tests_run`` -- the first failing index wins stop_on_failure and
+shrinking, not the first failure to arrive.
+"""
+
+import pytest
+
+from repro.api import ParallelEngine, SerialEngine
+from repro.apps.eggtimer import egg_timer_app
+from repro.apps.todomvc import implementation_named
+from repro.checker import Runner, RunnerConfig
+from repro.executors import DomExecutor
+from repro.specs import load_eggtimer_spec, load_todomvc_spec
+
+
+def assert_campaigns_identical(serial, parallel):
+    assert serial.passed == parallel.passed
+    assert serial.tests_run == parallel.tests_run
+    assert [r.verdict for r in serial.results] == [
+        r.verdict for r in parallel.results
+    ]
+    assert [r.actions for r in serial.results] == [
+        r.actions for r in parallel.results
+    ]
+    assert [r.actions_taken for r in serial.results] == [
+        r.actions_taken for r in parallel.results
+    ]
+    assert [r.states_observed for r in serial.results] == [
+        r.states_observed for r in parallel.results
+    ]
+    assert [r.forced for r in serial.results] == [r.forced for r in parallel.results]
+    if serial.counterexample is None:
+        assert parallel.counterexample is None
+    else:
+        assert serial.counterexample.actions == parallel.counterexample.actions
+        assert serial.counterexample.verdict is parallel.counterexample.verdict
+    if serial.shrunk_counterexample is None:
+        assert parallel.shrunk_counterexample is None
+    else:
+        assert (
+            serial.shrunk_counterexample.actions
+            == parallel.shrunk_counterexample.actions
+        )
+
+
+class TestEggTimerEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_passing_campaign(self, seed):
+        spec = load_eggtimer_spec().check_named("safety")
+        config = RunnerConfig(tests=4, scheduled_actions=15,
+                              demand_allowance=10, seed=seed, shrink=False)
+        runner = Runner(spec, lambda: DomExecutor(egg_timer_app()), config)
+        serial = SerialEngine().run(runner)
+        parallel = ParallelEngine(jobs=4).run(runner)
+        assert_campaigns_identical(serial, parallel)
+        assert serial.tests_run == 4
+
+    def test_failing_campaign_with_shrinking(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        config = RunnerConfig(tests=5, scheduled_actions=20,
+                              demand_allowance=10, seed=7, shrink=True)
+        runner = Runner(
+            spec, lambda: DomExecutor(egg_timer_app(decrement=2)), config
+        )
+        serial = SerialEngine().run(runner)
+        parallel = ParallelEngine(jobs=4).run(runner)
+        assert not serial.passed
+        assert_campaigns_identical(serial, parallel)
+        assert [n for n, _ in parallel.shrunk_counterexample.actions] == [
+            "start!", "wait!",
+        ]
+
+
+class TestTodoMvcEquivalence:
+    def test_failing_implementation(self):
+        spec = load_todomvc_spec(default_subscript=60).check_named("safety")
+        impl = implementation_named("polymer")
+        config = RunnerConfig(tests=12, scheduled_actions=60,
+                              demand_allowance=20, seed=2, shrink=True)
+        runner = Runner(
+            spec, lambda: DomExecutor(impl.app_factory()), config
+        )
+        serial = SerialEngine().run(runner)
+        parallel = ParallelEngine(jobs=4).run(runner)
+        assert not serial.passed
+        assert_campaigns_identical(serial, parallel)
+
+    def test_continue_after_failure_keeps_all_results(self):
+        """stop_on_failure=False: every index runs; the merged order is
+        the index order, not completion order."""
+        spec = load_todomvc_spec(default_subscript=40).check_named("safety")
+        impl = implementation_named("polymer")
+        config = RunnerConfig(tests=6, scheduled_actions=40,
+                              demand_allowance=20, seed=2, shrink=False,
+                              stop_on_failure=False)
+        runner = Runner(
+            spec, lambda: DomExecutor(impl.app_factory()), config
+        )
+        serial = SerialEngine().run(runner)
+        parallel = ParallelEngine(jobs=4).run(runner)
+        assert serial.tests_run == 6
+        assert_campaigns_identical(serial, parallel)
+
+
+class TestEngineConfiguration:
+    def test_single_job_falls_back_to_serial_semantics(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        config = RunnerConfig(tests=2, scheduled_actions=10,
+                              demand_allowance=5, seed=1, shrink=False)
+        runner = Runner(spec, lambda: DomExecutor(egg_timer_app()), config)
+        serial = SerialEngine().run(runner)
+        one_job = ParallelEngine(jobs=1).run(runner)
+        assert_campaigns_identical(serial, one_job)
+
+    def test_more_jobs_than_tests(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        config = RunnerConfig(tests=2, scheduled_actions=10,
+                              demand_allowance=5, seed=1, shrink=False)
+        runner = Runner(spec, lambda: DomExecutor(egg_timer_app()), config)
+        serial = SerialEngine().run(runner)
+        wide = ParallelEngine(jobs=16).run(runner)
+        assert_campaigns_identical(serial, wide)
+
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(jobs=0)
+
+    def test_default_jobs_uses_cpu_count(self):
+        engine = ParallelEngine()
+        assert engine.jobs >= 1
+
+    def test_threaded_path_matches_serial(self):
+        """The fork-free fallback must be equivalent too."""
+        spec = load_eggtimer_spec().check_named("safety")
+        config = RunnerConfig(tests=4, scheduled_actions=12,
+                              demand_allowance=5, seed=3, shrink=False)
+        runner = Runner(spec, lambda: DomExecutor(egg_timer_app()), config)
+        serial = SerialEngine().run(runner)
+        engine = ParallelEngine(jobs=4)
+        outcomes = engine._run_threaded(runner, 4)
+        threaded = engine._merge(runner, outcomes, ())
+        assert_campaigns_identical(serial, threaded)
+
+    def test_worker_exception_propagates(self):
+        class ExplodingRunner:
+            class _Spec:
+                name = "boom"
+
+            spec = _Spec()
+            config = RunnerConfig(tests=4, seed=0)
+
+            def run_single_test(self, rng):
+                raise RuntimeError("executor exploded")
+
+        with pytest.raises(RuntimeError, match="executor exploded"):
+            ParallelEngine(jobs=2).run(ExplodingRunner())

@@ -1,0 +1,117 @@
+"""Reporter hooks: lifecycle order, console output, JSONL records."""
+
+import io
+import json
+
+from repro.api import ConsoleReporter, JsonlReporter, Reporter, SerialEngine
+from repro.api import ParallelEngine
+from repro.apps.eggtimer import egg_timer_app
+from repro.checker import Runner, RunnerConfig
+from repro.executors import DomExecutor
+from repro.specs import load_eggtimer_spec
+
+
+class RecordingReporter(Reporter):
+    def __init__(self):
+        self.events = []
+
+    def on_test_start(self, property_name, index, seed):
+        self.events.append(("test_start", index, seed))
+
+    def on_test_end(self, property_name, index, result):
+        self.events.append(("test_end", index, result.passed))
+
+    def on_counterexample(self, property_name, counterexample, shrunk):
+        self.events.append(("counterexample", len(counterexample.actions)))
+
+    def on_campaign_end(self, result):
+        self.events.append(("campaign_end", result.tests_run))
+
+
+def eggtimer_runner(app_factory=None, **config_kwargs):
+    spec = load_eggtimer_spec().check_named("safety")
+    defaults = dict(tests=3, scheduled_actions=10, demand_allowance=5,
+                    seed=1, shrink=False)
+    defaults.update(config_kwargs)
+    factory = app_factory or egg_timer_app()
+    return Runner(spec, lambda: DomExecutor(factory), RunnerConfig(**defaults))
+
+
+class TestLifecycle:
+    def test_events_in_index_order(self):
+        reporter = RecordingReporter()
+        SerialEngine().run(eggtimer_runner(), [reporter])
+        kinds = [e[0] for e in reporter.events]
+        assert kinds == ["test_start", "test_end"] * 3 + ["campaign_end"]
+        assert [e[1] for e in reporter.events if e[0] == "test_start"] == [0, 1, 2]
+        assert reporter.events[0][2] == "1/0"  # the per-test seed string
+
+    def test_parallel_reports_in_index_order_too(self):
+        serial, parallel = RecordingReporter(), RecordingReporter()
+        SerialEngine().run(eggtimer_runner(), [serial])
+        ParallelEngine(jobs=3).run(eggtimer_runner(), [parallel])
+        assert serial.events == parallel.events
+
+    def test_counterexample_hook_fires_on_failure(self):
+        reporter = RecordingReporter()
+        runner = eggtimer_runner(egg_timer_app(decrement=2), tests=5,
+                                 scheduled_actions=20, seed=7)
+        result = SerialEngine().run(runner, [reporter])
+        assert not result.passed
+        assert any(e[0] == "counterexample" for e in reporter.events)
+        # stop_on_failure: the campaign ends at the first failing index.
+        assert reporter.events[-1] == ("campaign_end", result.tests_run)
+
+
+class TestConsoleReporter:
+    def test_summary_printed(self):
+        stream = io.StringIO()
+        SerialEngine().run(
+            eggtimer_runner(), [ConsoleReporter(stream=stream)]
+        )
+        assert "safety: PASSED after 3 test(s)" in stream.getvalue()
+
+    def test_verbose_prints_per_test_lines(self):
+        stream = io.StringIO()
+        SerialEngine().run(
+            eggtimer_runner(), [ConsoleReporter(stream=stream, verbose=True)]
+        )
+        assert "test 0:" in stream.getvalue()
+
+    def test_counterexample_described(self):
+        stream = io.StringIO()
+        runner = eggtimer_runner(egg_timer_app(decrement=2), tests=5,
+                                 scheduled_actions=20, seed=7, shrink=True)
+        SerialEngine().run(runner, [ConsoleReporter(stream=stream)])
+        out = stream.getvalue()
+        assert "counterexample" in out
+        assert "FAILED" in out
+
+
+class TestJsonlReporter:
+    def test_every_line_is_json(self):
+        stream = io.StringIO()
+        runner = eggtimer_runner(egg_timer_app(decrement=2), tests=5,
+                                 scheduled_actions=20, seed=7, shrink=True)
+        SerialEngine().run(runner, [JsonlReporter(stream=stream)])
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        records = [json.loads(line) for line in lines]
+        kinds = [r["event"] for r in records]
+        assert kinds[0] == "test_start"
+        assert kinds[-1] == "campaign_end"
+        assert "counterexample" in kinds
+        end = records[-1]
+        assert end["passed"] is False
+        cex = next(r for r in records if r["event"] == "counterexample")
+        assert cex["verdict"] == "DEFINITELY_FALSE"
+        assert cex["shrunk_actions"] is not None
+        assert all("name" in a and "action" in a for a in cex["shrunk_actions"])
+
+    def test_test_end_record_carries_metrics(self):
+        stream = io.StringIO()
+        SerialEngine().run(eggtimer_runner(), [JsonlReporter(stream=stream)])
+        records = [json.loads(l) for l in stream.getvalue().splitlines() if l]
+        test_end = next(r for r in records if r["event"] == "test_end")
+        for key in ("verdict", "passed", "forced", "actions_taken",
+                    "states_observed", "elapsed_virtual_ms"):
+            assert key in test_end

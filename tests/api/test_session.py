@@ -1,0 +1,142 @@
+"""The CheckSession facade: spec resolution, executor coercion, engines."""
+
+import pytest
+
+from repro.api import CheckSession, ParallelEngine, SerialEngine
+from repro.apps.eggtimer import egg_timer_app
+from repro.checker import RunnerConfig, Runner
+from repro.executors import CCSExecutor, DomExecutor, parse_definitions
+from repro.specs import load_eggtimer_spec, spec_path
+from repro.specstrom import load_module
+
+QUICK = RunnerConfig(tests=2, scheduled_actions=8, demand_allowance=5,
+                     seed=3, shrink=False)
+
+
+class TestSpecResolution:
+    def test_check_spec_passthrough(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        result = CheckSession(egg_timer_app()).check(spec, config=QUICK)
+        assert result.property_name == "safety"
+        assert result.passed
+
+    def test_module_with_property(self):
+        module = load_eggtimer_spec()
+        result = CheckSession(egg_timer_app()).check(
+            module, property="safety", config=QUICK
+        )
+        assert result.property_name == "safety"
+
+    def test_path_with_property(self):
+        result = CheckSession(egg_timer_app()).check(
+            spec_path("eggtimer.strom"), property="safety", config=QUICK
+        )
+        assert result.property_name == "safety"
+        assert result.passed
+
+    def test_single_check_module_needs_no_property(self):
+        module = load_module(
+            """
+            let ~thereIsAToggle = count(`#toggle`) >= 0;
+            action poke! = click!(`#toggle`);
+            let ~prop = always{3} thereIsAToggle;
+            check prop;
+            """
+        )
+        result = CheckSession(egg_timer_app()).check(module, config=QUICK)
+        assert result.property_name == "prop"
+
+    def test_ambiguous_module_rejected(self):
+        module = load_eggtimer_spec()  # three properties
+        with pytest.raises(ValueError, match="pass property="):
+            CheckSession(egg_timer_app()).check(module, config=QUICK)
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(KeyError):
+            CheckSession(egg_timer_app()).check(
+                load_eggtimer_spec(), property="bogus", config=QUICK
+            )
+
+    def test_mismatched_property_on_check_spec_rejected(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        with pytest.raises(ValueError, match="does not match"):
+            CheckSession(egg_timer_app()).check(
+                spec, property="liveness", config=QUICK
+            )
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError):
+            CheckSession(egg_timer_app()).check(42, config=QUICK)
+
+    def test_check_all_runs_every_property(self):
+        results = CheckSession(egg_timer_app()).check_all(
+            load_eggtimer_spec(), config=QUICK
+        )
+        assert [r.property_name for r in results] == [
+            "safety", "liveness", "timeUp",
+        ]
+
+
+class TestExecutorCoercion:
+    def test_app_factory_wrapped_in_dom_executor(self):
+        session = CheckSession(egg_timer_app())
+        executor = session.executor_factory()
+        assert isinstance(executor, DomExecutor)
+
+    def test_zero_arg_callable_is_executor_factory(self):
+        defs, initial = parse_definitions("Idle = coin.Idle\nIdle")
+        session = CheckSession(lambda: CCSExecutor(initial, defs))
+        executor = session.executor_factory()
+        assert isinstance(executor, CCSExecutor)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            CheckSession("not a factory")
+
+
+class TestEngineSelection:
+    def test_default_engine_is_serial(self):
+        assert isinstance(CheckSession(egg_timer_app()).engine, SerialEngine)
+
+    def test_jobs_selects_parallel(self):
+        session = CheckSession(egg_timer_app(), jobs=4)
+        assert isinstance(session.engine, ParallelEngine)
+        assert session.engine.jobs == 4
+
+    def test_jobs_one_stays_serial(self):
+        assert isinstance(
+            CheckSession(egg_timer_app(), jobs=1).engine, SerialEngine
+        )
+
+    def test_engine_and_jobs_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            CheckSession(egg_timer_app(), engine=SerialEngine(), jobs=2)
+
+    def test_explicit_engine_used(self):
+        engine = ParallelEngine(jobs=2)
+        session = CheckSession(egg_timer_app(), engine=engine)
+        assert session.engine is engine
+
+
+class TestRunnerAccess:
+    def test_runner_exposes_single_test_engine(self):
+        session = CheckSession(egg_timer_app())
+        runner = session.runner(load_eggtimer_spec(), property="safety",
+                                config=QUICK)
+        assert isinstance(runner, Runner)
+        assert runner.spec.name == "safety"
+
+
+class TestLegacyCompat:
+    def test_runner_run_still_works(self):
+        """Runner.run() (deprecated) delegates to the serial engine."""
+        spec = load_eggtimer_spec().check_named("safety")
+        runner = Runner(spec, lambda: DomExecutor(egg_timer_app()), QUICK)
+        legacy = runner.run()
+        modern = CheckSession(egg_timer_app()).check(spec, config=QUICK)
+        assert [r.verdict for r in legacy.results] == [
+            r.verdict for r in modern.results
+        ]
+        assert [r.actions for r in legacy.results] == [
+            r.actions for r in modern.results
+        ]

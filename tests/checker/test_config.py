@@ -1,0 +1,46 @@
+"""RunnerConfig validation: misconfigured campaigns fail fast."""
+
+import pytest
+
+from repro.checker import RunnerConfig
+
+
+class TestDefaults:
+    def test_defaults_are_valid(self):
+        config = RunnerConfig()
+        assert config.tests == 20
+        assert config.shrink is True
+
+    def test_explicit_values_kept(self):
+        config = RunnerConfig(tests=3, scheduled_actions=7, seed=9)
+        assert (config.tests, config.scheduled_actions, config.seed) == (3, 7, 9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("tests", [0, -1, -100])
+    def test_rejects_non_positive_tests(self, tests):
+        with pytest.raises(ValueError, match="tests"):
+            RunnerConfig(tests=tests)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["scheduled_actions", "demand_allowance", "max_states"],
+    )
+    def test_rejects_negative_budgets(self, field):
+        with pytest.raises(ValueError, match=field):
+            RunnerConfig(**{field: -1})
+
+    @pytest.mark.parametrize(
+        "field",
+        ["decision_latency_ms", "settle_ms", "idle_wait_ms"],
+    )
+    def test_rejects_negative_latencies(self, field):
+        with pytest.raises(ValueError, match=field):
+            RunnerConfig(**{field: -0.5})
+
+    def test_zero_budgets_allowed(self):
+        # A zero-action campaign is odd but legal: it observes only the
+        # initial state (used by some protocol tests).
+        config = RunnerConfig(scheduled_actions=0, demand_allowance=0,
+                              decision_latency_ms=0.0, settle_ms=0.0)
+        assert config.scheduled_actions == 0
