@@ -26,7 +26,7 @@ from repro.api import CheckSession
 from repro.apps.todomvc import implementation_named
 from repro.checker import RunnerConfig
 
-from .harness import todomvc_safety, write_report
+from .harness import todomvc_safety, write_json, write_report
 
 JOBS = int(os.environ.get("REPRO_BENCH_PAR_JOBS", "4"))
 TESTS = int(os.environ.get("REPRO_BENCH_PAR_TESTS", "8"))
@@ -79,3 +79,16 @@ def test_parallel_audit_speedup(benchmark):
         f"Verdicts, per-test results and stop points are identical.\n"
     )
     write_report("parallel_speedup.txt", report)
+    write_json(
+        "parallel_speedup.json",
+        {
+            "sample": SAMPLE,
+            "tests_per_campaign": TESTS,
+            "jobs": JOBS,
+            "cores": cores,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(speedup, 3),
+            "verdicts_identical": True,
+        },
+    )

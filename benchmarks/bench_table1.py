@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from .harness import AuditRow, audit_all, write_report
+from .harness import audit_all, write_report
 
 
 def _generate_table1():

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.api import CheckSession
 from repro.apps.todomvc import Implementation, all_implementations
@@ -183,4 +183,18 @@ def write_report(filename: str, text: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     print(text)
+    return path
+
+
+def write_json(filename: str, record: dict) -> str:
+    """Write a machine-readable benchmark record under benchmarks/out/
+    (what CI uploads as run artifacts and feeds the regression guard)."""
+    import json
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
     return path

@@ -19,7 +19,7 @@ setup(
     long_description=open("README.md", encoding="utf-8").read(),
     long_description_content_type="text/markdown",
     license="MIT",
-    python_requires=">=3.10",
+    python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     package_data={"repro.specs": ["*.strom"]},

@@ -1,4 +1,4 @@
-"""The public checking API: session facade, campaign engines, reporters.
+"""The public checking API: session facade, engines, scheduler, reporters.
 
 This layer is the front door for running checking campaigns::
 
@@ -9,15 +9,32 @@ This layer is the front door for running checking campaigns::
     result = session.check("specs/todomvc.strom", property="safety")
 
 ``CheckSession`` owns executor lifecycle, spec loading and result
-aggregation; :class:`CampaignEngine` strategies decide *how* the test
-loop runs (serially, or fanned out over workers with identical
-verdicts); :class:`Reporter` hooks observe progress.  The lower-level
-:class:`repro.checker.Runner` remains available as the single-test
-engine underneath.
+aggregation; :class:`CampaignEngine` strategies decide *how* one
+campaign's test loop runs (serially, or fanned out over workers with
+identical verdicts); :meth:`CheckSession.check_many` fans *whole
+campaigns* out across one persistent :class:`WorkerPool` (the paper's
+43-implementation audit shape); :class:`Reporter` hooks observe
+progress -- console, JSON Lines, JUnit XML for CI, or a live TTY
+progress line.  The lower-level :class:`repro.checker.Runner` remains
+available as the single-test engine underneath.
 """
 
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
-from .reporters import ConsoleReporter, JsonlReporter, Reporter
+from .pool import PoolTask, TaskFailure, WorkerCrashed, WorkerPool
+from .reporters import (
+    ConsoleReporter,
+    JsonlReporter,
+    JUnitXmlReporter,
+    ProgressReporter,
+    Reporter,
+)
+from .scheduler import (
+    CampaignOutcome,
+    CampaignSet,
+    CampaignSetResult,
+    CheckTarget,
+    PooledScheduler,
+)
 from .session import CheckSession
 
 __all__ = [
@@ -25,7 +42,18 @@ __all__ = [
     "CampaignEngine",
     "SerialEngine",
     "ParallelEngine",
+    "CampaignOutcome",
+    "CampaignSet",
+    "CampaignSetResult",
+    "CheckTarget",
+    "PooledScheduler",
+    "PoolTask",
+    "TaskFailure",
+    "WorkerCrashed",
+    "WorkerPool",
     "Reporter",
     "ConsoleReporter",
     "JsonlReporter",
+    "JUnitXmlReporter",
+    "ProgressReporter",
 ]

@@ -8,12 +8,17 @@ module provides that seam:
 
 * :class:`SerialEngine` -- the classic loop, bit-for-bit what
   ``Runner.run()`` always did (and still does, by delegating here);
-* :class:`ParallelEngine` -- fans the loop out over worker processes
-  (``fork`` start method; falls back to threads where ``fork`` is
-  unavailable) and merges results by index, so the *first failing
-  index* -- not the first failure to arrive -- wins ``stop_on_failure``
-  and shrinking.  Verdicts, counterexamples and per-test results are
-  identical to the serial engine for the same seed.
+* :class:`ParallelEngine` -- fans the loop out over the shared
+  :class:`~repro.api.pool.WorkerPool` transport (``fork`` start method;
+  thread fallback where ``fork`` is unavailable) and merges results by
+  index, so the *first failing index* -- not the first failure to
+  arrive -- wins ``stop_on_failure`` and shrinking.  Verdicts,
+  counterexamples and per-test results are identical to the serial
+  engine for the same seed.
+
+Cross-campaign fan-out (many properties / many targets on one pool)
+lives one layer up, in :mod:`repro.api.scheduler`, on the same
+transport and the same merge discipline.
 
 Reporters (see :mod:`repro.api.reporters`) are only ever invoked from
 the merging side, in index order, so their output is deterministic even
@@ -28,15 +33,62 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..checker.result import CampaignResult, Counterexample, TestResult
 from ..checker.runner import Runner
+from .pool import (
+    SKIPPED,
+    PoolTask,
+    TaskFailure,
+    WorkerCrashed,
+    WorkerPool,
+    resolve_jobs,
+)
 from .reporters import Reporter
 
-__all__ = ["CampaignEngine", "SerialEngine", "ParallelEngine"]
+__all__ = ["CampaignEngine", "SerialEngine", "ParallelEngine", "CampaignMerge"]
 
 
 def _test_seed(seed: object, index: int) -> str:
     """The campaign's per-test RNG seed (kept verbatim from the classic
     loop: changing this string would change every generated trace)."""
     return f"{seed}/{index}"
+
+
+def campaign_tasks(
+    runner: Runner,
+    pool: WorkerPool,
+    label: object = None,
+) -> List[PoolTask]:
+    """The campaign's tests as pool tasks, shared by both schedulers.
+
+    Task ids are ``(label, index)`` when ``label`` is given (the
+    cross-campaign scheduler names the campaign) and plain ``index``
+    otherwise, so crash reports always say exactly what died.  A shared
+    first-failure counter implements the ``stop_on_failure`` horizon:
+    workers skip indices past the earliest failure seen so far -- those
+    indices are unreachable in the serial loop, so skipping them never
+    changes the outcome, it only saves work.
+    """
+    config = runner.config
+    first_fail = pool.make_counter(config.tests)
+
+    def make_task(index: int) -> PoolTask:
+        def thunk() -> TestResult:
+            result = runner.run_single_test(
+                random.Random(_test_seed(config.seed, index))
+            )
+            if result.failed:
+                with first_fail.get_lock():
+                    if index < first_fail.value:
+                        first_fail.value = index
+            return result
+
+        def past_first_failure() -> bool:
+            return index > first_fail.value
+
+        task_id = index if label is None else (label, index)
+        skip = past_first_failure if config.stop_on_failure else None
+        return PoolTask(task_id, thunk, skip=skip)
+
+    return [make_task(index) for index in range(config.tests)]
 
 
 class CampaignEngine(ABC):
@@ -56,6 +108,8 @@ class SerialEngine(CampaignEngine):
         self, runner: Runner, reporters: Sequence[Reporter] = ()
     ) -> CampaignResult:
         config = runner.config
+        for reporter in reporters:
+            reporter.on_campaign_start(runner.spec.name, config.tests)
 
         def produce():
             for index in range(config.tests):
@@ -70,29 +124,18 @@ class SerialEngine(CampaignEngine):
 class ParallelEngine(CampaignEngine):
     """Runs test indices on a pool of workers, merging by index.
 
-    ``jobs`` bounds the worker count (default: the CPU count).  Workers
-    receive indices round-robin and publish ``(index, result)`` pairs;
-    the merge replays the serial loop over the index-ordered results, so
-    failure handling, shrinking and reporter output are exactly the
-    serial engine's.  With ``stop_on_failure``, workers skip indices
-    beyond the earliest failure seen so far -- those indices are
-    unreachable in the serial loop, so skipping them never changes the
-    outcome, it only saves work.
+    ``jobs`` bounds the worker count (default: the CPU count).  Indices
+    flow through the :class:`~repro.api.pool.WorkerPool` task queue and
+    workers publish ``(index, result)`` pairs; the merge replays the
+    serial loop over the index-ordered results, so failure handling,
+    shrinking and reporter output are exactly the serial engine's.
 
-    Worker processes are created with the ``fork`` start method (the
-    executor factories are closures, which ``spawn`` cannot ship); on
-    platforms without ``fork`` a thread pool is used instead -- same
-    semantics, less parallelism under the GIL.
+    A worker that dies mid-test (segfault, ``os._exit``, interrupt)
+    is reported with the campaign *and* test index it was running.
     """
 
     def __init__(self, jobs: Optional[int] = None) -> None:
-        if jobs is not None and jobs < 1:
-            raise ValueError(f"jobs must be at least 1, got {jobs}")
-        if jobs is None:
-            import os
-
-            jobs = os.cpu_count() or 1
-        self.jobs = jobs
+        self.jobs = resolve_jobs(jobs)
 
     def run(
         self, runner: Runner, reporters: Sequence[Reporter] = ()
@@ -101,115 +144,20 @@ class ParallelEngine(CampaignEngine):
         workers = min(self.jobs, tests)
         if workers <= 1:
             return SerialEngine().run(runner, reporters)
+        for reporter in reporters:
+            reporter.on_campaign_start(runner.spec.name, tests)
+        pool = WorkerPool(workers)
+        tasks = campaign_tasks(runner, pool)
         try:
-            outcomes = self._run_forked(runner, workers)
-        except _ForkUnavailable:
-            outcomes = self._run_threaded(runner, workers)
+            outcomes = pool.run(tasks)
+        except WorkerCrashed as crash:
+            raise WorkerCrashed(
+                f"parallel campaign for property {runner.spec.name!r}: "
+                f"{crash}",
+                in_flight=crash.in_flight,
+                unreported=crash.unreported,
+            ) from crash
         return self._merge(runner, outcomes, reporters)
-
-    # ------------------------------------------------------------------
-    # Workers
-    # ------------------------------------------------------------------
-
-    def _run_forked(self, runner: Runner, workers: int) -> Dict[int, object]:
-        import multiprocessing
-
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError as err:  # pragma: no cover - non-POSIX platforms
-            raise _ForkUnavailable() from err
-
-        import queue as queue_module
-
-        config = runner.config
-        tests = config.tests
-        queue = ctx.Queue()
-        first_fail = ctx.Value("i", tests)
-
-        def work(worker_id: int) -> None:
-            for index in range(worker_id, tests, workers):
-                if config.stop_on_failure and index > first_fail.value:
-                    queue.put((index, _SKIPPED))
-                    continue
-                try:
-                    result = runner.run_single_test(
-                        random.Random(_test_seed(config.seed, index))
-                    )
-                except Exception as err:  # propagate to the parent
-                    # (KeyboardInterrupt/SystemExit are deliberately NOT
-                    # caught: they must kill the worker promptly, and the
-                    # parent notices the death below.)
-                    queue.put((index, _WorkerError(err)))
-                    continue
-                if result.failed:
-                    with first_fail.get_lock():
-                        if index < first_fail.value:
-                            first_fail.value = index
-                queue.put((index, result))
-
-        processes = [
-            ctx.Process(target=work, args=(w,), daemon=True)
-            for w in range(workers)
-        ]
-        for process in processes:
-            process.start()
-        outcomes: Dict[int, object] = {}
-        try:
-            while len(outcomes) < tests:
-                try:
-                    index, outcome = queue.get(timeout=0.2)
-                except queue_module.Empty:
-                    if any(process.is_alive() for process in processes):
-                        continue
-                    # Every worker is gone; drain the stragglers their
-                    # feeder threads flushed on the way out, then check
-                    # whether anyone died without reporting.
-                    while len(outcomes) < tests:
-                        try:
-                            index, outcome = queue.get(timeout=0.2)
-                        except queue_module.Empty:
-                            break
-                        outcomes[index] = outcome
-                    if len(outcomes) < tests:
-                        missing = sorted(set(range(tests)) - set(outcomes))
-                        raise RuntimeError(
-                            "parallel campaign worker(s) died without "
-                            f"reporting test(s) {missing}"
-                        )
-                    break
-                else:
-                    outcomes[index] = outcome
-        finally:
-            for process in processes:
-                process.join()
-        return outcomes
-
-    def _run_threaded(self, runner: Runner, workers: int) -> Dict[int, object]:
-        import threading
-        from concurrent.futures import ThreadPoolExecutor
-
-        config = runner.config
-        tests = config.tests
-        lock = threading.Lock()
-        state = {"first_fail": tests}
-
-        def work(index: int) -> object:
-            if config.stop_on_failure and index > state["first_fail"]:
-                return _SKIPPED
-            try:
-                result = runner.run_single_test(
-                    random.Random(_test_seed(config.seed, index))
-                )
-            except Exception as err:
-                return _WorkerError(err)
-            if result.failed:
-                with lock:
-                    state["first_fail"] = min(state["first_fail"], index)
-            return result
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {index: pool.submit(work, index) for index in range(tests)}
-            return {index: future.result() for index, future in futures.items()}
 
     # ------------------------------------------------------------------
     # Merge
@@ -222,24 +170,15 @@ class ParallelEngine(CampaignEngine):
         reporters: Sequence[Reporter],
     ) -> CampaignResult:
         config = runner.config
-
-        def produce():
-            for index in range(config.tests):
-                outcome = outcomes[index]
-                if outcome is _SKIPPED:
-                    # Only indices past the first failure are skipped; the
-                    # campaign loop stops before reaching one.
-                    raise AssertionError(
-                        f"test {index} was skipped but the merge reached it"
-                    )
-                if isinstance(outcome, _WorkerError):
-                    raise outcome.error
-                seed = _test_seed(config.seed, index)
-                for reporter in reporters:
-                    reporter.on_test_start(runner.spec.name, index, seed)
-                yield index, outcome
-
-        return _consume_campaign(runner, produce(), reporters)
+        merge = CampaignMerge(runner, reporters)
+        for index in range(config.tests):
+            if merge.complete:
+                break
+            seed = _test_seed(config.seed, index)
+            for reporter in reporters:
+                reporter.on_test_start(runner.spec.name, index, seed)
+            merge.step_outcome(outcomes[index])
+        return merge.finish()
 
 
 # ----------------------------------------------------------------------
@@ -247,52 +186,125 @@ class ParallelEngine(CampaignEngine):
 # ----------------------------------------------------------------------
 
 
+class CampaignMerge:
+    """THE campaign loop, as an incremental state machine.
+
+    Every schedule -- the serial loop, the parallel engine's
+    index-ordered replay, the cross-campaign scheduler's cursor --
+    funnels its ``TestResult`` stream through one of these, in index
+    order, so failure recording, shrinking, ``stop_on_failure`` and the
+    ``on_test_end`` / ``on_counterexample`` / ``on_campaign_end``
+    reporter sequence exist in exactly one place.  That single body is
+    what makes "pooled ≡ serial verdicts" a structural property rather
+    than a discipline.
+
+    ``emit_lifecycle=True`` (the scheduler) additionally fires
+    ``on_campaign_start`` (with the ``label`` as the target) and
+    ``on_test_start`` from inside :meth:`step`; engines leave it off
+    because their producers fire those events themselves -- the serial
+    engine genuinely knows when a test *begins*.
+    """
+
+    def __init__(
+        self,
+        runner: Runner,
+        reporters: Sequence[Reporter],
+        label: Optional[str] = None,
+        emit_lifecycle: bool = False,
+    ) -> None:
+        self.runner = runner
+        self.reporters = reporters
+        self.label = label
+        self.emit_lifecycle = emit_lifecycle
+        self.next_index = 0
+        self.results: List[TestResult] = []
+        self.counterexample: Optional[Counterexample] = None
+        self.shrunk: Optional[Counterexample] = None
+        self._stopped = False
+        self._started = False
+        self._finished: Optional[CampaignResult] = None
+
+    @property
+    def complete(self) -> bool:
+        return self._stopped or self.next_index >= self.runner.config.tests
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.emit_lifecycle:
+            for reporter in self.reporters:
+                reporter.on_campaign_start(
+                    self.runner.spec.name,
+                    self.runner.config.tests,
+                    target=self.label,
+                )
+
+    def step_outcome(self, outcome: object) -> None:
+        """Consume a *pool* outcome (result, SKIPPED or TaskFailure)
+        for ``next_index``."""
+        if outcome == SKIPPED:
+            # Only indices past the first failure are skipped; the merge
+            # stops at that failure and never reaches one.
+            where = f"campaign {self.label!r} " if self.label else ""
+            raise AssertionError(
+                f"{where}test {self.next_index} was skipped but the "
+                "merge reached it"
+            )
+        if isinstance(outcome, TaskFailure):
+            raise outcome.error
+        self.step(outcome)
+
+    def step(self, result: TestResult) -> None:
+        """Consume the :class:`TestResult` for ``next_index``."""
+        self.start()
+        name = self.runner.spec.name
+        index = self.next_index
+        if self.emit_lifecycle:
+            seed = _test_seed(self.runner.config.seed, index)
+            for reporter in self.reporters:
+                reporter.on_test_start(name, index, seed)
+        self.results.append(result)
+        for reporter in self.reporters:
+            reporter.on_test_end(name, index, result)
+        if result.failed:
+            self.counterexample, self.shrunk = _record_failure(
+                self.runner, result, self.reporters
+            )
+            if self.runner.config.stop_on_failure:
+                self._stopped = True
+        self.next_index += 1
+
+    def finish(self) -> CampaignResult:
+        if self._finished is None:
+            self.start()  # zero-test edge: events still bracket properly
+            self._finished = CampaignResult(
+                property_name=self.runner.spec.name,
+                results=self.results,
+                counterexample=self.counterexample,
+                shrunk_counterexample=self.shrunk,
+            )
+            for reporter in self.reporters:
+                reporter.on_campaign_end(self._finished)
+        return self._finished
+
+
 def _consume_campaign(
     runner: Runner, outcomes, reporters: Sequence[Reporter]
 ) -> CampaignResult:
-    """THE campaign loop, shared by both engines.
+    """Pull-driven wrapper over :class:`CampaignMerge` for the engines.
 
     ``outcomes`` is a lazy stream of ``(index, TestResult)`` pairs in
     index order; the producer fires ``on_test_start`` (it knows when a
     test actually begins).  Consuming lazily means a ``stop_on_failure``
     break also stops the serial producer from generating further tests.
     """
-    config = runner.config
-    name = runner.spec.name
-    results: List[TestResult] = []
-    counterexample: Optional[Counterexample] = None
-    shrunk: Optional[Counterexample] = None
-    for index, result in outcomes:
-        results.append(result)
-        for reporter in reporters:
-            reporter.on_test_end(name, index, result)
-        if result.failed:
-            counterexample, shrunk = _record_failure(runner, result, reporters)
-            if config.stop_on_failure:
-                break
-    campaign = CampaignResult(
-        property_name=name,
-        results=results,
-        counterexample=counterexample,
-        shrunk_counterexample=shrunk,
-    )
-    for reporter in reporters:
-        reporter.on_campaign_end(campaign)
-    return campaign
-
-
-_SKIPPED = "__skipped__"
-
-
-class _WorkerError:
-    """Wraps an exception raised inside a worker for transport."""
-
-    def __init__(self, error: BaseException) -> None:
-        self.error = error
-
-
-class _ForkUnavailable(RuntimeError):
-    """The platform has no ``fork`` start method."""
+    merge = CampaignMerge(runner, reporters)
+    for _index, result in outcomes:
+        merge.step(result)
+        if merge.complete:
+            break
+    return merge.finish()
 
 
 def _record_failure(

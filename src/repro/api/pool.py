@@ -1,0 +1,426 @@
+"""The shared worker-pool transport for campaign fan-out.
+
+Both :class:`~repro.api.engines.ParallelEngine` (tests of one campaign)
+and :class:`~repro.api.scheduler.PooledScheduler` (whole campaigns of a
+multi-target audit) need the same machinery: fork a bounded set of
+worker processes *once*, feed them tasks through a queue, collect
+``(task_id, outcome)`` pairs, and notice -- precisely -- when a worker
+dies mid-task.  This module is that machinery, factored out so the two
+schedulers cannot drift apart.
+
+Design notes:
+
+* Workers are created with the ``fork`` start method.  Task bodies are
+  closures over executor factories, which ``spawn`` cannot pickle; fork
+  ships them for free.  All tasks must therefore be known when
+  :meth:`WorkerPool.run` forks -- the pool amortises fork cost by being
+  forked once *per batch* (one batch = one multi-campaign audit), not
+  once per campaign.
+* Dispatch is dynamic: task ids flow through a queue and workers pull
+  the next id when free, so a slow campaign cannot strand the pool the
+  way static round-robin can.  Determinism is unaffected -- outcomes
+  are keyed by task id and merged in submission order by the caller.
+* Every worker announces a task *before* running it, so when a worker
+  exits abnormally the parent knows exactly which task it was holding
+  (previously the parallel engine could only report the set of indices
+  that never produced a result).  The :class:`WorkerCrashed` error
+  carries those ids.
+* ``KeyboardInterrupt``/``SystemExit`` inside a task are deliberately
+  not caught in the worker: they must kill it promptly.  The parent's
+  collect loop tears the pool down (terminate + join) on any error,
+  including an interrupt delivered to the parent itself, so a Ctrl-C
+  never leaks worker processes.
+
+On platforms without ``fork`` the pool degrades to a thread pool with
+identical semantics (less parallelism under the GIL).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+__all__ = [
+    "PoolTask",
+    "TaskFailure",
+    "WorkerCrashed",
+    "WorkerPool",
+    "SKIPPED",
+    "resolve_jobs",
+]
+
+
+class _SkippedType:
+    """The type of :data:`SKIPPED`.  Equality is by type, not identity:
+    the sentinel crosses the process boundary by pickling, so consumers
+    must compare with ``==``, never ``is`` -- and no task return value
+    (strings included) can collide with it."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "SKIPPED"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SkippedType)
+
+    def __hash__(self) -> int:
+        return hash(_SkippedType)
+
+
+#: Outcome sentinel for a task whose ``skip`` predicate fired in the
+#: worker (e.g. an index past a campaign's first failure).
+SKIPPED = _SkippedType()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Validate and default a worker count (shared by every layer that
+    takes a ``jobs=`` knob, so the default lives in one place)."""
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    return jobs if jobs is not None else (os.cpu_count() or 1)
+
+
+class PoolTask:
+    """One unit of work: an id, a thunk, and an optional skip predicate.
+
+    ``skip`` is evaluated in the *worker* immediately before running the
+    thunk; when it returns true the task's outcome is :data:`SKIPPED`.
+    Skip predicates typically read a shared counter made with
+    :meth:`WorkerPool.make_counter` (a stop-on-failure horizon).
+    """
+
+    __slots__ = ("id", "thunk", "skip")
+
+    def __init__(
+        self,
+        id: Hashable,
+        thunk: Callable[[], object],
+        skip: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.id = id
+        self.thunk = thunk
+        self.skip = skip
+
+
+class TaskFailure:
+    """Wraps an exception raised inside a task for transport."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker exited abnormally.
+
+    ``in_flight`` names the task ids the dead worker(s) had announced
+    but not finished -- the precise work that died.  ``unreported`` is
+    the (possibly larger) set of submitted ids with no outcome.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        in_flight: Sequence[Hashable] = (),
+        unreported: Sequence[Hashable] = (),
+    ) -> None:
+        super().__init__(message)
+        self.in_flight = list(in_flight)
+        self.unreported = list(unreported)
+
+
+class _ThreadCounter:
+    """Thread-mode stand-in for ``multiprocessing.Value('i', ...)``."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, initial: int) -> None:
+        import threading
+
+        self.value = initial
+        self._lock = threading.Lock()
+
+    def get_lock(self):
+        return self._lock
+
+
+class WorkerPool:
+    """A bounded pool of forked workers fed from a task queue.
+
+    One :meth:`run` call forks ``min(jobs, len(tasks))`` workers, runs
+    every task, and tears the workers down -- the pool is forked once
+    for the whole batch, however many campaigns the batch spans.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._ctx = self._fork_context()
+        #: Worker handles of the most recent :meth:`run` (processes in
+        #: fork mode, threads otherwise); kept for post-mortem asserts.
+        self.last_workers: List[object] = []
+
+    @staticmethod
+    def _fork_context():
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return None
+
+    @property
+    def uses_fork(self) -> bool:
+        return self._ctx is not None
+
+    def make_counter(self, initial: int):
+        """A shared integer (``.value`` + ``.get_lock()``) visible to
+        workers.  Must be created *before* :meth:`run` forks them."""
+        if self._ctx is not None:
+            return self._ctx.Value("i", initial)
+        return _ThreadCounter(initial)
+
+    # ------------------------------------------------------------------
+    # Running a batch
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[PoolTask],
+        on_result: Optional[Callable[[Hashable, object], None]] = None,
+    ) -> Dict[Hashable, object]:
+        """Run every task, returning ``{task_id: outcome}``.
+
+        Outcomes are thunk return values, :data:`SKIPPED`, or
+        :class:`TaskFailure` for tasks that raised an ``Exception``
+        (the caller decides when to re-raise -- typically at its
+        deterministic merge point).  ``on_result`` observes outcomes in
+        *completion* order, as they arrive; use it for progress, not for
+        anything order-sensitive.
+
+        Raises :class:`WorkerCrashed` when a worker dies without
+        finishing its announced task.  Any error -- including a
+        ``KeyboardInterrupt`` hitting the parent -- terminates and joins
+        all workers before propagating, so no worker outlives the call.
+        """
+        tasks = list(tasks)
+        ids = [task.id for task in tasks]
+        if len(set(ids)) != len(ids):
+            raise ValueError("task ids must be unique within a batch")
+        if not tasks:
+            return {}
+        if self._ctx is None:
+            return self._run_threaded(tasks, on_result)
+        return self._run_forked(tasks, on_result)
+
+    # ------------------------------------------------------------------
+    # Fork transport
+    # ------------------------------------------------------------------
+
+    def _run_forked(self, tasks, on_result) -> Dict[Hashable, object]:
+        ctx = self._ctx
+        workers = min(self.jobs, len(tasks))
+        by_position = {position: task for position, task in enumerate(tasks)}
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        # Per-worker announcement slots, written through shared memory
+        # *synchronously* before a task runs.  A queue message could be
+        # lost when ``os._exit`` kills the feeder thread mid-flush; the
+        # shared write cannot, so crash attribution survives even the
+        # rudest deaths.
+        announce = ctx.Array("i", [-1] * workers, lock=False)
+        for position in range(len(tasks)):
+            task_queue.put(position)
+        for _ in range(workers):
+            task_queue.put(-1)
+
+        def work(worker_id: int) -> None:
+            while True:
+                position = task_queue.get()
+                if position < 0:
+                    break
+                announce[worker_id] = position
+                outcome = _run_task(by_position[position])
+                result_queue.put((position, outcome))
+
+        processes = [
+            ctx.Process(target=work, args=(w,), daemon=True)
+            for w in range(workers)
+        ]
+        self.last_workers = processes
+        for process in processes:
+            process.start()
+
+        outcomes: Dict[Hashable, object] = {}
+        try:
+            while len(outcomes) < len(tasks):
+                try:
+                    position, outcome = result_queue.get(timeout=0.2)
+                except queue_module.Empty:
+                    self._check_for_crash(
+                        processes, result_queue, announce, outcomes, tasks,
+                        on_result,
+                    )
+                    continue
+                task_id = by_position[position].id
+                outcomes[task_id] = outcome
+                if on_result is not None:
+                    on_result(task_id, outcome)
+        finally:
+            # Normal completion: workers are draining sentinels and
+            # exiting.  Error paths (worker crash, reporter exception,
+            # Ctrl-C in this very loop): make sure nothing survives.
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()
+            task_queue.close()
+            result_queue.close()
+        return outcomes
+
+    def _check_for_crash(
+        self, processes, result_queue, announce, outcomes, tasks, on_result
+    ) -> None:
+        """Called when the result queue goes quiet: if a worker died
+        abnormally, drain the stragglers and raise naming its task."""
+        # Any stopped worker counts: even an exit code of 0 is a crash
+        # if the task it announced never reported back (os._exit(0) in
+        # an executor, say).  Cleanly-finished workers are filtered out
+        # below because their last outcome is (or is about to be) in
+        # ``outcomes``.
+        dead = [
+            (worker_id, process)
+            for worker_id, process in enumerate(processes)
+            if not process.is_alive()
+        ]
+        if not dead:
+            return
+        # Flush results the feeder threads managed to push out so the
+        # crash report only names genuinely lost work.
+        while True:
+            try:
+                position, outcome = result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                break
+            task_id = tasks[position].id
+            outcomes[task_id] = outcome
+            if on_result is not None:
+                on_result(task_id, outcome)
+        lost = []
+        for worker_id, process in dead:
+            position = announce[worker_id]
+            if position >= 0 and tasks[position].id not in outcomes:
+                lost.append((worker_id, process, tasks[position].id))
+        if not lost:
+            # The worker died between tasks; its queued work is still
+            # reachable by surviving workers, unless none remain.
+            if any(process.is_alive() for process in processes):
+                return
+            unreported = [t.id for t in tasks if t.id not in outcomes]
+            if not unreported:
+                return
+            raise WorkerCrashed(
+                "every pool worker died; "
+                f"task(s) {unreported} never reported",
+                unreported=unreported,
+            )
+        descriptions = ", ".join(
+            f"worker {worker_id} (pid {process.pid}, "
+            f"exit code {process.exitcode}) died while running "
+            f"task {task_id!r}"
+            for worker_id, process, task_id in lost
+        )
+        unreported = [t.id for t in tasks if t.id not in outcomes]
+        raise WorkerCrashed(
+            descriptions,
+            in_flight=[task_id for _, _, task_id in lost],
+            unreported=unreported,
+        )
+
+    # ------------------------------------------------------------------
+    # Thread fallback
+    # ------------------------------------------------------------------
+
+    def _run_threaded(self, tasks, on_result) -> Dict[Hashable, object]:
+        import threading
+
+        workers = min(self.jobs, len(tasks))
+        # Positions in the queue, like fork mode: user task ids never
+        # travel in-band, so no id can collide with a control signal.
+        task_queue: queue_module.Queue = queue_module.Queue()
+        result_queue: queue_module.Queue = queue_module.Queue()
+        for position in range(len(tasks)):
+            task_queue.put(position)
+        for _ in range(workers):
+            task_queue.put(-1)
+
+        def work(worker_id: int) -> None:
+            while True:
+                position = task_queue.get()
+                if position < 0:
+                    break
+                try:
+                    outcome = _run_task(tasks[position])
+                except BaseException as err:  # noqa: BLE001 - crash parity
+                    # A thread cannot die like a process; model the
+                    # fork-mode crash so callers see one behaviour.
+                    result_queue.put(("crash", worker_id, position, err))
+                    break
+                result_queue.put(("done", worker_id, position, outcome))
+
+        threads = [
+            threading.Thread(target=work, args=(w,), daemon=True)
+            for w in range(workers)
+        ]
+        self.last_workers = threads
+        for thread in threads:
+            thread.start()
+        outcomes: Dict[Hashable, object] = {}
+        try:
+            while len(outcomes) < len(tasks):
+                kind, worker_id, position, payload = result_queue.get()
+                task_id = tasks[position].id
+                if kind == "crash":
+                    # The announced task is lost; waiting for it would
+                    # deadlock, so abort the batch like fork mode does.
+                    unreported = [t.id for t in tasks if t.id not in outcomes]
+                    raise WorkerCrashed(
+                        f"worker {worker_id} died while running task "
+                        f"{task_id!r}: {payload!r}",
+                        in_flight=[task_id],
+                        unreported=unreported,
+                    ) from payload
+                outcomes[task_id] = payload
+                if on_result is not None:
+                    on_result(task_id, payload)
+        finally:
+            # On abort, starve the surviving threads so they exit at the
+            # next queue read instead of working through dead campaigns.
+            try:
+                while True:
+                    task_queue.get_nowait()
+            except queue_module.Empty:
+                pass
+            for _ in threads:
+                task_queue.put(-1)
+            for thread in threads:
+                thread.join(timeout=1.0)
+        return outcomes
+
+
+def _run_task(task: PoolTask) -> object:
+    """Task body shared by both transports.
+
+    ``Exception`` is transported; ``KeyboardInterrupt``/``SystemExit``
+    are not caught -- they must take the worker down (the parent then
+    reports which task died).
+    """
+    if task.skip is not None and task.skip():
+        return SKIPPED
+    try:
+        return task.thunk()
+    except Exception as err:
+        return TaskFailure(err)

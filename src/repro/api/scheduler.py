@@ -1,0 +1,254 @@
+"""Cross-campaign orchestration: many campaigns, one worker pool.
+
+The paper's headline workload audits all 43 TodoMVC implementations
+against one specification (Section 6) -- 43 *small* campaigns.  Running
+them through :class:`~repro.api.engines.ParallelEngine` one at a time
+parallelises only the tests within a campaign and pays a fresh fork per
+campaign; the common audit shape (few tests, many targets) spends a
+noticeable share of its wall-clock on that setup.
+
+This module schedules the whole batch instead:
+
+* :class:`CheckTarget` describes one campaign (a label, the system
+  under test, its spec/property/config);
+* :class:`CampaignSet` collects the targets as ready-to-run
+  ``(label, Runner)`` pairs in submission order;
+* :class:`PooledScheduler` flattens every campaign's test indices into
+  one task list, forks the :class:`~repro.api.pool.WorkerPool` **once**,
+  and lets workers pull ``(campaign, index)`` tasks from the shared
+  queue until the batch is drained -- workers are reused across
+  campaigns, and fork cost is paid once per batch instead of once per
+  campaign.
+
+Determinism is non-negotiable: every task seeds its RNG with the same
+``f"{seed}/{index}"`` string the serial loop uses, and results are
+merged campaign-by-campaign in submission order, index-by-index within
+each campaign.  Pooled and serial audits therefore produce *identical*
+verdicts, counterexamples and reporter event streams (asserted in
+``tests/api/test_scheduler.py``).  The merge advances incrementally as
+results arrive, so reporters observe campaigns live, in order, while
+later campaigns are still running.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..checker.result import CampaignResult
+from ..checker.runner import Runner
+from .engines import CampaignMerge, _test_seed, campaign_tasks
+from .pool import WorkerPool, resolve_jobs
+from .reporters import Reporter
+
+__all__ = [
+    "CheckTarget",
+    "CampaignSet",
+    "CampaignOutcome",
+    "CampaignSetResult",
+    "PooledScheduler",
+]
+
+
+@dataclass
+class CheckTarget:
+    """One campaign of a multi-target batch.
+
+    ``app`` is an application factory (``page -> app``) or zero-argument
+    executor factory, exactly like ``CheckSession``'s first argument;
+    ``None`` means "use the session's own application".  ``spec``,
+    ``property`` and ``config`` default to the batch-wide values passed
+    to ``check_many``.
+    """
+
+    name: str
+    app: Optional[Callable] = None
+    spec: object = None
+    property: Optional[str] = None
+    config: object = None
+
+
+@dataclass
+class CampaignOutcome:
+    """A finished campaign and the target label it belongs to."""
+
+    target: str
+    result: CampaignResult
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+
+@dataclass
+class CampaignSetResult:
+    """All campaign outcomes of one batch, in submission order."""
+
+    outcomes: List[CampaignOutcome] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __getitem__(self, index: int) -> CampaignOutcome:
+        return self.outcomes[index]
+
+    @property
+    def results(self) -> List[CampaignResult]:
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> List[CampaignOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    def summary(self) -> str:
+        failed = len(self.failures)
+        return (
+            f"{len(self.outcomes)} campaign(s): "
+            f"{len(self.outcomes) - failed} passed, {failed} failed"
+        )
+
+
+class CampaignSet:
+    """An ordered batch of labelled campaigns, ready to schedule.
+
+    Labels are kept unique (a duplicate gets a ``#2``-style suffix) so
+    task ids -- and therefore crash reports -- are unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self._campaigns: List[Tuple[str, Runner]] = []
+        self._labels: set = set()
+
+    def add(self, label: str, runner: Runner) -> str:
+        """Add one campaign; returns the (possibly deduplicated) label."""
+        candidate = label
+        suffix = 2
+        while candidate in self._labels:
+            # Keep bumping: an explicit "x#2" target must not collide
+            # with the dedup of a repeated "x".
+            candidate = f"{label}#{suffix}"
+            suffix += 1
+        self._labels.add(candidate)
+        self._campaigns.append((candidate, runner))
+        return candidate
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+    def __iter__(self):
+        return iter(self._campaigns)
+
+    @property
+    def campaigns(self) -> List[Tuple[str, Runner]]:
+        return list(self._campaigns)
+
+
+class PooledScheduler:
+    """Runs a :class:`CampaignSet` on one shared worker pool.
+
+    ``jobs`` bounds the pool width across the *whole batch* (default:
+    the CPU count); ``jobs=1`` degenerates to the exact serial loop,
+    campaign by campaign, with no pool at all -- handy as the
+    equivalence baseline.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    def run(
+        self,
+        campaigns: CampaignSet,
+        reporters: Sequence[Reporter] = (),
+    ) -> CampaignSetResult:
+        entries = campaigns.campaigns
+        for reporter in reporters:
+            reporter.on_session_start(len(entries))
+        if self.jobs <= 1 or len(entries) == 0:
+            outcomes = self._run_serial(entries, reporters)
+        else:
+            outcomes = self._run_pooled(entries, reporters)
+        result = CampaignSetResult(outcomes)
+        session_view = [(o.target, o.result) for o in outcomes]
+        for reporter in reporters:
+            reporter.on_session_end(session_view)
+        return result
+
+    # ------------------------------------------------------------------
+    # Serial baseline
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, entries, reporters: Sequence[Reporter]
+    ) -> List[CampaignOutcome]:
+        outcomes = []
+        for label, runner in entries:
+            merge = CampaignMerge(runner, reporters, label=label,
+                                  emit_lifecycle=True)
+            for index in range(runner.config.tests):
+                if merge.complete:
+                    break
+                seed = _test_seed(runner.config.seed, index)
+                result = runner.run_single_test(random.Random(seed))
+                merge.step(result)
+            outcomes.append(CampaignOutcome(label, merge.finish()))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Pooled batch
+    # ------------------------------------------------------------------
+
+    def _run_pooled(
+        self, entries, reporters: Sequence[Reporter]
+    ) -> List[CampaignOutcome]:
+        pool = WorkerPool(self.jobs)
+        tasks = []
+        merges: List[CampaignMerge] = []
+        for label, runner in entries:
+            # Shared first-failure counters must exist before the fork.
+            tasks.extend(campaign_tasks(runner, pool, label=label))
+            merges.append(CampaignMerge(runner, reporters, label=label,
+                                        emit_lifecycle=True))
+
+        arrived: Dict[Tuple[str, int], object] = {}
+        cursor = {"campaign": 0}
+
+        def advance() -> None:
+            """Consume every outcome the deterministic cursor can reach:
+            campaigns in submission order, indices in order within.  A
+            campaign is finished (on_campaign_end fires) the moment its
+            last reachable outcome is merged, so reporter events nest
+            properly even while later campaigns are still running."""
+            while cursor["campaign"] < len(merges):
+                merge = merges[cursor["campaign"]]
+                while not merge.complete:
+                    key = (merge.label, merge.next_index)
+                    if key not in arrived:
+                        return
+                    merge.step_outcome(arrived.pop(key))
+                merge.finish()
+                cursor["campaign"] += 1
+
+        def on_result(task_id, outcome) -> None:
+            arrived[task_id] = outcome
+            advance()
+
+        pool.run(tasks, on_result=on_result)
+        advance()
+        outcomes = []
+        for merge in merges:
+            if not merge.complete:  # pragma: no cover - pool.run guarantees
+                raise AssertionError(
+                    f"campaign {merge.label!r} has unmerged tests"
+                )
+            outcomes.append(CampaignOutcome(merge.label, merge.finish()))
+        return outcomes
+
+

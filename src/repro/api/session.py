@@ -21,13 +21,30 @@ executor-agnostic (paper, Section 3.4).  ``engine`` picks the campaign
 strategy (:class:`~repro.api.engines.SerialEngine` by default, or
 ``jobs=N`` as a shortcut for :class:`~repro.api.engines.ParallelEngine`)
 and ``reporters`` observe progress.
+
+Multi-target batches (the paper's 43-implementation audit) go through
+:meth:`CheckSession.check_many`, which fans *whole campaigns* out over
+one shared worker pool (see :mod:`repro.api.scheduler`)::
+
+    session = CheckSession(jobs=8, reporters=[ProgressReporter()])
+    batch = session.check_many(
+        [CheckTarget(impl.name, impl.app_factory())
+         for impl in all_implementations()],
+        spec=load_todomvc_spec().check_named("safety"),
+        config=RunnerConfig(tests=8, shrink=False),
+    )
+
+The pool is forked once for the batch, its workers are reused across
+campaigns through a task queue, and it is torn down when the batch
+completes -- verdicts are identical to running each campaign serially
+with the same seed.
 """
 
 from __future__ import annotations
 
 import inspect
 import os
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..checker.config import RunnerConfig
 from ..checker.result import CampaignResult
@@ -37,18 +54,27 @@ from ..quickltl import DEFAULT_SUBSCRIPT
 from ..specstrom.module import CheckSpec, SpecModule, load_module_file
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
 from .reporters import Reporter
+from .scheduler import CampaignSet, CampaignSetResult, CheckTarget, PooledScheduler
 
 __all__ = ["CheckSession"]
 
 SpecLike = Union[str, "os.PathLike[str]", SpecModule, CheckSpec]
 
+TargetLike = Union[CheckTarget, Tuple[str, Callable], Callable]
+
 
 class CheckSession:
-    """A reusable checking context for one system under test."""
+    """A reusable checking context for one system under test.
+
+    ``app_or_factory`` may be omitted for audit-style sessions whose
+    targets each bring their own application (see :meth:`check_many`);
+    :meth:`check` then requires nothing less, but targets must all
+    carry an app.
+    """
 
     def __init__(
         self,
-        app_or_factory: Callable,
+        app_or_factory: Optional[Callable] = None,
         *,
         engine: Optional[CampaignEngine] = None,
         jobs: Optional[int] = None,
@@ -61,8 +87,13 @@ class CheckSession:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         if engine is None:
             engine = ParallelEngine(jobs) if jobs and jobs > 1 else SerialEngine()
-        self.executor_factory = _coerce_executor_factory(app_or_factory)
+        self.executor_factory = (
+            None
+            if app_or_factory is None
+            else _coerce_executor_factory(app_or_factory)
+        )
         self.engine = engine
+        self.jobs = jobs
         self.reporters: List[Reporter] = list(reporters)
         self.default_subscript = default_subscript
 
@@ -86,6 +117,93 @@ class CheckSession:
         """
         check_spec = self._resolve(spec, property)
         return self.engine.run(self._runner(check_spec, config), self.reporters)
+
+    def check_many(
+        self,
+        targets: Iterable[TargetLike],
+        *,
+        spec: Optional[SpecLike] = None,
+        property: Optional[str] = None,
+        config: Optional[RunnerConfig] = None,
+        jobs: Optional[int] = None,
+        reporters: Optional[Sequence[Reporter]] = None,
+    ) -> CampaignSetResult:
+        """Check many targets as one batch on a shared worker pool.
+
+        ``targets`` is an iterable of :class:`CheckTarget` (full
+        control), ``(name, app)`` pairs, or bare app/executor factories.
+        ``spec``/``property``/``config`` provide batch-wide defaults
+        that individual targets may override; a target without its own
+        ``app`` uses the session's application.
+
+        ``jobs`` bounds the pool across the whole batch (default: the
+        session's ``jobs``, else 1 -- i.e. the exact serial loop).  The
+        pool is forked once, reused across campaigns, and torn down when
+        the batch completes; verdicts are identical to sequential
+        :meth:`check` calls with the same seeds.
+        """
+        campaign_set = CampaignSet()
+        batch_check: Optional[CheckSpec] = None  # resolved (parsed) once
+        for position, target in enumerate(targets):
+            target = self._coerce_target(target, position)
+            target_spec = target.spec if target.spec is not None else spec
+            if target_spec is None:
+                raise ValueError(
+                    f"target {target.name!r} has no spec and no batch-wide "
+                    "spec= was given"
+                )
+            if target.spec is None and target.property is None:
+                # The common audit shape: every target shares the batch
+                # spec.  Resolve (and for a path, parse) it exactly once.
+                if batch_check is None:
+                    batch_check = self._resolve(spec, property)
+                check_spec = batch_check
+            else:
+                check_spec = self._resolve(
+                    target_spec, target.property or property
+                )
+            if target.app is not None:
+                factory = _coerce_executor_factory(target.app)
+            elif self.executor_factory is not None:
+                factory = self.executor_factory
+            else:
+                raise ValueError(
+                    f"target {target.name!r} has no app and the session was "
+                    "constructed without one"
+                )
+            target_config = target.config if target.config is not None else config
+            campaign_set.add(
+                target.name, Runner(check_spec, factory, target_config)
+            )
+        if jobs is None:
+            if self.jobs is not None:
+                jobs = self.jobs
+            elif isinstance(self.engine, ParallelEngine):
+                # A session configured with an explicit parallel engine
+                # asked for parallelism; honour its width for the batch.
+                jobs = self.engine.jobs
+            else:
+                jobs = 1
+        scheduler = PooledScheduler(jobs)
+        active_reporters = (
+            self.reporters if reporters is None else list(reporters)
+        )
+        return scheduler.run(campaign_set, active_reporters)
+
+    @staticmethod
+    def _coerce_target(target: TargetLike, position: int) -> CheckTarget:
+        if isinstance(target, CheckTarget):
+            return target
+        if isinstance(target, tuple) and len(target) == 2:
+            name, app = target
+            return CheckTarget(str(name), app)
+        if callable(target):
+            name = getattr(target, "__name__", None) or f"target-{position}"
+            return CheckTarget(name, target)
+        raise TypeError(
+            "targets must be CheckTarget, (name, app) pairs or callables; "
+            f"got {type(target).__name__}"
+        )
 
     def check_all(
         self,
@@ -117,6 +235,12 @@ class CheckSession:
     # ------------------------------------------------------------------
 
     def _runner(self, check_spec: CheckSpec, config: Optional[RunnerConfig]) -> Runner:
+        if self.executor_factory is None:
+            raise ValueError(
+                "this session was constructed without an application; "
+                "pass one to CheckSession(...) or use check_many with "
+                "targets that carry their own apps"
+            )
         return Runner(check_spec, self.executor_factory, config)
 
     def _load(self, spec: SpecLike) -> SpecModule:

@@ -9,8 +9,8 @@ text, so the three artefacts triangulate each other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Tuple
 
 __all__ = ["TodoItem", "TodoModel", "FILTERS"]
 

@@ -19,7 +19,7 @@ document down and mounts a fresh instance against the same storage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..dom.document import Document

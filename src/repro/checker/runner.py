@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..executors.base import ActionFailed
-from ..protocol.messages import Acted, Act, Event, Start, Timeout
+from ..protocol.messages import Acted, Act, Start, Timeout
 from ..protocol.session import TraceEntry
 from ..quickltl import FormulaChecker, Verdict
 from ..specstrom.actions import PrimitiveAction, PrimitiveEvent, ResolvedAction

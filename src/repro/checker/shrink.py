@@ -10,7 +10,7 @@ single-action deletions no longer help.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..specstrom.actions import ResolvedAction
 from .result import Counterexample

@@ -2,23 +2,27 @@
 
 Built on the checking API (:mod:`repro.api`): every command assembles a
 :class:`~repro.api.CheckSession` -- which owns executor lifecycle, spec
-loading and result aggregation -- picks a campaign engine (serial by
-default, ``--jobs N`` for the parallel engine with identical verdicts),
-and attaches a reporter (``--format console`` or ``--format json`` for
-JSON-Lines output).
+loading and result aggregation -- picks how to parallelise (``--jobs``),
+and attaches reporters (``--format console``, ``--format json`` for
+JSON-Lines, or ``--format junit`` for CI test reports; a live progress
+line appears automatically on a TTY).
 
 Usage (also via the ``quickstrom-repro`` console script)::
 
     python -m repro check SPEC.strom --app todomvc[:implementation]
     python -m repro check SPEC.strom --app eggtimer [--property NAME]
-                                     [--jobs N] [--format json]
+                                     [--jobs N] [--format json|junit]
     python -m repro audit [--subscript N] [--tests N] [--jobs N]
-                          [--format json] [IMPLEMENTATION ...]
+                          [--format json|junit] [--report-file PATH]
+                          [IMPLEMENTATION ...]
     python -m repro list-implementations
 
 ``check`` loads a specification file and runs its properties against the
-chosen application; ``audit`` reproduces the paper's Table 1 workload
-over named (or all) TodoMVC implementations.
+chosen application; its ``--jobs`` fans one campaign's tests out over
+workers.  ``audit`` reproduces the paper's Table 1 workload over named
+(or all) TodoMVC implementations; its ``--jobs`` spans *campaigns* --
+the whole batch runs on one shared worker pool (forked once, reused
+across implementations), with verdicts identical to a serial audit.
 """
 
 from __future__ import annotations
@@ -28,7 +32,15 @@ import json
 import sys
 from typing import List, Optional
 
-from .api import CheckSession, ConsoleReporter, JsonlReporter
+from .api import (
+    CheckSession,
+    CheckTarget,
+    ConsoleReporter,
+    JsonlReporter,
+    JUnitXmlReporter,
+    ProgressReporter,
+    Reporter,
+)
 from .apps.eggtimer import egg_timer_app
 from .apps.todomvc import all_implementations, implementation_named, todomvc_app
 from .checker import RunnerConfig
@@ -70,7 +82,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default temporal subscript (paper default: 100)")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--no-shrink", action="store_true")
-    _campaign_options(check)
+    _campaign_options(check, jobs_help="run each campaign's tests on N "
+                      "parallel workers (verdicts are identical to serial)")
 
     audit = sub.add_parser("audit", help="audit TodoMVC implementations "
                                          "(the paper's Table 1)")
@@ -79,7 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT)
     audit.add_argument("--tests", type=_positive_int, default=8)
     audit.add_argument("--seed", type=int, default=0)
-    _campaign_options(audit)
+    _campaign_options(audit, jobs_help="audit N campaigns concurrently on "
+                      "one shared worker pool (forked once for the whole "
+                      "batch; verdicts are identical to serial)")
 
     sub.add_parser("list-implementations",
                    help="list the 43 TodoMVC implementations")
@@ -93,25 +108,46 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _campaign_options(parser: argparse.ArgumentParser) -> None:
+def _campaign_options(parser: argparse.ArgumentParser, jobs_help: str) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                        help="run each campaign's tests on N parallel "
-                             "workers (verdicts are identical to serial)")
-    parser.add_argument("--format", choices=("console", "json"),
+                        help=jobs_help)
+    parser.add_argument("--format", choices=("console", "json", "junit"),
                         default="console",
-                        help="console output or one JSON object per event")
+                        help="console output, one JSON object per event, "
+                             "or a JUnit XML test report")
+    parser.add_argument("--report-file", default=None, metavar="PATH",
+                        help="write the junit report here instead of stdout")
 
 
-def _reporters(args):
-    if args.format == "json":
-        return [JsonlReporter()]
-    return [ConsoleReporter()]
+def _progress_reporters() -> list:
+    """A live progress line, only when a human is watching stderr."""
+    if sys.stderr.isatty():
+        return [ProgressReporter()]
+    return []
+
+
+def _validate_report_file(args) -> None:
+    if args.report_file is not None and args.format != "junit":
+        raise SystemExit(
+            "--report-file only applies to --format junit "
+            f"(got --format {args.format})"
+        )
 
 
 def _cmd_check(args) -> int:
+    _validate_report_file(args)
     module = load_module_file(args.spec, default_subscript=args.subscript)
+    reporters = list(_progress_reporters())
+    if args.format == "json":
+        reporters.append(JsonlReporter())
+    elif args.format == "junit":
+        reporters.append(JUnitXmlReporter(path=args.report_file))
+        if args.report_file is not None:
+            reporters.append(ConsoleReporter())
+    else:
+        reporters.append(ConsoleReporter())
     session = CheckSession(
-        _app_factory(args.app), jobs=args.jobs, reporters=_reporters(args)
+        _app_factory(args.app), jobs=args.jobs, reporters=reporters
     )
     checks = module.checks
     if args.property_name is not None:
@@ -123,14 +159,20 @@ def _cmd_check(args) -> int:
         seed=args.seed,
         shrink=not args.no_shrink,
     )
-    failures = 0
+    for reporter in reporters:
+        reporter.on_session_start(len(checks))
+    outcomes = []
     for check in checks:
         result = session.check(check, config=config)
-        failures += 0 if result.passed else 1
+        outcomes.append((None, result))
+    for reporter in reporters:
+        reporter.on_session_end(outcomes)
+    failures = sum(1 for _, result in outcomes if not result.passed)
     return 1 if failures else 0
 
 
 def _cmd_audit(args) -> int:
+    _validate_report_file(args)
     from .specs import load_todomvc_spec
 
     spec = load_todomvc_spec(default_subscript=args.subscript).check_named("safety")
@@ -145,27 +187,24 @@ def _cmd_audit(args) -> int:
         seed=args.seed,
         shrink=False,
     )
-    as_json = args.format == "json"
-    disagreements = 0
-    for impl in implementations:
-        session = CheckSession(impl.app_factory(), jobs=args.jobs)
-        result = session.check(spec, config=config)
-        expected = "fail" if impl.should_fail else "pass"
-        got = "pass" if result.passed else "fail"
-        if expected != got:
-            disagreements += 1
-        if as_json:
-            print(json.dumps(
-                {"implementation": impl.name, "result": got,
-                 "paper": expected, "agrees": expected == got,
-                 "tests_run": result.tests_run},
-                sort_keys=True,
-            ))
-        else:
-            marker = "" if expected == got else "   <-- disagrees with paper"
-            print(f"{impl.name:<22} {got:<5} (paper: {expected}){marker}")
-    agreeing = len(implementations) - disagreements
-    if as_json:
+    junit_to_stdout = args.format == "junit" and args.report_file is None
+    stream_mode = None if junit_to_stdout else (
+        "json" if args.format == "json" else "console"
+    )
+    stream = _AuditStreamReporter(implementations, stream_mode)
+    reporters = list(_progress_reporters()) + [stream]
+    if args.format == "junit":
+        reporters.append(JUnitXmlReporter(path=args.report_file))
+    session = CheckSession(reporters=reporters)
+    targets = [
+        CheckTarget(impl.name, impl.app_factory()) for impl in implementations
+    ]
+    session.check_many(targets, spec=spec, config=config, jobs=args.jobs)
+
+    agreeing = len(implementations) - stream.disagreements
+    if junit_to_stdout:
+        pass  # stdout is pure XML (written by the JUnit reporter)
+    elif stream_mode == "json":
         print(json.dumps(
             {"event": "audit_end", "implementations": len(implementations),
              "agreeing": agreeing}, sort_keys=True,
@@ -173,7 +212,41 @@ def _cmd_audit(args) -> int:
     else:
         print(f"\n{agreeing}/{len(implementations)} "
               "agree with the paper's Table 1.")
-    return 1 if disagreements else 0
+    return 1 if stream.disagreements else 0
+
+
+class _AuditStreamReporter(Reporter):
+    """Streams the per-implementation audit line as each campaign ends.
+
+    Campaigns finish (and hence report) in submission order, so pairing
+    them positionally with the implementation list is safe -- and a
+    43-implementation audit prints each verdict as it lands instead of
+    buffering the whole batch.  ``mode=None`` only counts disagreements
+    (used when stdout must stay pure JUnit XML).
+    """
+
+    def __init__(self, implementations, mode: Optional[str]) -> None:
+        self._implementations = iter(implementations)
+        self._mode = mode
+        self.disagreements = 0
+
+    def on_campaign_end(self, result) -> None:
+        impl = next(self._implementations)
+        expected = "fail" if impl.should_fail else "pass"
+        got = "pass" if result.passed else "fail"
+        if expected != got:
+            self.disagreements += 1
+        if self._mode == "json":
+            print(json.dumps(
+                {"implementation": impl.name, "result": got,
+                 "paper": expected, "agrees": expected == got,
+                 "tests_run": result.tests_run},
+                sort_keys=True,
+            ), flush=True)
+        elif self._mode == "console":
+            marker = "" if expected == got else "   <-- disagrees with paper"
+            print(f"{impl.name:<22} {got:<5} (paper: {expected}){marker}",
+                  flush=True)
 
 
 def _cmd_list(_args) -> int:

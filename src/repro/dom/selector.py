@@ -21,7 +21,7 @@ combinators walk outwards.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .node import Element
@@ -143,20 +143,17 @@ def _parse_complex(source: str) -> Selector:
     combinators: List[str] = []
     pos = 0
     pending_combinator: Optional[str] = None
-    saw_whitespace = False
     while pos < len(source):
         match = _TOKEN_RE.match(source, pos)
         if match is None:
             raise SelectorError(f"cannot parse selector at {source[pos:]!r}")
         pos = match.end()
         if match.group("ws"):
-            saw_whitespace = True
             continue
         if match.group("comb"):
             if pending_combinator is not None or not parts:
                 raise SelectorError(f"misplaced combinator in {source!r}")
             pending_combinator = match.group("comb")
-            saw_whitespace = False
             continue
         if match.group("comma"):
             raise SelectorError("unexpected comma")  # handled by caller
@@ -168,7 +165,6 @@ def _parse_complex(source: str) -> Selector:
             raise SelectorError(f"selector cannot start with combinator: {source!r}")
         parts.append(compound)
         pending_combinator = None
-        saw_whitespace = False
     if pending_combinator is not None:
         raise SelectorError(f"dangling combinator in {source!r}")
     if not parts:

@@ -18,7 +18,7 @@ the staleness scenario of Figure 10 arises.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List
 
 from ..protocol.messages import Act, Start
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..browser.webdriver import Browser, NotInteractableError, Page
-from ..protocol.messages import Acted, Act, Event, Start, Timeout, Wait
+from ..protocol.messages import Acted, Act, Event, Start, Timeout
 from ..protocol.session import TraceRecorder
 from ..specstrom.actions import PrimitiveEvent, ResolvedAction
 from ..specstrom.state import ElementSnapshot, StateSnapshot

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from .simplify import simplify
-from .step import demands_next, presumptive_valuation, step
+from .step import presumptive_valuation, step
 from .syntax import Bottom, Formula, Top
 from .unroll import unroll
 from .verdict import Verdict

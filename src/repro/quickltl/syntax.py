@@ -27,6 +27,7 @@ state the operator unrolls over, freezing any eagerly-bound values.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Tuple
 
@@ -61,6 +62,11 @@ __all__ = [
 #: default (Section 4.3).
 DEFAULT_SUBSCRIPT = 100
 
+#: ``@dataclass(slots=True)`` needs Python 3.10; on 3.9 the nodes
+#: simply fall back to ordinary instances (same semantics, a little
+#: more memory per node).
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
 
 class Formula:
     """Base class for all QuickLTL formula nodes.
@@ -91,7 +97,7 @@ class Formula:
         return pretty(self)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Top(Formula):
     """The constant true."""
 
@@ -99,7 +105,7 @@ class Top(Formula):
         return "TOP"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Bottom(Formula):
     """The constant false."""
 
@@ -111,7 +117,7 @@ TOP = Top()
 BOTTOM = Bottom()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Atom(Formula):
     """An atomic proposition: a named predicate over states.
 
@@ -131,14 +137,14 @@ class Atom(Formula):
         return f"Atom({self.name!r})"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Not(Formula):
     """Logical negation."""
 
     operand: Formula
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class And(Formula):
     """Binary conjunction."""
 
@@ -146,7 +152,7 @@ class And(Formula):
     right: Formula
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Or(Formula):
     """Binary disjunction."""
 
@@ -154,28 +160,28 @@ class Or(Formula):
     right: Formula
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class NextReq(Formula):
     """Required next: the checker must produce a next state."""
 
     operand: Formula
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class NextWeak(Formula):
     """Weak next: presumptively true if the trace ends here."""
 
     operand: Formula
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class NextStrong(Formula):
     """Strong next: presumptively false if the trace ends here."""
 
     operand: Formula
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Always(Formula):
     """``always{n} phi`` -- henceforth, with minimum-trace annotation."""
 
@@ -187,7 +193,7 @@ class Always(Formula):
             raise ValueError(f"subscript must be non-negative, got {self.n}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Eventually(Formula):
     """``eventually{n} phi`` -- with minimum-trace annotation."""
 
@@ -199,7 +205,7 @@ class Eventually(Formula):
             raise ValueError(f"subscript must be non-negative, got {self.n}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Until(Formula):
     """``phi until{n} psi``."""
 
@@ -212,7 +218,7 @@ class Until(Formula):
             raise ValueError(f"subscript must be non-negative, got {self.n}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Release(Formula):
     """``phi release{n} psi``."""
 
@@ -225,7 +231,7 @@ class Release(Formula):
             raise ValueError(f"subscript must be non-negative, got {self.n}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class Defer(Formula):
     """A formula computed from the state at unroll time.
 

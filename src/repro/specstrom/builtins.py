@@ -21,14 +21,12 @@ can only be exercised with such inputs.
 from __future__ import annotations
 
 import string
-from typing import List, Optional
 
 from .actions import PrimitiveAction, PrimitiveEvent
 from .errors import SpecEvalError
 from .eval import HAPPENED, EvalContext, evaluate
 from .state import ElementSnapshot
 from .values import (
-    ActionValue,
     BuiltinEvent,
     BuiltinFunction,
     Environment,

@@ -64,7 +64,6 @@ from .ast_nodes import (
 from .errors import SpecEvalError, StateQueryOutsideStateError
 from .state import ElementSnapshot, StateSnapshot
 from .values import (
-    ActionValue,
     BuiltinFunction,
     Environment,
     FormulaValue,

@@ -15,7 +15,7 @@ ones are evaluated immediately, which is where a state query outside a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..quickltl import DEFAULT_SUBSCRIPT, Formula

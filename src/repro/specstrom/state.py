@@ -13,7 +13,7 @@ is exactly how the paper's executor instruments the page.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 __all__ = ["ElementSnapshot", "StateSnapshot"]
 

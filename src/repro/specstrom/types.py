@@ -22,7 +22,7 @@ static analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from .ast_nodes import (
     ActionDef,
@@ -30,7 +30,6 @@ from .ast_nodes import (
     Binary,
     Block,
     Call,
-    CheckDef,
     Expr,
     IfExpr,
     Index,

@@ -19,7 +19,7 @@ language-specific values:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..quickltl import Formula
 from .ast_nodes import Expr, Param

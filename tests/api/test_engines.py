@@ -133,16 +133,19 @@ class TestEngineConfiguration:
         engine = ParallelEngine()
         assert engine.jobs >= 1
 
-    def test_threaded_path_matches_serial(self):
+    def test_threaded_path_matches_serial(self, monkeypatch):
         """The fork-free fallback must be equivalent too."""
+        from repro.api import pool as pool_module
+
         spec = load_eggtimer_spec().check_named("safety")
         config = RunnerConfig(tests=4, scheduled_actions=12,
                               demand_allowance=5, seed=3, shrink=False)
         runner = Runner(spec, lambda: DomExecutor(egg_timer_app()), config)
         serial = SerialEngine().run(runner)
-        engine = ParallelEngine(jobs=4)
-        outcomes = engine._run_threaded(runner, 4)
-        threaded = engine._merge(runner, outcomes, ())
+        monkeypatch.setattr(
+            pool_module.WorkerPool, "_fork_context", staticmethod(lambda: None)
+        )
+        threaded = ParallelEngine(jobs=4).run(runner)
         assert_campaigns_identical(serial, threaded)
 
     def test_worker_exception_propagates(self):

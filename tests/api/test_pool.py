@@ -1,0 +1,198 @@
+"""The shared worker-pool transport.
+
+The pool is the load-bearing wall under both `ParallelEngine` and the
+cross-campaign `PooledScheduler`: these tests pin down worker reuse
+across campaigns (the fork-amortisation the scheduler exists for),
+exception/skip transport, precise crash attribution, and that no worker
+ever survives an aborted batch (KeyboardInterrupt included).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api.pool import (
+    SKIPPED,
+    PoolTask,
+    TaskFailure,
+    WorkerCrashed,
+    WorkerPool,
+)
+
+
+def _no_alive_workers(pool):
+    return not any(w.is_alive() for w in pool.last_workers)
+
+
+class TestBasics:
+    def test_runs_every_task_and_keys_by_id(self):
+        pool = WorkerPool(2)
+        tasks = [PoolTask(i, (lambda i=i: i * i)) for i in range(7)]
+        outcomes = pool.run(tasks)
+        assert outcomes == {i: i * i for i in range(7)}
+
+    def test_empty_batch(self):
+        assert WorkerPool(2).run([]) == {}
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            WorkerPool(2).run([PoolTask(0, int), PoolTask(0, int)])
+
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_exceptions_are_transported_not_raised(self):
+        def boom():
+            raise RuntimeError("inside the worker")
+
+        outcomes = WorkerPool(2).run(
+            [PoolTask("ok", lambda: 1), PoolTask("bad", boom)]
+        )
+        assert outcomes["ok"] == 1
+        assert isinstance(outcomes["bad"], TaskFailure)
+        assert "inside the worker" in str(outcomes["bad"].error)
+
+    def test_skip_predicate_short_circuits(self):
+        outcomes = WorkerPool(2).run(
+            [
+                PoolTask("run", lambda: "ran"),
+                PoolTask("skip", lambda: "ran", skip=lambda: True),
+            ]
+        )
+        assert outcomes["run"] == "ran"
+        assert outcomes["skip"] == SKIPPED
+
+    def test_on_result_sees_every_completion(self):
+        seen = {}
+        WorkerPool(2).run(
+            [PoolTask(i, (lambda i=i: -i)) for i in range(5)],
+            on_result=lambda task_id, outcome: seen.__setitem__(task_id, outcome),
+        )
+        assert seen == {i: -i for i in range(5)}
+
+
+class TestWorkerReuse:
+    def test_workers_are_reused_across_campaigns(self):
+        """Three "campaigns" of tasks on a two-worker pool: every task
+        runs in one of at most two forked children (not the parent), and
+        by pigeonhole some child serves more than one campaign -- the
+        fork-amortisation that one-pool-per-campaign cannot give."""
+        pool = WorkerPool(2)
+        if not pool.uses_fork:
+            pytest.skip("fork transport unavailable on this platform")
+        campaigns = ["alpha", "beta", "gamma"]
+        tasks = [
+            PoolTask((campaign, index), os.getpid)
+            for campaign in campaigns
+            for index in range(3)
+        ]
+        outcomes = pool.run(tasks)
+        pids = set(outcomes.values())
+        assert len(pids) <= 2
+        assert os.getpid() not in pids
+        campaigns_by_pid = {}
+        for (campaign, _), pid in outcomes.items():
+            campaigns_by_pid.setdefault(pid, set()).add(campaign)
+        assert any(len(served) >= 2 for served in campaigns_by_pid.values())
+
+    def test_shared_counter_is_visible_to_workers(self):
+        pool = WorkerPool(2)
+        counter = pool.make_counter(100)
+
+        def bump():
+            with counter.get_lock():
+                counter.value -= 1
+            return counter.value
+
+        pool.run([PoolTask(i, bump) for i in range(4)])
+        assert counter.value == 96
+
+
+class TestCrashAttribution:
+    """The satellite fix: a dead worker names exactly what it was
+    running, instead of losing the index."""
+
+    def test_worker_death_names_the_in_flight_task(self):
+        pool = WorkerPool(2)
+        if not pool.uses_fork:
+            pytest.skip("fork transport unavailable on this platform")
+
+        def die():
+            os._exit(3)
+
+        tasks = [
+            PoolTask(("todomvc:polymer", 0), lambda: "fine"),
+            PoolTask(("todomvc:angular", 1), die),
+        ]
+        with pytest.raises(WorkerCrashed) as excinfo:
+            pool.run(tasks)
+        assert "('todomvc:angular', 1)" in str(excinfo.value)
+        assert ("todomvc:angular", 1) in excinfo.value.in_flight
+        assert _no_alive_workers(pool)
+
+    def test_keyboard_interrupt_in_worker_kills_it_and_is_attributed(self):
+        pool = WorkerPool(2)
+
+        def interrupted():
+            raise KeyboardInterrupt()
+
+        with pytest.raises(WorkerCrashed) as excinfo:
+            pool.run(
+                [PoolTask("calm", lambda: 1), PoolTask("ctrl-c", interrupted)]
+            )
+        assert "ctrl-c" in str(excinfo.value)
+        assert _no_alive_workers(pool)
+
+    def test_thread_fallback_attributes_crashes_too(self, monkeypatch):
+        monkeypatch.setattr(
+            WorkerPool, "_fork_context", staticmethod(lambda: None)
+        )
+        pool = WorkerPool(2)
+        assert not pool.uses_fork
+
+        def explode():
+            raise SystemExit(2)
+
+        with pytest.raises(WorkerCrashed, match="boom-task"):
+            pool.run([PoolTask("boom-task", explode)])
+        assert _no_alive_workers(pool)
+
+
+class TestCleanShutdown:
+    def test_parent_side_interrupt_tears_the_pool_down(self):
+        """A Ctrl-C landing in the parent's collect loop (modelled by a
+        reporter callback raising KeyboardInterrupt) must terminate and
+        join every worker before propagating."""
+        pool = WorkerPool(2)
+
+        def slow(value):
+            time.sleep(0.05)
+            return value
+
+        tasks = [PoolTask(i, (lambda i=i: slow(i))) for i in range(8)]
+
+        def interrupt_on_first(task_id, outcome):
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            pool.run(tasks, on_result=interrupt_on_first)
+        assert _no_alive_workers(pool)
+
+    def test_normal_completion_leaves_no_workers(self):
+        pool = WorkerPool(3)
+        pool.run([PoolTask(i, (lambda i=i: i)) for i in range(6)])
+        assert _no_alive_workers(pool)
+
+    def test_thread_fallback_matches_fork_outcomes(self, monkeypatch):
+        monkeypatch.setattr(
+            WorkerPool, "_fork_context", staticmethod(lambda: None)
+        )
+        pool = WorkerPool(3)
+        outcomes = pool.run(
+            [PoolTask(i, (lambda i=i: i + 10)) for i in range(5)]
+            + [PoolTask("skipped", lambda: 0, skip=lambda: True)]
+        )
+        assert outcomes == {**{i: i + 10 for i in range(5)}, "skipped": SKIPPED}
+        assert _no_alive_workers(pool)

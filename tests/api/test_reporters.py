@@ -1,9 +1,20 @@
-"""Reporter hooks: lifecycle order, console output, JSONL records."""
+"""Reporter hooks: lifecycle order, console output, JSONL records,
+JUnit XML for CI, live progress."""
 
 import io
 import json
+from xml.etree import ElementTree
 
-from repro.api import ConsoleReporter, JsonlReporter, Reporter, SerialEngine
+import pytest
+
+from repro.api import (
+    ConsoleReporter,
+    JsonlReporter,
+    JUnitXmlReporter,
+    ProgressReporter,
+    Reporter,
+    SerialEngine,
+)
 from repro.api import ParallelEngine
 from repro.apps.eggtimer import egg_timer_app
 from repro.checker import Runner, RunnerConfig
@@ -97,7 +108,8 @@ class TestJsonlReporter:
         lines = [l for l in stream.getvalue().splitlines() if l]
         records = [json.loads(line) for line in lines]
         kinds = [r["event"] for r in records]
-        assert kinds[0] == "test_start"
+        assert kinds[0] == "campaign_start"
+        assert kinds[1] == "test_start"
         assert kinds[-1] == "campaign_end"
         assert "counterexample" in kinds
         end = records[-1]
@@ -115,3 +127,91 @@ class TestJsonlReporter:
         for key in ("verdict", "passed", "forced", "actions_taken",
                     "states_observed", "elapsed_virtual_ms"):
             assert key in test_end
+
+
+class TestJUnitXmlReporter:
+    def _run_campaigns(self, reporter):
+        SerialEngine().run(eggtimer_runner(), [reporter])
+        failing = eggtimer_runner(egg_timer_app(decrement=2), tests=5,
+                                  scheduled_actions=20, seed=7, shrink=True)
+        result = SerialEngine().run(failing, [reporter])
+        reporter.on_session_end([(None, result)])
+
+    def test_document_shape(self):
+        stream = io.StringIO()
+        self._run_campaigns(JUnitXmlReporter(stream=stream))
+        root = ElementTree.fromstring(stream.getvalue())
+        assert root.tag == "testsuites"
+        suites = list(root.iter("testsuite"))
+        assert len(suites) == 2
+        passing, failing = suites
+        assert passing.get("failures") == "0"
+        assert passing.get("tests") == "3"
+        assert failing.get("failures") == "1"
+        cases = list(failing.iter("testcase"))
+        assert cases[-1].get("name").startswith("safety[")
+        failure = cases[-1].find("failure")
+        assert failure is not None
+        assert "counterexample" in failure.text
+        assert "DEFINITELY_FALSE" in failure.get("message")
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "report.xml"
+        reporter = JUnitXmlReporter(path=str(path))
+        self._run_campaigns(reporter)
+        root = ElementTree.fromstring(path.read_text(encoding="utf-8"))
+        testcases = list(root.iter("testcase"))
+        assert root.get("tests") == str(len(testcases))
+        assert len(testcases) >= 4  # 3 passing + at least the failing run
+        assert root.get("failures") == "1"
+
+    def test_write_is_idempotent(self):
+        stream = io.StringIO()
+        reporter = JUnitXmlReporter(stream=stream)
+        SerialEngine().run(eggtimer_runner(), [reporter])
+        reporter.write()
+        reporter.write()
+        assert stream.getvalue().count("<testsuites") == 1
+
+    def test_stream_and_path_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            JUnitXmlReporter(stream=io.StringIO(), path="x.xml")
+
+    def test_target_label_names_the_suite(self):
+        reporter = JUnitXmlReporter(stream=io.StringIO())
+        reporter.on_campaign_start("safety", 1, target="todomvc:vue")
+        result = SerialEngine().run(eggtimer_runner(tests=1))
+        reporter.on_test_end("safety", 0, result.results[0])
+        reporter.on_campaign_end(result)
+        root = ElementTree.fromstring(reporter.to_xml())
+        suite = root.find("testsuite")
+        assert suite.get("name") == "todomvc:vue"
+        assert suite.find("testcase").get("classname") == "todomvc:vue"
+
+
+class TestProgressReporter:
+    def test_non_tty_prints_one_line_per_campaign(self):
+        stream = io.StringIO()  # not a TTY
+        reporter = ProgressReporter(stream=stream)
+        reporter.on_session_start(2)
+        SerialEngine().run(eggtimer_runner(), [reporter])
+        failing = eggtimer_runner(egg_timer_app(decrement=2), tests=5,
+                                  scheduled_actions=20, seed=7)
+        result = SerialEngine().run(failing, [reporter])
+        reporter.on_session_end([(None, result), (None, result)])
+        lines = stream.getvalue().splitlines()
+        assert "[1/2] safety: ok (3 tests)" in lines
+        assert any("FAIL" in line for line in lines)
+        assert lines[-1].endswith("1 passed, 1 failed")
+
+    def test_tty_rewrites_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        SerialEngine().run(eggtimer_runner(), [ProgressReporter(stream=stream)])
+        out = stream.getvalue()
+        assert "\r" in out
+        assert "test 1/3" in out
+        assert "safety: ok (3 tests)" in out

@@ -1,6 +1,5 @@
 """The egg-timer application (Section 3.2)."""
 
-import pytest
 
 from repro.apps.eggtimer import egg_timer_app
 from repro.browser import Browser

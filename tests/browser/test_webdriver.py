@@ -3,7 +3,7 @@
 import pytest
 
 from repro.browser import Browser, NotInteractableError
-from repro.dom import Element, Event
+from repro.dom import Element
 
 
 def blank_app(page):

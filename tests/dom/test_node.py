@@ -1,6 +1,5 @@
 """Element tree: attributes, classes, style, visibility, widget state."""
 
-import pytest
 
 from repro.dom import Document, Element, Text
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dom import Document, Element, SelectorError, matches, parse_selector
-from repro.dom.selector import query_all, query_one
+from repro.dom.selector import query_all
 
 
 @pytest.fixture()

@@ -18,7 +18,7 @@ from repro.quickltl import (
 )
 from repro.quickltl.classic import Lasso, extensions, holds
 
-from .strategies import classic_formulas, lassos, states, traces
+from .strategies import classic_formulas, lassos, traces
 
 import pytest
 

@@ -1,6 +1,5 @@
 """The progression checker on the paper's motivating scenarios."""
 
-import pytest
 
 from repro.quickltl import (
     Always,

@@ -10,9 +10,7 @@ from hypothesis import given, settings
 from repro.quickltl import (
     Always,
     Defer,
-    Eventually,
     FormulaChecker,
-    TOP,
     Verdict,
     atom,
     check_trace,
@@ -67,7 +65,6 @@ def test_deferred_bodies_freeze_state_values(trace):
     """A Defer body mimicking Specstrom's strict let: ``let v = p; always
     (p == v)`` -- the deferred build must see the state where the
     enclosing operator unrolled."""
-    p = atom("p")
 
     def build(state):
         frozen = state["p"]

@@ -11,7 +11,6 @@ from repro.quickltl import (
     Defer,
     Eventually,
     Not,
-    NextReq,
     Or,
     Release,
     TOP,

@@ -1,6 +1,5 @@
 """Laws of the five-valued verdict algebra."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

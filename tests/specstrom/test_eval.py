@@ -5,7 +5,6 @@ import pytest
 from repro.specstrom import (
     SpecEvalError,
     StateQueryOutsideStateError,
-    global_environment,
 )
 
 from .helpers import element, run_expr, snapshot

@@ -174,7 +174,6 @@ class TestElaborationErrors:
             "let ~ok = true; check always ok;", default_subscript=123
         )
         # Force the deferred property with a dummy state.
-        from repro.quickltl import unroll
 
         state = snapshot({})
         formula = module.checks[0].formula

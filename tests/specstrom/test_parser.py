@@ -10,7 +10,6 @@ from repro.specstrom.ast_nodes import (
     Call,
     IfExpr,
     Index,
-    Lit,
     Member,
     ObjectLit,
     SelectorLit,

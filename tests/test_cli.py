@@ -77,3 +77,79 @@ class TestAudit:
         assert code == 0
         assert "vue" in out and "polymer" in out
         assert "2/2 agree" in out
+
+    def test_audit_jobs_spans_campaigns_identically(self, capsys):
+        args = ["audit", "vue", "polymer", "mithril",
+                "--subscript", "40", "--tests", "4"]
+        code_serial = main(args)
+        serial_out = capsys.readouterr().out
+        code_pooled = main(args + ["--jobs", "3"])
+        pooled_out = capsys.readouterr().out
+        assert code_serial == code_pooled == 0
+        assert serial_out == pooled_out  # verdict-for-verdict identical
+
+    def test_audit_junit_report_file(self, capsys, tmp_path):
+        from xml.etree import ElementTree
+
+        report = tmp_path / "audit.xml"
+        code = main(
+            [
+                "audit", "vue", "polymer",
+                "--subscript", "40",
+                "--tests", "2",
+                "--jobs", "2",
+                "--format", "junit",
+                "--report-file", str(report),
+            ]
+        )
+        assert code == 0
+        root = ElementTree.fromstring(report.read_text(encoding="utf-8"))
+        suite_names = [s.get("name") for s in root.iter("testsuite")]
+        assert suite_names == ["vue", "polymer"]
+        assert root.get("failures") == "1"  # polymer's expected failure
+        # The console table still goes to stdout alongside the file.
+        assert "2/2 agree" in capsys.readouterr().out
+
+    def test_audit_junit_to_stdout_is_pure_xml(self, capsys):
+        from xml.etree import ElementTree
+
+        code = main(
+            [
+                "audit", "vue",
+                "--subscript", "40",
+                "--tests", "1",
+                "--format", "junit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        root = ElementTree.fromstring(out)
+        assert root.tag == "testsuites"
+
+    def test_report_file_requires_junit_format(self):
+        with pytest.raises(SystemExit, match="--format junit"):
+            main(["audit", "vue", "--format", "json",
+                  "--report-file", "out.json"])
+        with pytest.raises(SystemExit, match="--format junit"):
+            main(["check", spec_path("eggtimer.strom"), "--app", "eggtimer",
+                  "--report-file", "report.xml"])
+
+    def test_audit_json_event_stream(self, capsys):
+        import json
+
+        code = main(
+            [
+                "audit", "vue",
+                "--subscript", "40",
+                "--tests", "1",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line
+        ]
+        assert records[-1]["event"] == "audit_end"
+        assert records[-1]["agreeing"] == 1
