@@ -20,7 +20,8 @@ available as the single-test engine underneath.
 """
 
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
-from .pool import PoolTask, TaskFailure, WorkerCrashed, WorkerPool
+from .lease import ExecutorCache, ExecutorLease
+from .pool import PoolMetrics, PoolTask, TaskFailure, WorkerCrashed, WorkerPool
 from .reporters import (
     ConsoleReporter,
     JsonlReporter,
@@ -47,6 +48,9 @@ __all__ = [
     "CampaignSetResult",
     "CheckTarget",
     "PooledScheduler",
+    "ExecutorCache",
+    "ExecutorLease",
+    "PoolMetrics",
     "PoolTask",
     "TaskFailure",
     "WorkerCrashed",

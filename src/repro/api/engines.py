@@ -28,11 +28,13 @@ under parallel execution.
 from __future__ import annotations
 
 import random
+import time
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..checker.result import CampaignResult, Counterexample, TestResult
 from ..checker.runner import Runner
+from .lease import ExecutorCache
 from .pool import (
     SKIPPED,
     PoolTask,
@@ -52,10 +54,25 @@ def _test_seed(seed: object, index: int) -> str:
     return f"{seed}/{index}"
 
 
+def _run_test(runner: Runner, rng: random.Random, cache) -> TestResult:
+    """One test, leased from ``cache`` when warm reuse is on.
+
+    The no-cache call deliberately omits the ``lease`` keyword: tests
+    drive the engines with duck-typed runner stand-ins whose
+    ``run_single_test(rng)`` predates it.
+    """
+    if cache is None:
+        return runner.run_single_test(rng)
+    return runner.run_single_test(
+        rng, lease=cache.lease(runner.executor_factory)
+    )
+
+
 def campaign_tasks(
     runner: Runner,
     pool: WorkerPool,
     label: object = None,
+    cache: Optional[ExecutorCache] = None,
 ) -> List[PoolTask]:
     """The campaign's tests as pool tasks, shared by both schedulers.
 
@@ -66,14 +83,25 @@ def campaign_tasks(
     workers skip indices past the earliest failure seen so far -- those
     indices are unreachable in the serial loop, so skipping them never
     changes the outcome, it only saves work.
+
+    ``cache`` (an :class:`~repro.api.lease.ExecutorCache`, created
+    before the pool forks) lets consecutive tasks on the same worker
+    reuse a warm executor for the campaign's target instead of paying
+    construction + ``Start`` per test.
     """
     config = runner.config
     first_fail = pool.make_counter(config.tests)
+    # Evaluate the watched events now, in the parent: the forked workers
+    # inherit the runner's cache instead of each re-evaluating the spec.
+    # (getattr: duck-typed runner stand-ins need not implement it.)
+    warm_watched = getattr(runner, "watched_events", None)
+    if warm_watched is not None:
+        warm_watched()
 
     def make_task(index: int) -> PoolTask:
         def thunk() -> TestResult:
-            result = runner.run_single_test(
-                random.Random(_test_seed(config.seed, index))
+            result = _run_test(
+                runner, random.Random(_test_seed(config.seed, index)), cache
             )
             if result.failed:
                 with first_fail.get_lock():
@@ -96,16 +124,27 @@ class CampaignEngine(ABC):
 
     @abstractmethod
     def run(
-        self, runner: Runner, reporters: Sequence[Reporter] = ()
+        self,
+        runner: Runner,
+        reporters: Sequence[Reporter] = (),
+        cache: Optional[ExecutorCache] = None,
     ) -> CampaignResult:
-        """Run the campaign described by ``runner.config``."""
+        """Run the campaign described by ``runner.config``.
+
+        ``cache`` enables warm executor reuse across the campaign's
+        tests (see :mod:`repro.api.lease`); verdicts are identical with
+        or without it.
+        """
 
 
 class SerialEngine(CampaignEngine):
     """The classic strictly-ordered test loop."""
 
     def run(
-        self, runner: Runner, reporters: Sequence[Reporter] = ()
+        self,
+        runner: Runner,
+        reporters: Sequence[Reporter] = (),
+        cache: Optional[ExecutorCache] = None,
     ) -> CampaignResult:
         config = runner.config
         for reporter in reporters:
@@ -116,7 +155,7 @@ class SerialEngine(CampaignEngine):
                 seed = _test_seed(config.seed, index)
                 for reporter in reporters:
                     reporter.on_test_start(runner.spec.name, index, seed)
-                yield index, runner.run_single_test(random.Random(seed))
+                yield index, _run_test(runner, random.Random(seed), cache)
 
         return _consume_campaign(runner, produce(), reporters)
 
@@ -138,16 +177,19 @@ class ParallelEngine(CampaignEngine):
         self.jobs = resolve_jobs(jobs)
 
     def run(
-        self, runner: Runner, reporters: Sequence[Reporter] = ()
+        self,
+        runner: Runner,
+        reporters: Sequence[Reporter] = (),
+        cache: Optional[ExecutorCache] = None,
     ) -> CampaignResult:
         tests = runner.config.tests
         workers = min(self.jobs, tests)
         if workers <= 1:
-            return SerialEngine().run(runner, reporters)
+            return SerialEngine().run(runner, reporters, cache=cache)
         for reporter in reporters:
             reporter.on_campaign_start(runner.spec.name, tests)
         pool = WorkerPool(workers)
-        tasks = campaign_tasks(runner, pool)
+        tasks = campaign_tasks(runner, pool, cache=cache)
         try:
             outcomes = pool.run(tasks)
         except WorkerCrashed as crash:
@@ -223,15 +265,27 @@ class CampaignMerge:
         self._stopped = False
         self._started = False
         self._finished: Optional[CampaignResult] = None
+        #: Wall-clock bracket (first consumed result -> finish), for
+        #: PoolMetrics.campaign_wall_s.  Campaigns overlap under
+        #: pooling, so this measures merge-side latency, not CPU time.
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
 
     @property
     def complete(self) -> bool:
         return self._stopped or self.next_index >= self.runner.config.tests
 
+    @property
+    def wall_s(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
     def start(self) -> None:
         if self._started:
             return
         self._started = True
+        self.started_at = time.perf_counter()
         if self.emit_lifecycle:
             for reporter in self.reporters:
                 reporter.on_campaign_start(
@@ -278,6 +332,7 @@ class CampaignMerge:
     def finish(self) -> CampaignResult:
         if self._finished is None:
             self.start()  # zero-test edge: events still bracket properly
+            self.finished_at = time.perf_counter()
             self._finished = CampaignResult(
                 property_name=self.runner.spec.name,
                 results=self.results,

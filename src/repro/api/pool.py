@@ -39,9 +39,12 @@ from __future__ import annotations
 
 import os
 import queue as queue_module
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
 __all__ = [
+    "PoolMetrics",
     "PoolTask",
     "TaskFailure",
     "WorkerCrashed",
@@ -49,6 +52,112 @@ __all__ = [
     "SKIPPED",
     "resolve_jobs",
 ]
+
+#: Queue-depth sampling stops growing past this many points; enough to
+#: plot any realistic batch without unbounded memory on huge ones.
+_MAX_QUEUE_SAMPLES = 4096
+
+
+@dataclass
+class PoolMetrics:
+    """Observability for one scheduled batch (pool-level backpressure).
+
+    Filled by :meth:`WorkerPool.run` (transport-level numbers) and by
+    the schedulers (campaign wall-clock, warm/cold executor counts from
+    the :class:`~repro.api.lease.ExecutorCache`), then handed to
+    reporters through ``on_session_end`` and surfaced by
+    ``JsonlReporter`` / ``--format json``.  The queue-depth and
+    utilisation numbers are what guide ``--jobs`` on big machines: a
+    queue that never drains wants more workers, workers far below 100%
+    busy want fewer.
+
+    * ``queue_depth_samples`` -- submitted-but-unfinished task counts,
+      sampled every time the collector loop polls (so roughly every
+      completion, plus a 5 Hz heartbeat while the queue is quiet);
+    * ``worker_tasks`` / ``worker_busy_s`` -- per-worker task counts and
+      cumulative task runtime, keyed by worker id;
+    * ``warm_hits`` / ``cold_starts`` -- executor checkouts served by a
+      warm reset vs full construction (zero/zero when no lease layer is
+      in play);
+    * ``campaign_wall_s`` -- per-campaign wall-clock, label-keyed, from
+      first merged result to campaign completion (campaigns overlap
+      under pooling, so these may sum to more than ``wall_s``).
+    """
+
+    jobs: int = 1
+    transport: str = "serial"  # "serial" | "fork" | "thread"
+    wall_s: float = 0.0
+    tasks_total: int = 0
+    tasks_completed: int = 0
+    tasks_skipped: int = 0
+    warm_hits: int = 0
+    cold_starts: int = 0
+    queue_depth_samples: List[int] = field(default_factory=list)
+    worker_tasks: Dict[int, int] = field(default_factory=dict)
+    worker_busy_s: Dict[int, float] = field(default_factory=dict)
+    campaign_wall_s: Dict[str, float] = field(default_factory=dict)
+
+    # -- recording (hot path: keep cheap) ------------------------------
+
+    def record_task(self, worker_id: int, elapsed_s: float, skipped: bool) -> None:
+        self.tasks_completed += 1
+        if skipped:
+            self.tasks_skipped += 1
+        self.worker_tasks[worker_id] = self.worker_tasks.get(worker_id, 0) + 1
+        self.worker_busy_s[worker_id] = (
+            self.worker_busy_s.get(worker_id, 0.0) + elapsed_s
+        )
+
+    def sample_queue_depth(self, depth: int) -> None:
+        if len(self.queue_depth_samples) < _MAX_QUEUE_SAMPLES:
+            self.queue_depth_samples.append(depth)
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depth_samples, default=0)
+
+    @property
+    def warm_hit_ratio(self) -> float:
+        checkouts = self.warm_hits + self.cold_starts
+        return self.warm_hits / checkouts if checkouts else 0.0
+
+    def utilisation(self) -> Dict[int, float]:
+        """Per-worker busy fraction of the batch's wall-clock."""
+        if self.wall_s <= 0:
+            return {worker: 0.0 for worker in self.worker_tasks}
+        return {
+            worker: busy / self.wall_s
+            for worker, busy in sorted(self.worker_busy_s.items())
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (what ``--format json`` emits)."""
+        return {
+            "jobs": self.jobs,
+            "transport": self.transport,
+            "wall_s": round(self.wall_s, 4),
+            "tasks_total": self.tasks_total,
+            "tasks_completed": self.tasks_completed,
+            "tasks_skipped": self.tasks_skipped,
+            "warm_hits": self.warm_hits,
+            "cold_starts": self.cold_starts,
+            "warm_hit_ratio": round(self.warm_hit_ratio, 4),
+            "max_queue_depth": self.max_queue_depth,
+            "worker_tasks": {
+                str(worker): count
+                for worker, count in sorted(self.worker_tasks.items())
+            },
+            "worker_utilisation": {
+                str(worker): round(fraction, 4)
+                for worker, fraction in self.utilisation().items()
+            },
+            "campaign_wall_s": {
+                label: round(seconds, 4)
+                for label, seconds in self.campaign_wall_s.items()
+            },
+        }
 
 
 class _SkippedType:
@@ -190,6 +299,8 @@ class WorkerPool:
         self,
         tasks: Sequence[PoolTask],
         on_result: Optional[Callable[[Hashable, object], None]] = None,
+        metrics: Optional[PoolMetrics] = None,
+        worker_exit: Optional[Callable[[], None]] = None,
     ) -> Dict[Hashable, object]:
         """Run every task, returning ``{task_id: outcome}``.
 
@@ -198,7 +309,15 @@ class WorkerPool:
         (the caller decides when to re-raise -- typically at its
         deterministic merge point).  ``on_result`` observes outcomes in
         *completion* order, as they arrive; use it for progress, not for
-        anything order-sensitive.
+        anything order-sensitive.  ``metrics`` (a :class:`PoolMetrics`)
+        accumulates queue-depth samples and per-worker task counts /
+        busy time as the batch drains.
+
+        ``worker_exit`` runs inside each *forked* worker as its loop
+        ends (best-effort: terminated workers skip it).  The scheduler
+        uses it to stop the worker's warm executors -- per-worker state
+        the parent cannot reach.  The thread fallback ignores it: thread
+        workers share the caller's state, which the caller cleans up.
 
         Raises :class:`WorkerCrashed` when a worker dies without
         finishing its announced task.  Any error -- including a
@@ -209,17 +328,23 @@ class WorkerPool:
         ids = [task.id for task in tasks]
         if len(set(ids)) != len(ids):
             raise ValueError("task ids must be unique within a batch")
+        if metrics is not None:
+            metrics.jobs = self.jobs
+            metrics.transport = "fork" if self.uses_fork else "thread"
+            metrics.tasks_total += len(tasks)
         if not tasks:
             return {}
         if self._ctx is None:
-            return self._run_threaded(tasks, on_result)
-        return self._run_forked(tasks, on_result)
+            return self._run_threaded(tasks, on_result, metrics)
+        return self._run_forked(tasks, on_result, metrics, worker_exit)
 
     # ------------------------------------------------------------------
     # Fork transport
     # ------------------------------------------------------------------
 
-    def _run_forked(self, tasks, on_result) -> Dict[Hashable, object]:
+    def _run_forked(
+        self, tasks, on_result, metrics=None, worker_exit=None
+    ) -> Dict[Hashable, object]:
         ctx = self._ctx
         workers = min(self.jobs, len(tasks))
         by_position = {position: task for position, task in enumerate(tasks)}
@@ -237,13 +362,21 @@ class WorkerPool:
             task_queue.put(-1)
 
         def work(worker_id: int) -> None:
-            while True:
-                position = task_queue.get()
-                if position < 0:
-                    break
-                announce[worker_id] = position
-                outcome = _run_task(by_position[position])
-                result_queue.put((position, outcome))
+            try:
+                while True:
+                    position = task_queue.get()
+                    if position < 0:
+                        break
+                    announce[worker_id] = position
+                    started = time.perf_counter()
+                    outcome = _run_task(by_position[position])
+                    elapsed = time.perf_counter() - started
+                    result_queue.put((position, outcome, worker_id, elapsed))
+            finally:
+                # Clean worker shutdown: release per-worker state (warm
+                # executors) that only exists in this forked child.
+                if worker_exit is not None:
+                    worker_exit()
 
         processes = [
             ctx.Process(target=work, args=(w,), daemon=True)
@@ -254,24 +387,40 @@ class WorkerPool:
             process.start()
 
         outcomes: Dict[Hashable, object] = {}
+        completed = False
         try:
             while len(outcomes) < len(tasks):
+                if metrics is not None:
+                    metrics.sample_queue_depth(len(tasks) - len(outcomes))
                 try:
-                    position, outcome = result_queue.get(timeout=0.2)
+                    position, outcome, worker_id, elapsed = result_queue.get(
+                        timeout=0.2
+                    )
                 except queue_module.Empty:
                     self._check_for_crash(
                         processes, result_queue, announce, outcomes, tasks,
-                        on_result,
+                        on_result, metrics,
                     )
                     continue
                 task_id = by_position[position].id
                 outcomes[task_id] = outcome
+                if metrics is not None:
+                    metrics.record_task(worker_id, elapsed, outcome == SKIPPED)
                 if on_result is not None:
                     on_result(task_id, outcome)
+            completed = True
         finally:
-            # Normal completion: workers are draining sentinels and
-            # exiting.  Error paths (worker crash, reporter exception,
-            # Ctrl-C in this very loop): make sure nothing survives.
+            if completed:
+                # Normal completion: the last result can arrive before
+                # its worker loops back for the sentinel, so grant a
+                # grace period for workers to drain sentinels and run
+                # their worker_exit cleanup before any terminate().
+                deadline = time.monotonic() + 5.0
+                for process in processes:
+                    process.join(max(0.0, deadline - time.monotonic()))
+            # Error paths (worker crash, reporter exception, Ctrl-C in
+            # this very loop) -- and grace-period stragglers: make sure
+            # nothing survives.
             for process in processes:
                 if process.is_alive():
                     process.terminate()
@@ -282,7 +431,8 @@ class WorkerPool:
         return outcomes
 
     def _check_for_crash(
-        self, processes, result_queue, announce, outcomes, tasks, on_result
+        self, processes, result_queue, announce, outcomes, tasks, on_result,
+        metrics=None,
     ) -> None:
         """Called when the result queue goes quiet: if a worker died
         abnormally, drain the stragglers and raise naming its task."""
@@ -302,11 +452,15 @@ class WorkerPool:
         # crash report only names genuinely lost work.
         while True:
             try:
-                position, outcome = result_queue.get(timeout=0.2)
+                position, outcome, worker_id, elapsed = result_queue.get(
+                    timeout=0.2
+                )
             except queue_module.Empty:
                 break
             task_id = tasks[position].id
             outcomes[task_id] = outcome
+            if metrics is not None:
+                metrics.record_task(worker_id, elapsed, outcome == SKIPPED)
             if on_result is not None:
                 on_result(task_id, outcome)
         lost = []
@@ -344,7 +498,7 @@ class WorkerPool:
     # Thread fallback
     # ------------------------------------------------------------------
 
-    def _run_threaded(self, tasks, on_result) -> Dict[Hashable, object]:
+    def _run_threaded(self, tasks, on_result, metrics=None) -> Dict[Hashable, object]:
         import threading
 
         workers = min(self.jobs, len(tasks))
@@ -362,14 +516,16 @@ class WorkerPool:
                 position = task_queue.get()
                 if position < 0:
                     break
+                started = time.perf_counter()
                 try:
                     outcome = _run_task(tasks[position])
                 except BaseException as err:  # noqa: BLE001 - crash parity
                     # A thread cannot die like a process; model the
                     # fork-mode crash so callers see one behaviour.
-                    result_queue.put(("crash", worker_id, position, err))
+                    result_queue.put(("crash", worker_id, position, err, 0.0))
                     break
-                result_queue.put(("done", worker_id, position, outcome))
+                elapsed = time.perf_counter() - started
+                result_queue.put(("done", worker_id, position, outcome, elapsed))
 
         threads = [
             threading.Thread(target=work, args=(w,), daemon=True)
@@ -381,7 +537,16 @@ class WorkerPool:
         outcomes: Dict[Hashable, object] = {}
         try:
             while len(outcomes) < len(tasks):
-                kind, worker_id, position, payload = result_queue.get()
+                if metrics is not None:
+                    metrics.sample_queue_depth(len(tasks) - len(outcomes))
+                try:
+                    # Poll like the fork loop: the timeout doubles as
+                    # the queue-depth sampling heartbeat while quiet.
+                    kind, worker_id, position, payload, elapsed = (
+                        result_queue.get(timeout=0.2)
+                    )
+                except queue_module.Empty:
+                    continue
                 task_id = tasks[position].id
                 if kind == "crash":
                     # The announced task is lost; waiting for it would
@@ -394,6 +559,8 @@ class WorkerPool:
                         unreported=unreported,
                     ) from payload
                 outcomes[task_id] = payload
+                if metrics is not None:
+                    metrics.record_task(worker_id, elapsed, payload == SKIPPED)
                 if on_result is not None:
                     on_result(task_id, payload)
         finally:

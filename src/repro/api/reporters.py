@@ -31,6 +31,7 @@ to plain lines when piped).
 
 from __future__ import annotations
 
+import inspect
 import json
 import sys
 from typing import IO, List, Optional, Sequence, Tuple
@@ -44,11 +45,36 @@ __all__ = [
     "JsonlReporter",
     "JUnitXmlReporter",
     "ProgressReporter",
+    "emit_session_end",
 ]
 
 #: A finished campaign with its target label (None for single-target
 #: runs); what :meth:`Reporter.on_session_end` receives.
 SessionOutcome = Tuple[Optional[str], CampaignResult]
+
+
+def emit_session_end(
+    reporters: Sequence["Reporter"], outcomes: Sequence[SessionOutcome],
+    metrics=None,
+) -> None:
+    """Deliver ``on_session_end`` to every reporter, passing ``metrics``
+    (a :class:`~repro.api.pool.PoolMetrics`) only to overrides that
+    accept it -- reporters written before metrics existed keep working
+    unchanged."""
+    for reporter in reporters:
+        hook = reporter.on_session_end
+        try:
+            parameters = inspect.signature(hook).parameters
+            accepts_metrics = "metrics" in parameters or any(
+                parameter.kind is inspect.Parameter.VAR_KEYWORD
+                for parameter in parameters.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            accepts_metrics = False
+        if accepts_metrics:
+            hook(outcomes, metrics=metrics)
+        else:
+            hook(outcomes)
 
 
 class Reporter:
@@ -84,8 +110,17 @@ class Reporter:
     def on_campaign_end(self, result: CampaignResult) -> None:
         """The campaign is over."""
 
-    def on_session_end(self, outcomes: Sequence[SessionOutcome]) -> None:
-        """The whole batch is over (fires once, after every campaign)."""
+    def on_session_end(
+        self, outcomes: Sequence[SessionOutcome], metrics=None
+    ) -> None:
+        """The whole batch is over (fires once, after every campaign).
+
+        ``metrics`` is the batch's :class:`~repro.api.pool.PoolMetrics`
+        when a scheduler ran it (queue depth, worker utilisation,
+        warm-hit/cold-start counts), ``None`` otherwise.  Overrides that
+        don't declare the parameter still work -- the schedulers deliver
+        this hook through :func:`emit_session_end`.
+        """
 
 
 class ConsoleReporter(Reporter):
@@ -193,13 +228,16 @@ class JsonlReporter(Reporter):
             }
         )
 
-    def on_session_end(self, outcomes: Sequence[SessionOutcome]) -> None:
+    def on_session_end(
+        self, outcomes: Sequence[SessionOutcome], metrics=None
+    ) -> None:
         self._emit(
             {
                 "event": "session_end",
                 "campaigns": len(outcomes),
                 "passed": sum(1 for _, r in outcomes if r.passed),
                 "failed": sum(1 for _, r in outcomes if not r.passed),
+                "pool": metrics.to_dict() if metrics is not None else None,
             }
         )
 
@@ -213,6 +251,11 @@ class JUnitXmlReporter(Reporter):
     counterexample.  Times are the checker's *simulated* seconds -- the
     deterministic cost model the paper reports -- so the XML is
     bit-for-bit reproducible for a given seed.
+
+    Indices a campaign never reached because ``stop_on_failure`` ended
+    it early are reported as ``<skipped>`` testcases, so every suite
+    accounts for its full planned test budget (CI dashboards show
+    "3 of 8 skipped" instead of silently shrinking the suite).
 
     The document is written when the session ends (``on_session_end``),
     or explicitly via :meth:`write`.  Pass ``path`` to write to a file
@@ -243,6 +286,7 @@ class JUnitXmlReporter(Reporter):
         self._current = {
             "property": property_name,
             "target": target,
+            "planned": tests,
             "cases": [],
         }
 
@@ -258,6 +302,7 @@ class JUnitXmlReporter(Reporter):
                 "index": index,
                 "result": result,
                 "failure": None,
+                "skipped": False,
             }
         )
 
@@ -277,11 +322,25 @@ class JUnitXmlReporter(Reporter):
 
     def on_campaign_end(self, result: CampaignResult) -> None:
         suite = self._ensure_suite(result.property_name)
+        # Skipped-index accounting: stop_on_failure ends the campaign
+        # before later indices run; report them explicitly instead of
+        # letting the suite silently shrink below its planned budget.
+        for index in range(len(suite["cases"]), suite.get("planned", 0)):
+            suite["cases"].append(
+                {
+                    "index": index,
+                    "result": None,
+                    "failure": None,
+                    "skipped": True,
+                }
+            )
         suite["result"] = result
         self._suites.append(suite)
         self._current = None
 
-    def on_session_end(self, outcomes: Sequence[SessionOutcome]) -> None:
+    def on_session_end(
+        self, outcomes: Sequence[SessionOutcome], metrics=None
+    ) -> None:
         self.write()
 
     # -- output --------------------------------------------------------
@@ -301,7 +360,7 @@ class JUnitXmlReporter(Reporter):
 
     def to_xml(self) -> str:
         root = ElementTree.Element("testsuites", name=self.suite_name)
-        total = failures = 0
+        total = failures = skipped_total = 0
         total_time = 0.0
         for suite in self._suites:
             campaign: CampaignResult = suite.get("result") or CampaignResult(
@@ -309,8 +368,11 @@ class JUnitXmlReporter(Reporter):
             )
             suite_time = campaign.total_virtual_ms / 1000.0
             suite_failures = sum(
-                1 for case in suite["cases"] if case["result"].failed
+                1
+                for case in suite["cases"]
+                if not case["skipped"] and case["result"].failed
             )
+            suite_skipped = sum(1 for case in suite["cases"] if case["skipped"])
             label = suite["target"] or suite["property"]
             element = ElementTree.SubElement(
                 root,
@@ -319,9 +381,25 @@ class JUnitXmlReporter(Reporter):
                 tests=str(len(suite["cases"])),
                 failures=str(suite_failures),
                 errors="0",
+                skipped=str(suite_skipped),
                 time=f"{suite_time:.3f}",
             )
             for case in suite["cases"]:
+                if case["skipped"]:
+                    testcase = ElementTree.SubElement(
+                        element,
+                        "testcase",
+                        classname=label,
+                        name=f"{suite['property']}[{case['index']}]",
+                        time="0.000",
+                    )
+                    ElementTree.SubElement(
+                        testcase,
+                        "skipped",
+                        message="not run: campaign stopped at an earlier "
+                                "failure (stop_on_failure)",
+                    )
+                    continue
                 result: TestResult = case["result"]
                 testcase = ElementTree.SubElement(
                     element,
@@ -339,10 +417,12 @@ class JUnitXmlReporter(Reporter):
                     failure.text = case["failure"] or ""
             total += len(suite["cases"])
             failures += suite_failures
+            skipped_total += suite_skipped
             total_time += suite_time
         root.set("tests", str(total))
         root.set("failures", str(failures))
         root.set("errors", "0")
+        root.set("skipped", str(skipped_total))
         root.set("time", f"{total_time:.3f}")
         ElementTree.indent(root)  # 3.9+: pretty-print for humans and diffs
         body = ElementTree.tostring(root, encoding="unicode")
@@ -426,7 +506,9 @@ class ProgressReporter(Reporter):
             self.stream.write("\n")
             self._line_width = 0
 
-    def on_session_end(self, outcomes: Sequence[SessionOutcome]) -> None:
+    def on_session_end(
+        self, outcomes: Sequence[SessionOutcome], metrics=None
+    ) -> None:
         summary = (
             f"{len(outcomes)} campaign(s): "
             f"{len(outcomes) - self._failed} passed, {self._failed} failed"

@@ -33,14 +33,16 @@ later campaigns are still running.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..checker.result import CampaignResult
 from ..checker.runner import Runner
 from .engines import CampaignMerge, _test_seed, campaign_tasks
-from .pool import WorkerPool, resolve_jobs
-from .reporters import Reporter
+from .lease import ExecutorCache
+from .pool import PoolMetrics, WorkerPool, resolve_jobs
+from .reporters import Reporter, emit_session_end
 
 __all__ = [
     "CheckTarget",
@@ -83,9 +85,15 @@ class CampaignOutcome:
 
 @dataclass
 class CampaignSetResult:
-    """All campaign outcomes of one batch, in submission order."""
+    """All campaign outcomes of one batch, in submission order.
+
+    ``metrics`` carries the batch's :class:`~repro.api.pool.PoolMetrics`
+    (queue depth, worker utilisation, warm-hit/cold-start counts,
+    per-campaign wall-clock) when the batch ran through a scheduler.
+    """
 
     outcomes: List[CampaignOutcome] = field(default_factory=list)
+    metrics: Optional[PoolMetrics] = None
 
     def __iter__(self):
         return iter(self.outcomes)
@@ -151,6 +159,15 @@ class CampaignSet:
         return list(self._campaigns)
 
 
+def _last_use_positions(entries) -> Dict[Callable, int]:
+    """Last campaign position per executor factory: after it, a
+    target's warm executor can be released (both scheduler paths)."""
+    return {
+        runner.executor_factory: position
+        for position, (_, runner) in enumerate(entries)
+    }
+
+
 class PooledScheduler:
     """Runs a :class:`CampaignSet` on one shared worker pool.
 
@@ -167,18 +184,23 @@ class PooledScheduler:
         self,
         campaigns: CampaignSet,
         reporters: Sequence[Reporter] = (),
+        reuse: bool = True,
     ) -> CampaignSetResult:
+        """Run the batch.  ``reuse`` enables warm executor reuse across
+        consecutive tasks of the same target (see
+        :mod:`repro.api.lease`); verdicts are identical either way."""
         entries = campaigns.campaigns
         for reporter in reporters:
             reporter.on_session_start(len(entries))
+        started = time.perf_counter()
         if self.jobs <= 1 or len(entries) == 0:
-            outcomes = self._run_serial(entries, reporters)
+            outcomes, metrics = self._run_serial(entries, reporters, reuse)
         else:
-            outcomes = self._run_pooled(entries, reporters)
-        result = CampaignSetResult(outcomes)
+            outcomes, metrics = self._run_pooled(entries, reporters, reuse)
+        metrics.wall_s = time.perf_counter() - started
+        result = CampaignSetResult(outcomes, metrics=metrics)
         session_view = [(o.target, o.result) for o in outcomes]
-        for reporter in reporters:
-            reporter.on_session_end(session_view)
+        emit_session_end(reporters, session_view, metrics)
         return result
 
     # ------------------------------------------------------------------
@@ -186,36 +208,78 @@ class PooledScheduler:
     # ------------------------------------------------------------------
 
     def _run_serial(
-        self, entries, reporters: Sequence[Reporter]
-    ) -> List[CampaignOutcome]:
+        self, entries, reporters: Sequence[Reporter], reuse: bool
+    ) -> Tuple[List[CampaignOutcome], PoolMetrics]:
+        metrics = PoolMetrics(jobs=1, transport="serial")
+        cache = ExecutorCache(enabled=reuse)
+        # A warm executor is held only while its target still has
+        # campaigns ahead (check_all shares one factory across every
+        # campaign; the audit has one per target, released as it ends).
+        last_use = _last_use_positions(entries)
         outcomes = []
-        for label, runner in entries:
-            merge = CampaignMerge(runner, reporters, label=label,
-                                  emit_lifecycle=True)
-            for index in range(runner.config.tests):
-                if merge.complete:
-                    break
-                seed = _test_seed(runner.config.seed, index)
-                result = runner.run_single_test(random.Random(seed))
-                merge.step(result)
-            outcomes.append(CampaignOutcome(label, merge.finish()))
-        return outcomes
+        try:
+            for position, (label, runner) in enumerate(entries):
+                merge = CampaignMerge(runner, reporters, label=label,
+                                      emit_lifecycle=True)
+                metrics.tasks_total += runner.config.tests
+                for index in range(runner.config.tests):
+                    if merge.complete:
+                        break
+                    seed = _test_seed(runner.config.seed, index)
+                    lease = cache.lease(runner.executor_factory)
+                    task_started = time.perf_counter()
+                    result = runner.run_single_test(
+                        random.Random(seed), lease=lease
+                    )
+                    metrics.record_task(
+                        0, time.perf_counter() - task_started, False
+                    )
+                    merge.step(result)
+                # Indices never reached (stop_on_failure): account for
+                # them exactly like the pool's SKIPPED outcomes, so the
+                # serial and pooled metrics agree for the same workload.
+                for _ in range(runner.config.tests - merge.next_index):
+                    metrics.record_task(0, 0.0, True)
+                outcomes.append(CampaignOutcome(label, merge.finish()))
+                metrics.campaign_wall_s[merge.label] = merge.wall_s
+                if last_use[runner.executor_factory] == position:
+                    cache.release(runner.executor_factory)
+        finally:
+            cache.close()
+        metrics.warm_hits = cache.warm_hits.value
+        metrics.cold_starts = cache.cold_starts.value
+        return outcomes, metrics
 
     # ------------------------------------------------------------------
     # Pooled batch
     # ------------------------------------------------------------------
 
     def _run_pooled(
-        self, entries, reporters: Sequence[Reporter]
-    ) -> List[CampaignOutcome]:
+        self, entries, reporters: Sequence[Reporter], reuse: bool
+    ) -> Tuple[List[CampaignOutcome], PoolMetrics]:
         pool = WorkerPool(self.jobs)
+        metrics = PoolMetrics()
+        # Warm/cold counters live in shared memory so forked workers --
+        # each owning a private copy-on-write ExecutorCache -- aggregate
+        # into one number the parent can report.
+        warm_hits = pool.make_counter(0)
+        cold_starts = pool.make_counter(0)
+        # Bound held-warm executors: a forked worker serving many
+        # targets over a long audit must not accumulate one live
+        # session per target ever seen (the parent cannot release
+        # inside workers; LRU eviction at checkin can).
+        cache = ExecutorCache(enabled=reuse, warm_hits=warm_hits,
+                              cold_starts=cold_starts,
+                              max_entries=max(4, self.jobs))
         tasks = []
         merges: List[CampaignMerge] = []
         for label, runner in entries:
             # Shared first-failure counters must exist before the fork.
-            tasks.extend(campaign_tasks(runner, pool, label=label))
+            tasks.extend(campaign_tasks(runner, pool, label=label,
+                                        cache=cache))
             merges.append(CampaignMerge(runner, reporters, label=label,
                                         emit_lifecycle=True))
+        last_use = _last_use_positions(entries)
 
         arrived: Dict[Tuple[str, int], object] = {}
         cursor = {"campaign": 0}
@@ -234,13 +298,32 @@ class PooledScheduler:
                         return
                     merge.step_outcome(arrived.pop(key))
                 merge.finish()
+                metrics.campaign_wall_s[merge.label] = merge.wall_s
+                factory = merge.runner.executor_factory
+                if last_use[factory] == cursor["campaign"]:
+                    # Best-effort early release of the target's warm
+                    # executor.  In thread mode the cache is shared, so
+                    # this frees it as soon as its last campaign merges
+                    # (a straggler checkin is still caught by close());
+                    # in fork mode the parent's cache is empty and the
+                    # workers' copies die with their processes.
+                    cache.release(factory)
                 cursor["campaign"] += 1
 
         def on_result(task_id, outcome) -> None:
             arrived[task_id] = outcome
             advance()
 
-        pool.run(tasks, on_result=on_result)
+        try:
+            # worker_exit closes each forked worker's private cache
+            # (stopping its warm executors) as the worker drains its
+            # sentinel -- per-worker state the parent cannot reach.
+            pool.run(tasks, on_result=on_result, metrics=metrics,
+                     worker_exit=cache.close)
+        finally:
+            # Thread fallback shares the cache with the workers; stop
+            # any still-warm executors the per-target release missed.
+            cache.close()
         advance()
         outcomes = []
         for merge in merges:
@@ -249,6 +332,8 @@ class PooledScheduler:
                     f"campaign {merge.label!r} has unmerged tests"
                 )
             outcomes.append(CampaignOutcome(merge.label, merge.finish()))
-        return outcomes
+        metrics.warm_hits = warm_hits.value
+        metrics.cold_starts = cold_starts.value
+        return outcomes, metrics
 
 

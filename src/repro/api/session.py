@@ -38,13 +38,21 @@ The pool is forked once for the batch, its workers are reused across
 campaigns through a task queue, and it is torn down when the batch
 completes -- verdicts are identical to running each campaign serially
 with the same seed.
+
+Executors are reused warm by default (``reuse_executors=True``):
+consecutive tasks on the same worker that test the same application
+reset a cached executor (the ``Reset`` protocol message) instead of
+paying construction + ``Start`` per test -- the per-session overhead
+that dominates batches of small campaigns.  Warm verdicts are
+bit-for-bit identical to cold ones; pass ``reuse_executors=False`` (or
+``--no-reuse`` on the CLI) for the cold baseline.
 """
 
 from __future__ import annotations
 
 import inspect
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..checker.config import RunnerConfig
 from ..checker.result import CampaignResult
@@ -127,6 +135,7 @@ class CheckSession:
         config: Optional[RunnerConfig] = None,
         jobs: Optional[int] = None,
         reporters: Optional[Sequence[Reporter]] = None,
+        reuse_executors: bool = True,
     ) -> CampaignSetResult:
         """Check many targets as one batch on a shared worker pool.
 
@@ -141,9 +150,16 @@ class CheckSession:
         pool is forked once, reused across campaigns, and torn down when
         the batch completes; verdicts are identical to sequential
         :meth:`check` calls with the same seeds.
+
+        ``reuse_executors`` keeps each worker's executor warm between
+        consecutive tests of the same target (reset instead of
+        reconstructed; see :mod:`repro.api.lease`).  Warm and cold runs
+        produce identical verdicts; disable it only to benchmark the
+        cold baseline or to isolate a suspected reset bug.
         """
         campaign_set = CampaignSet()
-        batch_check: Optional[CheckSpec] = None  # resolved (parsed) once
+        batch_check: Optional[CheckSpec] = None  # resolved once
+        modules: Dict[str, SpecModule] = {}  # loaded .strom files, by path
         for position, target in enumerate(targets):
             target = self._coerce_target(target, position)
             target_spec = target.spec if target.spec is not None else spec
@@ -156,11 +172,14 @@ class CheckSession:
                 # The common audit shape: every target shares the batch
                 # spec.  Resolve (and for a path, parse) it exactly once.
                 if batch_check is None:
-                    batch_check = self._resolve(spec, property)
+                    batch_check = self._resolve(spec, property, modules)
                 check_spec = batch_check
             else:
+                # A target overriding only `property` still reads the
+                # batch spec; the module cache makes sure a .strom file
+                # is parsed once per batch, not once per target.
                 check_spec = self._resolve(
-                    target_spec, target.property or property
+                    target_spec, target.property or property, modules
                 )
             if target.app is not None:
                 factory = _coerce_executor_factory(target.app)
@@ -188,7 +207,8 @@ class CheckSession:
         active_reporters = (
             self.reporters if reporters is None else list(reporters)
         )
-        return scheduler.run(campaign_set, active_reporters)
+        return scheduler.run(campaign_set, active_reporters,
+                             reuse=reuse_executors)
 
     @staticmethod
     def _coerce_target(target: TargetLike, position: int) -> CheckTarget:
@@ -210,15 +230,58 @@ class CheckSession:
         spec: SpecLike,
         *,
         config: Optional[RunnerConfig] = None,
+        jobs: Optional[int] = None,
+        reuse_executors: bool = True,
+        reporters: Optional[Sequence[Reporter]] = None,
     ) -> List[CampaignResult]:
-        """Check every property of a module, in declaration order."""
+        """Check every property of a module, in declaration order.
+
+        The batch rides the cross-campaign scheduler: one campaign per
+        property, all against this session's application, on one worker
+        pool (``jobs``, defaulting like :meth:`check_many`).  This is
+        the *many properties x one app* fast path -- because every
+        campaign shares the session's executor factory, warm executor
+        reuse spans property boundaries, so a worker pays executor
+        warm-up once and resets between properties instead of
+        reconstructing per test.  Verdicts are identical to sequential
+        :meth:`check` calls.
+
+        A session constructed with a *custom* ``engine=`` keeps its
+        engine: each property runs through ``engine.run`` exactly as
+        :meth:`check` would, one campaign at a time (the scheduler fast
+        path only replaces the built-in engines it is equivalent to).
+        On that path the custom engine owns scheduling, so ``jobs`` and
+        ``reuse_executors`` do not apply; ``reporters`` still override
+        the session's.
+        """
+        if self.executor_factory is None:
+            raise ValueError(
+                "this session was constructed without an application; "
+                "pass one to CheckSession(...) or use check_many with "
+                "targets that carry their own apps"
+            )
         if isinstance(spec, CheckSpec):
-            return [self.check(spec, config=config)]
-        module = self._load(spec)
-        return [
-            self.engine.run(self._runner(check, config), self.reporters)
-            for check in module.checks
-        ]
+            checks = [spec]
+        else:
+            checks = self._load(spec).checks
+        if type(self.engine) not in (SerialEngine, ParallelEngine):
+            # A user-supplied campaign strategy is an extension point;
+            # never silently bypass it.
+            active_reporters = (
+                self.reporters if reporters is None else list(reporters)
+            )
+            return [
+                self.engine.run(self._runner(check, config), active_reporters)
+                for check in checks
+            ]
+        batch = self.check_many(
+            [CheckTarget(check.name, spec=check) for check in checks],
+            config=config,
+            jobs=jobs,
+            reuse_executors=reuse_executors,
+            reporters=reporters,
+        )
+        return batch.results
 
     def runner(
         self,
@@ -243,19 +306,36 @@ class CheckSession:
             )
         return Runner(check_spec, self.executor_factory, config)
 
-    def _load(self, spec: SpecLike) -> SpecModule:
+    def _load(
+        self,
+        spec: SpecLike,
+        module_cache: Optional[Dict[str, SpecModule]] = None,
+    ) -> SpecModule:
+        """Load a spec; ``module_cache`` memoizes parsed ``.strom``
+        files by path so a batch parses each file at most once."""
         if isinstance(spec, SpecModule):
             return spec
         if isinstance(spec, (str, os.PathLike)):
-            return load_module_file(
-                os.fspath(spec), default_subscript=self.default_subscript
+            path = os.fspath(spec)
+            if module_cache is not None and path in module_cache:
+                return module_cache[path]
+            module = load_module_file(
+                path, default_subscript=self.default_subscript
             )
+            if module_cache is not None:
+                module_cache[path] = module
+            return module
         raise TypeError(
             f"cannot load a specification from {type(spec).__name__}; "
             "pass a .strom path, a SpecModule or a CheckSpec"
         )
 
-    def _resolve(self, spec: SpecLike, property: Optional[str]) -> CheckSpec:
+    def _resolve(
+        self,
+        spec: SpecLike,
+        property: Optional[str],
+        module_cache: Optional[Dict[str, SpecModule]] = None,
+    ) -> CheckSpec:
         if isinstance(spec, CheckSpec):
             if property is not None and property != spec.name:
                 raise ValueError(
@@ -263,7 +343,7 @@ class CheckSession:
                     f"{spec.name!r}"
                 )
             return spec
-        module = self._load(spec)
+        module = self._load(spec, module_cache)
         if property is not None:
             return module.check_named(property)
         if len(module.checks) == 1:

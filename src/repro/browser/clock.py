@@ -33,6 +33,15 @@ class VirtualClock:
             raise ValueError("time cannot go backwards")
         self._now_ms += delta_ms
 
+    def reset(self) -> None:
+        """Return to time zero (a new session on a warm browser).
+
+        The clock is monotone *within* a session; resetting is only
+        legal between sessions, when no pending deadline can observe
+        the jump (the owning scheduler resets alongside).
+        """
+        self._now_ms = 0.0
+
 
 class Scheduler:
     """``setTimeout``/``setInterval`` over a :class:`VirtualClock`.
@@ -75,6 +84,15 @@ class Scheduler:
     def cancel(self, task_id: int) -> None:
         """Cancel a pending timeout or interval (unknown ids are ignored)."""
         self._tasks.pop(task_id, None)
+
+    def reset(self) -> None:
+        """Drop every pending task and restart the id/order counters, so
+        a warm-reused browser hands out the same timer ids a fresh one
+        would (nothing observable may differ between the two)."""
+        self._heap.clear()
+        self._tasks.clear()
+        self._ids = itertools.count(1)
+        self._seq = itertools.count()
 
     @property
     def next_deadline(self) -> Optional[float]:

@@ -102,6 +102,26 @@ class Browser:
         hash_before = self.page.document.location_hash if self.page else ""
         self.load(location_hash=hash_before)
 
+    def reset(self) -> None:
+        """Return to the pristine post-construction state and mount the
+        application afresh: storage wiped, virtual clock back at zero,
+        no timers, no load listeners.
+
+        This is the warm-session analogue of closing the tab and opening
+        a new one -- the browser object (the expensive part of a real
+        WebDriver session) survives, but nothing the previous session
+        did can leak into the new one.  A reset browser is
+        observationally identical to ``Browser(app_factory)`` + ``load()``.
+        """
+        self.scheduler.reset()
+        self.storage.clear()
+        self.clock.reset()
+        self._load_listeners = []
+        self.loads = 0
+        self.page = None  # load() must not re-cancel the dead page's timers
+        self.app = None
+        self.load()
+
     def _cancel_all_timers(self) -> None:
         for task_id in list(self.scheduler._tasks):
             self.scheduler.cancel(task_id)

@@ -92,6 +92,7 @@ class Runner:
         self.spec = spec
         self.executor_factory = executor_factory
         self.config = config or RunnerConfig()
+        self._watched_events: Optional[Tuple[Tuple[str, PrimitiveEvent], ...]] = None
 
     # ------------------------------------------------------------------
     # Campaign
@@ -115,7 +116,18 @@ class Runner:
     # ------------------------------------------------------------------
 
     def watched_events(self) -> Tuple[Tuple[str, PrimitiveEvent], ...]:
-        """Evaluate event definitions to (name, primitive) pairs."""
+        """The spec's watched events as (name, primitive) pairs.
+
+        Event definitions are state- and RNG-independent, so they are
+        evaluated once per runner and cached -- a campaign of N tests
+        evaluates them once, not N times (the pooled schedulers warm
+        this cache before forking, so workers inherit it for free).
+        """
+        if self._watched_events is None:
+            self._watched_events = self._evaluate_watched_events()
+        return self._watched_events
+
+    def _evaluate_watched_events(self) -> Tuple[Tuple[str, PrimitiveEvent], ...]:
         watched = []
         ctx = EvalContext(state=None, rng=None,
                           default_subscript=self.spec.default_subscript)
@@ -129,9 +141,31 @@ class Runner:
             watched.append((event.name, primitive))
         return tuple(watched)
 
-    def run_single_test(self, rng: random.Random) -> TestResult:
-        executor = self.executor_factory()
-        executor.start(Start(self.spec.dependencies, self.watched_events()))
+    def _start_message(self) -> Start:
+        return Start(self.spec.dependencies, self.watched_events())
+
+    def run_single_test(self, rng: random.Random, lease=None) -> TestResult:
+        """Run one generated test.
+
+        ``lease`` (an :class:`~repro.api.lease.ExecutorLease`) checks a
+        possibly-warm executor out of its cache and parks it again after
+        the test; without one, a fresh executor is constructed and
+        stopped, exactly as before.  Verdicts are identical either way.
+        """
+        if lease is not None:
+            executor = lease.checkout(self._start_message())
+        else:
+            executor = self.executor_factory()
+            executor.start(self._start_message())
+        try:
+            return self._drive_test(executor, rng, lease)
+        except BaseException:
+            # The session is in an unknown state (e.g. ActionFailed from
+            # a vanished target): never park it warm, never leak it.
+            executor.stop()
+            raise
+
+    def _drive_test(self, executor, rng: random.Random, lease) -> TestResult:
         checker = FormulaChecker(self.spec.formula)
         config = self.config
 
@@ -194,8 +228,7 @@ class Runner:
         if verdict is Verdict.DEMAND:
             verdict = checker.force()
             forced = True
-        executor.stop()
-        return TestResult(
+        result = TestResult(
             verdict=verdict,
             forced=forced,
             states_observed=acc.states,
@@ -208,6 +241,11 @@ class Runner:
             actions=[(f.name, f.resolved) for f in fired],
             stall_reason=stall_reason,
         )
+        if lease is not None:
+            lease.checkin(executor)
+        else:
+            executor.stop()
+        return result
 
     # ------------------------------------------------------------------
     # Action selection
@@ -258,7 +296,7 @@ class Runner:
         """Re-run a concrete action sequence; returns the result, or None
         when the sequence is not replayable (an action lost its target)."""
         executor = self.executor_factory()
-        executor.start(Start(self.spec.dependencies, self.watched_events()))
+        executor.start(self._start_message())
         checker = FormulaChecker(self.spec.formula)
         config = self.config
         actions_by_name = {a.name: a for a in self.spec.actions}
@@ -266,6 +304,7 @@ class Runner:
 
         acc = TraceAccumulator(checker)
         start_ms = executor.now_ms
+        dispatched = 0  # the verdict can turn definitive mid-sequence
 
         acc.absorb(executor)
         for name, resolved in actions:
@@ -292,6 +331,7 @@ class Runner:
             if not accepted:  # pragma: no cover - version always current here
                 executor.stop()
                 return None
+            dispatched += 1
             acc.absorb(executor)
             timeout_ms = timeout_by_name.get(name)
             if timeout_ms is not None:
@@ -309,7 +349,7 @@ class Runner:
             verdict=verdict,
             forced=forced,
             states_observed=acc.states,
-            actions_taken=len(actions),
+            actions_taken=dispatched,
             stale_rejections=0,
             elapsed_virtual_ms=executor.now_ms - start_ms,
             trace=acc.trace,

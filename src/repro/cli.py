@@ -18,11 +18,15 @@ Usage (also via the ``quickstrom-repro`` console script)::
     python -m repro list-implementations
 
 ``check`` loads a specification file and runs its properties against the
-chosen application; its ``--jobs`` fans one campaign's tests out over
-workers.  ``audit`` reproduces the paper's Table 1 workload over named
-(or all) TodoMVC implementations; its ``--jobs`` spans *campaigns* --
-the whole batch runs on one shared worker pool (forked once, reused
-across implementations), with verdicts identical to a serial audit.
+chosen application -- each property is a campaign on one shared pool,
+so ``--jobs`` spans every (property, test) task.  ``audit`` reproduces
+the paper's Table 1 workload over named (or all) TodoMVC
+implementations; its ``--jobs`` spans *campaigns* -- the whole batch
+runs on one shared worker pool (forked once, reused across
+implementations), with verdicts identical to a serial audit.  Both
+commands reuse warm executors across consecutive tests of the same
+target by default (``--no-reuse`` restores cold per-test construction;
+verdicts are identical either way).
 """
 
 from __future__ import annotations
@@ -117,6 +121,10 @@ def _campaign_options(parser: argparse.ArgumentParser, jobs_help: str) -> None:
                              "or a JUnit XML test report")
     parser.add_argument("--report-file", default=None, metavar="PATH",
                         help="write the junit report here instead of stdout")
+    parser.add_argument("--no-reuse", action="store_true",
+                        help="construct a fresh executor for every test "
+                             "instead of reusing a warm one (verdicts are "
+                             "identical; this is the cold baseline)")
 
 
 def _progress_reporters() -> list:
@@ -146,9 +154,7 @@ def _cmd_check(args) -> int:
             reporters.append(ConsoleReporter())
     else:
         reporters.append(ConsoleReporter())
-    session = CheckSession(
-        _app_factory(args.app), jobs=args.jobs, reporters=reporters
-    )
+    session = CheckSession(_app_factory(args.app), reporters=reporters)
     checks = module.checks
     if args.property_name is not None:
         checks = [module.check_named(args.property_name)]
@@ -159,16 +165,16 @@ def _cmd_check(args) -> int:
         seed=args.seed,
         shrink=not args.no_shrink,
     )
-    for reporter in reporters:
-        reporter.on_session_start(len(checks))
-    outcomes = []
-    for check in checks:
-        result = session.check(check, config=config)
-        outcomes.append((None, result))
-    for reporter in reporters:
-        reporter.on_session_end(outcomes)
-    failures = sum(1 for _, result in outcomes if not result.passed)
-    return 1 if failures else 0
+    # Every property rides the cross-campaign scheduler as its own
+    # campaign against the one app: --jobs spans (property, test) tasks
+    # on one pool, and warm executor reuse crosses property boundaries.
+    batch = session.check_many(
+        [CheckTarget(check.name, spec=check) for check in checks],
+        config=config,
+        jobs=args.jobs,
+        reuse_executors=not args.no_reuse,
+    )
+    return 1 if batch.failures else 0
 
 
 def _cmd_audit(args) -> int:
@@ -199,7 +205,9 @@ def _cmd_audit(args) -> int:
     targets = [
         CheckTarget(impl.name, impl.app_factory()) for impl in implementations
     ]
-    session.check_many(targets, spec=spec, config=config, jobs=args.jobs)
+    batch = session.check_many(targets, spec=spec, config=config,
+                               jobs=args.jobs,
+                               reuse_executors=not args.no_reuse)
 
     agreeing = len(implementations) - stream.disagreements
     if junit_to_stdout:
@@ -207,7 +215,10 @@ def _cmd_audit(args) -> int:
     elif stream_mode == "json":
         print(json.dumps(
             {"event": "audit_end", "implementations": len(implementations),
-             "agreeing": agreeing}, sort_keys=True,
+             "agreeing": agreeing,
+             "pool": (batch.metrics.to_dict()
+                      if batch.metrics is not None else None)},
+            sort_keys=True,
         ))
     else:
         print(f"\n{agreeing}/{len(implementations)} "

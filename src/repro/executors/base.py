@@ -20,7 +20,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List
 
-from ..protocol.messages import Act, Start
+from ..protocol.messages import Act, Reset, Start
 
 __all__ = ["ActionFailed", "Executor"]
 
@@ -76,3 +76,17 @@ class Executor(ABC):
 
     def stop(self) -> None:
         """Tear the session down (default: nothing to do)."""
+
+    def reset(self, reset: Reset) -> bool:
+        """Begin a fresh session on this warm executor, if the backend
+        can restore its initial state *exactly* (same initial state,
+        virtual time back at zero, empty trace).
+
+        Returns True when the reset happened (the initial ``loaded?``
+        event is enqueued, as after :meth:`start`); False when the
+        backend cannot reset -- the caller (an
+        :class:`~repro.api.lease.ExecutorLease`) then falls back to
+        :meth:`stop` plus a freshly constructed executor, so warm reuse
+        is always an optimisation, never a semantics change.
+        """
+        return False

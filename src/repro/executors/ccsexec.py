@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
-from ..protocol.messages import Acted, Act, Event, Start, Timeout
+from ..protocol.messages import Acted, Act, Event, Reset, Start, Timeout
 from ..protocol.session import TraceRecorder
 from ..specstrom.state import ElementSnapshot, StateSnapshot
 from .base import Executor
@@ -52,6 +52,7 @@ class CCSExecutor(Executor):
         self.initial = initial
         self.process = initial
         self.tau_period_ms = tau_period_ms
+        self.tau_seed = tau_seed
         self.recorder = TraceRecorder()
         self._outbox: List[object] = []
         self._dependencies: Tuple[str, ...] = ()
@@ -67,6 +68,20 @@ class CCSExecutor(Executor):
         self._dependencies = tuple(sorted(start.dependencies))
         self.process = self.initial
         self._report("event", ("loaded?",))
+
+    def reset(self, reset: Reset) -> bool:
+        """Warm restart: back to the initial process, time zero, a fresh
+        tau RNG -- observationally identical to a cold ``start`` on a
+        newly constructed executor with the same parameters."""
+        self._dependencies = tuple(sorted(reset.dependencies))
+        self.process = self.initial
+        self.recorder = TraceRecorder()
+        self._outbox = []
+        self._now_ms = 0.0
+        self._next_tau_ms = self.tau_period_ms if self.tau_period_ms > 0 else None
+        self._rng = random.Random(self.tau_seed)
+        self._report("event", ("loaded?",))
+        return True
 
     def drain(self) -> List[object]:
         messages, self._outbox = self._outbox, []

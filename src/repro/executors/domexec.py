@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..browser.webdriver import Browser, NotInteractableError, Page
-from ..protocol.messages import Acted, Act, Event, Start, Timeout
+from ..protocol.messages import Acted, Act, Event, Reset, Start, Timeout
 from ..protocol.session import TraceRecorder
 from ..specstrom.actions import PrimitiveEvent, ResolvedAction
 from ..specstrom.state import ElementSnapshot, StateSnapshot
@@ -52,6 +52,29 @@ class DomExecutor(Executor):
         self.browser.load()
         self._remember_watches()
         self._report("event", ("loaded?",))
+
+    def reset(self, reset: Reset) -> bool:
+        """Warm restart: keep the browser, remount the application.
+
+        The browser object survives (in a real WebDriver backend this is
+        the expensive session), but its storage, clock, timers and the
+        mounted application are all returned to their pristine state, so
+        the new session is observationally identical to a cold
+        ``start`` -- same initial snapshot, same versions, same virtual
+        time origin.  The new session's dependency set and watched
+        events replace the old ones (warm reuse spans properties).
+        """
+        if self.browser is None:
+            return False  # never started; nothing warm to reuse
+        self._dependencies = tuple(sorted(reset.dependencies))
+        self._watched = tuple(reset.events)
+        self.recorder = TraceRecorder()
+        self._outbox = []
+        self._last_watch_state = {}
+        self.browser.reset()
+        self._remember_watches()
+        self._report("event", ("loaded?",))
+        return True
 
     def drain(self) -> List[object]:
         messages, self._outbox = self._outbox, []

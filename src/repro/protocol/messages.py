@@ -11,6 +11,13 @@ Checker to executor:
   ``Timeout`` if no event occurs within it.
 * :class:`Wait` -- request a Timeout signal after a delay, with the same
   version rule.
+* :class:`Reset` -- begin a *new* session on an already-warm executor:
+  return the system under test to its pristine initial state (fresh
+  trace, fresh clock) without paying full executor construction.  The
+  fields mirror :class:`Start` because the new session may watch a
+  different specification's selectors and events.  Backends that cannot
+  restore the initial state exactly decline, and the caller falls back
+  to stop + a fresh ``Start``.
 
 Executor to checker:
 
@@ -29,12 +36,29 @@ from typing import Optional, Tuple
 from ..specstrom.actions import PrimitiveEvent, ResolvedAction
 from ..specstrom.state import StateSnapshot
 
-__all__ = ["Start", "Act", "Wait", "Event", "Acted", "Timeout", "ExecutorMessage"]
+__all__ = [
+    "Start", "Act", "Wait", "Reset", "Event", "Acted", "Timeout",
+    "ExecutorMessage",
+]
 
 
 @dataclass(frozen=True)
 class Start:
     """Request a new session; lists the relevant selectors and events."""
+
+    dependencies: frozenset
+    events: Tuple[Tuple[str, PrimitiveEvent], ...] = ()
+
+
+@dataclass(frozen=True)
+class Reset:
+    """Request a fresh session on a warm executor (see module docs).
+
+    A reset session must be observationally identical to a freshly
+    constructed-and-started one: same initial state, same virtual time
+    origin, same trace versioning.  That exactness is what makes
+    warm-reuse verdicts bit-for-bit equal to cold-start verdicts.
+    """
 
     dependencies: frozenset
     events: Tuple[Tuple[str, PrimitiveEvent], ...] = ()

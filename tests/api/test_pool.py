@@ -196,3 +196,161 @@ class TestCleanShutdown:
         )
         assert outcomes == {**{i: i + 10 for i in range(5)}, "skipped": SKIPPED}
         assert _no_alive_workers(pool)
+
+
+class TestThreadFallbackCrashReporting:
+    """The `"crash"` branch of _run_threaded, in detail: attribution,
+    unreported accounting, and that completed work is not misreported."""
+
+    def _thread_pool(self, monkeypatch, jobs):
+        monkeypatch.setattr(
+            WorkerPool, "_fork_context", staticmethod(lambda: None)
+        )
+        pool = WorkerPool(jobs)
+        assert not pool.uses_fork
+        return pool
+
+    def test_crash_lists_in_flight_and_unreported(self, monkeypatch):
+        pool = self._thread_pool(monkeypatch, 1)
+
+        def boom():
+            raise KeyboardInterrupt()
+
+        tasks = [
+            PoolTask("done-first", lambda: "ok"),
+            PoolTask("boom", boom),
+            PoolTask("never-ran", lambda: "unreachable"),
+        ]
+        with pytest.raises(WorkerCrashed) as excinfo:
+            pool.run(tasks)
+        crash = excinfo.value
+        # One worker runs the queue in order: the finished task is not
+        # reported lost, the crashing one is in-flight, and everything
+        # without an outcome (crasher included) is unreported.
+        assert crash.in_flight == ["boom"]
+        assert crash.unreported == ["boom", "never-ran"]
+        assert "boom" in str(crash)
+        assert _no_alive_workers(pool)
+
+    def test_crash_chains_the_original_error(self, monkeypatch):
+        pool = self._thread_pool(monkeypatch, 1)
+
+        def explode():
+            raise SystemExit(3)
+
+        with pytest.raises(WorkerCrashed) as excinfo:
+            pool.run([PoolTask("t", explode)])
+        assert isinstance(excinfo.value.__cause__, SystemExit)
+
+    def test_surviving_threads_are_starved_after_crash(self, monkeypatch):
+        """Other workers exit at their next queue read instead of
+        draining the doomed batch."""
+        pool = self._thread_pool(monkeypatch, 2)
+
+        def boom():
+            raise KeyboardInterrupt()
+
+        tasks = [PoolTask("boom", boom)] + [
+            PoolTask(i, time.monotonic) for i in range(20)
+        ]
+        with pytest.raises(WorkerCrashed):
+            pool.run(tasks)
+        assert _no_alive_workers(pool)
+
+
+class TestPoolMetrics:
+    def _metrics(self):
+        from repro.api.pool import PoolMetrics
+
+        return PoolMetrics()
+
+    def test_fork_mode_fills_transport_and_worker_stats(self):
+        pool = WorkerPool(2)
+        metrics = self._metrics()
+        outcomes = pool.run(
+            [PoolTask(i, (lambda i=i: i)) for i in range(6)], metrics=metrics
+        )
+        assert len(outcomes) == 6
+        assert metrics.transport == ("fork" if pool.uses_fork else "thread")
+        assert metrics.jobs == 2
+        assert metrics.tasks_total == 6
+        assert metrics.tasks_completed == 6
+        assert metrics.tasks_skipped == 0
+        assert sum(metrics.worker_tasks.values()) == 6
+        assert set(metrics.worker_tasks) <= {0, 1}
+        assert all(busy >= 0 for busy in metrics.worker_busy_s.values())
+        assert metrics.queue_depth_samples
+        assert 1 <= metrics.max_queue_depth <= 6
+
+    def test_skipped_tasks_are_counted(self):
+        metrics = self._metrics()
+        WorkerPool(2).run(
+            [
+                PoolTask("run", lambda: 1),
+                PoolTask("skip", lambda: 1, skip=lambda: True),
+            ],
+            metrics=metrics,
+        )
+        assert metrics.tasks_skipped == 1
+        assert metrics.tasks_completed == 2
+
+    def test_thread_mode_fills_the_same_fields(self, monkeypatch):
+        monkeypatch.setattr(
+            WorkerPool, "_fork_context", staticmethod(lambda: None)
+        )
+        metrics = self._metrics()
+        WorkerPool(2).run(
+            [PoolTask(i, (lambda i=i: i)) for i in range(5)], metrics=metrics
+        )
+        assert metrics.transport == "thread"
+        assert metrics.tasks_completed == 5
+        assert sum(metrics.worker_tasks.values()) == 5
+        assert metrics.queue_depth_samples
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        metrics = self._metrics()
+        WorkerPool(2).run(
+            [PoolTask(i, (lambda i=i: i)) for i in range(3)], metrics=metrics
+        )
+        metrics.wall_s = 0.5
+        payload = metrics.to_dict()
+        json.dumps(payload)  # must not raise
+        for key in ("jobs", "transport", "wall_s", "tasks_total",
+                    "warm_hits", "cold_starts", "warm_hit_ratio",
+                    "max_queue_depth", "worker_tasks",
+                    "worker_utilisation", "campaign_wall_s"):
+            assert key in payload
+
+    def test_utilisation_is_busy_over_wall(self):
+        from repro.api.pool import PoolMetrics
+
+        metrics = PoolMetrics(jobs=2, transport="fork")
+        metrics.record_task(0, 0.25, False)
+        metrics.record_task(1, 0.75, False)
+        metrics.wall_s = 1.0
+        assert metrics.utilisation() == {0: 0.25, 1: 0.75}
+        assert metrics.warm_hit_ratio == 0.0
+
+
+class TestWorkerExit:
+    def test_worker_exit_runs_in_every_forked_worker(self):
+        pool = WorkerPool(2)
+        if not pool.uses_fork:
+            pytest.skip("fork transport unavailable on this platform")
+        ran = pool.make_counter(0)
+
+        def cleanup():
+            with ran.get_lock():
+                ran.value += 1
+
+        pool.run(
+            [PoolTask(i, (lambda i=i: i)) for i in range(6)],
+            worker_exit=cleanup,
+        )
+        assert ran.value == 2  # once per worker, in the children
+
+    def test_worker_exit_is_optional(self):
+        outcomes = WorkerPool(2).run([PoolTask(0, lambda: 1)])
+        assert outcomes == {0: 1}

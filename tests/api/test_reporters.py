@@ -147,13 +147,27 @@ class TestJUnitXmlReporter:
         passing, failing = suites
         assert passing.get("failures") == "0"
         assert passing.get("tests") == "3"
+        assert passing.get("skipped") == "0"
         assert failing.get("failures") == "1"
+        # stop_on_failure: the campaign planned 5 tests and stopped at
+        # the first failure; unreached indices appear as <skipped>.
+        assert failing.get("tests") == "5"
         cases = list(failing.iter("testcase"))
-        assert cases[-1].get("name").startswith("safety[")
-        failure = cases[-1].find("failure")
-        assert failure is not None
+        assert len(cases) == 5
+        failed = [c for c in cases if c.find("failure") is not None]
+        assert len(failed) == 1
+        failure = failed[0].find("failure")
+        assert failed[0].get("name").startswith("safety[")
         assert "counterexample" in failure.text
         assert "DEFINITELY_FALSE" in failure.get("message")
+        skipped = [c for c in cases if c.find("skipped") is not None]
+        assert len(skipped) == int(failing.get("skipped")) > 0
+        ran = [c for c in cases if c.find("skipped") is None]
+        assert len(ran) + len(skipped) == 5
+        # Skipped cases follow the failing index and carry a reason.
+        assert all("stop" in c.find("skipped").get("message")
+                   for c in skipped)
+        assert root.get("skipped") == failing.get("skipped")
 
     def test_write_to_path(self, tmp_path):
         path = tmp_path / "report.xml"

@@ -140,3 +140,87 @@ class TestLegacyCompat:
         assert [r.actions for r in legacy.results] == [
             r.actions for r in modern.results
         ]
+
+
+class TestSpecModuleMemoization:
+    """A batch parses each .strom file once, even when targets override
+    only `property` (which used to re-parse the file per target)."""
+
+    def _counting_loader(self, monkeypatch):
+        import repro.api.session as session_module
+
+        calls = []
+        original = session_module.load_module_file
+
+        def counting(path, **kwargs):
+            calls.append(path)
+            return original(path, **kwargs)
+
+        monkeypatch.setattr(session_module, "load_module_file", counting)
+        return calls
+
+    def test_property_overrides_share_one_parse(self, monkeypatch):
+        from repro.api import CheckTarget
+
+        calls = self._counting_loader(monkeypatch)
+        batch = CheckSession(egg_timer_app()).check_many(
+            [
+                CheckTarget("safety-a", property="safety"),
+                CheckTarget("liveness-b", property="liveness"),
+                CheckTarget("safety-c", property="safety"),
+            ],
+            spec=spec_path("eggtimer.strom"),
+            config=QUICK,
+            jobs=1,
+        )
+        assert len(batch) == 3
+        assert len(calls) == 1
+
+    def test_mixed_batch_shares_one_parse_too(self, monkeypatch):
+        from repro.api import CheckTarget
+
+        calls = self._counting_loader(monkeypatch)
+        CheckSession(egg_timer_app()).check_many(
+            [
+                CheckTarget("plain"),  # batch spec + batch property
+                CheckTarget("override", property="liveness"),
+            ],
+            spec=spec_path("eggtimer.strom"),
+            property="safety",
+            config=QUICK,
+            jobs=1,
+        )
+        assert len(calls) == 1
+
+    def test_single_check_calls_still_parse_fresh(self, monkeypatch):
+        """The memo is batch-scoped: separate check() calls re-read the
+        file (so edits between runs are picked up)."""
+        calls = self._counting_loader(monkeypatch)
+        session = CheckSession(egg_timer_app())
+        session.check(spec_path("eggtimer.strom"), property="safety",
+                      config=QUICK)
+        session.check(spec_path("eggtimer.strom"), property="safety",
+                      config=QUICK)
+        assert len(calls) == 2
+
+
+class TestCustomEngineHonoured:
+    def test_check_all_runs_a_custom_engine_per_property(self):
+        """engine= is an extension point; check_all's scheduler fast
+        path must only replace the built-in engines."""
+        from repro.api import CampaignEngine, SerialEngine
+
+        class CountingEngine(CampaignEngine):
+            def __init__(self):
+                self.runs = []
+                self._serial = SerialEngine()
+
+            def run(self, runner, reporters=(), cache=None):
+                self.runs.append(runner.spec.name)
+                return self._serial.run(runner, reporters)
+
+        engine = CountingEngine()
+        session = CheckSession(egg_timer_app(), engine=engine)
+        results = session.check_all(load_eggtimer_spec(), config=QUICK)
+        assert engine.runs == ["safety", "liveness", "timeUp"]
+        assert [r.property_name for r in results] == engine.runs

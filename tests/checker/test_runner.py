@@ -194,3 +194,113 @@ class TestEggTimerEndToEnd:
         # Every test observed more states than actions: tick events count.
         for test in result.results:
             assert test.states_observed > test.actions_taken
+
+
+class TestReplayAccounting:
+    """Runner.replay must report only the actions it actually
+    dispatched: the verdict can turn definitive mid-sequence."""
+
+    def _failing_runner(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        return Runner(
+            spec,
+            lambda: DomExecutor(egg_timer_app(decrement=2)),
+            RunnerConfig(tests=5, scheduled_actions=20, demand_allowance=10,
+                         seed=3, shrink=True),
+        )
+
+    def test_replay_counts_only_dispatched_actions(self):
+        runner = self._failing_runner()
+        campaign = runner.run()
+        assert not campaign.passed
+        shrunk = campaign.shrunk_counterexample
+        assert shrunk is not None
+        # Pad the failing sequence with actions that can never run: the
+        # verdict is already definitive when the replay reaches them.
+        padded = list(shrunk.actions) + list(shrunk.actions) * 3
+        replayed = runner.replay(padded)
+        assert replayed is not None
+        assert replayed.failed
+        assert replayed.actions_taken == len(shrunk.actions)
+        assert replayed.actions_taken < len(padded)
+        # The dispatched count agrees with the observed trace: no
+        # phantom actions inflate the reporter's statistics.
+        acted = sum(1 for entry in replayed.trace if entry.kind == "acted")
+        assert acted == replayed.actions_taken
+
+    def test_full_replay_still_counts_everything(self):
+        runner = self._failing_runner()
+        campaign = runner.run()
+        shrunk = campaign.shrunk_counterexample
+        prefix = list(shrunk.actions)[:-1]  # stop short of the failure
+        replayed = runner.replay(prefix)
+        assert replayed is not None
+        assert replayed.actions_taken == len(prefix)
+
+
+class TestWatchedEventsCache:
+    """Event definitions are state- and RNG-independent: one evaluation
+    per campaign, not one per test."""
+
+    def test_evaluated_exactly_once_per_campaign(self, monkeypatch):
+        from repro.api import SerialEngine
+
+        spec = load_eggtimer_spec().check_named("safety")  # has tick?
+        runner = Runner(
+            spec,
+            lambda: DomExecutor(egg_timer_app()),
+            RunnerConfig(tests=3, scheduled_actions=8, demand_allowance=5,
+                         seed=1, shrink=False),
+        )
+        calls = []
+        original = Runner._evaluate_watched_events
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(Runner, "_evaluate_watched_events", counting)
+        result = SerialEngine().run(runner)
+        assert result.tests_run == 3
+        assert len(calls) == 1
+
+    def test_cache_returns_the_same_tuple(self):
+        spec = load_eggtimer_spec().check_named("safety")
+        runner = Runner(spec, lambda: DomExecutor(egg_timer_app()))
+        assert runner.watched_events() is runner.watched_events()
+
+
+class TestLeaseExceptionSafety:
+    def test_mid_test_error_stops_the_executor_instead_of_parking_it(self):
+        """An executor that blows up mid-test must not be checked in
+        warm (its session state is unknown) and must be stopped."""
+        from repro.api import ExecutorCache
+        from repro.executors.base import ActionFailed
+
+        stopped = []
+
+        class BlowingExecutor(DomExecutor):
+            def act(self, act):
+                raise ActionFailed("target vanished")
+
+            def stop(self):
+                stopped.append(self)
+                super().stop()
+
+        spec = load_eggtimer_spec().check_named("safety")
+        runner = Runner(
+            spec,
+            lambda: BlowingExecutor(egg_timer_app()),
+            RunnerConfig(tests=1, scheduled_actions=5, demand_allowance=3,
+                         seed=1, shrink=False),
+        )
+        cache = ExecutorCache()
+        import random as random_module
+
+        with pytest.raises(ActionFailed):
+            runner.run_single_test(
+                random_module.Random("x"),
+                lease=cache.lease(runner.executor_factory),
+            )
+        assert len(stopped) == 1
+        assert len(cache) == 0  # nothing parked warm

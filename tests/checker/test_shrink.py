@@ -70,3 +70,81 @@ class TestShrinking:
         replayed = runner.replay(result.shrunk_counterexample.actions)
         assert replayed is not None
         assert not replayed.failed
+
+
+class TestReplayBudget:
+    """Exhausting _MAX_REPLAYS mid-improvement must keep the best
+    candidate found so far, never fall back to the original."""
+
+    @staticmethod
+    def _result(actions, verdict):
+        from repro.checker.result import TestResult
+
+        return TestResult(
+            verdict=verdict,
+            forced=False,
+            states_observed=len(actions) + 1,
+            actions_taken=len(actions),
+            stale_rejections=0,
+            elapsed_virtual_ms=0.0,
+            trace=[],
+            actions=list(actions),
+        )
+
+    def _scripted_runner(self):
+        """Replay 'fails' iff the candidate still contains action "a"
+        (so the true minimum is ["a"] alone)."""
+        from repro.quickltl import Verdict
+
+        result = self._result
+
+        class ScriptedRunner:
+            replays = 0
+
+            def replay(self, candidate):
+                self.replays += 1
+                if any(name == "a" for name, _ in candidate):
+                    return result(candidate, Verdict.DEFINITELY_FALSE)
+                return result(candidate, Verdict.DEFINITELY_TRUE)
+
+        return ScriptedRunner()
+
+    def test_budget_exhaustion_keeps_best_so_far(self, monkeypatch):
+        from repro.checker import shrink as shrink_module
+        from repro.checker.result import Counterexample
+        from repro.quickltl import Verdict
+
+        original = [("a", None), ("b", None), ("c", None), ("d", None)]
+        counterexample = Counterexample(
+            actions=list(original), trace=[], verdict=Verdict.DEFINITELY_FALSE
+        )
+        # Budget of exactly 2 replays: the first candidate ([c, d])
+        # passes, the second ([a, b]) fails -- an improvement -- and the
+        # budget is then spent before ddmin can reach the minimum [a].
+        monkeypatch.setattr(shrink_module, "_MAX_REPLAYS", 2)
+        runner = self._scripted_runner()
+        shrunk = shrink_module.shrink_counterexample(runner, counterexample)
+        assert runner.replays == 2
+        assert [name for name, _ in shrunk.actions] == ["a", "b"]
+        # Strictly better than the original, strictly worse than the
+        # unreachable minimum -- exactly "best so far".
+        assert len(shrunk.actions) < len(original)
+
+    def test_unshrinkable_budget_returns_original(self, monkeypatch):
+        from repro.checker import shrink as shrink_module
+        from repro.checker.result import Counterexample
+        from repro.quickltl import Verdict
+
+        class NeverImproves:
+            def replay(self, candidate):
+                return None  # no candidate replays successfully
+
+        original = [("a", None), ("b", None)]
+        counterexample = Counterexample(
+            actions=list(original), trace=[], verdict=Verdict.DEFINITELY_FALSE
+        )
+        monkeypatch.setattr(shrink_module, "_MAX_REPLAYS", 3)
+        shrunk = shrink_module.shrink_counterexample(
+            NeverImproves(), counterexample
+        )
+        assert shrunk is counterexample

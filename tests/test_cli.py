@@ -153,3 +153,15 @@ class TestAudit:
         ]
         assert records[-1]["event"] == "audit_end"
         assert records[-1]["agreeing"] == 1
+        pool = records[-1]["pool"]
+        assert pool["tasks_total"] == 1
+        assert pool["warm_hits"] + pool["cold_starts"] == 1
+
+    def test_audit_no_reuse_matches_default_output(self, capsys):
+        args = ["audit", "vue", "polymer", "--subscript", "40", "--tests", "3"]
+        code_warm = main(args)
+        warm_out = capsys.readouterr().out
+        code_cold = main(args + ["--no-reuse"])
+        cold_out = capsys.readouterr().out
+        assert code_warm == code_cold == 0
+        assert warm_out == cold_out  # warm reuse never changes verdicts
