@@ -35,7 +35,7 @@ Warm hits and cold starts are counted through shared counters (a
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, List, Optional
 
 from ..protocol.messages import Reset, Start
 from .pool import _ThreadCounter
@@ -67,10 +67,18 @@ class ExecutorCache:
     aggregate into one number; they default to in-process counters.
 
     ``max_entries`` bounds how many warm executors the cache may hold
-    at once; checking in past the bound stops and evicts the
-    least-recently-used entry.  The pooled scheduler sets it so a
-    forked worker that serves many targets over a long audit never
+    at once (across all keys); checking in past the bound stops and
+    evicts the least-recently-used entry.  The pooled scheduler sets it
+    so a forked worker that serves many targets over a long audit never
     accumulates one live session per target ever seen.
+
+    ``depth`` bounds how many warm executors one *key* may hold.  The
+    default (1) is right for strictly sequential reuse; a shared cache
+    serving concurrent leases of the same target (the thread-fallback
+    pool, or a worker interleaving two targets' tasks under dynamic
+    dispatch) wants ``depth >= jobs`` -- with depth 1, two overlapping
+    leases of one key evict each other's executor at every checkin and
+    warm reuse silently degrades to cold starts.
     """
 
     def __init__(
@@ -79,16 +87,21 @@ class ExecutorCache:
         warm_hits=None,
         cold_starts=None,
         max_entries: Optional[int] = None,
+        depth: int = 1,
     ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be at least 1, got {depth}")
         self.enabled = enabled
         self.max_entries = max_entries
+        self.depth = depth
         self.warm_hits = (
             warm_hits if warm_hits is not None else _ThreadCounter(0)
         )
         self.cold_starts = (
             cold_starts if cold_starts is not None else _ThreadCounter(0)
         )
-        self._entries: Dict[Hashable, object] = {}
+        #: key -> warm executors, oldest first; key order is recency.
+        self._entries: Dict[Hashable, List[object]] = {}
         self._lock = threading.Lock()
 
     def lease(
@@ -99,34 +112,52 @@ class ExecutorCache:
         return ExecutorLease(self, factory, factory if key is None else key)
 
     def checkout(self, key: Hashable) -> Optional[object]:
-        """Claim the warm executor for ``key``, or None on a miss.  The
-        entry is *removed*: an executor is only ever owned by one task."""
+        """Claim a warm executor for ``key``, or None on a miss.  The
+        entry is *removed*: an executor is only ever owned by one task.
+        The most recently parked executor is claimed first (LIFO), so
+        sequential reuse keeps touching the same warm session."""
         with self._lock:
-            return self._entries.pop(key, None)
+            stack = self._entries.get(key)
+            if not stack:
+                return None
+            executor = stack.pop()
+            if not stack:
+                del self._entries[key]
+            return executor
 
     def checkin(self, key: Hashable, executor: object) -> None:
         """Park a still-warm executor for the next test of ``key``."""
         evicted = []
         with self._lock:
-            previous = self._entries.pop(key, None)
-            if previous is not None and previous is not executor:
+            stack = self._entries.pop(key, None)
+            if stack is None:
+                stack = []
+            if any(parked is executor for parked in stack):
                 # Cannot happen under the checkout-removes discipline,
-                # but a double checkin must not leak a running session.
-                evicted.append(previous)
-            # Insertion order doubles as recency: checkout pops and
-            # checkin re-appends, so the front is least recently used.
-            self._entries[key] = executor
+                # but a double checkin must not double-park a session.
+                self._entries[key] = stack
+                return
+            stack.append(executor)
+            while len(stack) > self.depth:
+                evicted.append(stack.pop(0))
+            # Key insertion order doubles as recency: checkout/checkin
+            # re-append, so the front key is least recently used.
+            self._entries[key] = stack
             while (
                 self.max_entries is not None
-                and len(self._entries) > self.max_entries
+                and sum(len(s) for s in self._entries.values())
+                > self.max_entries
             ):
-                oldest = next(iter(self._entries))
-                evicted.append(self._entries.pop(oldest))
+                oldest_key = next(iter(self._entries))
+                oldest = self._entries[oldest_key]
+                evicted.append(oldest.pop(0))
+                if not oldest:
+                    del self._entries[oldest_key]
         for stale in evicted:
             stale.stop()
 
     def release(self, key: Hashable) -> None:
-        """Stop and drop the warm executor for ``key``, if any.
+        """Stop and drop every warm executor for ``key``.
 
         The in-process schedulers (serial loop, thread fallback) call
         this when a target's *last* campaign finishes, so a long batch
@@ -136,21 +167,27 @@ class ExecutorCache:
         instead close their whole private cache on worker exit (the
         pool's ``worker_exit`` hook), bounding held executors by the
         worker's lifetime."""
-        executor = self.checkout(key)
-        if executor is not None:
+        with self._lock:
+            stack = self._entries.pop(key, [])
+        for executor in stack:
             executor.stop()
 
     def close(self) -> None:
         """Stop and drop every warm executor (end of batch)."""
         with self._lock:
-            entries = list(self._entries.values())
+            entries = [
+                executor
+                for stack in self._entries.values()
+                for executor in stack
+            ]
             self._entries.clear()
         for executor in entries:
             executor.stop()
 
     def __len__(self) -> int:
+        """Number of parked warm executors (across all keys)."""
         with self._lock:
-            return len(self._entries)
+            return sum(len(stack) for stack in self._entries.values())
 
 
 class ExecutorLease:

@@ -408,6 +408,20 @@ class JUnitXmlReporter(Reporter):
                     name=f"{suite['property']}[{case['index']}]",
                     time=f"{result.elapsed_virtual_ms / 1000.0:.3f}",
                 )
+                # Per-test detail as testcase <properties> (the modern
+                # JUnit schema allows them below testcase; viewers that
+                # predate it ignore the block): how much work the
+                # generated test actually did, which is what you want
+                # when triaging a slow or flaky campaign from CI alone.
+                properties = ElementTree.SubElement(testcase, "properties")
+                for name, value in (
+                    ("actions", str(result.actions_taken)),
+                    ("states", str(result.states_observed)),
+                    ("verdict", result.verdict.name),
+                ):
+                    ElementTree.SubElement(
+                        properties, "property", name=name, value=value
+                    )
                 if result.failed:
                     failure = ElementTree.SubElement(
                         testcase,

@@ -268,9 +268,15 @@ class PooledScheduler:
         # targets over a long audit must not accumulate one live
         # session per target ever seen (the parent cannot release
         # inside workers; LRU eviction at checkin can).
+        # depth=jobs: in thread-fallback mode the cache is shared, so up
+        # to `jobs` leases of one target overlap -- with depth 1 their
+        # checkins would evict each other and reuse would degrade to
+        # cold starts.  Forked workers own private caches where depth
+        # beyond 1 is simply never filled.
         cache = ExecutorCache(enabled=reuse, warm_hits=warm_hits,
                               cold_starts=cold_starts,
-                              max_entries=max(4, self.jobs))
+                              max_entries=max(4, self.jobs),
+                              depth=self.jobs)
         tasks = []
         merges: List[CampaignMerge] = []
         for label, runner in entries:

@@ -15,6 +15,8 @@ Usage (also via the ``quickstrom-repro`` console script)::
     python -m repro audit [--subscript N] [--tests N] [--jobs N]
                           [--format json|junit] [--report-file PATH]
                           [IMPLEMENTATION ...]
+    python -m repro fuzz [--seed N] [--campaigns N] [--jobs N]
+                         [--corpus PATH] [--replay PATH]
     python -m repro list-implementations
 
 ``check`` loads a specification file and runs its properties against the
@@ -99,6 +101,31 @@ def _build_parser() -> argparse.ArgumentParser:
     _campaign_options(audit, jobs_help="audit N campaigns concurrently on "
                       "one shared worker pool (forked once for the whole "
                       "batch; verdicts are identical to serial)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated apps x generated specs, "
+             "cross-checked serial vs pooled vs warm and against the "
+             "direct reference semantics",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; the same seed reproduces the same "
+                           "campaigns and verdicts exactly")
+    fuzz.add_argument("--campaigns", type=_positive_int, default=50,
+                      help="how many generated campaigns to run")
+    fuzz.add_argument("--jobs", type=_positive_int, default=2, metavar="N",
+                      help="pool width for the pooled/warm differential "
+                           "paths (the serial reference always runs too)")
+    fuzz.add_argument("--corpus", default=None, metavar="PATH",
+                      help="append shrunk divergences and minimized "
+                           "counterexamples to this JSONL file")
+    fuzz.add_argument("--replay", default=None, metavar="PATH",
+                      help="replay a corpus file instead of generating "
+                           "campaigns; exits non-zero if a divergence "
+                           "still reproduces or a counterexample no "
+                           "longer does")
+    fuzz.add_argument("--format", choices=("console", "json"),
+                      default="console")
 
     sub.add_parser("list-implementations",
                    help="list the 43 TodoMVC implementations")
@@ -260,6 +287,78 @@ class _AuditStreamReporter(Reporter):
                   flush=True)
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import read_corpus, replay_entry, run_fuzz
+
+    if args.replay is not None:
+        failures = 0
+        replayed = 0
+        for position, entry in enumerate(read_corpus(args.replay)):
+            outcome = replay_entry(entry)
+            replayed += 1
+            if entry.kind == "divergence":
+                # A divergence that still reproduces is a live bug.
+                ok = outcome is not None
+                status = ("fixed" if ok
+                          else "STILL DIVERGES")
+            else:
+                # A counterexample must replay deterministically.
+                ok = outcome is None
+                status = "reproduces" if ok else f"BROKEN: {outcome}"
+            if not ok:
+                failures += 1
+            record = {"index": position, "kind": entry.kind,
+                      "detail": entry.detail, "ok": ok, "status": status}
+            if args.format == "json":
+                print(json.dumps(record, sort_keys=True))
+            else:
+                print(f"[{position}] {entry.kind} {entry.detail}: {status}")
+        if args.format == "json":
+            print(json.dumps(
+                {"event": "replay_end", "corpus": args.replay,
+                 "entries": replayed, "problems": failures},
+                sort_keys=True,
+            ))
+        else:
+            print(f"replayed corpus {args.replay}: "
+                  f"{failures} problem(s)")
+        return 1 if failures else 0
+
+    show_progress = args.format == "console" and sys.stderr.isatty()
+
+    def progress(index, outcome) -> None:
+        if show_progress:
+            print(f"\rcampaign {index + 1}/{args.campaigns}",
+                  end="", file=sys.stderr, flush=True)
+
+    report = run_fuzz(
+        seed=args.seed,
+        campaigns=args.campaigns,
+        jobs=args.jobs,
+        corpus_path=args.corpus,
+        on_campaign=progress,
+    )
+    if show_progress:
+        print(file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.summary())
+        rows = report.scoreboard_rows()
+        if rows:
+            print("\nfault-detection scoreboard (generated Table 2):")
+            print(f"{'fault class':<22} {'detected':>8} {'injected':>8}")
+            for kind, detected, injected in rows:
+                print(f"{kind:<22} {detected:>8} {injected:>8}")
+        for divergence in report.divergences:
+            print(f"DIVERGENCE (campaign {divergence.campaign_index}, "
+                  f"{divergence.target}, {divergence.kind}): "
+                  f"{divergence.detail}")
+        if report.divergences and args.corpus:
+            print(f"shrunk reproductions appended to {args.corpus}")
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args) -> int:
     for impl in all_implementations():
         label = "beta  " if impl.beta else "mature"
@@ -278,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_check(args)
         if args.command == "audit":
             return _cmd_audit(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         return _cmd_list(args)
     except BrokenPipeError:  # e.g. piping into `head`
         return 0

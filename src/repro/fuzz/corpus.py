@@ -1,0 +1,174 @@
+"""The fuzz corpus: divergences and counterexamples, replayable forever.
+
+Every interesting find is persisted as one JSON object per line
+(JSON Lines), self-contained: the machine, the injected fault, the
+*generated specification source text* and the campaign configuration are
+stored verbatim, so an entry replays bit-for-bit on a checkout that no
+longer has the generator that produced it.
+
+Two entry kinds:
+
+* ``divergence`` -- a differential-oracle failure (path disagreement,
+  trace-oracle mismatch, or the model spec failing its correct twin).
+  Replaying re-runs the shrunk campaign and reports whether the
+  divergence still reproduces.
+* ``counterexample`` -- a minimized failing action sequence found on a
+  known-fault twin.  Replaying feeds the actions through
+  :meth:`repro.checker.runner.Runner.replay` and asserts the recorded
+  verdict reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..checker.config import RunnerConfig
+from ..checker.runner import Runner
+from ..executors.domexec import DomExecutor
+from ..specstrom.actions import ResolvedAction
+from ..specstrom.module import load_module
+from .machine import MachineFault, MachineSpec, machine_app
+
+__all__ = ["CorpusEntry", "append_entry", "read_corpus", "replay_entry"]
+
+
+@dataclass
+class CorpusEntry:
+    """One replayable corpus record."""
+
+    kind: str  # "divergence" | "counterexample"
+    detail: str
+    machine: MachineSpec
+    fault: Optional[MachineFault]
+    spec_source: str
+    spec_kind: str  # "model" | "random"
+    config: dict  # RunnerConfig fields relevant to replay
+    default_subscript: int
+    actions: Optional[List[tuple]] = None  # counterexample entries
+    verdict: Optional[str] = None
+    campaign_seed: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "machine": self.machine.to_dict(),
+            "fault": None if self.fault is None else self.fault.to_dict(),
+            "spec_source": self.spec_source,
+            "spec_kind": self.spec_kind,
+            "config": self.config,
+            "default_subscript": self.default_subscript,
+            "actions": (
+                None
+                if self.actions is None
+                else [
+                    {
+                        "name": name,
+                        "kind": resolved.kind,
+                        "selector": resolved.selector,
+                        "index": resolved.index,
+                        "args": list(resolved.args),
+                    }
+                    for name, resolved in self.actions
+                ]
+            ),
+            "verdict": self.verdict,
+            "campaign_seed": self.campaign_seed,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        actions = data.get("actions")
+        return cls(
+            kind=data["kind"],
+            detail=data["detail"],
+            machine=MachineSpec.from_dict(data["machine"]),
+            fault=(
+                None
+                if data.get("fault") is None
+                else MachineFault.from_dict(data["fault"])
+            ),
+            spec_source=data["spec_source"],
+            spec_kind=data.get("spec_kind", "model"),
+            config=data["config"],
+            default_subscript=data.get("default_subscript", 10),
+            actions=(
+                None
+                if actions is None
+                else [
+                    (
+                        a["name"],
+                        ResolvedAction(
+                            a["kind"],
+                            a["selector"],
+                            a["index"],
+                            tuple(a["args"]),
+                        ),
+                    )
+                    for a in actions
+                ]
+            ),
+            verdict=data.get("verdict"),
+            campaign_seed=data.get("campaign_seed"),
+            extra=data.get("extra", {}),
+        )
+
+    # -- replay --------------------------------------------------------
+
+    def runner(self) -> Runner:
+        """A runner reconstructed exactly as the finding was made."""
+        module = load_module(
+            self.spec_source, default_subscript=self.default_subscript
+        )
+        factory = machine_app(self.machine, self.fault)
+        return Runner(
+            module.checks[0],
+            lambda: DomExecutor(factory),
+            RunnerConfig(**self.config),
+        )
+
+
+def append_entry(path: str, entry: CorpusEntry) -> None:
+    """Append one corpus record (creating the file and parents)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+
+
+def read_corpus(path: str) -> Iterator[CorpusEntry]:
+    """Iterate the corpus records of a JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield CorpusEntry.from_dict(json.loads(line))
+
+
+def replay_entry(entry: CorpusEntry) -> Optional[str]:
+    """Replay one corpus record.
+
+    Returns ``None`` when the finding reproduces (a counterexample's
+    verdict comes back, a divergence still diverges), else a description
+    of what changed -- which, for a divergence, means it was *fixed*.
+    """
+    if entry.kind == "counterexample":
+        runner = entry.runner()
+        result = runner.replay(list(entry.actions or []))
+        if result is None:
+            return "the recorded action sequence is no longer replayable"
+        if result.verdict.name != entry.verdict:
+            return (
+                f"recorded verdict {entry.verdict} but replay gives "
+                f"{result.verdict.name}"
+            )
+        return None
+    # Divergences re-run the whole (already shrunk) campaign.
+    from .campaigns import replay_divergence
+
+    return replay_divergence(entry)

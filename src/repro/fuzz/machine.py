@@ -1,0 +1,365 @@
+"""Seeded synthetic state-machine applications and their fault mutator.
+
+A :class:`MachineSpec` is a small deterministic Moore machine drawn from
+a seed: a handful of named states, a button per input symbol (each with
+a *total* transition function over the states), optionally an autonomous
+timer that steps the machine on a fixed virtual-time period, and
+optionally storage persistence across ``reload!``.  The machine is
+mounted in the simulated browser (:func:`machine_app` returns a standard
+``page -> app`` factory, exactly like :mod:`repro.apps.eggtimer`), so
+the *whole* pipeline -- selectors, snapshots, ``changed?`` watching,
+staleness, warm reset -- is exercised, not a shortcut executor.
+
+Observables (what generated specifications read):
+
+* ``#state`` -- a span whose text is the current state name,
+* ``#ticks`` -- a span counting timer ticks,
+* ``#btn-<name>`` -- one button per input symbol.
+
+:class:`MachineFault` generalises the hand-written TodoMVC fault flags
+(:mod:`repro.apps.todomvc.faults`) into a mutator over generated apps:
+
+=====================  ==================================================
+``drop_transition``    one ``(button, state)`` edge does nothing
+``swallowed_event``    one button's click listener is never registered
+``stale_render``       entering one state does not repaint ``#state``
+``off_by_one_timer``   each tick applies the timer transition twice
+``broken_persistence`` the state is never written to storage
+=====================  ==================================================
+
+Every fault is *observable in principle* by the machine's derived model
+specification (:func:`repro.fuzz.specgen.model_spec_source`); whether a
+particular campaign catches it depends on the generated action sequence
+reaching the faulty edge -- which is exactly the fault-detection
+experiment of the paper's Table 2, machine-generated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..browser.webdriver import Page
+from ..dom.node import Element
+
+__all__ = [
+    "ButtonSpec",
+    "TimerSpec",
+    "MachineSpec",
+    "MachineFault",
+    "MachineApp",
+    "generate_machine",
+    "fault_candidates",
+    "machine_app",
+]
+
+#: Storage key used by persisting machines.
+STORAGE_KEY = "fuzz-machine:state"
+
+
+@dataclass(frozen=True)
+class ButtonSpec:
+    """One input symbol: a button and its total transition function."""
+
+    name: str
+    transitions: Tuple[Tuple[str, str], ...]  # (state -> successor), total
+
+    @property
+    def selector(self) -> str:
+        return f"#btn-{self.name}"
+
+    def successor(self, state: str) -> str:
+        for source, target in self.transitions:
+            if source == state:
+                return target
+        raise KeyError(f"button {self.name!r} has no transition from {state!r}")
+
+
+@dataclass(frozen=True)
+class TimerSpec:
+    """Autonomous activity: a periodic step of the machine."""
+
+    period_ms: float
+    transitions: Tuple[Tuple[str, str], ...]  # (state -> successor), total
+
+    def successor(self, state: str) -> str:
+        for source, target in self.transitions:
+            if source == state:
+                return target
+        raise KeyError(f"timer has no transition from {state!r}")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A generated application, fully determined by its fields.
+
+    ``seed`` records provenance only (which draw produced this machine);
+    the behaviour is carried entirely by the explicit fields, so a spec
+    deserialised from a corpus entry rebuilds the identical app.
+    """
+
+    seed: int
+    states: Tuple[str, ...]
+    initial: str
+    buttons: Tuple[ButtonSpec, ...]
+    timer: Optional[TimerSpec] = None
+    persist: bool = False
+
+    def button_named(self, name: str) -> ButtonSpec:
+        for button in self.buttons:
+            if button.name == name:
+                return button
+        raise KeyError(name)
+
+    # -- serialisation (corpus entries) --------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "states": list(self.states),
+            "initial": self.initial,
+            "buttons": [
+                {"name": b.name, "transitions": [list(t) for t in b.transitions]}
+                for b in self.buttons
+            ],
+            "timer": (
+                None
+                if self.timer is None
+                else {
+                    "period_ms": self.timer.period_ms,
+                    "transitions": [list(t) for t in self.timer.transitions],
+                }
+            ),
+            "persist": self.persist,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSpec":
+        timer = data.get("timer")
+        return cls(
+            seed=data["seed"],
+            states=tuple(data["states"]),
+            initial=data["initial"],
+            buttons=tuple(
+                ButtonSpec(
+                    b["name"],
+                    tuple((s, t) for s, t in b["transitions"]),
+                )
+                for b in data["buttons"]
+            ),
+            timer=(
+                None
+                if timer is None
+                else TimerSpec(
+                    timer["period_ms"],
+                    tuple((s, t) for s, t in timer["transitions"]),
+                )
+            ),
+            persist=data["persist"],
+        )
+
+
+@dataclass(frozen=True)
+class MachineFault:
+    """One behavioural deviation injected into a generated app.
+
+    ``kind`` is one of the five mutator classes (module docs); ``button``
+    and ``state`` narrow the fault to one edge where applicable.
+    """
+
+    kind: str
+    button: Optional[str] = None
+    state: Optional[str] = None
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.button is not None:
+            parts.append(f"button={self.button}")
+        if self.state is not None:
+            parts.append(f"state={self.state}")
+        return "(" + ", ".join(parts) + ")"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "button": self.button, "state": self.state}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineFault":
+        return cls(data["kind"], data.get("button"), data.get("state"))
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+_TIMER_PERIODS = (400.0, 700.0, 1100.0)
+
+
+def generate_machine(seed: int) -> MachineSpec:
+    """Draw a machine from ``seed`` (same seed, same machine, always)."""
+    rng = random.Random(f"fuzz-machine/{seed}")
+    n_states = rng.randint(2, 4)
+    states = tuple(f"s{i}" for i in range(n_states))
+    n_buttons = rng.randint(1, 3)
+
+    def total_transitions() -> Tuple[Tuple[str, str], ...]:
+        # Bias away from self-loops so faults have something to break.
+        table = []
+        for state in states:
+            others = [s for s in states if s != state]
+            target = rng.choice(others) if rng.random() < 0.8 else state
+            table.append((state, target))
+        return tuple(table)
+
+    buttons = tuple(
+        ButtonSpec(f"a{i}", total_transitions()) for i in range(n_buttons)
+    )
+    timer = (
+        TimerSpec(rng.choice(_TIMER_PERIODS), total_transitions())
+        if rng.random() < 0.6
+        else None
+    )
+    return MachineSpec(
+        seed=seed,
+        states=states,
+        initial=states[0],
+        buttons=buttons,
+        timer=timer,
+        persist=rng.random() < 0.5,
+    )
+
+
+def fault_candidates(machine: MachineSpec) -> List[MachineFault]:
+    """Every fault applicable to ``machine`` whose deviation is visible.
+
+    A dropped transition on a self-loop edge, or a swallowed event on a
+    button that only self-loops, would be behaviourally identical to the
+    correct twin -- such vacuous mutants are excluded, so a scoreboard
+    miss always means the *checker* missed a real deviation.
+    """
+    candidates: List[MachineFault] = []
+    entered_states = set()
+    for button in machine.buttons:
+        moving_edges = [
+            (source, target)
+            for source, target in button.transitions
+            if source != target
+        ]
+        for source, target in moving_edges:
+            candidates.append(
+                MachineFault("drop_transition", button=button.name, state=source)
+            )
+            entered_states.add(target)
+        if moving_edges:
+            candidates.append(MachineFault("swallowed_event", button=button.name))
+    if machine.timer is not None:
+        for source, target in machine.timer.transitions:
+            if source != target:
+                entered_states.add(target)
+        # Double-stepping is invisible on a machine whose timer never
+        # moves, or whose timer relation is an involution-free... just
+        # require at least one moving edge; detection stays probabilistic.
+        if any(s != t for s, t in machine.timer.transitions):
+            candidates.append(MachineFault("off_by_one_timer"))
+    for state in sorted(entered_states):
+        candidates.append(MachineFault("stale_render", state=state))
+    if machine.persist:
+        candidates.append(MachineFault("broken_persistence"))
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# The application
+# ----------------------------------------------------------------------
+
+
+class MachineApp:
+    """DOM-backed incarnation of a :class:`MachineSpec`.
+
+    Mount-time behaviour mirrors the real apps: widgets are created under
+    the document root, listeners registered through the document, timers
+    through the page scheduler, persistence through ``page.storage`` --
+    so ``DomExecutor.reset()`` and ``reload!`` treat it exactly like the
+    hand-written applications.
+    """
+
+    def __init__(
+        self,
+        page: Page,
+        machine: MachineSpec,
+        fault: Optional[MachineFault] = None,
+    ) -> None:
+        self.page = page
+        self.machine = machine
+        self.fault = fault
+        self.state = machine.initial
+        self.ticks = 0
+        if machine.persist and not self._faulted("broken_persistence"):
+            stored = page.storage.get_item(STORAGE_KEY)
+            if stored in machine.states:
+                self.state = stored
+
+        document = page.document
+        self.state_label = Element("span", {"id": "state"}, text=self.state)
+        self.ticks_label = Element("span", {"id": "ticks"}, text="0")
+        document.root.append_child(self.state_label)
+        document.root.append_child(self.ticks_label)
+        self.button_elements: Dict[str, Element] = {}
+        for button in machine.buttons:
+            element = Element(
+                "button", {"id": f"btn-{button.name}"}, text=button.name
+            )
+            document.root.append_child(element)
+            self.button_elements[button.name] = element
+            if self._faulted("swallowed_event", button=button.name):
+                continue  # the listener is never registered
+            document.add_event_listener(
+                element, "click", self._click_handler(button)
+            )
+        if machine.timer is not None:
+            page.set_interval(self._tick, machine.timer.period_ms)
+
+    # ------------------------------------------------------------------
+
+    def _faulted(self, kind: str, **narrowing) -> bool:
+        if self.fault is None or self.fault.kind != kind:
+            return False
+        return all(
+            getattr(self.fault, key) == value for key, value in narrowing.items()
+        )
+
+    def _click_handler(self, button: ButtonSpec) -> Callable:
+        def handler(_event) -> None:
+            if self._faulted("drop_transition", button=button.name,
+                             state=self.state):
+                return  # the edge is silently dropped
+            self._enter(button.successor(self.state))
+
+        return handler
+
+    def _tick(self) -> None:
+        timer = self.machine.timer
+        target = timer.successor(self.state)
+        if self._faulted("off_by_one_timer"):
+            target = timer.successor(target)  # stepped twice per tick
+        self.ticks += 1
+        self.ticks_label.text = str(self.ticks)
+        self._enter(target)
+
+    def _enter(self, target: str) -> None:
+        self.state = target
+        if not self._faulted("stale_render", state=target):
+            self.state_label.text = target
+        if self.machine.persist and not self._faulted("broken_persistence"):
+            self.page.storage.set_item(STORAGE_KEY, target)
+
+
+def machine_app(
+    machine: MachineSpec, fault: Optional[MachineFault] = None
+) -> Callable[[Page], MachineApp]:
+    """An app factory for :class:`~repro.executors.DomExecutor`."""
+
+    def factory(page: Page) -> MachineApp:
+        return MachineApp(page, machine, fault)
+
+    return factory

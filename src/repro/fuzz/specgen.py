@@ -1,0 +1,210 @@
+"""Generated Specstrom specifications for synthetic machines.
+
+Two generators, two roles:
+
+* :func:`model_spec_source` derives the machine's *sound* transition
+  system specification -- the same shape as the hand-written egg-timer
+  and TodoMVC specs (strict lets freeze the pre-state, ``next`` reads
+  the post-state, one branch per input symbol over ``happened``).  By
+  construction it must pass on the correct twin; a failure on a faulty
+  twin is a *detection* (the Table 2 scoreboard), a failure on the
+  correct twin is a checker bug (reported as a divergence).
+* :func:`random_spec_source` draws an arbitrary temporal property over
+  the machine's observables from a seeded grammar (the QuickLTL operator
+  set of ``tests/strategies.py``, rendered as Specstrom source).  Random
+  properties carry no pass/fail expectation; they exist to drive the
+  front end, the progression engine and the differential oracles over
+  formulas nobody hand-wrote.
+
+Both generators emit *source text* and go through the full front end
+(:func:`repro.specstrom.module.load_module`): the lexer, parser, type
+checker and elaborator are inside the fuzzing loop, not bypassed by it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .machine import MachineSpec
+
+__all__ = ["model_spec_source", "random_spec_source"]
+
+
+def _branch(condition: str, body: str) -> str:
+    return f"if {condition} {{ {body} }}"
+
+
+def _prelude(machine: MachineSpec, include_reload: bool):
+    """The spec prelude both generators share -- the machine's
+    observables and one action per input symbol -- so the app-surface
+    vocabulary is defined in exactly one place.
+
+    Returns ``(lines, action_names)``.
+    """
+    lines = [
+        "let ~current = `#state`.text;",
+        "let ~ticks   = parseInt(`#ticks`.text);",
+        "",
+    ]
+    action_names: List[str] = []
+    for button in machine.buttons:
+        lines.append(f"action {button.name}! = click!(`{button.selector}`);")
+        action_names.append(f"{button.name}!")
+    if machine.timer is not None:
+        lines.append("action tick? = changed?(`#ticks`);")
+        action_names.append("tick?")
+    if include_reload and machine.persist:
+        lines.append("action reloadApp! = reload!;")
+        action_names.append("reloadApp!")
+    return lines, action_names
+
+
+def _state_case(transitions, stale_var: str) -> str:
+    """``if s == "s0" { current == t0 } else if ... else { false }``
+    -- the post-state dispatch of one input symbol."""
+    clauses: List[str] = []
+    for source, target in transitions:
+        clauses.append(f'if {stale_var} == "{source}" {{ current == "{target}" }}')
+    return " else ".join(clauses) + " else { false }"
+
+
+def model_spec_source(machine: MachineSpec) -> str:
+    """The machine's transition-system specification, as Specstrom source."""
+    prelude, action_names = _prelude(machine, include_reload=True)
+    lines: List[str] = [
+        "// Auto-generated model specification for fuzz machine "
+        f"#{machine.seed}.",
+    ] + prelude
+    lines.append("")
+
+    branches: List[str] = []
+    if machine.persist:
+        # Reload remounts the app: the tick counter restarts, but the
+        # persisted state must survive.
+        branches.append(
+            _branch("reloadApp! in happened",
+                    'current == s && ticks == 0')
+        )
+    for button in machine.buttons:
+        branches.append(
+            _branch(
+                f"{button.name}! in happened",
+                _state_case(button.transitions, "s"),
+            )
+        )
+    if machine.timer is not None:
+        branches.append(
+            _branch(
+                "tick? in happened",
+                "ticks == k + 1 && ("
+                + _state_case(machine.timer.transitions, "s")
+                + ")",
+            )
+        )
+    # Anything else (timeouts; there are no other events) changes nothing.
+    chain = " else ".join(branches) + " else { current == s && ticks == k }"
+
+    lines.extend(
+        [
+            "let ~step {",
+            "  let s = current;",
+            "  let k = ticks;",
+            f"  next ({chain})",
+            "};",
+            "",
+            "let ~model =",
+            f'  loaded? in happened && current == "{machine.initial}"'
+            " && ticks == 0 && always step;",
+            "",
+            f"check model with {', '.join(action_names)};",
+        ]
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Random properties
+# ----------------------------------------------------------------------
+
+
+def _atoms(machine: MachineSpec) -> List[str]:
+    atoms = [f'current == "{state}"' for state in machine.states]
+    atoms.extend(
+        f"present(`{button.selector}`)" for button in machine.buttons
+    )
+    atoms.extend(["ticks >= 1", "ticks == 0", "ticks < 3"])
+    if machine.buttons:
+        atoms.append(f"{machine.buttons[0].name}! in happened")
+    return atoms
+
+
+def _formula(rng: random.Random, machine: MachineSpec, depth: int,
+             max_subscript: int) -> str:
+    """One grammar draw, rendered with explicit parentheses so operator
+    precedence can never disagree between generator and parser."""
+    if depth <= 0 or rng.random() < 0.25:
+        return "(" + rng.choice(_atoms(machine)) + ")"
+
+    def sub() -> str:
+        return _formula(rng, machine, depth - 1, max_subscript)
+
+    n = rng.randint(0, max_subscript)
+    choice = rng.randrange(9)
+    if choice == 0:
+        return f"(! {sub()})"
+    if choice == 1:
+        return f"({sub()} && {sub()})"
+    if choice == 2:
+        return f"({sub()} || {sub()})"
+    if choice == 3:
+        return f"({sub()} ==> {sub()})"
+    if choice == 4:
+        return f"(next {sub()})"
+    if choice == 5:
+        return f"(wnext {sub()})"
+    if choice == 6:
+        return f"(snext {sub()})"
+    if choice == 7:
+        return f"(always{{{n}}} {sub()})"
+    return f"(eventually{{{n}}} {sub()})"
+
+
+def random_spec_source(
+    machine: MachineSpec,
+    seed: int,
+    *,
+    max_depth: int = 3,
+    max_subscript: int = 4,
+) -> str:
+    """A random temporal property over ``machine``'s observables.
+
+    The property has no pass/fail expectation -- it feeds the
+    differential oracles.  ``until``/``release`` are reachable through
+    the desugaring-free operators only; the grammar sticks to the
+    operators the Specstrom surface syntax exposes directly.
+    """
+    rng = random.Random(f"fuzz-spec/{seed}")
+    body = _formula(rng, machine, max_depth, max_subscript)
+    until_like = rng.random() < 0.3
+    if until_like:
+        left = _formula(rng, machine, 1, max_subscript)
+        op = rng.choice(("until", "release"))
+        n = rng.randint(0, max_subscript)
+        body = f"({left} {op}{{{n}}} {body})"
+    # No reload action: random formulas never mention persistence, and
+    # reloads would only shorten the already-arbitrary traces.
+    prelude, action_names = _prelude(machine, include_reload=False)
+    lines = [
+        f"// Auto-generated random property #{seed} for machine "
+        f"#{machine.seed}.",
+    ] + prelude
+    lines.extend(
+        [
+            "",
+            f"let ~fuzzed = {body};",
+            "",
+            f"check fuzzed with {', '.join(action_names)};",
+        ]
+    )
+    return "\n".join(lines)

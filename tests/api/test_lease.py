@@ -366,3 +366,74 @@ class TestBoundedCache:
             lease = cache.lease(factory)
             lease.checkin(lease.checkout(START))
         assert len(cache) == 10
+
+
+class TestDepth:
+    def test_depth_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ExecutorCache(depth=0)
+
+    def test_default_depth_evicts_on_overlapping_checkins(self):
+        """The depth-1 baseline: two overlapping leases of one key park
+        two executors, and the second checkin evicts the first."""
+        cache = ExecutorCache()
+        factory = make_factory()
+        lease_a, lease_b = cache.lease(factory), cache.lease(factory)
+        executor_a = lease_a.checkout(START)
+        executor_b = lease_b.checkout(START)  # cache empty: both cold
+        lease_a.checkin(executor_a)
+        lease_b.checkin(executor_b)
+        assert len(cache) == 1
+        assert executor_a.stopped == 1  # evicted by the deeper checkin
+
+    def test_depth_two_keeps_overlapping_leases_warm(self):
+        """A worker interleaving two tasks of the same target (thread
+        pool, dynamic dispatch) keeps both executors warm."""
+        cache = ExecutorCache(depth=2)
+        factory = make_factory()
+        lease_a, lease_b = cache.lease(factory), cache.lease(factory)
+        executor_a = lease_a.checkout(START)
+        executor_b = lease_b.checkout(START)
+        lease_a.checkin(executor_a)
+        lease_b.checkin(executor_b)
+        assert len(cache) == 2
+        assert executor_a.stopped == 0 and executor_b.stopped == 0
+        # The next overlapping pair is served entirely warm, LIFO:
+        # the most recently parked executor comes back first.
+        lease_c, lease_d = cache.lease(factory), cache.lease(factory)
+        assert lease_c.checkout(START) is executor_b
+        assert lease_d.checkout(START) is executor_a
+        assert lease_c.warm and lease_d.warm
+        assert cache.cold_starts.value == 2
+        assert cache.warm_hits.value == 2
+        assert len(factory.made) == 2  # no third construction, ever
+
+    def test_release_and_close_stop_every_parked_depth_entry(self):
+        cache = ExecutorCache(depth=3)
+        factory = make_factory()
+        leases = [cache.lease(factory) for _ in range(3)]
+        executors = [lease.checkout(START) for lease in leases]
+        for lease, executor in zip(leases, executors):
+            lease.checkin(executor)
+        assert len(cache) == 3
+        cache.release(factory)
+        assert len(cache) == 0
+        assert all(executor.stopped == 1 for executor in executors)
+
+    def test_max_entries_counts_executors_not_keys(self):
+        """The global bound is on live sessions: a deep key's oldest
+        executor is evicted first."""
+        cache = ExecutorCache(depth=2, max_entries=2)
+        factory_a, factory_b = make_factory(), make_factory()
+        lease_1, lease_2 = cache.lease(factory_a), cache.lease(factory_a)
+        executor_1, executor_2 = lease_1.checkout(START), lease_2.checkout(START)
+        lease_1.checkin(executor_1)
+        lease_2.checkin(executor_2)
+        lease_3 = cache.lease(factory_b)
+        lease_3.checkin(lease_3.checkout(START))
+        assert len(cache) == 2
+        assert executor_1.stopped == 1  # key A's oldest went first
+        assert executor_2.stopped == 0
+        assert factory_b.made[0].stopped == 0

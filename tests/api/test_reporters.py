@@ -191,6 +191,40 @@ class TestJUnitXmlReporter:
         with pytest.raises(ValueError, match="not both"):
             JUnitXmlReporter(stream=io.StringIO(), path="x.xml")
 
+    def test_testcases_carry_action_count_properties(self):
+        """Per-test detail rides as <properties>: action/state counts
+        and the verdict, matching the TestResult bit for bit."""
+        stream = io.StringIO()
+        reporter = JUnitXmlReporter(stream=stream)
+        runner = eggtimer_runner()
+        result = SerialEngine().run(runner, [reporter])
+        reporter.on_session_end([(None, result)])
+        root = ElementTree.fromstring(stream.getvalue())
+        cases = list(root.iter("testcase"))
+        assert len(cases) == len(result.results)
+        for case, test in zip(cases, result.results):
+            properties = case.find("properties")
+            assert properties is not None
+            by_name = {
+                p.get("name"): p.get("value")
+                for p in properties.iter("property")
+            }
+            assert by_name["actions"] == str(test.actions_taken)
+            assert by_name["states"] == str(test.states_observed)
+            assert by_name["verdict"] == test.verdict.name
+
+    def test_skipped_testcases_carry_no_properties(self):
+        """Unreached indices (stop_on_failure) did no work; their
+        <skipped> cases stay property-free."""
+        stream = io.StringIO()
+        reporter = JUnitXmlReporter(stream=stream)
+        self._run_campaigns(reporter)
+        root = ElementTree.fromstring(stream.getvalue())
+        skipped = [c for c in root.iter("testcase")
+                   if c.find("skipped") is not None]
+        assert skipped
+        assert all(c.find("properties") is None for c in skipped)
+
     def test_target_label_names_the_suite(self):
         reporter = JUnitXmlReporter(stream=io.StringIO())
         reporter.on_campaign_start("safety", 1, target="todomvc:vue")
@@ -229,3 +263,69 @@ class TestProgressReporter:
         assert "\r" in out
         assert "test 1/3" in out
         assert "safety: ok (3 tests)" in out
+
+    def test_piped_mode_emits_no_per_test_noise(self):
+        """When piped (CI logs), per-test updates stay silent -- only
+        campaign completions produce lines, so logs don't scroll."""
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        reporter.on_campaign_start("safety", 3)
+        result = SerialEngine().run(eggtimer_runner(tests=1))
+        reporter.on_test_end("safety", 0, result.results[0])
+        assert stream.getvalue() == ""  # nothing until the campaign ends
+        reporter.on_campaign_end(result)
+        lines = stream.getvalue().splitlines()
+        assert lines == ["safety: ok (1 tests)"]
+        assert "\r" not in stream.getvalue()
+
+    def test_tty_pads_shorter_rewrites_to_clear_residue(self):
+        """A rewrite shorter than the widest line so far is padded, so
+        stale characters from the previous render never linger."""
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        reporter = ProgressReporter(stream=stream)
+        reporter.on_campaign_start("a-very-long-property-name", 2)
+        result = SerialEngine().run(eggtimer_runner(tests=1))
+        reporter.on_test_end("a-very-long-property-name", 0,
+                             result.results[0])
+        long_line = stream.getvalue().split("\r")[-1]
+        reporter.on_campaign_start("p", 1)
+        reporter.on_test_end("p", 0, result.results[0])
+        short_line = stream.getvalue().split("\r")[-1]
+        assert len(short_line) >= len(long_line.rstrip())
+        assert short_line.rstrip() == "p: test 1/1"
+
+    def test_tty_freezes_a_failed_campaign_line(self):
+        """Failures stay visible: the FAIL line ends with a newline so
+        the next campaign's rewrites start below it."""
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        reporter = ProgressReporter(stream=stream)
+        failing = eggtimer_runner(egg_timer_app(decrement=2), tests=5,
+                                  scheduled_actions=20, seed=7)
+        result = SerialEngine().run(failing, [reporter])
+        assert not result.passed
+        out = stream.getvalue()
+        fail_chunk = [part for part in out.split("\r") if "FAIL" in part][-1]
+        assert fail_chunk.endswith("\n")
+        reporter.on_session_end([(None, result)])
+        # The summary rewrites the (now empty) live line and terminates it.
+        assert stream.getvalue().endswith("1 failed\n")
+
+    def test_piped_session_summary_is_a_plain_line(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        reporter.on_session_start(1)
+        result = SerialEngine().run(eggtimer_runner(tests=1), [reporter])
+        reporter.on_session_end([(None, result)])
+        assert stream.getvalue().splitlines()[-1] == (
+            "1 campaign(s): 1 passed, 0 failed"
+        )

@@ -1,11 +1,12 @@
 """The DOM-backed TodoMVC app: behaviour and equivalence with the model."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.apps.todomvc import TodoModel, todomvc_app
 from repro.browser import Browser
+from tests.strategies import examples
 
 
 @pytest.fixture()
@@ -188,7 +189,7 @@ gestures = st.sampled_from(
 @given(st.lists(st.tuples(gestures, st.integers(0, 4),
                           st.text(alphabet="ab ", min_size=0, max_size=5)),
                 max_size=25))
-@settings(max_examples=120, deadline=None)
+@examples(120)
 def test_app_equals_model_under_random_gestures(script):
     browser = Browser(todomvc_app())
     browser.load()

@@ -1,10 +1,11 @@
 """The pure TodoMVC model (the oracle)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.apps.todomvc import TodoItem, TodoModel
+from tests.strategies import examples
 
 
 class TestAdd:
@@ -104,7 +105,7 @@ ops = st.sampled_from(["add", "toggle", "toggle_all", "delete", "edit",
 
 @given(st.lists(st.tuples(ops, st.integers(0, 5), st.text(max_size=6)),
                 max_size=30))
-@settings(max_examples=200, deadline=None)
+@examples(200)
 def test_model_invariants_under_random_operations(script):
     model = TodoModel()
     for op, index, text in script:
@@ -133,7 +134,7 @@ def test_model_invariants_under_random_operations(script):
 
 
 @given(st.lists(st.text(min_size=1, max_size=6), max_size=8))
-@settings(max_examples=100, deadline=None)
+@examples(100)
 def test_toggle_all_twice_restores_mixed_state_to_all_active(texts):
     model = TodoModel()
     for text in texts:

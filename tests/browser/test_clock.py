@@ -1,10 +1,11 @@
 """Virtual clock and scheduler."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.browser import Scheduler, VirtualClock
+from tests.strategies import examples
 
 
 @pytest.fixture()
@@ -133,7 +134,7 @@ class TestDeadlines:
 
 class TestPropertyBased:
     @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20))
-    @settings(max_examples=100, deadline=None)
+    @examples(100)
     def test_timeouts_fire_in_deadline_order(self, delays):
         sched = Scheduler(VirtualClock())
         fired = []
@@ -147,7 +148,7 @@ class TestPropertyBased:
         st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=10),
         st.integers(min_value=0, max_value=500),
     )
-    @settings(max_examples=100, deadline=None)
+    @examples(100)
     def test_interval_count_matches_elapsed_time(self, periods, horizon):
         sched = Scheduler(VirtualClock())
         counts = {i: 0 for i in range(len(periods))}

@@ -1,11 +1,12 @@
 """CSS selector engine: parsing, matching, combinators, pseudo-classes."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.dom import Document, Element, SelectorError, matches, parse_selector
 from repro.dom.selector import query_all
+from tests.strategies import examples
 
 
 @pytest.fixture()
@@ -230,7 +231,7 @@ class TestReferenceEquivalence:
         return Element(tag, attrs, children=children)
 
     @given(trees(), tags, st.sampled_from(["a", "b", "c"]))
-    @settings(max_examples=100, deadline=None)
+    @examples(100)
     def test_tag_and_class_queries(self, tree, tag, cls):
         selector = f"{tag}.{cls}"
         expected = [
@@ -241,7 +242,7 @@ class TestReferenceEquivalence:
         assert query_all(tree, selector) == expected
 
     @given(trees())
-    @settings(max_examples=60, deadline=None)
+    @examples(60)
     def test_descendant_query_is_subset_of_class_query(self, tree):
         outer = query_all(tree, ".a .b")
         for el in outer:

@@ -1,0 +1,60 @@
+"""The ``repro fuzz`` command: run, report formats, corpus, replay."""
+
+import json
+
+from repro.cli import main
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero_with_scoreboard(self, capsys):
+        code = main(["fuzz", "--seed", "11", "--campaigns", "4",
+                     "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 campaign(s)" in out
+        assert "fault-detection scoreboard" in out
+
+    def test_json_format(self, capsys):
+        code = main(["fuzz", "--seed", "11", "--campaigns", "2",
+                     "--jobs", "2", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        record = json.loads(out)
+        assert record["campaigns"] == 2
+        assert record["divergences"] == []
+        assert "scoreboard" in record
+
+    def test_corpus_and_replay_round_trip(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        code = main(["fuzz", "--seed", "7", "--campaigns", "8",
+                     "--jobs", "2", "--corpus", str(corpus)])
+        assert code == 0
+        assert corpus.exists()
+        capsys.readouterr()
+        code = main(["fuzz", "--replay", str(corpus)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 problem(s)" in out
+        assert "reproduces" in out
+
+    def test_replay_honours_json_format(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        main(["fuzz", "--seed", "7", "--campaigns", "8", "--jobs", "2",
+              "--corpus", str(corpus)])
+        capsys.readouterr()
+        code = main(["fuzz", "--replay", str(corpus), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines()]
+        assert records[-1]["event"] == "replay_end"
+        assert records[-1]["problems"] == 0
+        assert all(r["ok"] for r in records[:-1])
+
+    def test_same_seed_reproduces_the_same_report(self, capsys):
+        main(["fuzz", "--seed", "5", "--campaigns", "3", "--jobs", "2",
+              "--format", "json"])
+        first = capsys.readouterr().out
+        main(["fuzz", "--seed", "5", "--campaigns", "3", "--jobs", "2",
+              "--format", "json"])
+        second = capsys.readouterr().out
+        assert json.loads(first) == json.loads(second)

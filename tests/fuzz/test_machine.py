@@ -1,0 +1,195 @@
+"""Generated machines: determinism, serialisation, app behaviour, faults."""
+
+from repro.browser.webdriver import Browser
+from repro.fuzz.machine import (
+    STORAGE_KEY,
+    ButtonSpec,
+    MachineFault,
+    MachineSpec,
+    TimerSpec,
+    fault_candidates,
+    generate_machine,
+    machine_app,
+)
+
+#: A hand-built machine so behaviour tests control every edge.
+MACHINE = MachineSpec(
+    seed=99,
+    states=("s0", "s1", "s2"),
+    initial="s0",
+    buttons=(
+        ButtonSpec("a", (("s0", "s1"), ("s1", "s2"), ("s2", "s0"))),
+        ButtonSpec("b", (("s0", "s0"), ("s1", "s0"), ("s2", "s2"))),
+    ),
+    timer=TimerSpec(500.0, (("s0", "s1"), ("s1", "s2"), ("s2", "s2"))),
+    persist=True,
+)
+
+
+def mount(machine=MACHINE, fault=None):
+    browser = Browser(machine_app(machine, fault))
+    browser.load()
+    return browser
+
+
+def state_text(browser):
+    return browser.document.query_one("#state").text
+
+
+def ticks_text(browser):
+    return browser.document.query_one("#ticks").text
+
+
+def click(browser, name):
+    browser.click(browser.document.query_one(f"#btn-{name}"))
+
+
+class TestGeneration:
+    def test_same_seed_same_machine(self):
+        assert generate_machine(42) == generate_machine(42)
+
+    def test_seeds_explore_the_space(self):
+        machines = [generate_machine(seed) for seed in range(40)]
+        assert len({m.states for m in machines}) > 1
+        assert any(m.timer is not None for m in machines)
+        assert any(m.timer is None for m in machines)
+        assert any(m.persist for m in machines)
+        assert any(not m.persist for m in machines)
+
+    def test_transitions_are_total(self):
+        for seed in range(20):
+            machine = generate_machine(seed)
+            for button in machine.buttons:
+                for state in machine.states:
+                    assert button.successor(state) in machine.states
+            if machine.timer is not None:
+                for state in machine.states:
+                    assert machine.timer.successor(state) in machine.states
+
+    def test_round_trip_serialisation(self):
+        for seed in range(10):
+            machine = generate_machine(seed)
+            assert MachineSpec.from_dict(machine.to_dict()) == machine
+        fault = MachineFault("drop_transition", button="a", state="s1")
+        assert MachineFault.from_dict(fault.to_dict()) == fault
+
+
+class TestFaultCandidates:
+    def test_no_vacuous_mutants(self):
+        """Every candidate deviates on at least one reachable edge."""
+        for seed in range(20):
+            machine = generate_machine(seed)
+            for fault in fault_candidates(machine):
+                if fault.kind == "drop_transition":
+                    button = machine.button_named(fault.button)
+                    assert button.successor(fault.state) != fault.state
+                elif fault.kind == "swallowed_event":
+                    button = machine.button_named(fault.button)
+                    assert any(s != t for s, t in button.transitions)
+                elif fault.kind == "off_by_one_timer":
+                    assert machine.timer is not None
+                    assert any(
+                        s != t for s, t in machine.timer.transitions
+                    )
+                elif fault.kind == "broken_persistence":
+                    assert machine.persist
+
+    def test_timerless_machine_offers_no_timer_fault(self):
+        machine = MachineSpec(
+            seed=1, states=("s0", "s1"), initial="s0",
+            buttons=(ButtonSpec("a", (("s0", "s1"), ("s1", "s0"))),),
+        )
+        kinds = {fault.kind for fault in fault_candidates(machine)}
+        assert "off_by_one_timer" not in kinds
+        assert "broken_persistence" not in kinds
+
+
+class TestCorrectApp:
+    def test_initial_render(self):
+        browser = mount()
+        assert state_text(browser) == "s0"
+        assert ticks_text(browser) == "0"
+
+    def test_clicks_follow_the_transition_table(self):
+        browser = mount()
+        click(browser, "a")
+        assert state_text(browser) == "s1"
+        click(browser, "a")
+        assert state_text(browser) == "s2"
+        click(browser, "b")  # self-loop on s2
+        assert state_text(browser) == "s2"
+        click(browser, "a")
+        assert state_text(browser) == "s0"
+
+    def test_timer_steps_and_counts(self):
+        browser = mount()
+        browser.advance(500)
+        assert ticks_text(browser) == "1"
+        assert state_text(browser) == "s1"
+        browser.advance(1000)
+        assert ticks_text(browser) == "3"
+        assert state_text(browser) == "s2"  # s1 -> s2 -> s2
+
+    def test_persistence_survives_reload(self):
+        browser = mount()
+        click(browser, "a")
+        browser.reload()
+        assert state_text(browser) == "s1"
+        assert ticks_text(browser) == "0"  # the counter is per-session
+
+    def test_non_persisting_machine_forgets_on_reload(self):
+        machine = MachineSpec(
+            seed=2, states=("s0", "s1"), initial="s0",
+            buttons=(ButtonSpec("a", (("s0", "s1"), ("s1", "s0"))),),
+            persist=False,
+        )
+        browser = mount(machine)
+        click(browser, "a")
+        assert state_text(browser) == "s1"
+        browser.reload()
+        assert state_text(browser) == "s0"
+
+
+class TestFaultyTwins:
+    def test_drop_transition_freezes_one_edge_only(self):
+        fault = MachineFault("drop_transition", button="a", state="s1")
+        browser = mount(fault=fault)
+        click(browser, "a")  # s0 edge is healthy
+        assert state_text(browser) == "s1"
+        click(browser, "a")  # the dropped edge
+        assert state_text(browser) == "s1"
+        click(browser, "b")  # other buttons unaffected: s1 -> s0
+        assert state_text(browser) == "s0"
+
+    def test_swallowed_event_never_reacts(self):
+        fault = MachineFault("swallowed_event", button="a")
+        browser = mount(fault=fault)
+        click(browser, "a")
+        click(browser, "a")
+        assert state_text(browser) == "s0"
+        click(browser, "b")  # other listeners still attached (self-loop)
+        assert state_text(browser) == "s0"
+
+    def test_stale_render_hides_one_state(self):
+        fault = MachineFault("stale_render", state="s1")
+        browser = mount(fault=fault)
+        click(browser, "a")  # really in s1, but the label still shows s0
+        assert state_text(browser) == "s0"
+        click(browser, "a")  # the *machine* was in s1: s1 -> s2 renders
+        assert state_text(browser) == "s2"
+
+    def test_off_by_one_timer_double_steps(self):
+        fault = MachineFault("off_by_one_timer")
+        browser = mount(fault=fault)
+        browser.advance(500)
+        assert ticks_text(browser) == "1"  # the counter is honest
+        assert state_text(browser) == "s2"  # s0 -> s1 -> s2 in one tick
+
+    def test_broken_persistence_forgets_on_reload(self):
+        fault = MachineFault("broken_persistence")
+        browser = mount(fault=fault)
+        click(browser, "a")
+        assert state_text(browser) == "s1"
+        browser.reload()
+        assert state_text(browser) == "s0"
+        assert browser.storage.get_item(STORAGE_KEY) is None

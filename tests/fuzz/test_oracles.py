@@ -1,0 +1,120 @@
+"""Differential oracles: agreement on honest runs, detection of tampering."""
+
+import dataclasses
+
+from repro.api import CheckSession
+from repro.checker import RunnerConfig
+from repro.fuzz.machine import generate_machine, machine_app
+from repro.fuzz.oracles import (
+    RecordingReporter,
+    compare_campaigns,
+    direct_oracle_mismatch,
+    expected_outcome,
+)
+from repro.fuzz.specgen import model_spec_source, random_spec_source
+from repro.quickltl import Verdict
+from repro.specstrom.module import load_module
+
+
+def run_machine(seed, spec_seed=None, **config_overrides):
+    machine = generate_machine(seed)
+    source = (
+        model_spec_source(machine)
+        if spec_seed is None
+        else random_spec_source(machine, spec_seed)
+    )
+    check = load_module(source, default_subscript=8).checks[0]
+    config = dict(tests=3, scheduled_actions=8, demand_allowance=6,
+                  seed=f"oracle/{seed}", shrink=False)
+    config.update(config_overrides)
+    result = CheckSession(machine_app(machine)).check(
+        check, config=RunnerConfig(**config)
+    )
+    return check, result
+
+
+class TestDirectOracle:
+    def test_model_spec_runs_agree_with_direct_semantics(self):
+        for seed in range(6):
+            check, campaign = run_machine(seed)
+            for result in campaign.results:
+                assert direct_oracle_mismatch(check, result) is None
+
+    def test_random_spec_runs_agree_with_direct_semantics(self):
+        for seed in range(8):
+            check, campaign = run_machine(seed, spec_seed=seed * 13 + 5)
+            for result in campaign.results:
+                assert direct_oracle_mismatch(check, result) is None
+
+    def test_tampered_verdict_is_flagged(self):
+        check, campaign = run_machine(0)
+        honest = campaign.results[0]
+        flipped = (
+            Verdict.DEFINITELY_FALSE
+            if not honest.verdict.is_negative
+            else Verdict.DEFINITELY_TRUE
+        )
+        tampered = dataclasses.replace(honest, verdict=flipped, forced=False)
+        mismatch = direct_oracle_mismatch(check, tampered)
+        assert mismatch is not None
+        assert "direct" in mismatch
+
+    def test_expected_outcome_reports_forced_runs(self):
+        """The model spec's `always` demands states forever, so a clean
+        run ends forced -- the oracle must reproduce that, not just the
+        verdict."""
+        check, campaign = run_machine(1)
+        clean = [r for r in campaign.results if r.passed]
+        assert clean
+        for result in clean:
+            verdict, forced = expected_outcome(
+                check, [entry.state for entry in result.trace]
+            )
+            assert verdict is result.verdict
+            assert forced == result.forced
+            assert forced  # always-shaped specs never conclude on their own
+
+    def test_empty_trace_is_rejected(self):
+        check, campaign = run_machine(0)
+        tampered = dataclasses.replace(campaign.results[0], trace=[])
+        assert direct_oracle_mismatch(check, tampered) == (
+            "test recorded an empty trace"
+        )
+
+
+class TestPathComparison:
+    def _batches(self, jobs, reuse):
+        machine = generate_machine(3)
+        check = load_module(model_spec_source(machine),
+                            default_subscript=8).checks[0]
+        config = RunnerConfig(tests=3, scheduled_actions=8,
+                              demand_allowance=6, seed="paths", shrink=False)
+        recorder = RecordingReporter()
+        batch = CheckSession(reporters=[recorder]).check_many(
+            [("m", machine_app(machine))], spec=check, config=config,
+            jobs=jobs, reuse_executors=reuse,
+        )
+        return batch, recorder
+
+    def test_serial_pooled_warm_agree(self):
+        serial, serial_rec = self._batches(jobs=1, reuse=False)
+        pooled, pooled_rec = self._batches(jobs=2, reuse=False)
+        warm, warm_rec = self._batches(jobs=2, reuse=True)
+        for candidate in (pooled, warm):
+            assert compare_campaigns(
+                "x", serial[0].result, candidate[0].result
+            ) is None
+        assert serial_rec.events == pooled_rec.events == warm_rec.events
+
+    def test_tampered_campaign_is_flagged(self):
+        serial, _ = self._batches(jobs=1, reuse=False)
+        baseline = serial[0].result
+        tampered = dataclasses.replace(
+            baseline,
+            results=[
+                dataclasses.replace(baseline.results[0], actions_taken=999)
+            ] + baseline.results[1:],
+        )
+        difference = compare_campaigns("t", baseline, tampered)
+        assert difference is not None
+        assert "per-test results disagree" in difference

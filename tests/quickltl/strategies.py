@@ -1,115 +1,32 @@
-"""Shared hypothesis strategies for QuickLTL tests.
+"""Back-compat shim: the shared strategies moved to ``tests/strategies``.
 
-States are dictionaries over a small fixed alphabet of proposition names;
-formulas are drawn recursively over that alphabet with small subscripts so
-that oracle comparisons stay fast.
+Import from :mod:`tests.strategies` in new code -- it also carries the
+Specstrom value/action strategies and the :func:`~tests.strategies.examples`
+settings helper.
 """
 
 from __future__ import annotations
 
-from hypothesis import strategies as st
-
-from repro.quickltl import (
-    Always,
-    And,
-    BOTTOM,
-    Eventually,
-    Not,
-    NextReq,
-    NextStrong,
-    NextWeak,
-    Or,
-    Release,
-    TOP,
-    Until,
-    atom,
+from tests.strategies import (
+    ATOMS,
+    PROPOSITIONS,
+    classic_formulas,
+    examples,
+    formulas,
+    lassos,
+    states,
+    subscripts,
+    traces,
 )
 
-PROPOSITIONS = ("p", "q", "r")
-
-#: Atoms are shared across a whole test run so that structural equality
-#: (and therefore simplifier deduplication) can actually fire.
-ATOMS = {name: atom(name) for name in PROPOSITIONS}
-
-
-def states(props=PROPOSITIONS):
-    return st.fixed_dictionaries({name: st.booleans() for name in props})
-
-
-def traces(min_size: int = 1, max_size: int = 8, props=PROPOSITIONS):
-    return st.lists(states(props), min_size=min_size, max_size=max_size)
-
-
-def subscripts(max_n: int = 3):
-    return st.integers(min_value=0, max_value=max_n)
-
-
-@st.composite
-def formulas(draw, max_depth: int = 4, max_subscript: int = 3):
-    """A random QuickLTL formula of bounded depth."""
-    if max_depth <= 0:
-        return draw(
-            st.sampled_from([TOP, BOTTOM] + [ATOMS[name] for name in PROPOSITIONS])
-        )
-    sub = lambda: formulas(max_depth=max_depth - 1, max_subscript=max_subscript)
-    n = draw(subscripts(max_subscript))
-    choice = draw(st.integers(min_value=0, max_value=10))
-    if choice == 0:
-        return draw(st.sampled_from([TOP, BOTTOM] + [ATOMS[p] for p in PROPOSITIONS]))
-    if choice == 1:
-        return Not(draw(sub()))
-    if choice == 2:
-        return And(draw(sub()), draw(sub()))
-    if choice == 3:
-        return Or(draw(sub()), draw(sub()))
-    if choice == 4:
-        return NextReq(draw(sub()))
-    if choice == 5:
-        return NextWeak(draw(sub()))
-    if choice == 6:
-        return NextStrong(draw(sub()))
-    if choice == 7:
-        return Always(n, draw(sub()))
-    if choice == 8:
-        return Eventually(n, draw(sub()))
-    if choice == 9:
-        return Until(n, draw(sub()), draw(sub()))
-    return Release(n, draw(sub()), draw(sub()))
-
-
-@st.composite
-def classic_formulas(draw, max_depth: int = 3):
-    """Formulas without explicit next operators, for classic-LTL tests
-    (all nexts coincide on infinite traces, so this loses no coverage for
-    identity checking while keeping lassos cheap)."""
-    if max_depth <= 0:
-        return draw(
-            st.sampled_from([TOP, BOTTOM] + [ATOMS[name] for name in PROPOSITIONS])
-        )
-    sub = lambda: classic_formulas(max_depth=max_depth - 1)
-    n = draw(subscripts(2))
-    choice = draw(st.integers(min_value=0, max_value=7))
-    if choice == 0:
-        return draw(st.sampled_from([TOP, BOTTOM] + [ATOMS[p] for p in PROPOSITIONS]))
-    if choice == 1:
-        return Not(draw(sub()))
-    if choice == 2:
-        return And(draw(sub()), draw(sub()))
-    if choice == 3:
-        return Or(draw(sub()), draw(sub()))
-    if choice == 4:
-        return Always(n, draw(sub()))
-    if choice == 5:
-        return Eventually(n, draw(sub()))
-    if choice == 6:
-        return Until(n, draw(sub()), draw(sub()))
-    return Release(n, draw(sub()), draw(sub()))
-
-
-@st.composite
-def lassos(draw, max_prefix: int = 3, max_loop: int = 3):
-    from repro.quickltl.classic import Lasso
-
-    prefix = tuple(draw(traces(min_size=0, max_size=max_prefix)))
-    loop = tuple(draw(traces(min_size=1, max_size=max_loop)))
-    return Lasso(prefix, loop)
+__all__ = [
+    "ATOMS",
+    "PROPOSITIONS",
+    "classic_formulas",
+    "examples",
+    "formulas",
+    "lassos",
+    "states",
+    "subscripts",
+    "traces",
+]

@@ -1,6 +1,6 @@
 """Classic LTL on lassos: the Figure 3 identities and QuickLTL soundness."""
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.quickltl import (
     Always,
@@ -18,7 +18,7 @@ from repro.quickltl import (
 )
 from repro.quickltl.classic import Lasso, extensions, holds
 
-from .strategies import classic_formulas, lassos, traces
+from .strategies import classic_formulas, examples, lassos, traces
 
 import pytest
 
@@ -77,7 +77,7 @@ class TestFigure3Identities:
     """Identities 1-11 of Figure 3, checked on random lassos."""
 
     @given(lassos())
-    @settings(max_examples=150, deadline=None)
+    @examples(150)
     def test_negation_identities(self, lasso):
         assert holds(Not(NextReq(P)), lasso) == holds(NextReq(Not(P)), lasso)
         assert holds(Not(Eventually(0, P)), lasso) == holds(Always(0, Not(P)), lasso)
@@ -90,17 +90,17 @@ class TestFigure3Identities:
         )
 
     @given(lassos())
-    @settings(max_examples=150, deadline=None)
+    @examples(150)
     def test_eventually_is_top_until(self, lasso):
         assert holds(Eventually(0, P), lasso) == holds(Until(0, TOP, P), lasso)
 
     @given(lassos())
-    @settings(max_examples=150, deadline=None)
+    @examples(150)
     def test_always_is_bottom_release(self, lasso):
         assert holds(Always(0, P), lasso) == holds(Release(0, BOTTOM, P), lasso)
 
     @given(lassos())
-    @settings(max_examples=150, deadline=None)
+    @examples(150)
     def test_expansion_identities(self, lasso):
         # always p == p && next always p
         assert holds(Always(0, P), lasso) == holds(
@@ -120,7 +120,7 @@ class TestFigure3Identities:
         )
 
     @given(lassos(), classic_formulas())
-    @settings(max_examples=100, deadline=None)
+    @examples(100)
     def test_subscripts_do_not_matter_classically(self, lasso, formula):
         from repro.quickltl.rvltl import erase_subscripts
 
@@ -134,7 +134,7 @@ class TestQuickLTLSoundness:
     QuickLTL to infinite-trace dialects; this is the testable core)."""
 
     @given(classic_formulas(max_depth=2), traces(min_size=1, max_size=4))
-    @settings(max_examples=150, deadline=None)
+    @examples(150)
     def test_definitely_true_holds_on_all_completions(self, formula, trace):
         from repro.quickltl import Verdict
 
@@ -150,7 +150,7 @@ class TestQuickLTLSoundness:
                 assert holds(formula, lasso)
 
     @given(classic_formulas(max_depth=2), traces(min_size=1, max_size=4))
-    @settings(max_examples=150, deadline=None)
+    @examples(150)
     def test_definitely_false_fails_on_all_completions(self, formula, trace):
         from repro.quickltl import Verdict
 

@@ -1,6 +1,6 @@
 """Forced valuation (polarity rule) for budget-exhausted runs."""
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.quickltl import (
     Always,
@@ -21,7 +21,7 @@ from repro.quickltl import (
     force_verdict,
 )
 
-from .strategies import formulas, traces
+from .strategies import examples, formulas, traces
 
 p = atom("p")
 q = atom("q")
@@ -63,7 +63,7 @@ class TestPolarityRule:
         assert force_verdict(residual) is Verdict.PROBABLY_TRUE
 
     @given(formulas())
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_always_presumptive(self, formula):
         assert force_verdict(formula).is_presumptive
 
@@ -89,7 +89,7 @@ class TestCheckerForce:
         assert checker.force() is Verdict.DEFINITELY_TRUE
 
     @given(formulas(), traces(max_size=6))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_force_always_yields_reportable_verdict(self, formula, trace):
         checker = FormulaChecker(formula)
         for state in trace:

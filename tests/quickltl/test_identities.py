@@ -6,7 +6,7 @@ but never flip an answer's polarity, and the Figure 5 expansions are
 definitionally exact.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.quickltl import (
@@ -23,7 +23,7 @@ from repro.quickltl import (
     direct_eval,
 )
 
-from .strategies import ATOMS, formulas, traces
+from .strategies import ATOMS, examples, formulas, traces
 
 p = ATOMS["p"]
 q = ATOMS["q"]
@@ -33,7 +33,7 @@ class TestExpansionIdentities:
     """Figure 5: the subscripted operators *are* their expansions."""
 
     @given(traces(max_size=6), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_always_expansion(self, trace, n):
         lhs = Always(n, p)
         if n > 0:
@@ -43,7 +43,7 @@ class TestExpansionIdentities:
         assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
 
     @given(traces(max_size=6), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_eventually_expansion(self, trace, n):
         lhs = Eventually(n, p)
         if n > 0:
@@ -53,7 +53,7 @@ class TestExpansionIdentities:
         assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
 
     @given(traces(max_size=6), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_until_expansion(self, trace, n):
         lhs = Until(n, p, q)
         rest = (
@@ -63,7 +63,7 @@ class TestExpansionIdentities:
         assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
 
     @given(traces(max_size=6), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_release_expansion(self, trace, n):
         lhs = Release(n, p, q)
         rest = (
@@ -73,7 +73,7 @@ class TestExpansionIdentities:
         assert direct_eval(lhs, trace) == direct_eval(rhs, trace)
 
     @given(traces(max_size=6), st.integers(0, 2))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_eventually_is_top_until(self, trace, n):
         from repro.quickltl import TOP
 
@@ -82,7 +82,7 @@ class TestExpansionIdentities:
         )
 
     @given(traces(max_size=6), st.integers(0, 2))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_always_is_bottom_release(self, trace, n):
         from repro.quickltl import BOTTOM
 
@@ -102,7 +102,7 @@ def _compatible(small: Verdict, large: Verdict) -> bool:
 
 class TestSubscriptMonotonicity:
     @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
-    @settings(max_examples=300, deadline=None)
+    @examples(300)
     def test_always_subscripts_trade_presumption_for_demand(self, trace, a, b):
         low, high = sorted((a, b))
         assert _compatible(
@@ -111,7 +111,7 @@ class TestSubscriptMonotonicity:
         )
 
     @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
-    @settings(max_examples=300, deadline=None)
+    @examples(300)
     def test_eventually_subscripts_trade_presumption_for_demand(self, trace, a, b):
         low, high = sorted((a, b))
         assert _compatible(
@@ -120,7 +120,7 @@ class TestSubscriptMonotonicity:
         )
 
     @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_until_subscripts_trade_presumption_for_demand(self, trace, a, b):
         low, high = sorted((a, b))
         assert _compatible(
@@ -129,7 +129,7 @@ class TestSubscriptMonotonicity:
         )
 
     @given(traces(max_size=7), st.integers(0, 3), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_release_subscripts_trade_presumption_for_demand(self, trace, a, b):
         low, high = sorted((a, b))
         assert _compatible(
@@ -138,7 +138,7 @@ class TestSubscriptMonotonicity:
         )
 
     @given(traces(min_size=5, max_size=8))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_long_enough_traces_discharge_the_subscript(self, trace):
         """Once the trace is longer than the subscript, the subscripted
         operator agrees with its subscript-0 (RV-LTL) reading."""
@@ -151,14 +151,14 @@ class TestSubscriptMonotonicity:
 
 class TestDualityOnFiniteTraces:
     @given(formulas(max_depth=3), traces(max_size=6))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_double_negation(self, formula, trace):
         from repro.quickltl import Not
 
         assert direct_eval(Not(Not(formula)), trace) == direct_eval(formula, trace)
 
     @given(traces(max_size=6), st.integers(0, 3))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_always_eventually_de_morgan(self, trace, n):
         from repro.quickltl import Not
         from repro.quickltl.verdict import neg

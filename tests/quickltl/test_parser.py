@@ -1,7 +1,7 @@
 """Parser and pretty-printer for the QuickLTL surface syntax."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.quickltl import (
     Always,
@@ -22,7 +22,7 @@ from repro.quickltl import (
     pretty,
 )
 
-from .strategies import formulas
+from .strategies import examples, formulas
 
 
 def parse(text, **kwargs):
@@ -140,7 +140,7 @@ class TestErrors:
 
 class TestRoundTrip:
     @given(formulas(max_depth=4))
-    @settings(max_examples=300, deadline=None)
+    @examples(300)
     def test_pretty_then_parse_is_identity(self, formula):
         """pretty-printing and reparsing rebuilds the same tree, up to
         atom identity (the parser shares atoms by name)."""

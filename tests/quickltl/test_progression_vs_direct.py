@@ -5,7 +5,7 @@ three-phase progression loop of Section 2.3 computes exactly the verdict
 given by the recursive reference semantics over the complete trace.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.quickltl import (
     Always,
@@ -17,18 +17,18 @@ from repro.quickltl import (
     direct_eval,
 )
 
-from .strategies import formulas, traces
+from .strategies import examples, formulas, traces
 
 
 @given(formulas(), traces(max_size=8))
-@settings(max_examples=400, deadline=None)
+@examples(400)
 def test_progression_equals_direct_semantics(formula, trace):
     progressed = check_trace(formula, trace, stop_on_definitive=False)
     assert progressed == direct_eval(formula, trace)
 
 
 @given(formulas(), traces(max_size=8))
-@settings(max_examples=200, deadline=None)
+@examples(200)
 def test_unsimplified_progression_equals_direct(formula, trace):
     checker = FormulaChecker(formula, simplify_each_step=False)
     verdict = Verdict.DEMAND
@@ -38,7 +38,7 @@ def test_unsimplified_progression_equals_direct(formula, trace):
 
 
 @given(formulas(), traces(max_size=6), traces(max_size=4))
-@settings(max_examples=300, deadline=None)
+@examples(300)
 def test_definitive_verdicts_stable_under_extension(formula, trace, extension):
     """Once definitive, any extension of the trace yields the same verdict
     (the real checker stops at definitive verdicts; this confirms that
@@ -49,7 +49,7 @@ def test_definitive_verdicts_stable_under_extension(formula, trace, extension):
 
 
 @given(formulas(), traces(max_size=8))
-@settings(max_examples=200, deadline=None)
+@examples(200)
 def test_early_stop_agrees_with_full_run(formula, trace):
     """check_trace with stop_on_definitive gives the same result as a
     full run whenever the full run is definitive."""
@@ -60,7 +60,7 @@ def test_early_stop_agrees_with_full_run(formula, trace):
 
 
 @given(traces(max_size=6))
-@settings(max_examples=100, deadline=None)
+@examples(100)
 def test_deferred_bodies_freeze_state_values(trace):
     """A Defer body mimicking Specstrom's strict let: ``let v = p; always
     (p == v)`` -- the deferred build must see the state where the

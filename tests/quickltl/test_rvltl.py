@@ -1,6 +1,6 @@
 """RV-LTL and finite-LTL comparison semantics (Section 2.1)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.quickltl import (
     Always,
@@ -18,7 +18,7 @@ from repro.quickltl import (
     rv_eval,
 )
 
-from .strategies import formulas, traces
+from .strategies import examples, formulas, traces
 
 menu = atom("menuEnabled")
 p = atom("p")
@@ -42,14 +42,14 @@ class TestEraseSubscripts:
 
 class TestRVNeverDemands:
     @given(formulas(), traces(max_size=8))
-    @settings(max_examples=300, deadline=None)
+    @examples(300)
     def test_rv_eval_returns_proper_verdict(self, formula, trace):
         """Subscript-erased formulas never demand more states: RV-LTL is
         total on partial traces."""
         assert rv_eval(formula, trace) is not Verdict.DEMAND
 
     @given(formulas(), traces(max_size=8))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_subscript_zero_quickltl_is_rvltl(self, formula, trace):
         """QuickLTL restricted to subscript 0 *is* RV-LTL (the paper calls
         QuickLTL 'by definition a superset' of RV-LTL)."""
@@ -104,6 +104,6 @@ class TestFiniteLTL:
         assert fltl_eval(Always(0, p), [{"p": True}, {"p": False}]) is False
 
     @given(formulas(), traces(max_size=6))
-    @settings(max_examples=200, deadline=None)
+    @examples(200)
     def test_fltl_is_positivity_of_rv(self, formula, trace):
         assert fltl_eval(formula, trace) == rv_eval(formula, trace).is_positive

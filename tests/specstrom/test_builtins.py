@@ -3,12 +3,13 @@
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.specstrom import PrimitiveAction, PrimitiveEvent, SpecEvalError
 
 from .helpers import element, run_expr, snapshot
+from tests.strategies import examples
 
 
 STATE = snapshot(
@@ -121,7 +122,7 @@ class TestListHelpers:
 
     @given(st.lists(st.integers(0, 5), max_size=8),
            st.lists(st.booleans(), max_size=8))
-    @settings(max_examples=100, deadline=None)
+    @examples(100)
     def test_subsequence_by_deletion_property(self, items, keep_flags):
         flags = (keep_flags + [True] * len(items))[: len(items)]
         kept = [x for x, keep in zip(items, flags) if keep]

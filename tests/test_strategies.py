@@ -1,0 +1,71 @@
+"""The shared strategies themselves: generated data is well-formed.
+
+These properties keep ``tests/strategies.py`` honest -- every generator
+must produce values the production code accepts, so a strategy can't
+silently drift away from the vocabulary it claims to cover.
+"""
+
+from hypothesis import given
+
+from repro.specstrom.actions import USER_PRIMITIVES
+from repro.specstrom.state import StateSnapshot
+from repro.specstrom.values import is_plain_data
+
+from tests.strategies import (
+    element_snapshots,
+    examples,
+    primitive_actions,
+    primitive_events,
+    resolved_actions,
+    spec_values,
+    state_snapshots,
+)
+
+
+class TestSpecValues:
+    @given(spec_values())
+    @examples(100)
+    def test_values_are_plain_data(self, value):
+        assert is_plain_data(value)
+
+
+class TestSnapshots:
+    @given(element_snapshots())
+    @examples(50)
+    def test_element_properties_read_back(self, element):
+        for name in element.property_names():
+            element.get_property(name)  # never raises
+        assert element.disabled == (not element.enabled)
+
+    @given(state_snapshots())
+    @examples(50)
+    def test_queried_selectors_resolve(self, state):
+        assert isinstance(state, StateSnapshot)
+        for css in state.queries:
+            visible = state.visible_elements(css)
+            assert all(el.visible for el in visible)
+            first = state.first(css)
+            assert first is None or first is state.elements(css)[0]
+
+
+class TestActions:
+    @given(primitive_actions())
+    @examples(100)
+    def test_primitives_respect_arity(self, primitive):
+        needs_selector, extra = USER_PRIMITIVES[primitive.kind]
+        assert (primitive.selector is not None) == needs_selector
+        assert len(primitive.args) == len(extra)
+
+    @given(primitive_events())
+    @examples(50)
+    def test_events_watch_exactly_when_selector_based(self, event):
+        assert event.watches_selector == (event.selector is not None)
+
+    @given(resolved_actions())
+    @examples(100)
+    def test_resolved_actions_describe_and_serialise(self, resolved):
+        description = resolved.describe()
+        assert resolved.kind in description
+        if resolved.selector is not None:
+            assert resolved.selector in description
+            assert resolved.index is not None
