@@ -1,10 +1,10 @@
 """Fuzzing throughput: scenario diversity per second, and its overhead.
 
-The differential fuzzer runs every generated campaign *three times*
-(serial reference, pooled, warm-reuse) plus a trace-level re-evaluation
-under the direct reference semantics -- scenario diversity is only
-useful if that multiplier stays cheap enough to run at CI scale.  This
-bench records:
+The differential fuzzer runs every generated campaign *four times*
+(serial reference, pooled, warm-reuse, full-capture for the narrowed-
+observation oracle) plus a trace-level re-evaluation under the direct
+reference semantics -- scenario diversity is only useful if that
+multiplier stays cheap enough to run at CI scale.  This bench records:
 
 * **throughput**: generated campaigns (and generated tests) per second
   through the full differential harness (`run_fuzz`),
@@ -13,8 +13,8 @@ bench records:
   an explicit, tracked number rather than folklore.
 
 The run doubles as a correctness smoke at bench scale: any divergence
-fails the bench outright (the fuzzer's whole claim is that the three
-schedules and the reference semantics agree).
+fails the bench outright (the fuzzer's whole claim is that the four
+legs and the reference semantics agree).
 
 Results land in ``benchmarks/out/fuzz_throughput.json`` (a CI artifact).
 

@@ -1,0 +1,294 @@
+"""Compiled progression engine vs the pre-refactor tree-walker.
+
+The per-state checking core used to rebuild whole formula trees every
+``observe()``: unroll allocated a fresh tree, simplify walked it
+recursively, ``formula_size`` re-imported its node classes *per
+recursive call*.  The compiled engine (hash-consed nodes + per-checker
+memoized simplify/step/valuation/size, ``src/repro/quickltl``) claims
+the unchanged bulk of an ``always``/``until`` residual costs dict
+lookups instead of allocations.  This bench holds it to that claim on
+the workload where progression cost dominates: deep alternating
+``always``/``until`` nests over long traces that never resolve -- the
+Rosu & Havelund regime the paper's per-step simplification targets
+(Section 2.3), with term interning as the next step beyond it.
+
+``NaiveChecker`` below is a faithful in-file copy of the seed's
+algorithms (recursive, memo-free, rebuild-always); the *same* trace is
+driven through it and through :class:`repro.quickltl.FormulaChecker`,
+and the two engines must produce **identical per-state verdicts and
+formula sizes** -- any mismatch fails the bench before timing counts
+(this is CI's interned-vs-plain verdict guard).  The guard then requires
+the compiled engine to be at least ``REPRO_BENCH_PROGRESSION_TOLERANCE``
+times faster (default 2.0 -- the PR-5 acceptance floor; recorded ratios
+sit well above it).
+
+Results land in ``benchmarks/out/progression.json`` (a CI artifact).
+
+Environment knobs: ``REPRO_BENCH_PROGRESSION_STATES`` (trace length,
+default 300), ``REPRO_BENCH_PROGRESSION_DEPTHS`` (comma-separated nest
+depths, default ``8,12``), ``REPRO_BENCH_PROGRESSION_SUBSCRIPT``
+(default 5), ``REPRO_BENCH_PROGRESSION_TOLERANCE`` (minimum speedup,
+default 2.0).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.quickltl import (
+    Always,
+    And,
+    Eventually,
+    FormulaChecker,
+    Not,
+    Or,
+    ProgressionCaches,
+    Release,
+    Until,
+    atom,
+    intern_stats,
+)
+from repro.quickltl.simplify import simplify
+from repro.quickltl.step import presumptive_valuation, step
+from repro.quickltl.syntax import (
+    Atom,
+    Bottom,
+    Defer,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Top,
+    TOP,
+    BOTTOM,
+)
+from repro.quickltl.verdict import Verdict
+
+from .harness import write_json
+
+STATES = int(os.environ.get("REPRO_BENCH_PROGRESSION_STATES", "300"))
+DEPTHS = tuple(
+    int(d)
+    for d in os.environ.get("REPRO_BENCH_PROGRESSION_DEPTHS", "8,12").split(",")
+)
+SUBSCRIPT = int(os.environ.get("REPRO_BENCH_PROGRESSION_SUBSCRIPT", "5"))
+TOLERANCE = float(os.environ.get("REPRO_BENCH_PROGRESSION_TOLERANCE", "2.0"))
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor engine: the seed's exact algorithms, kept here as the
+# timing baseline (recursive, memo-free, rebuilding every node per
+# state; simplify/step/valuation called without caches).
+# ----------------------------------------------------------------------
+
+
+def _naive_unroll(f, state):
+    if isinstance(f, (Top, Bottom)):
+        return f
+    if isinstance(f, Atom):
+        return TOP if f.evaluate(state) else BOTTOM
+    if isinstance(f, Defer):
+        return _naive_unroll(f.force(state), state)
+    if isinstance(f, Not):
+        return Not(_naive_unroll(f.operand, state))
+    if isinstance(f, And):
+        return And(_naive_unroll(f.left, state), _naive_unroll(f.right, state))
+    if isinstance(f, Or):
+        return Or(_naive_unroll(f.left, state), _naive_unroll(f.right, state))
+    if isinstance(f, (NextReq, NextWeak, NextStrong)):
+        return f
+    if isinstance(f, Always):
+        body = _naive_unroll(f.body, state)
+        if f.n > 0:
+            return And(body, NextReq(Always(f.n - 1, f.body)))
+        return And(body, NextWeak(Always(0, f.body)))
+    if isinstance(f, Eventually):
+        body = _naive_unroll(f.body, state)
+        if f.n > 0:
+            return Or(body, NextReq(Eventually(f.n - 1, f.body)))
+        return Or(body, NextStrong(Eventually(0, f.body)))
+    if isinstance(f, Until):
+        left = _naive_unroll(f.left, state)
+        right = _naive_unroll(f.right, state)
+        rest = (
+            NextReq(Until(f.n - 1, f.left, f.right))
+            if f.n > 0
+            else NextStrong(Until(0, f.left, f.right))
+        )
+        return Or(right, And(left, rest))
+    if isinstance(f, Release):
+        left = _naive_unroll(f.left, state)
+        right = _naive_unroll(f.right, state)
+        rest = (
+            NextReq(Release(f.n - 1, f.left, f.right))
+            if f.n > 0
+            else NextWeak(Release(0, f.left, f.right))
+        )
+        return And(right, Or(left, rest))
+    raise TypeError(type(f).__name__)
+
+
+def _naive_size(f):
+    if isinstance(f, (And, Or, Until, Release)):
+        return 1 + _naive_size(f.left) + _naive_size(f.right)
+    if isinstance(f, (Not, NextReq, NextWeak, NextStrong)):
+        return 1 + _naive_size(f.operand)
+    if isinstance(f, (Always, Eventually)):
+        return 1 + _naive_size(f.body)
+    return 1
+
+
+class NaiveChecker:
+    """The seed's per-state loop: unroll, simplify, valuate, step --
+    every phase from scratch, no caches."""
+
+    def __init__(self, formula):
+        self.current = formula
+        self.verdict = Verdict.DEMAND
+        self.sizes = []
+
+    def observe(self, state):
+        reduced = simplify(_naive_unroll(self.current, state))
+        self.sizes.append(_naive_size(reduced))
+        if isinstance(reduced, Top):
+            self.verdict, self.current = Verdict.DEFINITELY_TRUE, reduced
+            return self.verdict
+        if isinstance(reduced, Bottom):
+            self.verdict, self.current = Verdict.DEFINITELY_FALSE, reduced
+            return self.verdict
+        self.verdict = presumptive_valuation(reduced)
+        self.current = step(reduced)
+        return self.verdict
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+
+
+def deep_nest(depth: int, n: int):
+    """Alternating ``always``/``until`` nest that never resolves: the
+    ``until`` right-hand sides wait on a proposition the trace never
+    produces, so every level stays a live residual for the whole run."""
+    f = Or(atom("p"), atom("q"))
+    for level in range(depth):
+        if level % 2:
+            f = Until(n, Or(f, atom("r")), atom("never"))
+        else:
+            f = Always(n, Or(f, Not(atom("q"))))
+    return f
+
+
+def bench_trace(states: int):
+    rng = random.Random(42)
+    return [
+        {
+            "p": True,
+            "q": rng.random() < 0.9,
+            "r": rng.random() < 0.5,
+            "never": False,
+        }
+        for _ in range(states)
+    ]
+
+
+def _drive(checker, trace):
+    verdicts = []
+    for state in trace:
+        verdicts.append(checker.observe(state))
+        if verdicts[-1].is_definitive:
+            break
+    return verdicts
+
+
+def _best_of(measure, rounds=2):
+    best = float("inf")
+    payload = None
+    for _ in range(rounds):
+        payload, seconds = measure()
+        best = min(best, seconds)
+    return payload, best
+
+
+# ----------------------------------------------------------------------
+# The bench
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="progression")
+def test_compiled_engine_beats_naive_progression():
+    trace = bench_trace(STATES)
+    report = {
+        "states": STATES,
+        "subscript": SUBSCRIPT,
+        "tolerance": TOLERANCE,
+        "depths": {},
+    }
+    worst_speedup = float("inf")
+    for depth in DEPTHS:
+        formula = deep_nest(depth, SUBSCRIPT)
+
+        def measure_naive():
+            checker = NaiveChecker(formula)
+            start = time.perf_counter()
+            verdicts = _drive(checker, trace)
+            return (verdicts, checker.sizes), time.perf_counter() - start
+
+        def measure_compiled():
+            checker = FormulaChecker(formula, caches=ProgressionCaches())
+            hits0, misses0 = intern_stats()
+            start = time.perf_counter()
+            verdicts = _drive(checker, trace)
+            seconds = time.perf_counter() - start
+            hits1, misses1 = intern_stats()
+            return (
+                (verdicts, checker.formula_sizes, hits1 - hits0,
+                 misses1 - misses0),
+                seconds,
+            )
+
+        (naive_verdicts, naive_sizes), naive_s = _best_of(measure_naive)
+        (
+            (compiled_verdicts, compiled_sizes, hits, misses),
+            compiled_s,
+        ) = _best_of(measure_compiled)
+
+        # Correctness before timing: the interned engine and the plain
+        # tree-walker must agree on every per-state verdict and on the
+        # recorded formula sizes.
+        assert compiled_verdicts == naive_verdicts, (
+            f"depth {depth}: interned and plain engines disagree on "
+            "per-state verdicts"
+        )
+        assert compiled_sizes == naive_sizes, (
+            f"depth {depth}: interned and plain engines disagree on "
+            "progressed formula sizes"
+        )
+
+        states_run = len(compiled_verdicts)
+        speedup = naive_s / compiled_s if compiled_s else float("inf")
+        worst_speedup = min(worst_speedup, speedup)
+        constructions = hits + misses
+        report["depths"][str(depth)] = {
+            "states_run": states_run,
+            "naive_s": round(naive_s, 4),
+            "compiled_s": round(compiled_s, 4),
+            "naive_states_per_s": round(states_run / naive_s, 1),
+            "compiled_states_per_s": round(states_run / compiled_s, 1),
+            "speedup": round(speedup, 2),
+            "max_formula_size": max(compiled_sizes),
+            "intern_hit_ratio": round(
+                hits / constructions if constructions else 0.0, 4
+            ),
+        }
+    report["worst_speedup"] = round(worst_speedup, 2)
+    write_json("progression.json", report)
+
+    assert worst_speedup >= TOLERANCE, (
+        f"compiled progression only {worst_speedup:.2f}x the naive "
+        f"tree-walker (floor x{TOLERANCE}); see benchmarks/out/"
+        "progression.json"
+    )

@@ -21,7 +21,14 @@ available as the single-test engine underneath.
 
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
 from .lease import ExecutorCache, ExecutorLease
-from .pool import PoolMetrics, PoolTask, TaskFailure, WorkerCrashed, WorkerPool
+from .pool import (
+    PoolMetrics,
+    PoolTask,
+    TaskFailure,
+    WorkerCrashed,
+    WorkerPool,
+    suggest_jobs,
+)
 from .reporters import (
     ConsoleReporter,
     JsonlReporter,
@@ -36,10 +43,12 @@ from .scheduler import (
     CheckTarget,
     PooledScheduler,
 )
-from .session import CheckSession
+from .session import AUTO_JOBS, CheckSession
 
 __all__ = [
+    "AUTO_JOBS",
     "CheckSession",
+    "suggest_jobs",
     "CampaignEngine",
     "SerialEngine",
     "ParallelEngine",

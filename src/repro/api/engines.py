@@ -97,6 +97,12 @@ def campaign_tasks(
     warm_watched = getattr(runner, "watched_events", None)
     if warm_watched is not None:
         warm_watched()
+    # Likewise compile the spec (action footprint + shared progression
+    # caches) before the fork, so every worker inherits the artifact
+    # copy-on-write instead of rebuilding it per process.
+    warm_compiled = getattr(runner, "compiled_spec", None)
+    if warm_compiled is not None:
+        warm_compiled()
 
     def make_task(index: int) -> PoolTask:
         def thunk() -> TestResult:

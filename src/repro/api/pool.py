@@ -51,6 +51,7 @@ __all__ = [
     "WorkerPool",
     "SKIPPED",
     "resolve_jobs",
+    "suggest_jobs",
 ]
 
 #: Queue-depth sampling stops growing past this many points; enough to
@@ -81,7 +82,17 @@ class PoolMetrics:
       in play);
     * ``campaign_wall_s`` -- per-campaign wall-clock, label-keyed, from
       first merged result to campaign completion (campaigns overlap
-      under pooling, so these may sum to more than ``wall_s``).
+      under pooling, so these may sum to more than ``wall_s``);
+    * ``intern_hits`` / ``intern_misses`` -- the formula hash-cons table
+      deltas summed over every test (see
+      :func:`repro.quickltl.intern_stats`): a high hit ratio means the
+      compiled engine reused existing nodes instead of allocating;
+    * ``max_formula_size`` -- the largest progressed-formula size any
+      test's checker recorded;
+    * ``query_width_sum`` / ``query_width_states`` -- total captured
+      query entries over total observed states
+      (:attr:`mean_query_width`); under residual-driven narrowing the
+      mean drops below the spec's full dependency-set width.
     """
 
     jobs: int = 1
@@ -92,6 +103,11 @@ class PoolMetrics:
     tasks_skipped: int = 0
     warm_hits: int = 0
     cold_starts: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+    max_formula_size: int = 0
+    query_width_sum: int = 0
+    query_width_states: int = 0
     queue_depth_samples: List[int] = field(default_factory=list)
     worker_tasks: Dict[int, int] = field(default_factory=dict)
     worker_busy_s: Dict[int, float] = field(default_factory=dict)
@@ -108,6 +124,18 @@ class PoolMetrics:
             self.worker_busy_s.get(worker_id, 0.0) + elapsed_s
         )
 
+    def record_engine(self, result) -> None:
+        """Fold one :class:`~repro.checker.result.TestResult`'s compiled-
+        engine statistics (intern deltas, peak formula size, captured
+        query widths) into the batch totals."""
+        self.intern_hits += getattr(result, "intern_hits", 0)
+        self.intern_misses += getattr(result, "intern_misses", 0)
+        self.max_formula_size = max(
+            self.max_formula_size, getattr(result, "max_formula_size", 0)
+        )
+        self.query_width_sum += getattr(result, "query_width_sum", 0)
+        self.query_width_states += getattr(result, "states_observed", 0)
+
     def sample_queue_depth(self, depth: int) -> None:
         if len(self.queue_depth_samples) < _MAX_QUEUE_SAMPLES:
             self.queue_depth_samples.append(depth)
@@ -122,6 +150,27 @@ class PoolMetrics:
     def warm_hit_ratio(self) -> float:
         checkouts = self.warm_hits + self.cold_starts
         return self.warm_hits / checkouts if checkouts else 0.0
+
+    @property
+    def intern_hit_ratio(self) -> float:
+        """Fraction of formula constructions served by the hash-cons
+        table (existing node returned, nothing allocated)."""
+        constructions = self.intern_hits + self.intern_misses
+        return self.intern_hits / constructions if constructions else 0.0
+
+    @property
+    def mean_query_width(self) -> float:
+        """Mean captured queries per observed state across the batch."""
+        if not self.query_width_states:
+            return 0.0
+        return self.query_width_sum / self.query_width_states
+
+    def mean_utilisation(self) -> float:
+        """Mean per-worker busy fraction (0.0 with no recorded work)."""
+        fractions = self.utilisation()
+        if not fractions:
+            return 0.0
+        return sum(fractions.values()) / len(fractions)
 
     def utilisation(self) -> Dict[int, float]:
         """Per-worker busy fraction of the batch's wall-clock."""
@@ -144,6 +193,11 @@ class PoolMetrics:
             "warm_hits": self.warm_hits,
             "cold_starts": self.cold_starts,
             "warm_hit_ratio": round(self.warm_hit_ratio, 4),
+            "intern_hits": self.intern_hits,
+            "intern_misses": self.intern_misses,
+            "intern_hit_ratio": round(self.intern_hit_ratio, 4),
+            "max_formula_size": self.max_formula_size,
+            "mean_query_width": round(self.mean_query_width, 4),
             "max_queue_depth": self.max_queue_depth,
             "worker_tasks": {
                 str(worker): count
@@ -189,6 +243,39 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {jobs}")
     return jobs if jobs is not None else (os.cpu_count() or 1)
+
+
+def suggest_jobs(
+    metrics: Optional["PoolMetrics"], cpu: Optional[int] = None
+) -> int:
+    """Pool width for the next batch, from a finished batch's metrics.
+
+    The adaptive ``--jobs auto`` heuristic (pinned by
+    ``tests/api/test_adaptive_jobs.py``), driven by the two signals
+    :class:`PoolMetrics` records for exactly this purpose:
+
+    * **scale up** (double, capped at the CPU count) when the task queue
+      stayed deep (max depth over twice the pool width) *and* the
+      workers were genuinely busy (mean utilisation >= 75%) -- more
+      hands would have drained the backlog;
+    * **scale down** (halve, floor 1) when workers sat idle (mean
+      utilisation < 40%) -- the batch couldn't feed them;
+    * otherwise **keep** the recorded width (clamped to the CPU count).
+
+    With no history (``None``, or a batch that recorded no per-worker
+    work) it falls back to the CPU count, like :func:`resolve_jobs`.
+    """
+    cpu = cpu if cpu is not None else (os.cpu_count() or 1)
+    cpu = max(cpu, 1)
+    if metrics is None or metrics.jobs < 1 or not metrics.worker_busy_s:
+        return cpu
+    width = metrics.jobs
+    busy = metrics.mean_utilisation()
+    if metrics.max_queue_depth > 2 * width and busy >= 0.75:
+        return min(cpu, width * 2)
+    if busy < 0.40 and width > 1:
+        return max(1, width // 2)
+    return max(1, min(width, cpu))
 
 
 class PoolTask:

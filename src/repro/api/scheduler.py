@@ -216,6 +216,11 @@ class PooledScheduler:
         # campaigns ahead (check_all shares one factory across every
         # campaign; the audit has one per target, released as it ends).
         last_use = _last_use_positions(entries)
+        # Backlog accounting mirrors the pooled path: sample the count
+        # of not-yet-finished tasks before each one runs, so a serial
+        # (jobs=1) batch still records the queue-depth signal the
+        # adaptive-width heuristic needs to scale back *up*.
+        backlog = sum(runner.config.tests for _, runner in entries)
         outcomes = []
         try:
             for position, (label, runner) in enumerate(entries):
@@ -225,6 +230,8 @@ class PooledScheduler:
                 for index in range(runner.config.tests):
                     if merge.complete:
                         break
+                    metrics.sample_queue_depth(backlog)
+                    backlog -= 1
                     seed = _test_seed(runner.config.seed, index)
                     lease = cache.lease(runner.executor_factory)
                     task_started = time.perf_counter()
@@ -234,12 +241,14 @@ class PooledScheduler:
                     metrics.record_task(
                         0, time.perf_counter() - task_started, False
                     )
+                    metrics.record_engine(result)
                     merge.step(result)
                 # Indices never reached (stop_on_failure): account for
                 # them exactly like the pool's SKIPPED outcomes, so the
                 # serial and pooled metrics agree for the same workload.
                 for _ in range(runner.config.tests - merge.next_index):
                     metrics.record_task(0, 0.0, True)
+                backlog -= runner.config.tests - merge.next_index
                 outcomes.append(CampaignOutcome(label, merge.finish()))
                 metrics.campaign_wall_s[merge.label] = merge.wall_s
                 if last_use[runner.executor_factory] == position:
@@ -317,6 +326,10 @@ class PooledScheduler:
                 cursor["campaign"] += 1
 
         def on_result(task_id, outcome) -> None:
+            if hasattr(outcome, "states_observed"):
+                # A TestResult: fold its compiled-engine statistics in as
+                # it arrives (SKIPPED / TaskFailure outcomes carry none).
+                metrics.record_engine(outcome)
             arrived[task_id] = outcome
             advance()
 

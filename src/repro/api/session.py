@@ -61,10 +61,18 @@ from ..executors.domexec import DomExecutor
 from ..quickltl import DEFAULT_SUBSCRIPT
 from ..specstrom.module import CheckSpec, SpecModule, load_module_file
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
+from .pool import PoolMetrics, suggest_jobs
 from .reporters import Reporter
 from .scheduler import CampaignSet, CampaignSetResult, CheckTarget, PooledScheduler
 
-__all__ = ["CheckSession"]
+__all__ = ["CheckSession", "AUTO_JOBS"]
+
+#: Sentinel accepted wherever ``jobs=`` is: pick the pool width
+#: adaptively from the previous batch's recorded
+#: :class:`~repro.api.pool.PoolMetrics` (queue depth + utilisation, see
+#: :func:`~repro.api.pool.suggest_jobs`); the first batch of a session
+#: starts at the CPU count.
+AUTO_JOBS = "auto"
 
 SpecLike = Union[str, "os.PathLike[str]", SpecModule, CheckSpec]
 
@@ -91,6 +99,13 @@ class CheckSession:
     ) -> None:
         if engine is not None and jobs is not None:
             raise ValueError("pass either engine= or jobs=, not both")
+        _validate_jobs(jobs)
+        self.auto_jobs = jobs == AUTO_JOBS
+        if self.auto_jobs:
+            # Adaptive width applies to the scheduler (check_many /
+            # check_all) batches; single-campaign check() stays serial
+            # until a batch has recorded metrics to learn from.
+            jobs = None
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         if engine is None:
@@ -104,6 +119,9 @@ class CheckSession:
         self.jobs = jobs
         self.reporters: List[Reporter] = list(reporters)
         self.default_subscript = default_subscript
+        #: PoolMetrics of the session's most recent scheduled batch --
+        #: what ``jobs="auto"`` learns the next batch's width from.
+        self.last_metrics: Optional[PoolMetrics] = None
 
     # ------------------------------------------------------------------
     # Checking
@@ -146,10 +164,14 @@ class CheckSession:
         ``app`` uses the session's application.
 
         ``jobs`` bounds the pool across the whole batch (default: the
-        session's ``jobs``, else 1 -- i.e. the exact serial loop).  The
-        pool is forked once, reused across campaigns, and torn down when
-        the batch completes; verdicts are identical to sequential
-        :meth:`check` calls with the same seeds.
+        session's ``jobs``, else 1 -- i.e. the exact serial loop).
+        Pass :data:`AUTO_JOBS` (``"auto"``) -- here or to the session --
+        to have the width picked from the previous batch's recorded
+        queue-depth/utilisation metrics
+        (:func:`~repro.api.pool.suggest_jobs`).  The pool is forked
+        once, reused across campaigns, and torn down when the batch
+        completes; verdicts are identical to sequential :meth:`check`
+        calls with the same seeds.
 
         ``reuse_executors`` keeps each worker's executor warm between
         consecutive tests of the same target (reset instead of
@@ -194,8 +216,13 @@ class CheckSession:
             campaign_set.add(
                 target.name, Runner(check_spec, factory, target_config)
             )
-        if jobs is None:
-            if self.jobs is not None:
+        _validate_jobs(jobs)
+        if jobs == AUTO_JOBS:
+            jobs = suggest_jobs(self.last_metrics)
+        elif jobs is None:
+            if self.auto_jobs:
+                jobs = suggest_jobs(self.last_metrics)
+            elif self.jobs is not None:
                 jobs = self.jobs
             elif isinstance(self.engine, ParallelEngine):
                 # A session configured with an explicit parallel engine
@@ -207,8 +234,10 @@ class CheckSession:
         active_reporters = (
             self.reporters if reporters is None else list(reporters)
         )
-        return scheduler.run(campaign_set, active_reporters,
-                             reuse=reuse_executors)
+        result = scheduler.run(campaign_set, active_reporters,
+                               reuse=reuse_executors)
+        self.last_metrics = result.metrics
+        return result
 
     @staticmethod
     def _coerce_target(target: TargetLike, position: int) -> CheckTarget:
@@ -352,6 +381,19 @@ class CheckSession:
         raise ValueError(
             f"the module declares {len(names)} properties {names}; "
             "pass property= to pick one (or use check_all)"
+        )
+
+
+def _validate_jobs(jobs) -> None:
+    """Reject anything that is neither a worker count nor the ``"auto"``
+    sentinel -- a typo'd string or a float must fail here, not as an
+    opaque ``TypeError`` deep inside the scheduler."""
+    if jobs is None or jobs == AUTO_JOBS:
+        return
+    if not isinstance(jobs, int) or isinstance(jobs, bool):
+        raise ValueError(
+            f"jobs must be a positive integer or {AUTO_JOBS!r}, "
+            f"got {jobs!r}"
         )
 
 

@@ -33,7 +33,20 @@ class Counterexample:
 
 @dataclass
 class TestResult:
-    """Outcome of one generated test (one trace)."""
+    """Outcome of one generated test (one trace).
+
+    The trailing engine-statistics fields feed
+    :class:`~repro.api.pool.PoolMetrics`: ``max_formula_size`` is the
+    peak progressed-formula size over the trace, ``intern_hits`` /
+    ``intern_misses`` are the test's hash-cons table deltas, and
+    ``query_width_sum`` totals the per-state captured query counts
+    (``/ states_observed`` = the mean width query narrowing achieved).
+    The intern counters are per-*process* deltas: exact under the
+    fork pool and the serial loop (one test at a time per process), but
+    under the thread-fallback transport concurrent tests interleave
+    their windows, so those two fields are approximate there --
+    telemetry, never semantics.
+    """
 
     verdict: Verdict
     forced: bool  # verdict obtained via the budget-exhaustion polarity rule
@@ -44,6 +57,10 @@ class TestResult:
     trace: List[TraceEntry] = field(default_factory=list)
     actions: List[Tuple[str, ResolvedAction]] = field(default_factory=list)
     stall_reason: Optional[str] = None
+    max_formula_size: int = 0
+    intern_hits: int = 0
+    intern_misses: int = 0
+    query_width_sum: int = 0
 
     @property
     def passed(self) -> bool:
@@ -54,6 +71,13 @@ class TestResult:
     @property
     def failed(self) -> bool:
         return self.verdict.is_negative
+
+    @property
+    def mean_query_width(self) -> float:
+        """Mean number of captured queries per observed state."""
+        if not self.states_observed:
+            return 0.0
+        return self.query_width_sum / self.states_observed
 
 
 @dataclass

@@ -25,19 +25,20 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..executors.base import ActionFailed
-from ..protocol.messages import Acted, Act, Start, Timeout
+from ..protocol.messages import Acted, Act, Narrow, Start, Timeout
 from ..protocol.session import TraceEntry
-from ..quickltl import FormulaChecker, Verdict
+from ..quickltl import FormulaChecker, Verdict, intern_stats
 from ..specstrom.actions import PrimitiveAction, PrimitiveEvent, ResolvedAction
 from ..specstrom.errors import SpecEvalError
 from ..specstrom.eval import EvalContext, evaluate
 from ..specstrom.module import CheckSpec
 from ..specstrom.state import StateSnapshot
 from ..specstrom.values import ActionValue
+from .compiled import CompiledSpec
 from .config import RunnerConfig
 from .result import CampaignResult, TestResult
 
-__all__ = ["Runner", "TraceAccumulator", "check_spec"]
+__all__ = ["Runner", "TraceAccumulator", "QueryNarrower", "check_spec"]
 
 
 @dataclass
@@ -56,7 +57,10 @@ class TraceAccumulator:
     the verdict is definitive -- is observed by the formula checker.
     """
 
-    __slots__ = ("checker", "trace", "states", "verdict", "current_state")
+    __slots__ = (
+        "checker", "trace", "states", "verdict", "current_state",
+        "query_width_sum",
+    )
 
     def __init__(self, checker: FormulaChecker) -> None:
         self.checker = checker
@@ -64,6 +68,10 @@ class TraceAccumulator:
         self.states = 0
         self.verdict = Verdict.DEMAND
         self.current_state: Optional[StateSnapshot] = None
+        #: Total captured query entries across states -- the honest
+        #: measure of what narrowing saved (full runs sum the whole
+        #: dependency set every state).
+        self.query_width_sum = 0
 
     def absorb(self, executor) -> None:
         for message in executor.drain():
@@ -75,9 +83,55 @@ class TraceAccumulator:
             )
             self.trace.append(TraceEntry(kind, state.happened, state))
             self.states += 1
+            self.query_width_sum += len(state.queries)
             self.current_state = state
             if not self.verdict.is_definitive:
                 self.verdict = self.checker.observe(state)
+
+
+class QueryNarrower:
+    """Per-test driver of the ``Narrow`` protocol message.
+
+    After every observed state it recomputes the capture set the
+    residual formula (plus the spec's actions) still needs and tells
+    the executor when it changed; a backend that declines once is never
+    asked again (full snapshots simply continue).  The set may widen
+    again later -- e.g. when the liveness analysis loses track -- but
+    never beyond the session's ``Start`` set.
+    """
+
+    __slots__ = ("compiled", "executor", "checker", "full", "active", "enabled")
+
+    def __init__(self, compiled: CompiledSpec, executor, checker) -> None:
+        self.compiled = compiled
+        self.executor = executor
+        self.checker = checker
+        self.full = frozenset(compiled.spec.dependencies)
+        self.active = self.full
+        self.enabled = (
+            compiled.supports_narrowing
+            and getattr(executor, "narrow", None) is not None
+        )
+
+    def update(self) -> None:
+        """Re-narrow (or re-widen) for the checker's current residual."""
+        if not self.enabled:
+            return
+        target = self.compiled.narrowed_dependencies(self.checker.residual)
+        if target is None:
+            target = self.full
+        if target == self.active:
+            return
+        if self.executor.narrow(Narrow(target)):
+            self.active = target
+            return
+        # Backend declined: stop asking -- but never leave it stuck on
+        # an *earlier accepted* narrow when the formula now needs more.
+        self.enabled = False
+        if self.active != self.full and self.executor.narrow(
+            Narrow(self.full)
+        ):
+            self.active = self.full
 
 
 class Runner:
@@ -93,6 +147,7 @@ class Runner:
         self.executor_factory = executor_factory
         self.config = config or RunnerConfig()
         self._watched_events: Optional[Tuple[Tuple[str, PrimitiveEvent], ...]] = None
+        self._compiled: Optional[CompiledSpec] = None
 
     # ------------------------------------------------------------------
     # Campaign
@@ -141,8 +196,22 @@ class Runner:
             watched.append((event.name, primitive))
         return tuple(watched)
 
+    def compiled_spec(self) -> CompiledSpec:
+        """The spec's compiled form (shared progression caches, action
+        footprint), built once per runner.  The pooled schedulers call
+        this before forking so every worker inherits the warm artifact
+        copy-on-write."""
+        if self._compiled is None:
+            self._compiled = CompiledSpec(self.spec)
+        return self._compiled
+
     def _start_message(self) -> Start:
         return Start(self.spec.dependencies, self.watched_events())
+
+    def _narrower(self, executor, checker) -> Optional[QueryNarrower]:
+        if not self.config.narrow_queries:
+            return None
+        return QueryNarrower(self.compiled_spec(), executor, checker)
 
     def run_single_test(self, rng: random.Random, lease=None) -> TestResult:
         """Run one generated test.
@@ -166,8 +235,10 @@ class Runner:
             raise
 
     def _drive_test(self, executor, rng: random.Random, lease) -> TestResult:
-        checker = FormulaChecker(self.spec.formula)
+        checker = self.compiled_spec().checker()
         config = self.config
+        narrower = self._narrower(executor, checker)
+        intern_hits0, intern_misses0 = intern_stats()
 
         acc = TraceAccumulator(checker)
         fired: List[_FiredAction] = []
@@ -179,6 +250,11 @@ class Runner:
         while True:
             if acc.verdict.is_definitive:
                 break
+            if narrower is not None:
+                # Every state the executor snapshots from here on only
+                # needs what the progressed formula (and the actions)
+                # can still read.
+                narrower.update()
             if acc.states >= config.max_states:
                 stall_reason = "max states reached"
                 break
@@ -228,6 +304,7 @@ class Runner:
         if verdict is Verdict.DEMAND:
             verdict = checker.force()
             forced = True
+        intern_hits1, intern_misses1 = intern_stats()
         result = TestResult(
             verdict=verdict,
             forced=forced,
@@ -240,6 +317,10 @@ class Runner:
             trace=acc.trace,
             actions=[(f.name, f.resolved) for f in fired],
             stall_reason=stall_reason,
+            max_formula_size=checker.max_formula_size,
+            intern_hits=intern_hits1 - intern_hits0,
+            intern_misses=intern_misses1 - intern_misses0,
+            query_width_sum=acc.query_width_sum,
         )
         if lease is not None:
             lease.checkin(executor)
@@ -297,8 +378,10 @@ class Runner:
         when the sequence is not replayable (an action lost its target)."""
         executor = self.executor_factory()
         executor.start(self._start_message())
-        checker = FormulaChecker(self.spec.formula)
+        checker = self.compiled_spec().checker()
         config = self.config
+        narrower = self._narrower(executor, checker)
+        intern_hits0, intern_misses0 = intern_stats()
         actions_by_name = {a.name: a for a in self.spec.actions}
         timeout_by_name = {a.name: a.timeout_ms for a in self.spec.actions}
 
@@ -310,6 +393,8 @@ class Runner:
         for name, resolved in actions:
             if acc.verdict.is_definitive:
                 break
+            if narrower is not None:
+                narrower.update()
             # A candidate is only valid if every action is *legal* where
             # it fires: the real runner never fires a guarded-off action,
             # so a shrink that would do so is rejected outright.
@@ -345,6 +430,7 @@ class Runner:
             verdict = checker.force()
             forced = True
         executor.stop()
+        intern_hits1, intern_misses1 = intern_stats()
         return TestResult(
             verdict=verdict,
             forced=forced,
@@ -354,6 +440,10 @@ class Runner:
             elapsed_virtual_ms=executor.now_ms - start_ms,
             trace=acc.trace,
             actions=list(actions),
+            max_formula_size=checker.max_formula_size,
+            intern_hits=intern_hits1 - intern_hits0,
+            intern_misses=intern_misses1 - intern_misses0,
+            query_width_sum=acc.query_width_sum,
         )
 
 

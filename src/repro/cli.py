@@ -105,8 +105,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: generated apps x generated specs, "
-             "cross-checked serial vs pooled vs warm and against the "
-             "direct reference semantics",
+             "cross-checked serial vs pooled vs warm vs full-capture "
+             "and against the direct reference semantics",
     )
     fuzz.add_argument("--seed", type=int, default=0,
                       help="master seed; the same seed reproduces the same "
@@ -139,9 +139,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_value(text: str):
+    """``--jobs N`` or ``--jobs auto`` (adaptive width from the previous
+    batch's pool metrics; first batch = the CPU count)."""
+    if text == "auto":
+        return "auto"
+    return _positive_int(text)
+
+
 def _campaign_options(parser: argparse.ArgumentParser, jobs_help: str) -> None:
-    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                        help=jobs_help)
+    parser.add_argument("--jobs", type=_jobs_value, default=1, metavar="N",
+                        help=jobs_help + "; 'auto' picks the width from "
+                             "recorded queue-depth/utilisation metrics")
     parser.add_argument("--format", choices=("console", "json", "junit"),
                         default="console",
                         help="console output, one JSON object per event, "
@@ -152,6 +161,11 @@ def _campaign_options(parser: argparse.ArgumentParser, jobs_help: str) -> None:
                         help="construct a fresh executor for every test "
                              "instead of reusing a warm one (verdicts are "
                              "identical; this is the cold baseline)")
+    parser.add_argument("--no-narrow", action="store_true",
+                        help="capture the full dependency set in every "
+                             "snapshot instead of narrowing to what the "
+                             "progressed formula still reads (verdicts "
+                             "are identical; this is the full baseline)")
 
 
 def _progress_reporters() -> list:
@@ -191,6 +205,7 @@ def _cmd_check(args) -> int:
         demand_allowance=max(20, args.subscript // 5),
         seed=args.seed,
         shrink=not args.no_shrink,
+        narrow_queries=not args.no_narrow,
     )
     # Every property rides the cross-campaign scheduler as its own
     # campaign against the one app: --jobs spans (property, test) tasks
@@ -219,6 +234,7 @@ def _cmd_audit(args) -> int:
         demand_allowance=20,
         seed=args.seed,
         shrink=False,
+        narrow_queries=not args.no_narrow,
     )
     junit_to_stdout = args.format == "junit" and args.report_file is None
     stream_mode = None if junit_to_stdout else (

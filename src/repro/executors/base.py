@@ -20,7 +20,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List
 
-from ..protocol.messages import Act, Reset, Start
+from ..protocol.messages import Act, Narrow, Reset, Start
 
 __all__ = ["ActionFailed", "Executor"]
 
@@ -76,6 +76,18 @@ class Executor(ABC):
 
     def stop(self) -> None:
         """Tear the session down (default: nothing to do)."""
+
+    def narrow(self, narrow: Narrow) -> bool:
+        """Restrict subsequent snapshots to ``narrow.dependencies``
+        (intersected with the session's ``Start`` set).
+
+        Returns True when the restriction is in effect; the default
+        declines, so backends that never heard of narrowing keep
+        capturing the full dependency set -- the checker treats a
+        decline as "full snapshots continue" and never asks again for
+        this session.  ``start``/``reset`` always restore full capture.
+        """
+        return False
 
     def reset(self, reset: Reset) -> bool:
         """Begin a fresh session on this warm executor, if the backend

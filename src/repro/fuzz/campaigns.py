@@ -2,17 +2,26 @@
 
 One *fuzz campaign* is a generated machine, a generated specification
 and a family of twins -- the correct app plus up to a few faulty
-mutants.  :func:`run_campaign` runs the family as one batch three times:
+mutants.  :func:`run_campaign` runs the family as one batch four times:
 
-* ``serial``  -- ``jobs=1``, cold executors (the reference schedule),
+* ``serial``  -- ``jobs=1``, cold executors (the reference schedule;
+  residual-driven query narrowing on, like production defaults),
 * ``pooled``  -- the :class:`~repro.api.scheduler.PooledScheduler` on a
   forked worker pool, cold executors,
 * ``warm``    -- the pooled schedule with warm executor reuse
-  (the ``Reset`` protocol path).
+  (the ``Reset`` protocol path),
+* ``full``    -- ``jobs=1``, cold, with query narrowing *off*: every
+  snapshot captures the whole dependency set (the narrowed-observation
+  oracle's reference, and the leg the direct-semantics trace oracle
+  reads, since the reference evaluator may touch queries the residual
+  provably cannot).
 
-All three must agree -- verdicts, per-test results, counterexamples,
-reporter event streams -- and every test of the reference run must agree
-with the direct-semantics trace oracle.  Model-spec campaigns
+All four must agree -- verdicts, per-test results, counterexamples,
+reporter event streams -- the narrowed traces must be exactly the full
+traces restricted to their capture sets
+(:func:`~repro.fuzz.oracles.narrowing_mismatch`), and every test of the
+full run must agree with the direct-semantics trace oracle.  Model-spec
+campaigns
 additionally feed the fault-detection scoreboard (the generated
 analogue of the paper's Table 2): the correct twin must pass, and a
 failing faulty twin counts as a detection whose minimized
@@ -25,7 +34,7 @@ it still reproduces) and persisted as a replayable JSONL corpus entry.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..api.scheduler import CampaignSetResult, CheckTarget
@@ -40,7 +49,12 @@ from .machine import (
     generate_machine,
     machine_app,
 )
-from .oracles import RecordingReporter, compare_campaigns, direct_oracle_mismatch
+from .oracles import (
+    RecordingReporter,
+    compare_campaigns,
+    direct_oracle_mismatch,
+    narrowing_mismatch,
+)
 from .specgen import model_spec_source, random_spec_source
 
 __all__ = [
@@ -167,12 +181,17 @@ def _run_paths(
     config: RunnerConfig,
     jobs: int,
 ) -> Dict[str, Tuple[CampaignSetResult, RecordingReporter]]:
-    """The same batch on the three schedules under comparison."""
+    """The same batch on the four legs under comparison."""
     runs: Dict[str, Tuple[CampaignSetResult, RecordingReporter]] = {}
-    for path, (path_jobs, reuse) in (
-        ("serial", (1, False)),
-        ("pooled", (jobs, False)),
-        ("warm", (jobs, True)),
+    full_config = (
+        config if not config.narrow_queries
+        else replace(config, narrow_queries=False)
+    )
+    for path, (path_jobs, reuse, path_config) in (
+        ("serial", (1, False, config)),
+        ("pooled", (jobs, False, config)),
+        ("warm", (jobs, True, config)),
+        ("full", (1, False, full_config)),
     ):
         recorder = RecordingReporter()
         session = CheckSession(reporters=[recorder])
@@ -183,7 +202,7 @@ def _run_paths(
         batch = session.check_many(
             targets,
             spec=check,
-            config=config,
+            config=path_config,
             jobs=path_jobs,
             reuse_executors=reuse,
         )
@@ -232,7 +251,40 @@ def _campaign_divergences(
                 "event_stream",
                 f"{path} reporter event stream differs from serial",
             )
-    for outcome in serial_batch:
+    # The narrowed-observation leg: narrowing (the default on the other
+    # three legs) must be invisible -- same verdicts/actions/events as
+    # the full-capture run, and every narrowed state must be the full
+    # state restricted to its capture set.
+    full_batch, full_recorder = runs["full"]
+    for full_outcome, narrowed_outcome in zip(full_batch, serial_batch):
+        difference = compare_campaigns(
+            f"narrowed vs full capture on {full_outcome.target!r}",
+            full_outcome.result,
+            narrowed_outcome.result,
+        )
+        if difference is not None:
+            record(full_outcome.target, "narrow", difference)
+            continue
+        for test_index, (full_result, narrowed_result) in enumerate(
+            zip(full_outcome.result.results, narrowed_outcome.result.results)
+        ):
+            mismatch = narrowing_mismatch(full_result, narrowed_result)
+            if mismatch is not None:
+                record(
+                    full_outcome.target,
+                    "narrow",
+                    f"test {test_index}: {mismatch}",
+                )
+    if full_recorder.events != serial_recorder.events:
+        record(
+            "correct",
+            "narrow",
+            "full-capture reporter event stream differs from narrowed",
+        )
+    # The trace oracle reads the *full* leg: the reference semantics may
+    # evaluate queries the residual provably cannot, which narrowed
+    # states legitimately omit.
+    for outcome in full_batch:
         for test_index, result in enumerate(outcome.result.results):
             mismatch = direct_oracle_mismatch(check, result)
             if mismatch is not None:
@@ -309,7 +361,7 @@ def _target_diverges(entry: CorpusEntry, jobs: Optional[int] = None) -> bool:
     named = _entry_batch(entry)
     runs = _run_paths(entry.machine, named, check, config, jobs)
     serial_batch, serial_recorder = runs["serial"]
-    for path in ("pooled", "warm"):
+    for path in ("pooled", "warm", "full"):
         batch, recorder = runs[path]
         for baseline, candidate in zip(serial_batch, batch):
             if compare_campaigns("replay", baseline.result,
@@ -317,7 +369,14 @@ def _target_diverges(entry: CorpusEntry, jobs: Optional[int] = None) -> bool:
                 return True
         if recorder.events != serial_recorder.events:
             return True
-    for outcome in serial_batch:
+    full_batch, _ = runs["full"]
+    for full_outcome, narrowed_outcome in zip(full_batch, serial_batch):
+        for full_result, narrowed_result in zip(
+            full_outcome.result.results, narrowed_outcome.result.results
+        ):
+            if narrowing_mismatch(full_result, narrowed_result) is not None:
+                return True
+    for outcome in full_batch:
         for result in outcome.result.results:
             if direct_oracle_mismatch(check, result) is not None:
                 return True

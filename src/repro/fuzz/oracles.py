@@ -15,6 +15,15 @@ Three cross-checks, in increasing scope:
   different schedules (serial, pooled, warm-reuse) must produce
   identical verdicts, per-test results, counterexamples and reporter
   event streams.
+* **Narrowing oracle** (:func:`narrowing_mismatch`): a run with
+  residual-driven query narrowing enabled (the default) must be
+  state-for-state equivalent to the full-capture run -- same verdicts
+  and actions (checked through :func:`compare_campaigns`), and every
+  narrowed snapshot must be exactly the full snapshot *restricted* to
+  the narrowed capture set (no query may be captured differently, and
+  nothing outside the full run's capture may appear).  The trace oracle
+  runs on the full-capture leg, whose states the reference semantics
+  can always read.
 * **Event-stream recording** (:class:`RecordingReporter`): a reporter
   that reduces every hook invocation to a comparable tuple, so "the
   reporter event streams are identical" is a list equality.
@@ -34,6 +43,7 @@ __all__ = [
     "expected_outcome",
     "direct_oracle_mismatch",
     "compare_campaigns",
+    "narrowing_mismatch",
 ]
 
 
@@ -172,6 +182,55 @@ def _campaign_signature(result: CampaignResult) -> tuple:
         if result.shrunk_counterexample is None
         else _action_signature(result.shrunk_counterexample.actions),
     )
+
+
+def narrowing_mismatch(
+    full: TestResult, narrowed: TestResult
+) -> Optional[str]:
+    """Compare a narrowed test against its full-capture twin, state by
+    state.
+
+    Verdict/action equality is :func:`compare_campaigns`' job; this
+    oracle checks the *states*: both runs must have seen the same trace
+    shape (kinds, happened sets, versions, timestamps), and each
+    narrowed snapshot must equal the full snapshot restricted to the
+    queries the narrowed run captured.  Returns ``None`` when
+    equivalent, else the first difference.
+    """
+    if len(full.trace) != len(narrowed.trace):
+        return (
+            f"trace lengths differ: full {len(full.trace)} vs narrowed "
+            f"{len(narrowed.trace)}"
+        )
+    for index, (full_entry, narrow_entry) in enumerate(
+        zip(full.trace, narrowed.trace)
+    ):
+        for attribute in ("kind", "happened"):
+            left = getattr(full_entry, attribute)
+            right = getattr(narrow_entry, attribute)
+            if left != right:
+                return (
+                    f"state {index}: {attribute} differs "
+                    f"({left!r} vs {right!r})"
+                )
+        full_state, narrow_state = full_entry.state, narrow_entry.state
+        if (full_state.version, full_state.timestamp_ms) != (
+            narrow_state.version, narrow_state.timestamp_ms
+        ):
+            return f"state {index}: version/timestamp differ"
+        extra = set(narrow_state.queries) - set(full_state.queries)
+        if extra:
+            return (
+                f"state {index}: narrowed run captured queries the full "
+                f"run did not: {sorted(extra)}"
+            )
+        for css, elements in narrow_state.queries.items():
+            if full_state.queries[css] != elements:
+                return (
+                    f"state {index}: query {css!r} captured differently "
+                    "under narrowing"
+                )
+    return None
 
 
 def compare_campaigns(

@@ -18,6 +18,15 @@ Checker to executor:
   different specification's selectors and events.  Backends that cannot
   restore the initial state exactly decline, and the caller falls back
   to stop + a fresh ``Start``.
+* :class:`Narrow` -- restrict *subsequent* snapshots to the given
+  subset of the ``Start`` dependency set.  The checker sends it when
+  the progressed formula can no longer read some queries (the
+  residual-liveness analysis of ``repro.specstrom.analysis``), so the
+  executor stops paying capture cost for dead selectors.  Backends may
+  decline (return False) and keep capturing the full set -- narrowing
+  is an optimisation whose verdicts are asserted identical to
+  full-capture runs.  A later ``Narrow`` may widen again (up to the
+  ``Start`` set), and ``Start``/``Reset`` always restore full capture.
 
 Executor to checker:
 
@@ -37,7 +46,7 @@ from ..specstrom.actions import PrimitiveEvent, ResolvedAction
 from ..specstrom.state import StateSnapshot
 
 __all__ = [
-    "Start", "Act", "Wait", "Reset", "Event", "Acted", "Timeout",
+    "Start", "Act", "Wait", "Reset", "Narrow", "Event", "Acted", "Timeout",
     "ExecutorMessage",
 ]
 
@@ -62,6 +71,16 @@ class Reset:
 
     dependencies: frozenset
     events: Tuple[Tuple[str, PrimitiveEvent], ...] = ()
+
+
+@dataclass(frozen=True)
+class Narrow:
+    """Restrict subsequent snapshots to this query subset (see module
+    docs).  Selectors outside the session's ``Start`` dependency set are
+    ignored -- the executor can only narrow what it already instruments.
+    """
+
+    dependencies: frozenset
 
 
 @dataclass(frozen=True)

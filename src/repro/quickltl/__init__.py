@@ -35,6 +35,9 @@ from .syntax import (
     iff,
     conj,
     disj,
+    children,
+    intern_stats,
+    intern_table_size,
     DEFAULT_SUBSCRIPT,
 )
 from .unroll import unroll
@@ -46,7 +49,12 @@ from .step import (
     step,
     NotGuardedError,
 )
-from .progression import FormulaChecker, check_trace, formula_size
+from .progression import (
+    FormulaChecker,
+    ProgressionCaches,
+    check_trace,
+    formula_size,
+)
 from .direct import direct_eval
 from .classic import Lasso, holds
 from .rvltl import erase_subscripts, rv_eval, fltl_eval
@@ -81,6 +89,9 @@ __all__ = [
     "iff",
     "conj",
     "disj",
+    "children",
+    "intern_stats",
+    "intern_table_size",
     "DEFAULT_SUBSCRIPT",
     "unroll",
     "simplify",
@@ -91,6 +102,7 @@ __all__ = [
     "step",
     "NotGuardedError",
     "FormulaChecker",
+    "ProgressionCaches",
     "check_trace",
     "formula_size",
     "direct_eval",

@@ -12,36 +12,143 @@ state it
 The checker records the size of the progressed formula after every state,
 which the ablation bench uses to confirm that per-step simplification
 keeps progression from blowing up (Rosu & Havelund's caveat).
+
+Compiled engine
+---------------
+
+With hash-consed nodes (:mod:`repro.quickltl.syntax`) the three phases
+memoize by node identity through a :class:`ProgressionCaches` bundle:
+``simplify``/``step``/``presumptive_valuation`` are pure, so their
+caches persist across states *and across the checkers of a whole
+campaign* (``repro.checker.compiled.CompiledSpec`` shares one bundle per
+spec).  The caches are ordinary per-process dicts -- forked pool workers
+each inherit a copy-on-write instance, which is what makes sharing them
+fork-safe without any locking.  The unroll memo is state-dependent and
+therefore lives only for a single ``observe``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .simplify import simplify
 from .step import presumptive_valuation, step
-from .syntax import Bottom, Formula, Top
+from .syntax import (
+    Always,
+    And,
+    Bottom,
+    Eventually,
+    Formula,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Not,
+    Or,
+    Release,
+    Top,
+    Until,
+)
 from .unroll import unroll
 from .verdict import Verdict
 
-__all__ = ["FormulaChecker", "check_trace", "formula_size"]
+__all__ = ["FormulaChecker", "ProgressionCaches", "check_trace", "formula_size"]
+
+#: Entry count at which a ProgressionCaches bundle resets itself: far
+#: above what any realistic spec reaches (caches grow with *distinct*
+#: interned terms, which per-step simplification keeps small), but a
+#: hard bound so a pathological campaign cannot grow without limit.
+_CACHE_LIMIT = 100_000
 
 
-def formula_size(formula: Formula) -> int:
-    """Number of AST nodes (deferred bodies count as one node)."""
-    from .syntax import And, Or, Not, NextReq, NextWeak, NextStrong
-    from .syntax import Always, Eventually, Until, Release
+class ProgressionCaches:
+    """Shared memo tables for the progression phases.
 
-    if isinstance(formula, (And, Or)):
-        return 1 + formula_size(formula.left) + formula_size(formula.right)
-    if isinstance(formula, (Until, Release)):
-        return 1 + formula_size(formula.left) + formula_size(formula.right)
-    if isinstance(formula, (Not, NextReq, NextWeak, NextStrong)):
-        return 1 + formula_size(formula.operand)
-    if isinstance(formula, (Always, Eventually)):
-        return 1 + formula_size(formula.body)
-    return 1
+    One bundle may serve many checkers (every test of a campaign checks
+    the same formula, so the tables converge after the first test).  All
+    three tables key hash-consed nodes; ``sizes`` additionally backs the
+    DAG-aware :func:`formula_size`.
+    """
+
+    __slots__ = ("simplify", "step", "valuation", "sizes")
+
+    def __init__(self) -> None:
+        self.simplify: dict = {}
+        self.step: dict = {}
+        self.valuation: dict = {}
+        self.sizes: Dict[Formula, int] = {}
+
+    def trim(self) -> None:
+        """Reset everything once past the safety bound (see module docs)."""
+        if (
+            len(self.simplify) + len(self.step) + len(self.valuation)
+            + len(self.sizes)
+        ) > _CACHE_LIMIT:
+            self.simplify.clear()
+            self.step.clear()
+            self.valuation.clear()
+            self.sizes.clear()
+
+
+def formula_size(formula: Formula, sizes: Optional[dict] = None) -> int:
+    """Number of AST nodes (deferred bodies count as one node).
+
+    Counts the formula as a *tree* (matching the paper's size plots) but
+    walks it as a DAG: an explicit stack instead of recursion, so
+    arbitrarily deep residuals cannot hit the interpreter's recursion
+    limit, and a node-keyed ``sizes`` memo so shared subterms -- which
+    hash-consing makes pervasive -- are measured once.
+    """
+    if sizes is None:
+        sizes = {}
+    try:
+        cached = sizes.get(formula)
+    except TypeError:  # pragma: no cover - unhashable custom atoms
+        return _tree_size(formula)
+    if cached is not None:
+        return cached
+    try:
+        stack = [formula]
+        while stack:
+            node = stack.pop()
+            if node in sizes:
+                continue
+            kids = _size_children(node)
+            pending = [child for child in kids if child not in sizes]
+            if pending:
+                stack.append(node)
+                stack.extend(pending)
+            else:
+                sizes[node] = 1 + sum(sizes[child] for child in kids)
+        return sizes[formula]
+    except KeyError:  # pragma: no cover - concurrent cache trim
+        # A shared `sizes` table (thread-fallback pools share one
+        # ProgressionCaches bundle) can be cleared by another thread's
+        # trim() mid-walk; redo the measurement on a private memo.
+        return formula_size(formula, {})
+
+
+def _size_children(node: Formula):
+    if isinstance(node, (And, Or)):
+        return (node.left, node.right)
+    if isinstance(node, (Until, Release)):
+        return (node.left, node.right)
+    if isinstance(node, (Not, NextReq, NextWeak, NextStrong)):
+        return (node.operand,)
+    if isinstance(node, (Always, Eventually)):
+        return (node.body,)
+    return ()
+
+
+def _tree_size(formula: Formula) -> int:
+    """Unmemoized iterative fallback for unhashable nodes."""
+    size = 0
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        size += 1
+        stack.extend(_size_children(node))
+    return size
 
 
 @dataclass
@@ -57,12 +164,19 @@ class FormulaChecker:
                 break
         final = checker.verdict   # may be presumptive (or DEMAND)
 
+    ``caches`` is an optional :class:`ProgressionCaches` bundle; passing
+    one shared across the checkers of a campaign (what
+    ``CompiledSpec.checker()`` does) means later tests replay earlier
+    tests' simplify/step work as dict hits.  Without one the checker
+    builds a private bundle, so memoization is always on.
+
     ``simplify_each_step`` exists for the ablation study only; turning it
     off makes progression follow the naive expansion.
     """
 
     formula: Formula
     simplify_each_step: bool = True
+    caches: Optional[ProgressionCaches] = None
     _current: Optional[Formula] = field(default=None, init=False, repr=False)
     _verdict: Verdict = field(default=Verdict.DEMAND, init=False)
     _states_seen: int = field(default=0, init=False)
@@ -70,6 +184,8 @@ class FormulaChecker:
 
     def __post_init__(self) -> None:
         self._current = self.formula
+        if self.caches is None:
+            self.caches = ProgressionCaches()
 
     @property
     def verdict(self) -> Verdict:
@@ -88,6 +204,11 @@ class FormulaChecker:
     def formula_sizes(self) -> List[int]:
         """Size of the progressed formula after each observed state."""
         return list(self._sizes)
+
+    @property
+    def max_formula_size(self) -> int:
+        """The largest progressed-formula size seen so far."""
+        return max(self._sizes, default=0)
 
     @property
     def is_definitive(self) -> bool:
@@ -124,12 +245,18 @@ class FormulaChecker:
         (``top``/``bottom`` are fixpoints of unrolling), so callers need
         not special-case early termination.
         """
-        # Phase 1: unroll against the new state.
-        unrolled = unroll(self._current, state)
+        caches = self.caches
+        # Phase 1: unroll against the new state (per-state memo: shared
+        # subterms of the residual DAG unroll once).
+        unrolled = unroll(self._current, state, {})
         # Phase 2: simplify; definitive answers stop checking.
-        reduced = simplify(unrolled) if self.simplify_each_step else unrolled
+        reduced = (
+            simplify(unrolled, caches.simplify)
+            if self.simplify_each_step
+            else unrolled
+        )
         self._states_seen += 1
-        self._sizes.append(formula_size(reduced))
+        self._sizes.append(formula_size(reduced, caches.sizes))
         if isinstance(reduced, Top):
             self._verdict = Verdict.DEFINITELY_TRUE
             self._current = reduced
@@ -144,7 +271,7 @@ class FormulaChecker:
             # stepped forward is the raw unrolled one, dead truth-value
             # weight and all -- this is precisely the configuration in
             # which Rosu & Havelund's exponential blow-up appears.
-            cleaned = simplify(reduced)
+            cleaned = simplify(reduced, caches.simplify)
             if isinstance(cleaned, Top):
                 self._verdict = Verdict.DEFINITELY_TRUE
                 self._current = cleaned
@@ -153,13 +280,15 @@ class FormulaChecker:
                 self._verdict = Verdict.DEFINITELY_FALSE
                 self._current = cleaned
                 return self._verdict
-            self._verdict = presumptive_valuation(cleaned)
+            self._verdict = presumptive_valuation(cleaned, caches.valuation)
             self._current = _lenient_step(reduced)
+            caches.trim()
             return self._verdict
         # Phase 2 (cont.): guarded form; presumptive verdict or demand.
-        self._verdict = presumptive_valuation(reduced)
+        self._verdict = presumptive_valuation(reduced, caches.valuation)
         # Phase 3: step forward for the next state.
-        self._current = step(reduced)
+        self._current = step(reduced, caches.step)
+        caches.trim()
         return self._verdict
 
 
@@ -178,8 +307,6 @@ def _lenient_step(formula: Formula) -> Formula:
     dead weight accumulates -- used only by the no-simplification
     ablation baseline.
     """
-    from .syntax import And, Bottom, Not, NextReq, NextStrong, NextWeak, Or, Top
-
     if isinstance(formula, (Top, Bottom)):
         return formula
     if isinstance(formula, Not):

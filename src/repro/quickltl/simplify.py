@@ -22,9 +22,18 @@ Per the paper (Section 2.3), this per-step simplification is what keeps
 formula progression from exhibiting the exponential blow-up described by
 Rosu and Havelund; ``benchmarks/bench_ablation_simplify.py`` measures that
 claim.
+
+Simplification is pure and state-independent, so with hash-consed nodes
+(see :mod:`repro.quickltl.syntax`) it memoizes by node: ``simplify(f,
+memo)`` with a persistent per-checker ``memo`` dict returns cached
+results for every subterm it has seen before, and rebuilds nothing when
+a subterm simplifies to itself -- the unchanged bulk of a residual costs
+one dict lookup per state instead of a fresh tree walk.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from .syntax import (
     Always,
@@ -84,7 +93,7 @@ def negate(formula: Formula) -> Formula:
     return Not(formula)
 
 
-def simplify(formula: Formula) -> Formula:
+def simplify(formula: Formula, memo: Optional[dict] = None) -> Formula:
     """Simplify ``formula`` using boolean and negation identities.
 
     The result is either ``TOP``, ``BOTTOM``, or a formula in *guarded
@@ -92,47 +101,80 @@ def simplify(formula: Formula) -> Formula:
     (Figure 4, bottom).  Next operator bodies are simplified recursively
     (body-level rewriting is semantics-preserving because the next
     operators are congruences).
+
+    ``memo`` is an optional node-keyed cache; because simplification is
+    pure, a cache may persist for the life of a checker (and across the
+    checkers of a campaign) -- the hash-consed node identity guarantees
+    a hit is exact.  Without one, a private per-call cache still
+    deduplicates shared subterms within the call.
     """
+    if memo is None:
+        memo = {}
+    return _simplify(formula, memo)
+
+
+def _simplify(formula: Formula, memo: dict) -> Formula:
+    try:
+        cached = memo.get(formula)
+    except TypeError:  # pragma: no cover - unhashable custom atoms
+        return _simplify_node(formula, memo)
+    if cached is not None:
+        return cached
+    result = _simplify_node(formula, memo)
+    memo[formula] = result
+    return result
+
+
+def _simplify_node(formula: Formula, memo: dict) -> Formula:
     if isinstance(formula, (Top, Bottom, Atom, Defer)):
         return formula
     if isinstance(formula, Not):
-        inner = simplify(formula.operand)
+        inner = _simplify(formula.operand, memo)
         if isinstance(inner, (Atom, Defer)):
-            return Not(inner)
-        return simplify(negate(inner))
+            return formula if inner is formula.operand else Not(inner)
+        return _simplify(negate(inner), memo)
     if isinstance(formula, And):
-        return _simplify_nary(formula, And, TOP, BOTTOM)
+        return _simplify_nary(formula, And, TOP, BOTTOM, memo)
     if isinstance(formula, Or):
-        return _simplify_nary(formula, Or, BOTTOM, TOP)
+        return _simplify_nary(formula, Or, BOTTOM, TOP, memo)
     if isinstance(formula, NextReq):
-        return NextReq(simplify(formula.operand))
+        inner = _simplify(formula.operand, memo)
+        return formula if inner is formula.operand else NextReq(inner)
     if isinstance(formula, NextWeak):
-        return NextWeak(simplify(formula.operand))
+        inner = _simplify(formula.operand, memo)
+        return formula if inner is formula.operand else NextWeak(inner)
     if isinstance(formula, NextStrong):
-        return NextStrong(simplify(formula.operand))
+        inner = _simplify(formula.operand, memo)
+        return formula if inner is formula.operand else NextStrong(inner)
     if isinstance(formula, Always):
-        return Always(formula.n, _simplify_body(formula.body))
+        body = _simplify_body(formula.body, memo)
+        return formula if body is formula.body else Always(formula.n, body)
     if isinstance(formula, Eventually):
-        return Eventually(formula.n, _simplify_body(formula.body))
+        body = _simplify_body(formula.body, memo)
+        return formula if body is formula.body else Eventually(formula.n, body)
     if isinstance(formula, Until):
-        return Until(
-            formula.n, _simplify_body(formula.left), _simplify_body(formula.right)
-        )
+        left = _simplify_body(formula.left, memo)
+        right = _simplify_body(formula.right, memo)
+        if left is formula.left and right is formula.right:
+            return formula
+        return Until(formula.n, left, right)
     if isinstance(formula, Release):
-        return Release(
-            formula.n, _simplify_body(formula.left), _simplify_body(formula.right)
-        )
+        left = _simplify_body(formula.left, memo)
+        right = _simplify_body(formula.right, memo)
+        if left is formula.left and right is formula.right:
+            return formula
+        return Release(formula.n, left, right)
     raise TypeError(f"cannot simplify {type(formula).__name__}")
 
 
-def _simplify_body(body: Formula) -> Formula:
+def _simplify_body(body: Formula, memo: dict) -> Formula:
     """Simplify a temporal-operator body; deferred bodies stay opaque."""
     if isinstance(body, Defer):
         return body
-    return simplify(body)
+    return _simplify(body, memo)
 
 
-def _simplify_nary(formula, connective, unit, zero):
+def _simplify_nary(formula, connective, unit, zero, memo):
     """Flatten an ``and``/``or`` tree, applying unit/zero and idempotence.
 
     ``unit`` is the neutral element (top for ``and``) and ``zero`` the
@@ -147,7 +189,7 @@ def _simplify_nary(formula, connective, unit, zero):
             stack.append(node.right)
             stack.append(node.left)
             continue
-        node = simplify(node)
+        node = _simplify(node, memo)
         if node == zero:
             return zero
         if node == unit:

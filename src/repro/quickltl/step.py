@@ -12,9 +12,17 @@ subformulae.  This module provides
   strong-next-guarded term as false,
 * :func:`step` -- the relation ``F => phi`` of Figure 7, which strips the
   next guards to progress the formula to the next state.
+
+``step`` and ``presumptive_valuation`` are pure functions of the node,
+so both accept an optional node-keyed ``memo`` (hash-consed identity
+makes hits exact); the progression checker threads persistent caches
+through them so the unchanged guarded bulk of a residual is stepped and
+valuated once, not once per state.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from .syntax import (
     And,
@@ -62,7 +70,9 @@ def demands_next(formula: Formula) -> bool:
     raise NotGuardedError(f"not in guarded form: {type(formula).__name__}")
 
 
-def presumptive_valuation(formula: Formula) -> Verdict:
+def presumptive_valuation(
+    formula: Formula, memo: Optional[dict] = None
+) -> Verdict:
     """The presumptive verdict of a guarded-form formula.
 
     Weak-next terms contribute ``PROBABLY_TRUE``, strong-next terms
@@ -71,6 +81,20 @@ def presumptive_valuation(formula: Formula) -> Verdict:
     next yields ``DEMAND`` (more states needed) rather than a guess,
     exactly as prescribed in Section 2.3.
     """
+    if memo is not None:
+        try:
+            cached = memo.get(formula)
+        except TypeError:  # pragma: no cover - unhashable custom atoms
+            return presumptive_valuation(formula, None)
+        if cached is not None:
+            return cached
+        result = _valuate(formula, memo)
+        memo[formula] = result
+        return result
+    return _valuate(formula, None)
+
+
+def _valuate(formula: Formula, memo: Optional[dict]) -> Verdict:
     if isinstance(formula, Top):
         return Verdict.DEFINITELY_TRUE
     if isinstance(formula, Bottom):
@@ -83,22 +107,38 @@ def presumptive_valuation(formula: Formula) -> Verdict:
         return Verdict.DEMAND
     if isinstance(formula, And):
         return conj(
-            presumptive_valuation(formula.left), presumptive_valuation(formula.right)
+            presumptive_valuation(formula.left, memo),
+            presumptive_valuation(formula.right, memo),
         )
     if isinstance(formula, Or):
         return disj(
-            presumptive_valuation(formula.left), presumptive_valuation(formula.right)
+            presumptive_valuation(formula.left, memo),
+            presumptive_valuation(formula.right, memo),
         )
     raise NotGuardedError(f"not in guarded form: {type(formula).__name__}")
 
 
-def step(formula: Formula) -> Formula:
+def step(formula: Formula, memo: Optional[dict] = None) -> Formula:
     """The step relation ``F => phi`` (Figure 7): strip next guards so the
     formula can be unrolled against the next state."""
+    if memo is not None:
+        try:
+            cached = memo.get(formula)
+        except TypeError:  # pragma: no cover - unhashable custom atoms
+            return step(formula, None)
+        if cached is not None:
+            return cached
+        result = _step(formula, memo)
+        memo[formula] = result
+        return result
+    return _step(formula, None)
+
+
+def _step(formula: Formula, memo: Optional[dict]) -> Formula:
     if isinstance(formula, (NextReq, NextWeak, NextStrong)):
         return formula.operand
     if isinstance(formula, And):
-        return And(step(formula.left), step(formula.right))
+        return And(step(formula.left, memo), step(formula.right, memo))
     if isinstance(formula, Or):
-        return Or(step(formula.left), step(formula.right))
+        return Or(step(formula.left, memo), step(formula.right, memo))
     raise NotGuardedError(f"not in guarded form: {type(formula).__name__}")

@@ -23,13 +23,33 @@ producing a formula once a concrete state is available.  This is how the
 Specstrom evaluator implements strict ``let`` bindings inside temporal
 contexts (paper, Section 3.1): the body expression is re-evaluated at every
 state the operator unrolls over, freezing any eagerly-bound values.
+
+Hash-consing
+------------
+
+Nodes are *interned*: constructing a formula that is structurally equal
+to one already alive returns the existing object, so structural equality
+coincides with pointer identity for everything built through the public
+constructors.  That identity is what makes the progression engine's
+memo caches (:mod:`repro.quickltl.progression`) O(1) per node: per-state
+unroll/simplify/step results are keyed by node, every node carries its
+structural hash precomputed, and residual subterms that did not change
+between states are literally the same object -- ``observe()`` allocates
+nothing for the unchanged bulk of an ``always``/``until`` residual.
+
+The intern table holds *weak* references, so formulas die normally; it
+is a plain per-process table -- ``fork`` gives every worker its own
+copy-on-write instance, and under the thread fallback a lost race simply
+builds an extra structurally-equal node (``__eq__`` keeps a structural
+fallback precisely so uninterned duplicates stay sound).
+:func:`intern_stats` exposes the hit/miss counters the pool metrics
+report as the intern-table hit rate.
 """
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass, field
-from typing import Callable, Tuple
+import weakref
+from typing import Callable, Optional, Tuple
 
 __all__ = [
     "Formula",
@@ -54,6 +74,9 @@ __all__ = [
     "iff",
     "conj",
     "disj",
+    "children",
+    "intern_stats",
+    "intern_table_size",
     "DEFAULT_SUBSCRIPT",
 ]
 
@@ -62,22 +85,153 @@ __all__ = [
 #: default (Section 4.3).
 DEFAULT_SUBSCRIPT = 100
 
-#: ``@dataclass(slots=True)`` needs Python 3.10; on 3.9 the nodes
-#: simply fall back to ordinary instances (same semantics, a little
-#: more memory per node).
-_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+#: The hash-cons table: structural key -> live node.  Values are weak so
+#: the table never keeps formulas alive; keys hold the children strongly,
+#: which is fine because a parent's entry lives exactly as long as the
+#: parent itself.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+#: ``[hits, misses]`` of the intern table, per process.
+_STATS = [0, 0]
 
 
-class Formula:
+def intern_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` of the intern table since process start.
+
+    A *hit* is a construction that returned an already-live node; a
+    *miss* allocated a new one.  The checker records per-test deltas and
+    the pool metrics aggregate them into the intern-table hit rate.
+    """
+    return _STATS[0], _STATS[1]
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (weak table, so this tracks GC)."""
+    return len(_INTERN)
+
+
+_UNSET = object()  # sentinel for Defer's lazy footprint cache
+
+
+class _InternedMeta(type):
+    """Metaclass routing construction through the hash-cons table.
+
+    ``Cls(*args)`` first normalises keyword arguments against the class'
+    ``_fields``, then looks the structural key up; only a miss actually
+    allocates (and runs ``__init__``, so validation still fires before a
+    node can be interned).  Arguments that cannot be normalised or
+    hashed (exotic subclasses, unhashable predicates) fall back to plain
+    uninterned construction -- interning is an optimisation, never a
+    requirement, because ``Formula.__eq__`` keeps its structural
+    fallback.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        if kwargs:
+            fields = cls._fields
+            merged = list(args)
+            for name in fields[len(args):]:
+                if name in kwargs:
+                    merged.append(kwargs.pop(name))
+                elif name in cls._defaults:
+                    merged.append(cls._defaults[name])
+                else:
+                    return _uninterned(cls, tuple(merged), kwargs)
+            if kwargs:  # unknown keyword (custom subclass): stay out of the way
+                return _uninterned(cls, tuple(merged), kwargs)
+            args = tuple(merged)
+        elif len(args) < len(cls._fields):
+            defaults = cls._defaults
+            names = cls._fields[len(args):]
+            if not all(name in defaults for name in names):
+                # Let __init__ raise the natural TypeError.
+                return _uninterned(cls, args, {})
+            args = args + tuple(defaults[name] for name in names)
+        key = (cls,) + args
+        try:
+            node = _INTERN.get(key)
+        except TypeError:  # unhashable field value
+            return _uninterned(cls, args, {})
+        if node is not None:
+            _STATS[0] += 1
+            return node
+        _STATS[1] += 1
+        node = type.__call__(cls, *args)
+        object.__setattr__(node, "_hash", hash(key))
+        _INTERN[key] = node
+        return node
+
+
+def _uninterned(cls, args, kwargs):
+    """Plain construction for arguments the intern table cannot key."""
+    node = type.__call__(cls, *args, **kwargs)
+    try:
+        object.__setattr__(node, "_hash", hash((cls,) + tuple(args)))
+    except TypeError:
+        object.__setattr__(node, "_hash", None)
+    return node
+
+
+class Formula(metaclass=_InternedMeta):
     """Base class for all QuickLTL formula nodes.
 
-    Nodes are immutable and structurally comparable, which the simplifier
-    relies on for idempotence-based deduplication.  Operators are
+    Nodes are immutable, structurally comparable and hash-consed (see
+    the module docs): ``a == b`` implies ``a is b`` for interned nodes,
+    and every node carries its structural hash precomputed, so hashing
+    and equality are O(1) however deep the formula.  Operators are
     overloaded for convenience: ``&``, ``|`` and ``~`` build conjunction,
     disjunction and negation; ``>>`` builds implication.
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash", "__weakref__")
+    #: Field names, in constructor order; subclasses override.
+    _fields: Tuple[str, ...] = ()
+    #: Default values for trailing optional fields.
+    _defaults: dict = {}
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"{type(self).__name__} is immutable (hash-consed); "
+            "build a new formula instead"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        for name in self._fields:
+            if getattr(self, name) != getattr(other, name):
+                return False
+        return True
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        value = self._hash
+        if value is None:
+            raise TypeError(
+                f"unhashable {type(self).__name__} (an unhashable field)"
+            )
+        return value
+
+    def __reduce__(self):
+        # Pickles (and deepcopies) rebuild through the constructor, so
+        # restored nodes re-intern in the receiving process.
+        return (type(self), tuple(getattr(self, f) for f in self._fields))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._fields
+        )
+        return f"{type(self).__name__}({parts})"
 
     def __and__(self, other: "Formula") -> "Formula":
         return And(self, other)
@@ -97,17 +251,35 @@ class Formula:
         return pretty(self)
 
 
-@dataclass(frozen=True, **_SLOTS)
+def children(formula: Formula) -> Tuple[Formula, ...]:
+    """The immediate subformulae of a node (leaves return ``()``)."""
+    return tuple(
+        value
+        for name in formula._fields
+        for value in (getattr(formula, name),)
+        if isinstance(value, Formula)
+    )
+
+
 class Top(Formula):
     """The constant true."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
 
     def __repr__(self) -> str:
         return "TOP"
 
 
-@dataclass(frozen=True, **_SLOTS)
 class Bottom(Formula):
     """The constant false."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
 
     def __repr__(self) -> str:
         return "BOTTOM"
@@ -117,7 +289,6 @@ TOP = Top()
 BOTTOM = Bottom()
 
 
-@dataclass(frozen=True, **_SLOTS)
 class Atom(Formula):
     """An atomic proposition: a named predicate over states.
 
@@ -126,8 +297,12 @@ class Atom(Formula):
     therefore reuse predicate closures where sharing is intended.
     """
 
-    name: str
-    predicate: Callable[[object], bool] = field(compare=True)
+    __slots__ = ("name", "predicate")
+    _fields = ("name", "predicate")
+
+    def __init__(self, name: str, predicate: Callable[[object], bool]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "predicate", predicate)
 
     def evaluate(self, state: object) -> bool:
         """Evaluate the predicate, coercing the result to ``bool``."""
@@ -137,101 +312,120 @@ class Atom(Formula):
         return f"Atom({self.name!r})"
 
 
-@dataclass(frozen=True, **_SLOTS)
 class Not(Formula):
     """Logical negation."""
 
-    operand: Formula
+    __slots__ = ("operand",)
+    _fields = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        object.__setattr__(self, "operand", operand)
 
 
-@dataclass(frozen=True, **_SLOTS)
-class And(Formula):
+class _Binary(Formula):
+    """Shared shape of the binary connectives."""
+
+    __slots__ = ("left", "right")
+    _fields = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+
+class And(_Binary):
     """Binary conjunction."""
 
-    left: Formula
-    right: Formula
+    __slots__ = ()
 
 
-@dataclass(frozen=True, **_SLOTS)
-class Or(Formula):
+class Or(_Binary):
     """Binary disjunction."""
 
-    left: Formula
-    right: Formula
+    __slots__ = ()
 
 
-@dataclass(frozen=True, **_SLOTS)
 class NextReq(Formula):
     """Required next: the checker must produce a next state."""
 
-    operand: Formula
+    __slots__ = ("operand",)
+    _fields = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        object.__setattr__(self, "operand", operand)
 
 
-@dataclass(frozen=True, **_SLOTS)
 class NextWeak(Formula):
     """Weak next: presumptively true if the trace ends here."""
 
-    operand: Formula
+    __slots__ = ("operand",)
+    _fields = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        object.__setattr__(self, "operand", operand)
 
 
-@dataclass(frozen=True, **_SLOTS)
 class NextStrong(Formula):
     """Strong next: presumptively false if the trace ends here."""
 
-    operand: Formula
+    __slots__ = ("operand",)
+    _fields = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        object.__setattr__(self, "operand", operand)
 
 
-@dataclass(frozen=True, **_SLOTS)
-class Always(Formula):
+class _Subscripted(Formula):
+    """Shared shape (and validation) of the unary temporal operators."""
+
+    __slots__ = ("n", "body")
+    _fields = ("n", "body")
+
+    def __init__(self, n: int, body: Formula) -> None:
+        if n < 0:
+            raise ValueError(f"subscript must be non-negative, got {n}")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "body", body)
+
+
+class Always(_Subscripted):
     """``always{n} phi`` -- henceforth, with minimum-trace annotation."""
 
-    n: int
-    body: Formula
-
-    def __post_init__(self) -> None:
-        if self.n < 0:
-            raise ValueError(f"subscript must be non-negative, got {self.n}")
+    __slots__ = ()
 
 
-@dataclass(frozen=True, **_SLOTS)
-class Eventually(Formula):
+class Eventually(_Subscripted):
     """``eventually{n} phi`` -- with minimum-trace annotation."""
 
-    n: int
-    body: Formula
-
-    def __post_init__(self) -> None:
-        if self.n < 0:
-            raise ValueError(f"subscript must be non-negative, got {self.n}")
+    __slots__ = ()
 
 
-@dataclass(frozen=True, **_SLOTS)
-class Until(Formula):
+class _SubscriptedBinary(Formula):
+    """Shared shape (and validation) of the binary temporal operators."""
+
+    __slots__ = ("n", "left", "right")
+    _fields = ("n", "left", "right")
+
+    def __init__(self, n: int, left: Formula, right: Formula) -> None:
+        if n < 0:
+            raise ValueError(f"subscript must be non-negative, got {n}")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+
+class Until(_SubscriptedBinary):
     """``phi until{n} psi``."""
 
-    n: int
-    left: Formula
-    right: Formula
-
-    def __post_init__(self) -> None:
-        if self.n < 0:
-            raise ValueError(f"subscript must be non-negative, got {self.n}")
+    __slots__ = ()
 
 
-@dataclass(frozen=True, **_SLOTS)
-class Release(Formula):
+class Release(_SubscriptedBinary):
     """``phi release{n} psi``."""
 
-    n: int
-    left: Formula
-    right: Formula
-
-    def __post_init__(self) -> None:
-        if self.n < 0:
-            raise ValueError(f"subscript must be non-negative, got {self.n}")
+    __slots__ = ()
 
 
-@dataclass(frozen=True, **_SLOTS)
 class Defer(Formula):
     """A formula computed from the state at unroll time.
 
@@ -239,10 +433,32 @@ class Defer(Formula):
     :class:`Formula`.  Two ``Defer`` nodes compare equal only when they
     hold the *same* closure object, so deduplication across distinct
     closures is (soundly) never attempted.
+
+    ``footprint`` is an optional zero-argument callable returning the
+    set of query keys (CSS selectors, for Specstrom-built formulas) the
+    deferred body can possibly read when forced, or ``None`` when
+    unknown.  Front ends that know their bodies (the Specstrom
+    evaluator) attach it so :func:`repro.specstrom.analysis.live_queries`
+    can narrow the executor's per-state capture set; hand-built defers
+    leave it off and the analysis conservatively reports "everything".
+    The result is computed at most once per node
+    (:meth:`selector_footprint`).
     """
 
-    name: str
-    build: Callable[[object], Formula] = field(compare=True)
+    __slots__ = ("name", "build", "footprint", "_footprint_cache")
+    _fields = ("name", "build", "footprint")
+    _defaults = {"footprint": None}
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[object], Formula],
+        footprint: Optional[Callable[[], Optional[frozenset]]] = None,
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "build", build)
+        object.__setattr__(self, "footprint", footprint)
+        object.__setattr__(self, "_footprint_cache", _UNSET)
 
     def force(self, state: object) -> Formula:
         built = self.build(state)
@@ -252,6 +468,22 @@ class Defer(Formula):
                 " expected a Formula"
             )
         return built
+
+    def selector_footprint(self) -> Optional[frozenset]:
+        """The queries this deferred body may read when forced, or
+        ``None`` when unknown (no ``footprint`` was attached, or the
+        analysis failed).  Computed once and cached on the node."""
+        cached = self._footprint_cache
+        if cached is _UNSET:
+            if self.footprint is None:
+                cached = None
+            else:
+                try:
+                    cached = self.footprint()
+                except Exception:  # noqa: BLE001 - analysis must never break checking
+                    cached = None
+            object.__setattr__(self, "_footprint_cache", cached)
+        return cached
 
     def __repr__(self) -> str:
         return f"Defer({self.name!r})"

@@ -23,9 +23,18 @@ weak and strong next:
 unrolled, which realises Specstrom's staged evaluation: a strict ``let``
 inside a temporal operator freezes the value the bound expression has in
 the state where the operator unrolls.
+
+Unrolling depends on the state, so its ``memo`` (node -> unrolled node)
+is only valid for one state: the checker passes a fresh dict per
+``observe``, which still collapses every *shared* subterm of the
+hash-consed residual DAG to a single unroll.  Subtrees whose unroll is
+themselves (truth values, next-guarded obligations) are returned without
+allocation.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from .syntax import (
     Always,
@@ -50,53 +59,77 @@ from .syntax import (
 __all__ = ["unroll"]
 
 
-def unroll(formula: Formula, state: object) -> Formula:
+def unroll(formula: Formula, state: object, memo: Optional[dict] = None) -> Formula:
     """Unroll ``formula`` one step, partially evaluating it against ``state``.
 
     The result contains no ``Atom``, ``Always``, ``Eventually``, ``Until``,
     ``Release`` or ``Defer`` nodes outside of "next" operator bodies.
+    ``memo`` (valid for this state only) deduplicates shared subterms.
     """
+    if memo is not None:
+        try:
+            cached = memo.get(formula)
+        except TypeError:  # pragma: no cover - unhashable custom atoms
+            return _unroll(formula, state, None)
+        if cached is not None:
+            return cached
+        result = _unroll(formula, state, memo)
+        memo[formula] = result
+        return result
+    return _unroll(formula, state, None)
+
+
+def _unroll(formula: Formula, state: object, memo: Optional[dict]) -> Formula:
     if isinstance(formula, (Top, Bottom)):
         return formula
     if isinstance(formula, Atom):
         return TOP if formula.evaluate(state) else BOTTOM
     if isinstance(formula, Defer):
-        return unroll(formula.force(state), state)
+        return unroll(formula.force(state), state, memo)
     if isinstance(formula, Not):
-        return Not(unroll(formula.operand, state))
+        inner = unroll(formula.operand, state, memo)
+        return formula if inner is formula.operand else Not(inner)
     if isinstance(formula, And):
-        return And(unroll(formula.left, state), unroll(formula.right, state))
+        left = unroll(formula.left, state, memo)
+        right = unroll(formula.right, state, memo)
+        if left is formula.left and right is formula.right:
+            return formula
+        return And(left, right)
     if isinstance(formula, Or):
-        return Or(unroll(formula.left, state), unroll(formula.right, state))
+        left = unroll(formula.left, state, memo)
+        right = unroll(formula.right, state, memo)
+        if left is formula.left and right is formula.right:
+            return formula
+        return Or(left, right)
     if isinstance(formula, (NextReq, NextWeak, NextStrong)):
         # Next-guarded obligations are untouched by unrolling; they are
         # discharged by the step relation (Figure 7) once a new state
         # becomes available.
         return formula
     if isinstance(formula, Always):
-        body_now = unroll(formula.body, state)
+        body_now = unroll(formula.body, state, memo)
         if formula.n > 0:
             return And(body_now, NextReq(Always(formula.n - 1, formula.body)))
-        return And(body_now, NextWeak(Always(0, formula.body)))
+        return And(body_now, NextWeak(formula))
     if isinstance(formula, Eventually):
-        body_now = unroll(formula.body, state)
+        body_now = unroll(formula.body, state, memo)
         if formula.n > 0:
             return Or(body_now, NextReq(Eventually(formula.n - 1, formula.body)))
-        return Or(body_now, NextStrong(Eventually(0, formula.body)))
+        return Or(body_now, NextStrong(formula))
     if isinstance(formula, Until):
-        left_now = unroll(formula.left, state)
-        right_now = unroll(formula.right, state)
+        left_now = unroll(formula.left, state, memo)
+        right_now = unroll(formula.right, state, memo)
         if formula.n > 0:
             rest = NextReq(Until(formula.n - 1, formula.left, formula.right))
         else:
-            rest = NextStrong(Until(0, formula.left, formula.right))
+            rest = NextStrong(formula)
         return Or(right_now, And(left_now, rest))
     if isinstance(formula, Release):
-        left_now = unroll(formula.left, state)
-        right_now = unroll(formula.right, state)
+        left_now = unroll(formula.left, state, memo)
+        right_now = unroll(formula.right, state, memo)
         if formula.n > 0:
             rest = NextReq(Release(formula.n - 1, formula.left, formula.right))
         else:
-            rest = NextWeak(Release(0, formula.left, formula.right))
+            rest = NextWeak(formula)
         return And(right_now, Or(left_now, rest))
     raise TypeError(f"cannot unroll {type(formula).__name__}")

@@ -455,13 +455,25 @@ def to_formula(value, expr: Optional[Expr] = None) -> Formula:
 
 
 def _defer(body: Expr, env: Environment, ctx: EvalContext, label: str) -> Defer:
-    """Quote ``body``: build a deferred formula forced per unroll state."""
+    """Quote ``body``: build a deferred formula forced per unroll state.
+
+    The defer carries a *footprint* closure so the compiled engine can
+    narrow the executor's capture set to what the residual can still
+    read (see :func:`repro.specstrom.analysis.live_queries`); it is
+    evaluated lazily -- and at most once per node -- only when a runner
+    actually narrows.
+    """
 
     def build(state) -> Formula:
         sub_ctx = ctx.with_state(state)
         return to_formula(evaluate(body, env, sub_ctx), body)
 
-    return Defer(label, build)
+    def footprint():
+        from .analysis import expr_selector_footprint
+
+        return expr_selector_footprint(body, env)
+
+    return Defer(label, build, footprint)
 
 
 def _temporal_unary(expr: TemporalUnary, env: Environment, ctx: EvalContext):

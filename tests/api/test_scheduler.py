@@ -282,3 +282,37 @@ class TestCrashAttribution:
         assert any(
             task_id[0] == "killer" for task_id in excinfo.value.in_flight
         )
+
+
+class TestEngineMetrics:
+    """Compiled-engine statistics flow from TestResults into PoolMetrics."""
+
+    def _one_target(self):
+        return [
+            CheckTarget("eggtimer", egg_timer_app(),
+                        spec=load_eggtimer_spec().check_named("safety"),
+                        config=eggtimer_config(tests=2)),
+        ]
+
+    def _assert_engine_stats(self, metrics):
+        assert metrics.intern_misses > 0
+        assert metrics.intern_hits > 0
+        assert 0.0 < metrics.intern_hit_ratio < 1.0
+        assert metrics.max_formula_size > 0
+        assert metrics.query_width_states > 0
+        assert metrics.mean_query_width > 0.0
+
+    def test_serial_batch_records_engine_stats(self):
+        batch = CheckSession().check_many(self._one_target(), jobs=1)
+        self._assert_engine_stats(batch.metrics)
+
+    def test_pooled_batch_records_engine_stats(self):
+        batch = CheckSession().check_many(self._one_target(), jobs=2)
+        self._assert_engine_stats(batch.metrics)
+
+    def test_engine_stats_are_in_the_json_payload(self):
+        batch = CheckSession().check_many(self._one_target(), jobs=1)
+        payload = batch.metrics.to_dict()
+        for key in ("intern_hits", "intern_misses", "intern_hit_ratio",
+                    "max_formula_size", "mean_query_width"):
+            assert key in payload

@@ -1,0 +1,215 @@
+"""Hash-consing invariants and the compiled engine's memoized phases.
+
+The compiled evaluation pipeline rests on two properties:
+
+* **interning**: structurally equal formulas built through the public
+  constructors are the *same object* (so node-keyed memo caches are
+  exact), with ``==``/``hash`` staying consistent with that identity;
+* **simplify** is idempotent (a second pass is the first pass's
+  fixpoint -- what makes a persistent simplify memo sound) and, on
+  negation-normal inputs, size-nonincreasing (pushing ``!`` through a
+  connective legitimately grows a term by its De Morgan dual, so the
+  size claim is stated for formulas whose negations sit on atoms).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quickltl import (
+    Always,
+    And,
+    Eventually,
+    FormulaChecker,
+    Not,
+    NextReq,
+    NextStrong,
+    NextWeak,
+    Or,
+    ProgressionCaches,
+    Release,
+    TOP,
+    BOTTOM,
+    Until,
+    formula_size,
+    intern_stats,
+    simplify,
+    unroll,
+)
+from repro.quickltl.syntax import Defer
+
+from ..strategies import ATOMS, PROPOSITIONS, examples, formulas, states, traces
+
+
+def rebuild(formula):
+    """Reconstruct ``formula`` node by node through the public
+    constructors -- a structurally equal but independently built copy."""
+    if isinstance(formula, (And, Or)):
+        return type(formula)(rebuild(formula.left), rebuild(formula.right))
+    if isinstance(formula, (Until, Release)):
+        return type(formula)(
+            formula.n, rebuild(formula.left), rebuild(formula.right)
+        )
+    if isinstance(formula, (Not, NextReq, NextWeak, NextStrong)):
+        return type(formula)(rebuild(formula.operand))
+    if isinstance(formula, (Always, Eventually)):
+        return type(formula)(formula.n, rebuild(formula.body))
+    return formula  # constants and shared atoms
+
+
+@st.composite
+def nnf_formulas(draw, max_depth: int = 4, max_subscript: int = 3):
+    """Formulas whose negations sit only on atoms (negation normal
+    form), the domain of the size-nonincreasing claim."""
+    if max_depth <= 0:
+        return draw(
+            st.sampled_from(
+                [TOP, BOTTOM]
+                + [ATOMS[p] for p in PROPOSITIONS]
+                + [Not(ATOMS[p]) for p in PROPOSITIONS]
+            )
+        )
+    sub = lambda: nnf_formulas(
+        max_depth=max_depth - 1, max_subscript=max_subscript
+    )
+    n = draw(st.integers(min_value=0, max_value=max_subscript))
+    choice = draw(st.integers(min_value=0, max_value=9))
+    if choice == 0:
+        return draw(
+            st.sampled_from(
+                [TOP, BOTTOM]
+                + [ATOMS[p] for p in PROPOSITIONS]
+                + [Not(ATOMS[p]) for p in PROPOSITIONS]
+            )
+        )
+    if choice == 1:
+        return And(draw(sub()), draw(sub()))
+    if choice == 2:
+        return Or(draw(sub()), draw(sub()))
+    if choice == 3:
+        return NextReq(draw(sub()))
+    if choice == 4:
+        return NextWeak(draw(sub()))
+    if choice == 5:
+        return NextStrong(draw(sub()))
+    if choice == 6:
+        return Always(n, draw(sub()))
+    if choice == 7:
+        return Eventually(n, draw(sub()))
+    if choice == 8:
+        return Until(n, draw(sub()), draw(sub()))
+    return Release(n, draw(sub()), draw(sub()))
+
+
+class TestInterningInvariant:
+    @given(formulas())
+    @examples(300)
+    def test_structurally_equal_is_same_object(self, formula):
+        assert rebuild(formula) is formula
+
+    @given(formulas())
+    @examples(200)
+    def test_eq_and_hash_are_consistent(self, formula):
+        copy = rebuild(formula)
+        assert copy == formula
+        assert hash(copy) == hash(formula)
+
+    @given(formulas(), formulas())
+    @examples(200)
+    def test_identity_coincides_with_equality(self, left, right):
+        # Interned nodes: `is` and `==` answer the same question.
+        assert (left is right) == (left == right)
+
+    def test_rebuilding_is_a_pure_intern_hit(self):
+        formula = Always(3, And(ATOMS["p"], Eventually(1, ATOMS["q"])))
+        hits0, misses0 = intern_stats()
+        again = Always(3, And(ATOMS["p"], Eventually(1, ATOMS["q"])))
+        hits1, misses1 = intern_stats()
+        assert again is formula
+        assert misses1 == misses0  # nothing allocated
+        assert hits1 > hits0
+
+    def test_defers_intern_by_closure_identity(self):
+        build = lambda state: TOP
+        assert Defer("d", build) is Defer("d", build)
+        assert Defer("d", build) is not Defer("d", lambda state: TOP)
+
+    def test_immutability_is_enforced(self):
+        formula = And(ATOMS["p"], ATOMS["q"])
+        try:
+            formula.left = ATOMS["r"]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("interned nodes must be immutable")
+
+
+class TestSimplifyProperties:
+    @given(formulas())
+    @examples(300)
+    def test_simplify_is_idempotent(self, formula):
+        once = simplify(formula)
+        assert simplify(once) is once  # interning: fixpoint == identity
+
+    @given(nnf_formulas())
+    @examples(300)
+    def test_simplify_is_size_nonincreasing_on_nnf(self, formula):
+        assert formula_size(simplify(formula)) <= formula_size(formula)
+
+    @given(formulas(), states())
+    @examples(200)
+    def test_unrolled_simplification_is_idempotent(self, formula, state):
+        # The shape the checker actually simplifies: unroll output.
+        once = simplify(unroll(formula, state))
+        assert simplify(once) is once
+
+    @given(nnf_formulas(), states())
+    @examples(200)
+    def test_unrolled_simplification_shrinks_on_nnf(self, formula, state):
+        unrolled = unroll(formula, state)
+        assert formula_size(simplify(unrolled)) <= formula_size(unrolled)
+
+    @given(formulas())
+    @examples(200)
+    def test_memoized_simplify_matches_unmemoized(self, formula):
+        memo = {}
+        assert simplify(formula, memo) is simplify(formula)
+        # And the memo replays exactly.
+        assert simplify(formula, memo) is simplify(formula)
+
+
+class TestSharedCaches:
+    @given(formulas(), traces(min_size=1, max_size=6))
+    @examples(150)
+    def test_shared_caches_do_not_change_verdicts(self, formula, trace):
+        caches = ProgressionCaches()
+        private = FormulaChecker(formula)
+        shared_a = FormulaChecker(formula, caches=caches)
+        shared_b = FormulaChecker(formula, caches=caches)  # warm replay
+        for state in trace:
+            expected = private.observe(state)
+            assert shared_a.observe(state) is expected
+        for state in trace:
+            shared_b.observe(state)
+        assert shared_b.verdict is private.verdict
+        assert shared_b.formula_sizes == private.formula_sizes
+
+
+class TestIterativeFormulaSize:
+    def test_deep_residual_does_not_recurse(self):
+        # The seed's recursive formula_size raised RecursionError here.
+        formula = ATOMS["p"]
+        for _ in range(5000):
+            formula = NextReq(formula)
+        assert formula_size(formula) == 5001
+
+    def test_shared_subterms_count_as_tree_nodes(self):
+        shared = And(ATOMS["p"], ATOMS["q"])
+        formula = And(shared, shared)  # a DAG: the tree size counts twice
+        assert formula_size(formula) == 7
+
+    def test_sizes_memo_is_reusable(self):
+        sizes = {}
+        formula = Always(2, And(ATOMS["p"], ATOMS["q"]))
+        assert formula_size(formula, sizes) == 4
+        assert sizes[formula] == 4
+        assert formula_size(formula, sizes) == 4
