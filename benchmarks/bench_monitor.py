@@ -1,0 +1,128 @@
+"""Batched monitor progression vs naive per-session stepping.
+
+The online monitor's claim (``src/repro/monitor``): with hash-consed
+residuals, sessions observing the same state with the same residual can
+be grouped in O(1) per session and progressed with **one** computation
+per cohort, so monitoring N homogeneous sessions costs roughly the
+progression work of a handful of distinct trajectories -- not N of
+them.  This bench holds it to that claim on the workload the subsystem
+is built for: a deterministic synthetic egg-timer population
+(``repro.monitor.synth``) of ``REPRO_BENCH_MONITOR_SESSIONS`` sessions
+(default 10000) walking a small trajectory palette, with a 10% injected
+fault rate so the verdict comparison spans both outcomes.
+
+The same pre-parsed record stream is driven through two monitors over
+the real ``safety`` property of ``src/repro/specs/eggtimer.strom``:
+
+* **unbatched** (``batch=False``): one progression step per
+  (session, state), fresh unroll memo each -- what a per-session
+  :class:`~repro.quickltl.FormulaChecker` farm would do;
+* **batched** (the default): cohort-grouped stepping through the shared
+  :class:`~repro.checker.compiled.CompiledSpec` caches.
+
+Both runs must produce **identical per-session verdicts** (verdict,
+forced flag and disposition) -- correctness is asserted before any
+timing counts.  The guard then requires the batched run to be at least
+``REPRO_BENCH_MONITOR_TOLERANCE`` times faster (default 2.0, the PR-6
+acceptance floor) and its residual-sharing ratio to exceed
+``REPRO_BENCH_MONITOR_SHARING`` (default 0.9 -- the homogeneous-stream
+guarantee).
+
+Results land in ``benchmarks/out/monitor.json`` (a CI artifact).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.monitor import Monitor, parse_record
+from repro.monitor.synth import synth_lines
+from repro.specs import load_eggtimer_spec
+
+from .harness import write_json
+
+SESSIONS = int(os.environ.get("REPRO_BENCH_MONITOR_SESSIONS", "10000"))
+TOLERANCE = float(os.environ.get("REPRO_BENCH_MONITOR_TOLERANCE", "2.0"))
+SHARING_FLOOR = float(os.environ.get("REPRO_BENCH_MONITOR_SHARING", "0.9"))
+FAULT_RATE = 0.1
+SEED = 0
+
+
+def _run(check, records, *, batch: bool):
+    verdicts = {}
+
+    def collect(verdict):
+        verdicts[verdict.session_id] = (
+            verdict.verdict, verdict.forced, verdict.disposition
+        )
+
+    monitor = Monitor(check, batch=batch, on_verdict=collect)
+    start = time.perf_counter()
+    for record in records:
+        monitor.feed_record(record)
+    report = monitor.finish()
+    seconds = time.perf_counter() - start
+    return verdicts, report, seconds
+
+
+@pytest.mark.benchmark(group="monitor")
+def test_batched_monitor_beats_per_session_stepping():
+    check = load_eggtimer_spec().check_named("safety")
+    # Pre-parse once: the wire codec is identical in both modes and is
+    # not what this bench measures.
+    records = [
+        parse_record(line)
+        for line in synth_lines(SEED, SESSIONS, FAULT_RATE)
+    ]
+
+    naive_verdicts, naive_report, naive_s = _run(
+        check, records, batch=False
+    )
+    batched_verdicts, batched_report, batched_s = _run(
+        check, records, batch=True
+    )
+
+    # Correctness before timing: batching must be invisible in the
+    # verdicts.
+    assert batched_verdicts == naive_verdicts, (
+        "batched and per-session monitors disagree on session verdicts"
+    )
+    assert len(batched_verdicts) == SESSIONS
+
+    metrics = batched_report.metrics
+    speedup = naive_s / batched_s if batched_s else float("inf")
+    report = {
+        "sessions": SESSIONS,
+        "fault_rate": FAULT_RATE,
+        "tolerance": TOLERANCE,
+        "sharing_floor": SHARING_FLOOR,
+        "states_applied": metrics.states_applied,
+        "cohort_steps": metrics.cohort_steps,
+        "sharing_ratio": round(metrics.sharing_ratio, 4),
+        "naive_s": round(naive_s, 4),
+        "batched_s": round(batched_s, 4),
+        "naive_states_per_s": round(
+            metrics.states_applied / naive_s, 1
+        ) if naive_s else 0.0,
+        "batched_states_per_s": round(
+            metrics.states_applied / batched_s, 1
+        ) if batched_s else 0.0,
+        "speedup": round(speedup, 2),
+        "verdicts": dict(sorted(metrics.verdicts.items())),
+        "intern_hit_ratio": round(metrics.intern_hit_ratio, 4),
+    }
+    write_json("monitor.json", report)
+
+    assert speedup >= TOLERANCE, (
+        f"batched monitor only {speedup:.2f}x per-session stepping at "
+        f"{SESSIONS} sessions (floor x{TOLERANCE}); see "
+        "benchmarks/out/monitor.json"
+    )
+    assert metrics.sharing_ratio > SHARING_FLOOR, (
+        f"residual-sharing ratio {metrics.sharing_ratio:.3f} at or below "
+        f"the {SHARING_FLOOR} floor for a homogeneous stream; see "
+        "benchmarks/out/monitor.json"
+    )

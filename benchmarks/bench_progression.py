@@ -50,7 +50,7 @@ from repro.quickltl import (
     Release,
     Until,
     atom,
-    intern_stats,
+    intern_delta,
 )
 from repro.quickltl.simplify import simplify
 from repro.quickltl.step import presumptive_valuation, step
@@ -239,14 +239,13 @@ def test_compiled_engine_beats_naive_progression():
 
         def measure_compiled():
             checker = FormulaChecker(formula, caches=ProgressionCaches())
-            hits0, misses0 = intern_stats()
-            start = time.perf_counter()
-            verdicts = _drive(checker, trace)
-            seconds = time.perf_counter() - start
-            hits1, misses1 = intern_stats()
+            with intern_delta() as interning:
+                start = time.perf_counter()
+                verdicts = _drive(checker, trace)
+                seconds = time.perf_counter() - start
             return (
-                (verdicts, checker.formula_sizes, hits1 - hits0,
-                 misses1 - misses0),
+                (verdicts, checker.formula_sizes, interning.hits,
+                 interning.misses),
                 seconds,
             )
 

@@ -39,9 +39,13 @@ class CompiledSpec:
 
     __slots__ = ("spec", "caches", "action_dependencies")
 
-    def __init__(self, spec: CheckSpec) -> None:
+    def __init__(
+        self, spec: CheckSpec, caches: Optional[ProgressionCaches] = None
+    ) -> None:
         self.spec = spec
-        self.caches = ProgressionCaches()
+        # Campaigns take the default unbounded-ish bundle; long-lived
+        # callers (the online monitor) pass one with ``max_entries`` set.
+        self.caches = caches if caches is not None else ProgressionCaches()
         self.action_dependencies = self._action_footprint()
 
     def _action_footprint(self) -> Optional[frozenset]:

@@ -17,6 +17,12 @@ Usage (also via the ``quickstrom-repro`` console script)::
                           [IMPLEMENTATION ...]
     python -m repro fuzz [--seed N] [--campaigns N] [--jobs N]
                          [--corpus PATH] [--replay PATH]
+    python -m repro monitor SPEC.strom [--property NAME]
+                            [--input PATH|- | --listen HOST:PORT]
+                            [--max-sessions N] [--idle-ttl SECONDS]
+                            [--queue-size N] [--queue-policy block|drop]
+                            [--no-batch] [--cache-entries N]
+                            [--resolve-at-eof] [--format json]
     python -m repro list-implementations
 
 ``check`` loads a specification file and runs its properties against the
@@ -29,6 +35,12 @@ implementations), with verdicts identical to a serial audit.  Both
 commands reuse warm executors across consecutive tests of the same
 target by default (``--no-reuse`` restores cold per-test construction;
 verdicts are identical either way).
+
+``monitor`` is the online deployment mode (:mod:`repro.monitor`): it
+ingests framed session streams -- a JSONL file, stdin, or a TCP
+listener -- and progresses every session's residual through one shared
+compiled spec, emitting a verdict per session and a metrics summary at
+the end.
 """
 
 from __future__ import annotations
@@ -105,8 +117,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: generated apps x generated specs, "
-             "cross-checked serial vs pooled vs warm vs full-capture "
-             "and against the direct reference semantics",
+             "cross-checked serial vs pooled vs warm vs full-capture vs "
+             "monitor-replay and against the direct reference semantics",
     )
     fuzz.add_argument("--seed", type=int, default=0,
                       help="master seed; the same seed reproduces the same "
@@ -126,6 +138,65 @@ def _build_parser() -> argparse.ArgumentParser:
                            "longer does")
     fuzz.add_argument("--format", choices=("console", "json"),
                       default="console")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="online monitoring: stream concurrent sessions through a "
+             "spec's compiled formula engine",
+    )
+    monitor.add_argument("spec", help="path to the Specstrom file")
+    monitor.add_argument("--property", dest="property_name", default=None,
+                         help="monitor this property (default: the spec's "
+                              "first check)")
+    monitor.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT,
+                         help="default temporal subscript (paper default: 100)")
+    source = monitor.add_mutually_exclusive_group()
+    source.add_argument("--input", default="-", metavar="PATH",
+                        help="JSONL record stream to read ('-' for stdin, "
+                             "the default); EOF resolves the run")
+    source.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="accept newline-framed records over TCP "
+                             "(port 0 picks a free port); runs until "
+                             "interrupted")
+    monitor.add_argument("--max-sessions", type=_positive_int, default=None,
+                         metavar="N",
+                         help="cap live sessions; admitting past the cap "
+                              "evicts least-recently-active sessions as "
+                              "inconclusive")
+    monitor.add_argument("--idle-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="evict sessions silent this long as "
+                              "inconclusive")
+    monitor.add_argument("--queue-size", type=_positive_int, default=10_000,
+                         metavar="N",
+                         help="ingest queue bound (the backpressure point)")
+    monitor.add_argument("--queue-policy", choices=("block", "drop"),
+                         default="block",
+                         help="full-queue behaviour: stall producers, or "
+                              "shed (and count) incoming lines")
+    monitor.add_argument("--batch-size", type=_positive_int, default=4096,
+                         metavar="N",
+                         help="records processed per round")
+    monitor.add_argument("--no-batch", action="store_true",
+                         help="step each session individually instead of "
+                              "batching same-(residual, state) cohorts "
+                              "(verdicts are identical; this is the naive "
+                              "baseline)")
+    monitor.add_argument("--cache-entries", type=_positive_int, default=None,
+                         metavar="N",
+                         help="bound the shared progression caches to N "
+                              "entries (trimmed wholesale when exceeded)")
+    monitor.add_argument("--heartbeat", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="stderr heartbeat period (0 disables)")
+    monitor.add_argument("--resolve-at-eof", action="store_true",
+                         help="force-resolve sessions still open at EOF by "
+                              "the polarity rule instead of reporting them "
+                              "inconclusive")
+    monitor.add_argument("--format", choices=("console", "json"),
+                         default="console",
+                         help="human-readable lines, or one JSON object per "
+                              "verdict plus a monitor_end summary")
 
     sub.add_parser("list-implementations",
                    help="list the 43 TodoMVC implementations")
@@ -375,6 +446,105 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_listen(text: str):
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise SystemExit(f"--listen needs HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port_text!r}")
+    if not 0 <= port <= 65535:
+        raise SystemExit(f"--listen port out of range: {port}")
+    return host, port
+
+
+def _cmd_monitor(args) -> int:
+    from .monitor import (
+        IngestQueue,
+        Monitor,
+        SocketIngestServer,
+        StreamProducer,
+    )
+
+    module = load_module_file(args.spec, default_subscript=args.subscript)
+    if args.property_name is not None:
+        check = module.check_named(args.property_name)
+    elif module.checks:
+        check = module.checks[0]
+    else:
+        raise SystemExit(f"{args.spec} defines no check properties")
+
+    def emit(verdict) -> None:
+        if args.format == "json":
+            print(json.dumps(verdict.to_dict(), sort_keys=True), flush=True)
+        else:
+            label = verdict.verdict or verdict.disposition
+            detail = f" ({verdict.reason})" if verdict.reason else ""
+            forced = " [forced]" if verdict.forced else ""
+            print(f"session {verdict.session_id}: {label}{forced} "
+                  f"after {verdict.states} state(s)"
+                  f" -- {verdict.disposition}{detail}", flush=True)
+
+    monitor = Monitor(
+        check,
+        max_sessions=args.max_sessions,
+        idle_ttl_s=args.idle_ttl,
+        batch=not args.no_batch,
+        batch_size=args.batch_size,
+        cache_entries=args.cache_entries,
+        resolve_at_eof=args.resolve_at_eof,
+        on_verdict=emit,
+    )
+    queue = IngestQueue(maxsize=args.queue_size, policy=args.queue_policy)
+    server = None
+    stream = None
+    if args.listen is not None:
+        host, port = _parse_listen(args.listen)
+        server = SocketIngestServer(host, port, queue)
+        server.start()
+        print(f"[monitor] listening on {server.host}:{server.port} "
+              f"(property {check.name!r}; interrupt to finish)",
+              file=sys.stderr, flush=True)
+    else:
+        if args.input == "-":
+            stream = sys.stdin
+        else:
+            stream = open(args.input, "r", encoding="utf-8")
+        StreamProducer(stream, queue,
+                       close_stream=args.input != "-").start()
+
+    heartbeat_s = args.heartbeat if args.heartbeat > 0 else None
+    try:
+        report = monitor.run_queue(
+            queue, heartbeat_s=heartbeat_s, heartbeat_stream=sys.stderr
+        )
+    except KeyboardInterrupt:
+        queue.close()
+        report = monitor.finish()
+    finally:
+        if server is not None:
+            server.stop()
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True), flush=True)
+    else:
+        metrics = report.metrics
+        print(f"\nmonitored {metrics.sessions_started} session(s), "
+              f"{metrics.states_applied} state(s) "
+              f"({metrics.states_per_s:.0f}/s), "
+              f"sharing {metrics.sharing_ratio:.2f}")
+        for label, count in sorted(metrics.verdicts.items()):
+            print(f"  {label:<20} {count}")
+        if metrics.malformed_records:
+            print(f"  malformed records    {metrics.malformed_records}")
+            for line, error in report.quarantine:
+                print(f"    {line[:80]!r}: {error}")
+        if metrics.dropped_records:
+            print(f"  dropped records      {metrics.dropped_records}")
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args) -> int:
     for impl in all_implementations():
         label = "beta  " if impl.beta else "mature"
@@ -395,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_audit(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "monitor":
+            return _cmd_monitor(args)
         return _cmd_list(args)
     except BrokenPipeError:  # e.g. piping into `head`
         return 0

@@ -20,7 +20,11 @@ All four must agree -- verdicts, per-test results, counterexamples,
 reporter event streams -- the narrowed traces must be exactly the full
 traces restricted to their capture sets
 (:func:`~repro.fuzz.oracles.narrowing_mismatch`), and every test of the
-full run must agree with the direct-semantics trace oracle.  Model-spec
+full run must agree with the direct-semantics trace oracle.  A fifth
+differential leg then replays the full leg's recorded traces through
+the *online monitor* (:func:`~repro.fuzz.oracles.monitor_oracle_mismatch`):
+each test becomes one concurrent monitor session, and the per-session
+verdicts must equal the offline per-test verdicts.  Model-spec
 campaigns
 additionally feed the fault-detection scoreboard (the generated
 analogue of the paper's Table 2): the correct twin must pass, and a
@@ -53,6 +57,7 @@ from .oracles import (
     RecordingReporter,
     compare_campaigns,
     direct_oracle_mismatch,
+    monitor_oracle_mismatch,
     narrowing_mismatch,
 )
 from .specgen import model_spec_source, random_spec_source
@@ -293,6 +298,12 @@ def _campaign_divergences(
                     "oracle",
                     f"test {test_index}: {mismatch}",
                 )
+    # The fifth leg: the full leg's recorded traces replayed through the
+    # online monitor as interleaved concurrent sessions.
+    for outcome in full_batch:
+        mismatch = monitor_oracle_mismatch(check, outcome.result.results)
+        if mismatch is not None:
+            record(outcome.target, "monitor", mismatch)
     return divergences
 
 
@@ -380,6 +391,9 @@ def _target_diverges(entry: CorpusEntry, jobs: Optional[int] = None) -> bool:
         for result in outcome.result.results:
             if direct_oracle_mismatch(check, result) is not None:
                 return True
+    for outcome in full_batch:
+        if monitor_oracle_mismatch(check, outcome.result.results) is not None:
+            return True
     # A false positive is the model spec failing its correct twin.
     if (
         entry.extra.get("divergence_kind") == "false_positive"

@@ -1,6 +1,6 @@
 """Differential oracles: two independent answers, one allowed outcome.
 
-Three cross-checks, in increasing scope:
+Four cross-checks, in increasing scope:
 
 * **Trace oracle** (:func:`direct_oracle_mismatch`): the end-to-end
   verdict of one test must be reproducible from its recorded trace by
@@ -24,6 +24,13 @@ Three cross-checks, in increasing scope:
   nothing outside the full run's capture may appear).  The trace oracle
   runs on the full-capture leg, whose states the reference semantics
   can always read.
+* **Monitor oracle** (:func:`monitor_oracle_mismatch`): the recorded
+  traces of a campaign, re-encoded onto the monitor wire format and
+  streamed through :class:`~repro.monitor.service.Monitor` as
+  interleaved concurrent sessions, must resolve to exactly the offline
+  per-test verdicts (including the forced flag).  This exercises the
+  whole online path -- codec, session table, batch progression,
+  end-record forcing -- against the runner's ground truth.
 * **Event-stream recording** (:class:`RecordingReporter`): a reporter
   that reduces every hook invocation to a comparable tuple, so "the
   reporter event streams are identical" is a list equality.
@@ -34,6 +41,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..checker.result import CampaignResult, TestResult
+from ..monitor.replay import monitor_verdicts
 from ..quickltl import FormulaChecker, Verdict, direct_eval
 from ..specstrom.module import CheckSpec
 from ..api.reporters import Reporter
@@ -42,6 +50,7 @@ __all__ = [
     "RecordingReporter",
     "expected_outcome",
     "direct_oracle_mismatch",
+    "monitor_oracle_mismatch",
     "compare_campaigns",
     "narrowing_mismatch",
 ]
@@ -96,6 +105,41 @@ def direct_oracle_mismatch(
             f"{' (forced)' if expected_forced else ''} over the same "
             f"{len(states)}-state trace"
         )
+    return None
+
+
+def monitor_oracle_mismatch(
+    spec: CheckSpec, results: Sequence[TestResult]
+) -> Optional[str]:
+    """Replay recorded test traces through the online monitor.
+
+    Each test becomes one monitor session (its trace re-encoded onto
+    the wire format, closed with an end record); the sessions stream
+    interleaved, so the monitor juggles them concurrently the way live
+    traffic would.  Returns ``None`` when every session's verdict (and
+    forced flag) equals the offline test's, else the first disagreement.
+    """
+    sessions = {
+        f"test{index:04d}": [entry.state for entry in result.trace]
+        for index, result in enumerate(results)
+    }
+    verdicts = monitor_verdicts(spec, sessions)
+    for index, result in enumerate(results):
+        session = verdicts.get(f"test{index:04d}")
+        if session is None:
+            return f"test {index}: the monitor emitted no verdict"
+        if (
+            session.verdict != result.verdict.name
+            or session.forced != result.forced
+        ):
+            return (
+                f"test {index}: offline verdict {result.verdict.name}"
+                f"{' (forced)' if result.forced else ''} but the monitor "
+                f"resolved the replayed session to {session.verdict}"
+                f"{' (forced)' if session.forced else ''} "
+                f"[{session.disposition}] over the same "
+                f"{len(result.trace)}-state trace"
+            )
     return None
 
 

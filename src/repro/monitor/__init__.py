@@ -1,0 +1,68 @@
+"""Online monitoring: concurrent sessions through the compiled engine.
+
+Offline, a :class:`~repro.checker.runner.Runner` *generates* one trace
+and checks it; the monitor is the other deployment mode the progression
+semantics make almost free -- *observe* arbitrarily many already-running
+sessions and progress each one's residual formula as its states stream
+in.  Everything heavy is shared through one
+:class:`~repro.checker.compiled.CompiledSpec`: hash-consed residuals,
+memoized progression, and batch stepping (sessions in the same
+(residual, state) cohort cost a single progression step).
+
+Layers, bottom up:
+
+* :mod:`.records` -- the JSONL wire format and canonical state codec;
+* :mod:`.ingest`  -- sources (file/stdin/TCP) behind one bounded queue;
+* :mod:`.table`   -- the LRU/TTL-bounded per-session residual table;
+* :mod:`.batch`   -- cohort-grouped progression;
+* :mod:`.metrics` -- counters, heartbeat, JSON summary;
+* :mod:`.service` -- the :class:`Monitor` orchestrator;
+* :mod:`.replay`  -- recorded traces through the real ingest path (the
+  monitor == checker equivalence harness, also the fuzzer's fifth leg);
+* :mod:`.synth`   -- deterministic synthetic egg-timer streams for
+  smoke tests and benchmarks.
+
+Driven by ``repro monitor`` (see :mod:`repro.cli`).
+"""
+
+from .batch import BatchProgressor, StepOutcome
+from .ingest import IngestQueue, SocketIngestServer, StreamProducer, feed_lines
+from .metrics import MonitorMetrics
+from .records import (
+    MonitorRecord,
+    RecordError,
+    encode_record,
+    parse_record,
+    snapshot_from_json,
+    snapshot_to_json,
+    state_key,
+    trace_records,
+)
+from .replay import interleave_sessions, monitor_verdicts
+from .service import Monitor, MonitorReport, SessionVerdict
+from .table import SessionEntry, SessionTable
+
+__all__ = [
+    "BatchProgressor",
+    "StepOutcome",
+    "IngestQueue",
+    "SocketIngestServer",
+    "StreamProducer",
+    "feed_lines",
+    "MonitorMetrics",
+    "MonitorRecord",
+    "RecordError",
+    "encode_record",
+    "parse_record",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "state_key",
+    "trace_records",
+    "interleave_sessions",
+    "monitor_verdicts",
+    "Monitor",
+    "MonitorReport",
+    "SessionVerdict",
+    "SessionEntry",
+    "SessionTable",
+]

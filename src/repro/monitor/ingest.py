@@ -1,0 +1,253 @@
+"""Ingest layer: sources push framed lines into one bounded queue.
+
+Three sources feed the monitor -- a JSONL file, stdin, and a TCP socket
+-- and all of them meet the service at the same seam: an
+:class:`IngestQueue` of raw lines.  The queue is the backpressure point:
+
+* ``policy="block"`` (default): a full queue blocks the producer.  For
+  files/stdin that simply pauses reading (the OS pipe buffer then
+  pushes back on the writer); for sockets, TCP flow control pushes back
+  on the remote client.  Nothing is lost.
+* ``policy="drop"``: a full queue sheds the *incoming* line, counting it
+  (the service surfaces ``dropped_records``).  For monitoring live
+  traffic where falling behind must not stall producers, and verdicts
+  for affected sessions degrade honestly (a dropped state can turn a
+  would-be verdict into late/inconclusive, never into a wrong one... the
+  formula only ever sees states that really arrived).
+
+EOF semantics differ by source, deliberately:
+
+* file / stdin EOF **closes** the queue -- the stream is finished, the
+  service resolves or discards what remains;
+* a socket client disconnect closes only that connection -- other
+  clients (and future reconnects) keep streaming, so the queue stays
+  open until the server is stopped.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from typing import IO, Iterable, List, Optional, Tuple
+
+__all__ = ["IngestQueue", "StreamProducer", "SocketIngestServer", "feed_lines"]
+
+
+class IngestQueue:
+    """Bounded, closable line queue between producers and the monitor."""
+
+    def __init__(self, maxsize: int = 10_000, policy: str = "block") -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be at least 1, got {maxsize}")
+        if policy not in ("block", "drop"):
+            raise ValueError(f"policy must be 'block' or 'drop', got {policy!r}")
+        self.maxsize = maxsize
+        self.policy = policy
+        self._lines: "deque[str]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.dropped = 0
+
+    def put(self, line: str) -> bool:
+        """Enqueue one line; returns False when shed (``drop`` policy).
+
+        Under ``block`` the call waits for space; putting into a closed
+        queue is a silent no-op (the producer lost the race with
+        shutdown), reported as a drop.
+        """
+        with self._lock:
+            if self._closed:
+                self.dropped += 1
+                return False
+            if self.policy == "drop":
+                if len(self._lines) >= self.maxsize:
+                    self.dropped += 1
+                    return False
+            else:
+                while len(self._lines) >= self.maxsize and not self._closed:
+                    self._not_full.wait()
+                if self._closed:
+                    self.dropped += 1
+                    return False
+            self._lines.append(line)
+            self._not_empty.notify()
+            return True
+
+    def get_batch(
+        self, max_items: int, timeout_s: Optional[float] = None
+    ) -> Optional[List[str]]:
+        """Dequeue up to ``max_items`` lines.
+
+        Blocks until at least one line is available, the queue closes,
+        or the timeout lapses.  Returns ``[]`` on timeout (the service's
+        heartbeat/TTL tick) and ``None`` once closed *and* drained.
+        """
+        with self._lock:
+            if not self._lines and not self._closed:
+                self._not_empty.wait(timeout_s)
+            if not self._lines:
+                return None if self._closed else []
+            batch = []
+            while self._lines and len(batch) < max_items:
+                batch.append(self._lines.popleft())
+            self._not_full.notify_all()
+            return batch
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._lines)
+
+    def close(self) -> None:
+        """No further lines will arrive; wakes everyone."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def feed_lines(lines: Iterable[str], queue: IngestQueue) -> Tuple[int, int]:
+    """Push an iterable of lines; returns ``(fed, dropped)``."""
+    fed = dropped = 0
+    for line in lines:
+        if queue.put(line):
+            fed += 1
+        else:
+            dropped += 1
+    return fed, dropped
+
+
+class StreamProducer(threading.Thread):
+    """Reads a line-oriented file object (file or stdin) into the queue.
+
+    EOF closes the queue: a finite stream has an end, and the monitor
+    uses it to resolve remaining sessions.
+    """
+
+    def __init__(self, stream: IO[str], queue: IngestQueue,
+                 close_stream: bool = False) -> None:
+        super().__init__(daemon=True, name="monitor-ingest-stream")
+        self._stream = stream
+        self._queue = queue
+        self._close_stream = close_stream
+
+    def run(self) -> None:
+        try:
+            for line in self._stream:
+                self._queue.put(line)
+        finally:
+            if self._close_stream:
+                try:
+                    self._stream.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._queue.close()
+
+
+class SocketIngestServer:
+    """A TCP listener framing newline-delimited records into the queue.
+
+    Accepts any number of concurrent clients, each on its own reader
+    thread.  A client disconnecting ends only that client; the queue
+    stays open (use :meth:`stop` to shut the server down, which does
+    *not* close the queue either -- the owner decides when the stream is
+    over).  Partial trailing lines at disconnect are forwarded as-is and
+    fail record parsing, landing in the malformed quarantine -- a torn
+    write is data corruption, not a clean end.
+    """
+
+    def __init__(self, host: str, port: int, queue: IngestQueue) -> None:
+        self._queue = queue
+        self._server = socket.create_server((host, port))
+        self._server.settimeout(0.2)
+        self.host, self.port = self._server.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="monitor-ingest-accept"
+        )
+        self._readers: List[threading.Thread] = []
+        self._live: List[socket.socket] = []
+        self.connections = 0
+        self.disconnects = 0
+
+    def start(self) -> None:
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                connection, _address = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections += 1
+            self._live.append(connection)
+            reader = threading.Thread(
+                target=self._read_connection,
+                args=(connection,),
+                daemon=True,
+                name="monitor-ingest-conn",
+            )
+            self._readers.append(reader)
+            reader.start()
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _read_connection(self, connection: socket.socket) -> None:
+        buffer = b""
+        try:
+            while not self._stopping.is_set():
+                try:
+                    chunk = connection.recv(65536)
+                except socket.timeout:  # pragma: no cover - no timeout set
+                    continue
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer += chunk
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    line = buffer[:newline]
+                    buffer = buffer[newline + 1:]
+                    self._queue.put(line.decode("utf-8", errors="replace"))
+        finally:
+            if buffer:
+                # A torn trailing line: surface it (it will quarantine)
+                # rather than silently discarding a half-received state.
+                self._queue.put(buffer.decode("utf-8", errors="replace"))
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.disconnects += 1
+
+    def stop(self) -> None:
+        """Stop accepting and reading.  Does not close the queue."""
+        self._stopping.set()
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        for connection in self._live:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for reader in self._readers:
+            reader.join(timeout=2.0)

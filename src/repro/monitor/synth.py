@@ -1,0 +1,156 @@
+"""Deterministic synthetic egg-timer session streams.
+
+The monitor's smoke tests and benchmarks need a stream that is (a)
+semantically real -- states a genuine egg-timer app could produce,
+checked against the real ``safety`` property of
+``src/repro/specs/eggtimer.strom`` -- (b) deterministic under a seed,
+so CI can pin exact verdict counts, and (c) *homogeneous*: sessions walk
+a small palette of trajectories so the batcher's residual sharing has
+something to share, like production traffic where thousands of users
+drive the same screens.
+
+A session is healthy (full countdown, or a pause-resume countdown --
+final verdict is the offline checker's verdict for that trace) or
+*faulty*: one tick fails to decrement ``#remaining``, violating the
+``transition`` relation and producing a mid-stream
+``DEFINITELY_FALSE``.  Faults are drawn per-session from the seeded RNG
+at rate ``fault_rate``.
+
+Run as a module to print the interleaved wire stream::
+
+    python -m repro.monitor.synth --seed 42 --sessions 100 --fault-rate 0.1 \
+        | python -m repro monitor src/repro/specs/eggtimer.strom --property safety --input -
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+from ..specstrom.state import ElementSnapshot, StateSnapshot
+from .records import trace_records
+from .replay import interleave_sessions
+
+__all__ = ["timer_state", "synth_traces", "synth_lines", "main"]
+
+
+def timer_state(
+    remaining: int, running: bool, happened: Tuple[str, ...]
+) -> StateSnapshot:
+    """One egg-timer UI state: the toggle button and the countdown."""
+    return StateSnapshot(
+        queries={
+            "#toggle": (
+                ElementSnapshot(
+                    tag="button", text="stop" if running else "start"
+                ),
+            ),
+            "#remaining": (
+                ElementSnapshot(tag="span", text=str(remaining)),
+            ),
+        },
+        happened=happened,
+    )
+
+
+def _countdown(start_at: int, *, pause_after: int = 0,
+               fault_at: int = 0) -> List[StateSnapshot]:
+    """A trajectory: load, start, tick to zero.
+
+    ``pause_after=k`` inserts a stop!/start! pair after the k-th tick;
+    ``fault_at=k`` makes the k-th tick (1-based) keep ``#remaining``
+    unchanged -- the injected bug the safety property catches.
+    """
+    states = [timer_state(start_at, False, ("loaded?",))]
+    states.append(timer_state(start_at, True, ("start!",)))
+    remaining = start_at
+    ticks = 0
+    while remaining > 0:
+        ticks += 1
+        if ticks == fault_at:
+            # The broken tick: a second passes, the display does not.
+            states.append(timer_state(remaining, True, ("tick?",)))
+            return states
+        remaining -= 1
+        states.append(timer_state(remaining, remaining > 0, ("tick?",)))
+        if ticks == pause_after and remaining > 0:
+            states.append(timer_state(remaining, False, ("stop!",)))
+            states.append(timer_state(remaining, True, ("start!",)))
+    return states
+
+
+#: The healthy trajectory palette: small on purpose (high sharing).
+_PALETTE = (
+    lambda: _countdown(3),
+    lambda: _countdown(2),
+    lambda: _countdown(4, pause_after=2),
+)
+
+
+def synth_traces(
+    seed: int, sessions: int, fault_rate: float = 0.0
+) -> Tuple[Dict[str, List[StateSnapshot]], Dict[str, bool]]:
+    """Per-session traces plus a session -> is-faulty map.
+
+    Session ids are ``s0000``..; trajectory variant cycles through the
+    palette by index (deterministic, palette-sized state space), fault
+    injection is drawn from ``random.Random(seed)``.
+    """
+    rng = random.Random(seed)
+    traces: Dict[str, List[StateSnapshot]] = {}
+    faulty: Dict[str, bool] = {}
+    for index in range(sessions):
+        session_id = f"s{index:04d}"
+        trace = _PALETTE[index % len(_PALETTE)]()
+        is_faulty = rng.random() < fault_rate
+        if is_faulty:
+            # Re-derive the variant with a broken second tick.
+            start_at = (3, 2, 4)[index % len(_PALETTE)]
+            trace = _countdown(start_at, fault_at=2)
+        traces[session_id] = trace
+        faulty[session_id] = is_faulty
+    return traces, faulty
+
+
+def synth_lines(
+    seed: int, sessions: int, fault_rate: float = 0.0, *, end: bool = True
+) -> Iterator[str]:
+    """The interleaved wire stream for a synthetic population."""
+    traces, _faulty = synth_traces(seed, sessions, fault_rate)
+    encoded = {
+        session: trace_records(session, trace, end=end)
+        for session, trace in traces.items()
+    }
+    return interleave_sessions(encoded)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.monitor.synth",
+        description="Emit a deterministic synthetic egg-timer monitor stream.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sessions", type=int, default=10)
+    parser.add_argument("--fault-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--no-end", action="store_true",
+        help="omit end-of-session marks (sessions then resolve at EOF/eviction)",
+    )
+    options = parser.parse_args(argv)
+    if options.sessions < 1:
+        parser.error("--sessions must be at least 1")
+    if not 0.0 <= options.fault_rate <= 1.0:
+        parser.error("--fault-rate must be within [0, 1]")
+    out = sys.stdout
+    for line in synth_lines(
+        options.seed, options.sessions, options.fault_rate,
+        end=not options.no_end,
+    ):
+        out.write(line + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

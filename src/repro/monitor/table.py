@@ -1,0 +1,151 @@
+"""Bounded per-session residual storage (the monitor's only hot state).
+
+A live session is one residual formula plus a few counters -- hash-consed
+residuals mean a million structurally identical sessions intern to *one*
+node, so the table's memory is dominated by the keys, not the formulas.
+Memory stays bounded two ways:
+
+* **capacity (LRU)**: admitting a session past ``max_sessions`` evicts
+  the least-recently-active ones first;
+* **idle TTL**: :meth:`sweep_idle` evicts sessions silent longer than
+  ``idle_ttl_s``.
+
+Evicted sessions surface an explicit *inconclusive* disposition (the
+service emits it) -- a monitor must never silently forget a verdict it
+promised.  Retired ids (finished or evicted) are remembered in a bounded
+ring so records arriving late are recognised and counted instead of
+being mistaken for new sessions; once an id falls off that ring, a later
+record necessarily starts a fresh session (the documented cost of
+bounded memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..quickltl import Formula, Verdict
+
+__all__ = ["SessionEntry", "SessionTable"]
+
+
+@dataclass
+class SessionEntry:
+    """One live session: its residual and progression bookkeeping."""
+
+    session_id: str
+    residual: Formula
+    verdict: Verdict = Verdict.DEMAND
+    states_seen: int = 0
+    max_formula_size: int = 0
+    last_active: float = 0.0
+
+
+class SessionTable:
+    """LRU/TTL-bounded map of session id -> :class:`SessionEntry`."""
+
+    def __init__(
+        self,
+        max_sessions: Optional[int] = None,
+        idle_ttl_s: Optional[float] = None,
+        retired_capacity: int = 4096,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(f"max_sessions must be at least 1, got {max_sessions}")
+        if idle_ttl_s is not None and idle_ttl_s <= 0:
+            raise ValueError(f"idle_ttl_s must be positive, got {idle_ttl_s}")
+        self.max_sessions = max_sessions
+        self.idle_ttl_s = idle_ttl_s
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        #: id -> why it left ("finished" | "evicted:lru" | "evicted:idle"
+        #: | "error"); bounded ring for late-record detection.
+        self._retired: "OrderedDict[str, str]" = OrderedDict()
+        self._retired_capacity = retired_capacity
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._entries
+
+    def get(self, session_id: str) -> Optional[SessionEntry]:
+        return self._entries.get(session_id)
+
+    def retired_reason(self, session_id: str) -> Optional[str]:
+        """Why ``session_id`` left the table, if still remembered."""
+        return self._retired.get(session_id)
+
+    def live_sessions(self) -> List[SessionEntry]:
+        return list(self._entries.values())
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(
+        self, session_id: str, residual: Formula, now: float
+    ) -> Tuple[SessionEntry, List[SessionEntry]]:
+        """Admit a new session, evicting LRU victims past the cap.
+
+        Returns the new entry plus the evicted entries (already retired
+        as ``evicted:lru``; the caller emits their dispositions).
+        """
+        evicted: List[SessionEntry] = []
+        if self.max_sessions is not None:
+            while len(self._entries) >= self.max_sessions:
+                _, victim = self._entries.popitem(last=False)
+                self._remember(victim.session_id, "evicted:lru")
+                evicted.append(victim)
+        entry = SessionEntry(
+            session_id=session_id, residual=residual, last_active=now
+        )
+        self._entries[session_id] = entry
+        # A re-admitted id is live again; stale retirement memory would
+        # misclassify its next record as late.
+        self._retired.pop(session_id, None)
+        return entry, evicted
+
+    def touch(self, entry: SessionEntry, now: float) -> None:
+        """Mark activity: refresh the TTL clock and the LRU position."""
+        entry.last_active = now
+        self._entries.move_to_end(entry.session_id)
+
+    def retire(self, session_id: str, reason: str) -> Optional[SessionEntry]:
+        """Remove a session (finished/errored) and remember why."""
+        entry = self._entries.pop(session_id, None)
+        if entry is not None:
+            self._remember(session_id, reason)
+        return entry
+
+    def sweep_idle(self, now: float) -> List[SessionEntry]:
+        """Evict sessions idle past the TTL (no-op without one).
+
+        LRU order is also idle order (``touch`` moves to the back), so
+        the sweep stops at the first still-fresh entry.
+        """
+        if self.idle_ttl_s is None:
+            return []
+        evicted: List[SessionEntry] = []
+        while self._entries:
+            session_id, entry = next(iter(self._entries.items()))
+            if now - entry.last_active < self.idle_ttl_s:
+                break
+            self._entries.popitem(last=False)
+            self._remember(session_id, "evicted:idle")
+            evicted.append(entry)
+        return evicted
+
+    def drain(self) -> List[SessionEntry]:
+        """Remove and return every live session (stream EOF)."""
+        remaining = list(self._entries.values())
+        for entry in remaining:
+            self._remember(entry.session_id, "finished")
+        self._entries.clear()
+        return remaining
+
+    def _remember(self, session_id: str, reason: str) -> None:
+        self._retired.pop(session_id, None)
+        self._retired[session_id] = reason
+        while len(self._retired) > self._retired_capacity:
+            self._retired.popitem(last=False)

@@ -38,6 +38,8 @@ from .syntax import (
     children,
     intern_stats,
     intern_table_size,
+    intern_delta,
+    InternDelta,
     DEFAULT_SUBSCRIPT,
 )
 from .unroll import unroll
@@ -54,6 +56,7 @@ from .progression import (
     ProgressionCaches,
     check_trace,
     formula_size,
+    progress,
 )
 from .direct import direct_eval
 from .classic import Lasso, holds
@@ -92,6 +95,8 @@ __all__ = [
     "children",
     "intern_stats",
     "intern_table_size",
+    "intern_delta",
+    "InternDelta",
     "DEFAULT_SUBSCRIPT",
     "unroll",
     "simplify",
@@ -105,6 +110,7 @@ __all__ = [
     "ProgressionCaches",
     "check_trace",
     "formula_size",
+    "progress",
     "direct_eval",
     "Lasso",
     "holds",

@@ -52,7 +52,13 @@ from .syntax import (
 from .unroll import unroll
 from .verdict import Verdict
 
-__all__ = ["FormulaChecker", "ProgressionCaches", "check_trace", "formula_size"]
+__all__ = [
+    "FormulaChecker",
+    "ProgressionCaches",
+    "check_trace",
+    "formula_size",
+    "progress",
+]
 
 #: Entry count at which a ProgressionCaches bundle resets itself: far
 #: above what any realistic spec reaches (caches grow with *distinct*
@@ -68,26 +74,72 @@ class ProgressionCaches:
     the same formula, so the tables converge after the first test).  All
     three tables key hash-consed nodes; ``sizes`` additionally backs the
     DAG-aware :func:`formula_size`.
+
+    ``max_entries`` lowers the built-in safety bound for long-lived
+    processes (the online monitor runs for days over an unbounded stream
+    of residuals; a test campaign never needs this).  When the combined
+    entry count crosses the bound the bundle resets wholesale -- entries
+    are deterministic functions of their keys, so a reset costs only
+    re-derivation, never correctness.  ``evicted_entries``/``trims``
+    count what the resets dropped; under the thread-fallback pool a
+    bundle may be shared across threads, so treat the counters as
+    advisory there.
     """
 
-    __slots__ = ("simplify", "step", "valuation", "sizes")
+    __slots__ = ("simplify", "step", "valuation", "sizes", "max_entries",
+                 "evicted_entries", "trims")
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be at least 1, got {max_entries}"
+            )
         self.simplify: dict = {}
         self.step: dict = {}
         self.valuation: dict = {}
         self.sizes: Dict[Formula, int] = {}
+        self.max_entries = max_entries
+        #: Total memo entries dropped by resets over this bundle's life.
+        self.evicted_entries = 0
+        #: Number of wholesale resets (trim-triggered or explicit).
+        self.trims = 0
 
-    def trim(self) -> None:
-        """Reset everything once past the safety bound (see module docs)."""
-        if (
+    def __len__(self) -> int:
+        """Combined entry count across all four tables."""
+        return (
             len(self.simplify) + len(self.step) + len(self.valuation)
             + len(self.sizes)
-        ) > _CACHE_LIMIT:
-            self.simplify.clear()
-            self.step.clear()
-            self.valuation.clear()
-            self.sizes.clear()
+        )
+
+    def trim(self) -> None:
+        """Reset everything once past the bound (see class docs)."""
+        limit = self.max_entries if self.max_entries is not None else _CACHE_LIMIT
+        if len(self) > limit:
+            self.clear()
+
+    def clear(self) -> Dict[str, int]:
+        """Drop every memo entry; returns what was dropped, per table.
+
+        The report (``{"simplify": n, ..., "total": n}``) lets long-running
+        callers log *what* a reset cost instead of guessing; dropping
+        nothing is not counted as a trim.
+        """
+        dropped = {
+            "simplify": len(self.simplify),
+            "step": len(self.step),
+            "valuation": len(self.valuation),
+            "sizes": len(self.sizes),
+        }
+        self.simplify.clear()
+        self.step.clear()
+        self.valuation.clear()
+        self.sizes.clear()
+        total = sum(dropped.values())
+        dropped["total"] = total
+        if total:
+            self.evicted_entries += total
+            self.trims += 1
+        return dropped
 
 
 def formula_size(formula: Formula, sizes: Optional[dict] = None) -> int:
@@ -138,6 +190,44 @@ def _size_children(node: Formula):
     if isinstance(node, (Always, Eventually)):
         return (node.body,)
     return ()
+
+
+def progress(
+    formula: Formula,
+    state: object,
+    caches: ProgressionCaches,
+    unroll_memo: Optional[dict] = None,
+) -> Tuple[Verdict, Formula, int]:
+    """One full progression step outside any checker object.
+
+    Unrolls ``formula`` against ``state``, simplifies, reads off the
+    verdict and steps the guarded form forward; returns
+    ``(verdict, residual, size)`` where ``size`` is the simplified
+    formula's tree size.  This is the checker's per-state hot path
+    exposed as a pure function, so callers that track *many* residuals
+    (the online monitor holds one per live session) can progress them
+    without a :class:`FormulaChecker` each -- all per-session state is
+    the residual itself.
+
+    ``unroll_memo`` is the per-state unroll memo; callers progressing
+    several formulas against the *same* state (a monitor tick batching
+    same-state cohorts) should share one dict across those calls, so
+    subterms common to different sessions' residuals unroll once.  It
+    must never be reused across distinct states.
+    """
+    if unroll_memo is None:
+        unroll_memo = {}
+    unrolled = unroll(formula, state, unroll_memo)
+    reduced = simplify(unrolled, caches.simplify)
+    size = formula_size(reduced, caches.sizes)
+    if isinstance(reduced, Top):
+        return Verdict.DEFINITELY_TRUE, reduced, size
+    if isinstance(reduced, Bottom):
+        return Verdict.DEFINITELY_FALSE, reduced, size
+    verdict = presumptive_valuation(reduced, caches.valuation)
+    residual = step(reduced, caches.step)
+    caches.trim()
+    return verdict, residual, size
 
 
 def _tree_size(formula: Formula) -> int:
@@ -246,15 +336,18 @@ class FormulaChecker:
         not special-case early termination.
         """
         caches = self.caches
-        # Phase 1: unroll against the new state (per-state memo: shared
-        # subterms of the residual DAG unroll once).
+        if self.simplify_each_step:
+            # The production path is the pure per-state step shared with
+            # the online monitor's batcher.
+            verdict, residual, size = progress(self._current, state, caches)
+            self._states_seen += 1
+            self._sizes.append(size)
+            self._verdict = verdict
+            self._current = residual
+            return verdict
+        # The ablation baseline: unroll without simplifying.
         unrolled = unroll(self._current, state, {})
-        # Phase 2: simplify; definitive answers stop checking.
-        reduced = (
-            simplify(unrolled, caches.simplify)
-            if self.simplify_each_step
-            else unrolled
-        )
+        reduced = unrolled
         self._states_seen += 1
         self._sizes.append(formula_size(reduced, caches.sizes))
         if isinstance(reduced, Top):
@@ -265,7 +358,7 @@ class FormulaChecker:
             self._verdict = Verdict.DEFINITELY_FALSE
             self._current = reduced
             return self._verdict
-        if not self.simplify_each_step and not _guardable(reduced):
+        if not _guardable(reduced):
             # Naive progression (the ablation's baseline): the verdict is
             # read off a simplified *copy*, but the formula that gets
             # stepped forward is the raw unrolled one, dead truth-value

@@ -77,6 +77,8 @@ __all__ = [
     "children",
     "intern_stats",
     "intern_table_size",
+    "intern_delta",
+    "InternDelta",
     "DEFAULT_SUBSCRIPT",
 ]
 
@@ -108,6 +110,70 @@ def intern_stats() -> Tuple[int, int]:
 def intern_table_size() -> int:
     """Number of live interned nodes (weak table, so this tracks GC)."""
     return len(_INTERN)
+
+
+class InternDelta:
+    """Hit/miss counter deltas over a region (see :func:`intern_delta`).
+
+    While the region is open, :attr:`hits`/:attr:`misses` are *live*
+    deltas against the snapshot taken on entry; after ``__exit__`` they
+    freeze at the region's totals.  Re-entering re-snapshots, so one
+    instance can measure several regions in sequence.
+    """
+
+    __slots__ = ("_hits0", "_misses0", "_frozen")
+
+    def __init__(self) -> None:
+        self._hits0, self._misses0 = _STATS
+        self._frozen: Optional[Tuple[int, int]] = None
+
+    def __enter__(self) -> "InternDelta":
+        self._hits0, self._misses0 = _STATS
+        self._frozen = None
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._frozen = (_STATS[0] - self._hits0, _STATS[1] - self._misses0)
+
+    @property
+    def hits(self) -> int:
+        if self._frozen is not None:
+            return self._frozen[0]
+        return _STATS[0] - self._hits0
+
+    @property
+    def misses(self) -> int:
+        if self._frozen is not None:
+            return self._frozen[1]
+        return _STATS[1] - self._misses0
+
+    @property
+    def constructions(self) -> int:
+        """Total node constructions in the region (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of constructions served by the table (0.0 if none)."""
+        constructions = self.constructions
+        return self.hits / constructions if constructions else 0.0
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return self.hits, self.misses
+
+
+def intern_delta() -> InternDelta:
+    """Snapshot the intern counters over a ``with`` region::
+
+        with intern_delta() as delta:
+            ...build formulas...
+        print(delta.hits, delta.misses, delta.hit_ratio)
+
+    Replaces the hand-rolled ``intern_stats()`` subtraction everywhere a
+    component reports sharing over a region (the runner's per-test
+    deltas, the monitor's sharing report, ``bench_progression``).
+    """
+    return InternDelta()
 
 
 _UNSET = object()  # sentinel for Defer's lazy footprint cache

@@ -1,0 +1,1 @@
+"""Tests for the online monitoring subsystem (src/repro/monitor)."""

@@ -1,0 +1,93 @@
+"""Cohort-grouped progression: sharing accounting, batched == naive."""
+
+from repro.monitor.batch import BatchProgressor
+from repro.monitor.table import SessionEntry
+from repro.quickltl import Always, And, Atom, ProgressionCaches, atom
+
+# One shared formula object: atoms carry predicate closures, so sharing
+# (and hence cohort grouping) requires reusing the node, exactly as a
+# Monitor reuses its spec's formula for every session.
+P = atom("p")
+Q = atom("q")
+FORMULA = Always(5, And(P, Q))
+
+
+def entry(session_id, residual=FORMULA):
+    return SessionEntry(session_id=session_id, residual=residual)
+
+
+class TestBatching:
+    def test_cohort_members_share_one_step(self):
+        batcher = BatchProgressor(ProgressionCaches())
+        state = {"p": True, "q": True}
+        work = [(entry(f"s{i}"), state, "key-same") for i in range(4)]
+        outcomes = batcher.run_round(work)
+        assert batcher.session_steps == 4
+        assert batcher.cohort_steps == 1
+        assert batcher.sharing_ratio == 0.75
+        # One computation, shared by assignment: identical outcome nodes.
+        assert len({id(outcome) for outcome in outcomes}) == 1
+
+    def test_different_states_split_cohorts(self):
+        batcher = BatchProgressor(ProgressionCaches())
+        work = [
+            (entry("a"), {"p": True, "q": True}, "k1"),
+            (entry("b"), {"p": True, "q": False}, "k2"),
+        ]
+        outcomes = batcher.run_round(work)
+        assert batcher.cohort_steps == 2
+        assert outcomes[0].verdict is not None
+        assert outcomes[0].residual is not outcomes[1].residual
+
+    def test_batched_equals_naive_per_session(self):
+        trace = [
+            {"p": True, "q": True},
+            {"p": True, "q": True},
+            {"p": False, "q": True},
+        ]
+
+        def run(enabled):
+            batcher = BatchProgressor(ProgressionCaches(), enabled=enabled)
+            entries = [entry(f"s{i}") for i in range(6)]
+            seen = []
+            for position, state in enumerate(trace):
+                work = [(e, state, f"state-{position}") for e in entries]
+                outcomes = batcher.run_round(work)
+                for e, outcome in zip(entries, outcomes):
+                    e.residual = outcome.residual
+                seen.append([
+                    (outcome.verdict, outcome.residual, outcome.size)
+                    for outcome in outcomes
+                ])
+            return seen
+
+        assert run(True) == run(False)
+
+    def test_disabled_batching_counts_every_step_as_a_cohort(self):
+        batcher = BatchProgressor(ProgressionCaches(), enabled=False)
+        state = {"p": True, "q": True}
+        batcher.run_round([(entry(f"s{i}"), state, "same") for i in range(3)])
+        assert batcher.cohort_steps == batcher.session_steps == 3
+        assert batcher.sharing_ratio == 0.0
+
+
+class TestErrorIsolation:
+    def test_failing_cohort_does_not_poison_others(self):
+        def boom(state):
+            raise KeyError("#missing")
+
+        bad = Always(5, Atom("boom", boom))
+        batcher = BatchProgressor(ProgressionCaches())
+        state = {"p": True, "q": True}
+        work = [
+            (entry("bad1", bad), state, "k"),
+            (entry("bad2", bad), state, "k"),
+            (entry("good"), state, "k"),
+        ]
+        outcomes = batcher.run_round(work)
+        assert outcomes[0].error is not None
+        assert "KeyError" in outcomes[0].error
+        # Same cohort, same (shared) error outcome.
+        assert outcomes[1].error == outcomes[0].error
+        assert outcomes[2].error is None
+        assert outcomes[2].verdict is not None

@@ -1,0 +1,157 @@
+"""The ingest layer: backpressure, EOF semantics, the socket server."""
+
+import io
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.monitor.ingest import (
+    IngestQueue,
+    SocketIngestServer,
+    StreamProducer,
+    feed_lines,
+)
+
+
+def drain(queue, max_items=1000):
+    lines = []
+    while True:
+        batch = queue.get_batch(max_items, timeout_s=0.05)
+        if batch is None or batch == []:
+            return lines
+        lines.extend(batch)
+
+
+class TestQueue:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            IngestQueue(maxsize=0)
+        with pytest.raises(ValueError):
+            IngestQueue(policy="spill")
+
+    def test_block_policy_stalls_the_producer(self):
+        queue = IngestQueue(maxsize=2, policy="block")
+        produced = []
+
+        def producer():
+            for index in range(5):
+                queue.put(f"line-{index}")
+                produced.append(index)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while len(produced) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.05)  # give the producer a chance to (wrongly) run on
+        assert len(produced) <= 3  # at most maxsize in queue + 1 in flight
+        # Draining releases the producer; nothing is lost.
+        lines = []
+        while len(lines) < 5:
+            batch = queue.get_batch(10, timeout_s=1.0)
+            assert batch is not None
+            lines.extend(batch)
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert lines == [f"line-{i}" for i in range(5)]
+        assert queue.dropped == 0
+
+    def test_drop_policy_sheds_and_counts(self):
+        queue = IngestQueue(maxsize=3, policy="drop")
+        fed, dropped = feed_lines([f"l{i}" for i in range(10)], queue)
+        assert (fed, dropped) == (3, 7)
+        assert queue.dropped == 7
+        assert queue.depth() == 3
+        queue.close()
+        assert drain(queue) == ["l0", "l1", "l2"]
+
+    def test_get_batch_timeout_returns_empty_list(self):
+        queue = IngestQueue()
+        started = time.monotonic()
+        assert queue.get_batch(10, timeout_s=0.05) == []
+        assert time.monotonic() - started < 1.0
+
+    def test_close_drains_then_returns_none(self):
+        queue = IngestQueue()
+        queue.put("a")
+        queue.put("b")
+        queue.close()
+        assert queue.get_batch(1, timeout_s=0.1) == ["a"]
+        assert queue.get_batch(10, timeout_s=0.1) == ["b"]
+        assert queue.get_batch(10, timeout_s=0.1) is None
+
+    def test_put_on_closed_queue_counts_as_drop(self):
+        queue = IngestQueue()
+        queue.close()
+        assert not queue.put("late")
+        assert queue.dropped == 1
+        assert queue.depth() == 0
+
+
+class TestStreamProducer:
+    def test_eof_closes_the_queue(self):
+        queue = IngestQueue()
+        producer = StreamProducer(io.StringIO("one\ntwo\n"), queue)
+        producer.start()
+        lines = []
+        while True:
+            batch = queue.get_batch(10, timeout_s=1.0)
+            if batch is None:
+                break
+            lines.extend(batch)
+        producer.join(timeout=2.0)
+        assert [line.strip() for line in lines] == ["one", "two"]
+        assert queue.closed
+
+
+class TestSocketServer:
+    def test_disconnect_forwards_partial_line_and_keeps_queue_open(self):
+        queue = IngestQueue()
+        server = SocketIngestServer("127.0.0.1", 0, queue)
+        server.start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=2.0
+            ) as client:
+                client.sendall(b'{"session": "a", "end": true}\n')
+                client.sendall(b'{"session": "b", "en')  # torn, no newline
+            deadline = time.monotonic() + 2.0
+            lines = []
+            while len(lines) < 2 and time.monotonic() < deadline:
+                batch = queue.get_batch(10, timeout_s=0.05)
+                assert batch is not None  # disconnect must NOT close it
+                lines.extend(batch)
+            assert lines == [
+                '{"session": "a", "end": true}',
+                '{"session": "b", "en',
+            ]
+            assert not queue.closed
+            assert server.connections == 1
+        finally:
+            server.stop()
+
+    def test_multiple_clients_share_the_queue(self):
+        queue = IngestQueue()
+        server = SocketIngestServer("127.0.0.1", 0, queue)
+        server.start()
+        try:
+            for name in ("x", "y"):
+                with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=2.0
+                ) as client:
+                    client.sendall(
+                        f'{{"session": "{name}", "end": true}}\n'.encode()
+                    )
+            deadline = time.monotonic() + 2.0
+            lines = []
+            while len(lines) < 2 and time.monotonic() < deadline:
+                lines.extend(queue.get_batch(10, timeout_s=0.05) or [])
+            assert {line for line in lines} == {
+                '{"session": "x", "end": true}',
+                '{"session": "y", "end": true}',
+            }
+            assert server.connections == 2
+        finally:
+            server.stop()

@@ -1,0 +1,132 @@
+"""The wire codec: round-trips, canonicalisation, malformed input."""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.monitor.records import (
+    RecordError,
+    encode_record,
+    parse_record,
+    snapshot_from_json,
+    snapshot_to_json,
+    state_key,
+    trace_records,
+)
+from repro.specstrom.state import ElementSnapshot, StateSnapshot
+from tests.strategies import examples, state_snapshots
+
+
+class TestSnapshotRoundTrip:
+    @given(state=state_snapshots())
+    @examples(80)
+    def test_json_round_trip_is_identity(self, state):
+        assert snapshot_from_json(snapshot_to_json(state)) == state
+
+    @given(state=state_snapshots())
+    @examples(60)
+    def test_wire_round_trip_through_record(self, state):
+        record = parse_record(encode_record("s1", state))
+        assert record.session_id == "s1"
+        assert record.state == state
+        assert not record.end
+
+    def test_attributes_survive_and_sort(self):
+        element = ElementSnapshot(
+            tag="input", attributes=(("href", "x"), ("id", "a"))
+        )
+        payload = json.loads(json.dumps(
+            {"tag": "input", "attributes": {"id": "a", "href": "x"}}
+        ))
+        from repro.monitor.records import element_from_json, element_to_json
+        assert element_from_json(payload) == element
+        assert element_from_json(element_to_json(element)) == element
+
+    def test_defaults_are_omitted_on_the_wire(self):
+        from repro.monitor.records import element_to_json
+        assert element_to_json(ElementSnapshot(tag="div")) == {"tag": "div"}
+
+
+class TestStateKey:
+    def test_version_and_timestamp_do_not_split_cohorts(self):
+        a = StateSnapshot(queries={}, happened=("tick?",), version=1,
+                          timestamp_ms=10.0)
+        b = StateSnapshot(queries={}, happened=("tick?",), version=9,
+                          timestamp_ms=99.5)
+        assert state_key(a) == state_key(b)
+
+    def test_happened_matters(self):
+        a = StateSnapshot(happened=("tick?",))
+        b = StateSnapshot(happened=("stop!",))
+        assert state_key(a) != state_key(b)
+
+    def test_wire_formatting_cannot_split_cohorts(self):
+        """Explicit defaults, key order and whitespace on the wire must
+        map to the same cohort key."""
+        verbose = ('{"session": "x", "state": {"happened": ["tick?"], '
+                   '"queries": {"#a": [{"enabled": true, "text": "", '
+                   '"tag": "div", "visible": true}]}, "version": 3}}')
+        terse = ('{"session":"x","state":{"queries":{"#a":[{"tag":"div"}]},'
+                 '"happened":["tick?"]}}')
+        assert (parse_record(verbose).state_key
+                == parse_record(terse).state_key)
+
+
+class TestParseRecord:
+    def test_blank_lines_are_skipped(self):
+        assert parse_record("") is None
+        assert parse_record("   \n") is None
+
+    def test_integer_session_ids_canonicalise(self):
+        record = parse_record('{"session": 17, "end": true}')
+        assert record.session_id == "17"
+
+    def test_end_record(self):
+        record = parse_record('{"session": "a", "end": true}')
+        assert record.end and record.state is None and record.state_key is None
+
+    @pytest.mark.parametrize("line", [
+        "not json at all",
+        '{"session": "a"',  # torn write
+        "[1, 2]",
+        '{"state": {}}',  # no session
+        '{"session": "", "end": true}',  # empty session
+        '{"session": true, "end": true}',  # bool is not an id
+        '{"session": "a"}',  # neither state nor end
+        '{"session": "a", "end": 1}',
+        '{"session": "a", "end": true, "state": {}}',  # both
+        '{"session": "a", "state": []}',
+        '{"session": "a", "state": {"queries": []}}',
+        '{"session": "a", "state": {"queries": {"#x": [{"text": "hi"}]}}}',
+        '{"session": "a", "state": {"queries": {"#x": [{"tag": "div", '
+        '"checked": "yes"}]}}}',
+        '{"session": "a", "state": {"happened": "tick?"}}',
+        '{"session": "a", "state": {"happened": [1]}}',
+        '{"session": "a", "state": {"version": true}}',
+        '{"session": "a", "state": {"timestamp_ms": "soon"}}',
+    ])
+    def test_malformed_records_raise(self, line):
+        with pytest.raises(RecordError):
+            parse_record(line)
+
+
+class TestTraceRecords:
+    def test_accepts_snapshots_and_trace_entries(self):
+        state = StateSnapshot(happened=("loaded?",))
+
+        class Entry:
+            def __init__(self, state):
+                self.state = state
+
+        for trace in ([state], [Entry(state)]):
+            lines = trace_records("s", trace)
+            assert len(lines) == 2
+            first = parse_record(lines[0])
+            assert first.state == state
+            assert parse_record(lines[1]).end
+
+    def test_end_mark_is_optional(self):
+        assert trace_records("s", [], end=False) == []
+        (only,) = trace_records("s", [], end=True)
+        assert parse_record(only).end

@@ -1,0 +1,59 @@
+"""The deterministic synthetic stream the smoke tests and benches pin."""
+
+import pytest
+
+from repro.monitor.replay import monitor_verdicts
+from repro.monitor.synth import main, synth_lines, synth_traces
+from repro.specs import load_eggtimer_spec
+
+SAFETY = load_eggtimer_spec().check_named("safety")
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = list(synth_lines(42, 20, 0.3))
+        second = list(synth_lines(42, 20, 0.3))
+        assert first == second
+
+    def test_different_seed_different_fault_pattern(self):
+        _, faulty_a = synth_traces(1, 40, 0.5)
+        _, faulty_b = synth_traces(2, 40, 0.5)
+        assert faulty_a != faulty_b
+
+
+class TestSemantics:
+    def test_faulty_sessions_fail_and_healthy_sessions_pass(self):
+        traces, faulty = synth_traces(seed=9, sessions=15, fault_rate=0.4)
+        assert any(faulty.values()) and not all(faulty.values())
+        verdicts = monitor_verdicts(SAFETY, traces)
+        for session, is_faulty in faulty.items():
+            expected = "DEFINITELY_FALSE" if is_faulty else "PROBABLY_TRUE"
+            assert verdicts[session].verdict == expected, session
+
+    def test_ci_pinned_population(self):
+        """The monitor-smoke CI job asserts these exact counts."""
+        traces, faulty = synth_traces(seed=0, sessions=60, fault_rate=0.2)
+        assert sum(faulty.values()) == 6
+        verdicts = monitor_verdicts(SAFETY, traces)
+        by_name = {}
+        for verdict in verdicts.values():
+            by_name[verdict.verdict] = by_name.get(verdict.verdict, 0) + 1
+        assert by_name == {"DEFINITELY_FALSE": 6, "PROBABLY_TRUE": 54}
+
+
+class TestCli:
+    def test_emits_one_line_per_record(self, capsys):
+        assert main(["--seed", "1", "--sessions", "4"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines == list(synth_lines(1, 4, 0.0))
+
+    def test_no_end_omits_end_marks(self, capsys):
+        assert main(["--seed", "1", "--sessions", "4", "--no-end"]) == 0
+        out = capsys.readouterr().out
+        assert '"end"' not in out
+
+    def test_rejects_bad_parameters(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--sessions", "0"])
+        with pytest.raises(SystemExit):
+            main(["--fault-rate", "1.5"])

@@ -1,0 +1,85 @@
+"""The bounded session table: LRU capacity, idle TTL, retirement memory."""
+
+import pytest
+
+from repro.monitor.table import SessionTable
+from repro.quickltl import atom
+
+F = atom("p")
+
+
+class TestCapacity:
+    def test_lru_eviction_order(self):
+        table = SessionTable(max_sessions=2)
+        a, _ = table.open("a", F, now=1.0)
+        table.open("b", F, now=2.0)
+        table.touch(a, now=3.0)  # b is now least-recently-active
+        _, evicted = table.open("c", F, now=4.0)
+        assert [e.session_id for e in evicted] == ["b"]
+        assert "a" in table and "c" in table and "b" not in table
+        assert table.retired_reason("b") == "evicted:lru"
+
+    def test_cap_holds_under_unbounded_ids(self):
+        table = SessionTable(max_sessions=5)
+        for index in range(1000):
+            table.open(f"s{index}", F, now=float(index))
+            assert len(table) <= 5
+        assert len(table) == 5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SessionTable(max_sessions=0)
+        with pytest.raises(ValueError):
+            SessionTable(idle_ttl_s=0)
+
+
+class TestIdleTtl:
+    def test_sweep_evicts_only_stale_entries(self):
+        table = SessionTable(idle_ttl_s=10.0)
+        table.open("old", F, now=0.0)
+        fresh, _ = table.open("fresh", F, now=0.0)
+        table.touch(fresh, now=8.0)
+        evicted = table.sweep_idle(now=11.0)
+        assert [e.session_id for e in evicted] == ["old"]
+        assert table.retired_reason("old") == "evicted:idle"
+        assert "fresh" in table
+
+    def test_no_ttl_means_no_sweep(self):
+        table = SessionTable()
+        table.open("a", F, now=0.0)
+        assert table.sweep_idle(now=1e9) == []
+
+
+class TestRetirement:
+    def test_retire_remembers_reason(self):
+        table = SessionTable()
+        table.open("a", F, now=0.0)
+        entry = table.retire("a", "finished")
+        assert entry is not None and entry.session_id == "a"
+        assert "a" not in table
+        assert table.retired_reason("a") == "finished"
+
+    def test_readmission_clears_stale_memory(self):
+        table = SessionTable()
+        table.open("a", F, now=0.0)
+        table.retire("a", "finished")
+        table.open("a", F, now=1.0)
+        assert table.retired_reason("a") is None
+
+    def test_ring_is_bounded(self):
+        table = SessionTable(retired_capacity=3)
+        for index in range(5):
+            table.open(f"s{index}", F, now=0.0)
+            table.retire(f"s{index}", "finished")
+        assert table.retired_reason("s0") is None
+        assert table.retired_reason("s1") is None
+        assert table.retired_reason("s4") == "finished"
+
+    def test_drain_returns_everything(self):
+        table = SessionTable()
+        table.open("a", F, now=0.0)
+        table.open("b", F, now=0.0)
+        drained = {e.session_id for e in table.drain()}
+        assert drained == {"a", "b"}
+        assert len(table) == 0
+        assert table.retired_reason("a") == "finished"
