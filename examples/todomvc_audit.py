@@ -18,7 +18,7 @@ Run:  python examples/todomvc_audit.py [--jobs N] [--all | name ...]
 
 import sys
 
-from repro.api import CheckSession, CheckTarget
+from repro.api import CheckSession, CheckTarget, SessionConfig
 from repro.apps.todomvc import (
     FAULT_DESCRIPTIONS,
     all_implementations,
@@ -83,7 +83,7 @@ def main() -> int:
         spec=spec,
         config=RunnerConfig(tests=10, scheduled_actions=100,
                             demand_allowance=20, seed=42, shrink=True),
-        jobs=jobs,
+        session=SessionConfig(jobs=jobs),
     )
     agreed = sum(
         report(impl, outcome.result)

@@ -19,6 +19,7 @@ progress line.  The lower-level :class:`repro.checker.Runner` remains
 available as the single-test engine underneath.
 """
 
+from .config import SessionConfig
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
 from .lease import ExecutorCache, ExecutorLease
 from .pool import (
@@ -33,8 +34,10 @@ from .reporters import (
     ConsoleReporter,
     JsonlReporter,
     JUnitXmlReporter,
+    LegacyReporterAdapter,
     ProgressReporter,
     Reporter,
+    adapt_reporter,
 )
 from .scheduler import (
     CampaignOutcome,
@@ -44,10 +47,17 @@ from .scheduler import (
     PooledScheduler,
 )
 from .session import AUTO_JOBS, CheckSession
+from .transport import (
+    ForkTransport,
+    PoolTransport,
+    TcpTransport,
+    ThreadTransport,
+)
 
 __all__ = [
     "AUTO_JOBS",
     "CheckSession",
+    "SessionConfig",
     "suggest_jobs",
     "CampaignEngine",
     "SerialEngine",
@@ -61,6 +71,10 @@ __all__ = [
     "ExecutorLease",
     "PoolMetrics",
     "PoolTask",
+    "PoolTransport",
+    "ForkTransport",
+    "ThreadTransport",
+    "TcpTransport",
     "TaskFailure",
     "WorkerCrashed",
     "WorkerPool",
@@ -68,5 +82,7 @@ __all__ = [
     "ConsoleReporter",
     "JsonlReporter",
     "JUnitXmlReporter",
+    "LegacyReporterAdapter",
     "ProgressReporter",
+    "adapt_reporter",
 ]

@@ -88,6 +88,13 @@ def campaign_tasks(
     before the pool forks) lets consecutive tasks on the same worker
     reuse a warm executor for the campaign's target instead of paying
     construction + ``Start`` per test.
+
+    Each task carries both halves of the transport seam: the ``thunk``
+    local workers run, and -- when the runner has a ``remote``
+    descriptor -- a JSON-able ``payload`` remote workers rebuild the
+    test from, plus the ``record`` hook the coordinator uses to fold a
+    remote result into the shared first-failure counter (the thunk does
+    this in-process; a remote worker cannot).
     """
     config = runner.config
     first_fail = pool.make_counter(config.tests)
@@ -103,16 +110,21 @@ def campaign_tasks(
     warm_compiled = getattr(runner, "compiled_spec", None)
     if warm_compiled is not None:
         warm_compiled()
+    remote_descriptor = getattr(runner, "remote", None)
+    reuse = cache is not None and cache.enabled
 
     def make_task(index: int) -> PoolTask:
+        def record(result: object) -> None:
+            if getattr(result, "failed", False):
+                with first_fail.get_lock():
+                    if index < first_fail.value:
+                        first_fail.value = index
+
         def thunk() -> TestResult:
             result = _run_test(
                 runner, random.Random(_test_seed(config.seed, index)), cache
             )
-            if result.failed:
-                with first_fail.get_lock():
-                    if index < first_fail.value:
-                        first_fail.value = index
+            record(result)
             return result
 
         def past_first_failure() -> bool:
@@ -120,7 +132,15 @@ def campaign_tasks(
 
         task_id = index if label is None else (label, index)
         skip = past_first_failure if config.stop_on_failure else None
-        return PoolTask(task_id, thunk, skip=skip)
+        payload = None
+        if remote_descriptor is not None:
+            payload = {
+                "index": index,
+                "reuse": reuse,
+                "runner": remote_descriptor,
+            }
+        return PoolTask(task_id, thunk, skip=skip, payload=payload,
+                        record=record)
 
     return [make_task(index) for index in range(config.tests)]
 
@@ -179,8 +199,11 @@ class ParallelEngine(CampaignEngine):
     is reported with the campaign *and* test index it was running.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self, jobs: Optional[int] = None, transport: object = None
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.transport = transport
 
     def run(
         self,
@@ -190,11 +213,14 @@ class ParallelEngine(CampaignEngine):
     ) -> CampaignResult:
         tests = runner.config.tests
         workers = min(self.jobs, tests)
-        if workers <= 1:
+        # Remote transports own their capacity; only fall back to the
+        # serial loop when the work genuinely stays on this host.
+        remote = bool(getattr(self.transport, "remote", False))
+        if workers <= 1 and not remote:
             return SerialEngine().run(runner, reporters, cache=cache)
         for reporter in reporters:
             reporter.on_campaign_start(runner.spec.name, tests)
-        pool = WorkerPool(workers)
+        pool = WorkerPool(workers, transport=self.transport)
         tasks = campaign_tasks(runner, pool, cache=cache)
         try:
             outcomes = pool.run(tasks)

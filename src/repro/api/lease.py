@@ -12,7 +12,11 @@ amortises it:
   worker pool forks: each forked worker then owns a private
   copy-on-write instance, so warm executors never cross process
   boundaries, while the thread fallback and the serial loop share a
-  single locked instance.
+  single locked instance.  Remote ``repro worker`` processes (the TCP
+  transport) are not forked from the coordinator at all -- each builds
+  its *own* per-process cache from the task's remote descriptor and
+  reports warm-hit/cold-start deltas back inside result frames, so the
+  batch metrics still add up.
 * :class:`ExecutorLease` is one test's claim on an executor.
   ``checkout`` prefers a warm executor from the cache and asks it to
   :meth:`~repro.executors.base.Executor.reset` (the new ``Reset``

@@ -1,58 +1,60 @@
-"""The shared worker-pool transport for campaign fan-out.
+"""The shared worker-pool facade for campaign fan-out.
 
 Both :class:`~repro.api.engines.ParallelEngine` (tests of one campaign)
 and :class:`~repro.api.scheduler.PooledScheduler` (whole campaigns of a
-multi-target audit) need the same machinery: fork a bounded set of
-worker processes *once*, feed them tasks through a queue, collect
-``(task_id, outcome)`` pairs, and notice -- precisely -- when a worker
-dies mid-task.  This module is that machinery, factored out so the two
-schedulers cannot drift apart.
+multi-target audit) need the same machinery: spin up a bounded set of
+workers *once*, feed them tasks through a queue, collect ``(task_id,
+outcome)`` pairs, and notice -- precisely -- when a worker dies
+mid-task.  :class:`WorkerPool` is that machinery's front door; *how*
+the tasks reach workers is the
+:class:`~repro.api.transport.PoolTransport` seam behind it:
 
-Design notes:
+* :class:`~repro.api.transport.ForkTransport` -- forked processes (the
+  default on POSIX; closures ship by copy-on-write);
+* :class:`~repro.api.transport.ThreadTransport` -- identical semantics
+  where ``fork`` is unavailable;
+* :class:`~repro.api.transport.TcpTransport` -- remote ``repro worker``
+  processes pulling task descriptors over TCP (see
+  :mod:`repro.api.transport.tcp`).
 
-* Workers are created with the ``fork`` start method.  Task bodies are
-  closures over executor factories, which ``spawn`` cannot pickle; fork
-  ships them for free.  All tasks must therefore be known when
-  :meth:`WorkerPool.run` forks -- the pool amortises fork cost by being
-  forked once *per batch* (one batch = one multi-campaign audit), not
-  once per campaign.
-* Dispatch is dynamic: task ids flow through a queue and workers pull
-  the next id when free, so a slow campaign cannot strand the pool the
-  way static round-robin can.  Determinism is unaffected -- outcomes
-  are keyed by task id and merged in submission order by the caller.
-* Every worker announces a task *before* running it, so when a worker
-  exits abnormally the parent knows exactly which task it was holding
-  (previously the parallel engine could only report the set of indices
-  that never produced a result).  The :class:`WorkerCrashed` error
-  carries those ids.
-* ``KeyboardInterrupt``/``SystemExit`` inside a task are deliberately
-  not caught in the worker: they must kill it promptly.  The parent's
-  collect loop tears the pool down (terminate + join) on any error,
-  including an interrupt delivered to the parent itself, so a Ctrl-C
-  never leaks worker processes.
-
-On platforms without ``fork`` the pool degrades to a thread pool with
-identical semantics (less parallelism under the GIL).
+The task vocabulary (:class:`PoolTask`, :data:`SKIPPED`,
+:class:`TaskFailure`, :class:`WorkerCrashed`) lives in
+:mod:`repro.api.transport.base` and is re-exported here unchanged, so
+existing imports keep working.
 """
 
 from __future__ import annotations
 
 import os
-import queue as queue_module
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from .transport.base import (  # noqa: F401 - re-exported vocabulary
+    SKIPPED,
+    PoolTask,
+    PoolTransport,
+    TaskFailure,
+    ThreadCounter,
+    WorkerCrashed,
+    resolve_transport,
+)
 
 __all__ = [
     "PoolMetrics",
     "PoolTask",
+    "PoolTransport",
     "TaskFailure",
     "WorkerCrashed",
     "WorkerPool",
     "SKIPPED",
     "resolve_jobs",
+    "resolve_transport",
     "suggest_jobs",
 ]
+
+#: Compatibility alias: the counter predates the transport package and
+#: :mod:`repro.api.lease` (among others) imports it under this name.
+_ThreadCounter = ThreadCounter
 
 #: Queue-depth sampling stops growing past this many points; enough to
 #: plot any realistic batch without unbounded memory on huge ones.
@@ -77,6 +79,9 @@ class PoolMetrics:
       completion, plus a 5 Hz heartbeat while the queue is quiet);
     * ``worker_tasks`` / ``worker_busy_s`` -- per-worker task counts and
       cumulative task runtime, keyed by worker id;
+    * ``worker_hosts`` -- where each worker lives: ``"local"`` for
+      fork/thread workers, ``"pid@host"`` for remote ones, so crash
+      reports and utilisation tables attribute work to machines;
     * ``warm_hits`` / ``cold_starts`` -- executor checkouts served by a
       warm reset vs full construction (zero/zero when no lease layer is
       in play);
@@ -96,7 +101,7 @@ class PoolMetrics:
     """
 
     jobs: int = 1
-    transport: str = "serial"  # "serial" | "fork" | "thread"
+    transport: str = "serial"  # "serial" | "fork" | "thread" | "tcp"
     wall_s: float = 0.0
     tasks_total: int = 0
     tasks_completed: int = 0
@@ -111,11 +116,18 @@ class PoolMetrics:
     queue_depth_samples: List[int] = field(default_factory=list)
     worker_tasks: Dict[int, int] = field(default_factory=dict)
     worker_busy_s: Dict[int, float] = field(default_factory=dict)
+    worker_hosts: Dict[int, str] = field(default_factory=dict)
     campaign_wall_s: Dict[str, float] = field(default_factory=dict)
 
     # -- recording (hot path: keep cheap) ------------------------------
 
-    def record_task(self, worker_id: int, elapsed_s: float, skipped: bool) -> None:
+    def record_task(
+        self,
+        worker_id: int,
+        elapsed_s: float,
+        skipped: bool,
+        host: Optional[str] = None,
+    ) -> None:
         self.tasks_completed += 1
         if skipped:
             self.tasks_skipped += 1
@@ -123,6 +135,8 @@ class PoolMetrics:
         self.worker_busy_s[worker_id] = (
             self.worker_busy_s.get(worker_id, 0.0) + elapsed_s
         )
+        if host is not None:
+            self.worker_hosts[worker_id] = host
 
     def record_engine(self, result) -> None:
         """Fold one :class:`~repro.checker.result.TestResult`'s compiled-
@@ -181,6 +195,15 @@ class PoolMetrics:
             for worker, busy in sorted(self.worker_busy_s.items())
         }
 
+    def host_tasks(self) -> Dict[str, int]:
+        """Task counts aggregated per host label -- the distributed
+        batch's sharding picture at a glance."""
+        totals: Dict[str, int] = {}
+        for worker, count in self.worker_tasks.items():
+            host = self.worker_hosts.get(worker, "local")
+            totals[host] = totals.get(host, 0) + count
+        return totals
+
     def to_dict(self) -> dict:
         """JSON-ready summary (what ``--format json`` emits)."""
         return {
@@ -207,34 +230,16 @@ class PoolMetrics:
                 str(worker): round(fraction, 4)
                 for worker, fraction in self.utilisation().items()
             },
+            "worker_hosts": {
+                str(worker): host
+                for worker, host in sorted(self.worker_hosts.items())
+            },
+            "host_tasks": dict(sorted(self.host_tasks().items())),
             "campaign_wall_s": {
                 label: round(seconds, 4)
                 for label, seconds in self.campaign_wall_s.items()
             },
         }
-
-
-class _SkippedType:
-    """The type of :data:`SKIPPED`.  Equality is by type, not identity:
-    the sentinel crosses the process boundary by pickling, so consumers
-    must compare with ``==``, never ``is`` -- and no task return value
-    (strings included) can collide with it."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:
-        return "SKIPPED"
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _SkippedType)
-
-    def __hash__(self) -> int:
-        return hash(_SkippedType)
-
-
-#: Outcome sentinel for a task whose ``skip`` predicate fired in the
-#: worker (e.g. an index past a campaign's first failure).
-SKIPPED = _SkippedType()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -246,7 +251,9 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def suggest_jobs(
-    metrics: Optional["PoolMetrics"], cpu: Optional[int] = None
+    metrics: Optional["PoolMetrics"],
+    cpu: Optional[int] = None,
+    capacity: Optional[int] = None,
 ) -> int:
     """Pool width for the next batch, from a finished batch's metrics.
 
@@ -254,112 +261,65 @@ def suggest_jobs(
     ``tests/api/test_adaptive_jobs.py``), driven by the two signals
     :class:`PoolMetrics` records for exactly this purpose:
 
-    * **scale up** (double, capped at the CPU count) when the task queue
-      stayed deep (max depth over twice the pool width) *and* the
-      workers were genuinely busy (mean utilisation >= 75%) -- more
+    * **scale up** (double, capped at the transport capacity) when the
+      task queue stayed deep (max depth over twice the pool width) *and*
+      the workers were genuinely busy (mean utilisation >= 75%) -- more
       hands would have drained the backlog;
     * **scale down** (halve, floor 1) when workers sat idle (mean
       utilisation < 40%) -- the batch couldn't feed them;
-    * otherwise **keep** the recorded width (clamped to the CPU count).
+    * otherwise **keep** the recorded width (clamped to the capacity).
+
+    ``capacity`` is the active transport's
+    :meth:`~repro.api.transport.PoolTransport.capacity` report: the
+    local CPU count for fork/thread pools, but the *summed remote
+    slots* for a TCP fabric -- a coordinator driving 4 hosts x 8 cores
+    must be allowed to suggest 32 even though its own ``os.cpu_count()``
+    is small.  When ``capacity`` is omitted the local CPU count (or the
+    explicit ``cpu`` override) is the clamp, as before.
 
     With no history (``None``, or a batch that recorded no per-worker
-    work) it falls back to the CPU count, like :func:`resolve_jobs`.
+    work) it falls back to the clamp itself, like :func:`resolve_jobs`.
     """
     cpu = cpu if cpu is not None else (os.cpu_count() or 1)
-    cpu = max(cpu, 1)
+    limit = max(capacity if capacity is not None else cpu, 1)
     if metrics is None or metrics.jobs < 1 or not metrics.worker_busy_s:
-        return cpu
+        return limit
     width = metrics.jobs
     busy = metrics.mean_utilisation()
     if metrics.max_queue_depth > 2 * width and busy >= 0.75:
-        return min(cpu, width * 2)
+        return min(limit, width * 2)
     if busy < 0.40 and width > 1:
         return max(1, width // 2)
-    return max(1, min(width, cpu))
-
-
-class PoolTask:
-    """One unit of work: an id, a thunk, and an optional skip predicate.
-
-    ``skip`` is evaluated in the *worker* immediately before running the
-    thunk; when it returns true the task's outcome is :data:`SKIPPED`.
-    Skip predicates typically read a shared counter made with
-    :meth:`WorkerPool.make_counter` (a stop-on-failure horizon).
-    """
-
-    __slots__ = ("id", "thunk", "skip")
-
-    def __init__(
-        self,
-        id: Hashable,
-        thunk: Callable[[], object],
-        skip: Optional[Callable[[], bool]] = None,
-    ) -> None:
-        self.id = id
-        self.thunk = thunk
-        self.skip = skip
-
-
-class TaskFailure:
-    """Wraps an exception raised inside a task for transport."""
-
-    __slots__ = ("error",)
-
-    def __init__(self, error: BaseException) -> None:
-        self.error = error
-
-
-class WorkerCrashed(RuntimeError):
-    """A worker exited abnormally.
-
-    ``in_flight`` names the task ids the dead worker(s) had announced
-    but not finished -- the precise work that died.  ``unreported`` is
-    the (possibly larger) set of submitted ids with no outcome.
-    """
-
-    def __init__(
-        self,
-        message: str,
-        in_flight: Sequence[Hashable] = (),
-        unreported: Sequence[Hashable] = (),
-    ) -> None:
-        super().__init__(message)
-        self.in_flight = list(in_flight)
-        self.unreported = list(unreported)
-
-
-class _ThreadCounter:
-    """Thread-mode stand-in for ``multiprocessing.Value('i', ...)``."""
-
-    __slots__ = ("value", "_lock")
-
-    def __init__(self, initial: int) -> None:
-        import threading
-
-        self.value = initial
-        self._lock = threading.Lock()
-
-    def get_lock(self):
-        return self._lock
+    return max(1, min(width, limit))
 
 
 class WorkerPool:
-    """A bounded pool of forked workers fed from a task queue.
+    """A bounded pool of workers fed from a task queue.
 
-    One :meth:`run` call forks ``min(jobs, len(tasks))`` workers, runs
-    every task, and tears the workers down -- the pool is forked once
-    for the whole batch, however many campaigns the batch spans.
+    One :meth:`run` call spins up ``min(jobs, len(tasks))`` workers
+    (or, for a remote transport, uses whatever workers are connected),
+    runs every task, and returns -- local workers are created once per
+    batch, however many campaigns the batch spans.
+
+    ``transport`` picks the delivery mechanism: ``None`` for the
+    platform default (fork where available, threads otherwise),
+    ``"fork"``/``"thread"`` to force a local mode, or any
+    :class:`~repro.api.transport.PoolTransport` instance -- notably
+    :class:`~repro.api.transport.TcpTransport` for remote workers.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        transport=None,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
-        self._ctx = self._fork_context()
-        #: Worker handles of the most recent :meth:`run` (processes in
-        #: fork mode, threads otherwise); kept for post-mortem asserts.
-        self.last_workers: List[object] = []
+        self.transport = resolve_transport(transport, self._fork_context)
 
     @staticmethod
     def _fork_context():
+        # The transport-selection seam: tests monkeypatch this to None
+        # to simulate platforms without fork.
         import multiprocessing
 
         try:
@@ -369,14 +329,25 @@ class WorkerPool:
 
     @property
     def uses_fork(self) -> bool:
-        return self._ctx is not None
+        return self.transport.name == "fork"
+
+    @property
+    def last_workers(self) -> List[object]:
+        """Worker handles of the most recent :meth:`run` (processes in
+        fork mode, threads otherwise, connection records for remote
+        transports); kept for post-mortem asserts."""
+        return self.transport.last_workers
+
+    def capacity(self) -> int:
+        """The transport's useful parallel width (local CPU count, or
+        the summed slots of connected remote workers)."""
+        return self.transport.capacity()
 
     def make_counter(self, initial: int):
         """A shared integer (``.value`` + ``.get_lock()``) visible to
-        workers.  Must be created *before* :meth:`run` forks them."""
-        if self._ctx is not None:
-            return self._ctx.Value("i", initial)
-        return _ThreadCounter(initial)
+        local task hooks.  Must be created *before* :meth:`run` forks
+        workers (fork transports return shared memory)."""
+        return self.transport.make_counter(initial)
 
     # ------------------------------------------------------------------
     # Running a batch
@@ -403,13 +374,16 @@ class WorkerPool:
         ``worker_exit`` runs inside each *forked* worker as its loop
         ends (best-effort: terminated workers skip it).  The scheduler
         uses it to stop the worker's warm executors -- per-worker state
-        the parent cannot reach.  The thread fallback ignores it: thread
-        workers share the caller's state, which the caller cleans up.
+        the parent cannot reach.  The thread fallback ignores it (thread
+        workers share the caller's state) and remote workers manage
+        their own caches.
 
         Raises :class:`WorkerCrashed` when a worker dies without
-        finishing its announced task.  Any error -- including a
-        ``KeyboardInterrupt`` hitting the parent -- terminates and joins
-        all workers before propagating, so no worker outlives the call.
+        finishing its announced task (remote transports first try to
+        requeue the dead worker's tasks on surviving workers).  Any
+        error -- including a ``KeyboardInterrupt`` hitting the parent --
+        tears the local workers down before propagating, so no worker
+        outlives the call.
         """
         tasks = list(tasks)
         ids = [task.id for task in tasks]
@@ -417,264 +391,14 @@ class WorkerPool:
             raise ValueError("task ids must be unique within a batch")
         if metrics is not None:
             metrics.jobs = self.jobs
-            metrics.transport = "fork" if self.uses_fork else "thread"
+            metrics.transport = self.transport.name
             metrics.tasks_total += len(tasks)
         if not tasks:
             return {}
-        if self._ctx is None:
-            return self._run_threaded(tasks, on_result, metrics)
-        return self._run_forked(tasks, on_result, metrics, worker_exit)
-
-    # ------------------------------------------------------------------
-    # Fork transport
-    # ------------------------------------------------------------------
-
-    def _run_forked(
-        self, tasks, on_result, metrics=None, worker_exit=None
-    ) -> Dict[Hashable, object]:
-        ctx = self._ctx
-        workers = min(self.jobs, len(tasks))
-        by_position = {position: task for position, task in enumerate(tasks)}
-        task_queue = ctx.Queue()
-        result_queue = ctx.Queue()
-        # Per-worker announcement slots, written through shared memory
-        # *synchronously* before a task runs.  A queue message could be
-        # lost when ``os._exit`` kills the feeder thread mid-flush; the
-        # shared write cannot, so crash attribution survives even the
-        # rudest deaths.
-        announce = ctx.Array("i", [-1] * workers, lock=False)
-        for position in range(len(tasks)):
-            task_queue.put(position)
-        for _ in range(workers):
-            task_queue.put(-1)
-
-        def work(worker_id: int) -> None:
-            try:
-                while True:
-                    position = task_queue.get()
-                    if position < 0:
-                        break
-                    announce[worker_id] = position
-                    started = time.perf_counter()
-                    outcome = _run_task(by_position[position])
-                    elapsed = time.perf_counter() - started
-                    result_queue.put((position, outcome, worker_id, elapsed))
-            finally:
-                # Clean worker shutdown: release per-worker state (warm
-                # executors) that only exists in this forked child.
-                if worker_exit is not None:
-                    worker_exit()
-
-        processes = [
-            ctx.Process(target=work, args=(w,), daemon=True)
-            for w in range(workers)
-        ]
-        self.last_workers = processes
-        for process in processes:
-            process.start()
-
-        outcomes: Dict[Hashable, object] = {}
-        completed = False
-        try:
-            while len(outcomes) < len(tasks):
-                if metrics is not None:
-                    metrics.sample_queue_depth(len(tasks) - len(outcomes))
-                try:
-                    position, outcome, worker_id, elapsed = result_queue.get(
-                        timeout=0.2
-                    )
-                except queue_module.Empty:
-                    self._check_for_crash(
-                        processes, result_queue, announce, outcomes, tasks,
-                        on_result, metrics,
-                    )
-                    continue
-                task_id = by_position[position].id
-                outcomes[task_id] = outcome
-                if metrics is not None:
-                    metrics.record_task(worker_id, elapsed, outcome == SKIPPED)
-                if on_result is not None:
-                    on_result(task_id, outcome)
-            completed = True
-        finally:
-            if completed:
-                # Normal completion: the last result can arrive before
-                # its worker loops back for the sentinel, so grant a
-                # grace period for workers to drain sentinels and run
-                # their worker_exit cleanup before any terminate().
-                deadline = time.monotonic() + 5.0
-                for process in processes:
-                    process.join(max(0.0, deadline - time.monotonic()))
-            # Error paths (worker crash, reporter exception, Ctrl-C in
-            # this very loop) -- and grace-period stragglers: make sure
-            # nothing survives.
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join()
-            task_queue.close()
-            result_queue.close()
-        return outcomes
-
-    def _check_for_crash(
-        self, processes, result_queue, announce, outcomes, tasks, on_result,
-        metrics=None,
-    ) -> None:
-        """Called when the result queue goes quiet: if a worker died
-        abnormally, drain the stragglers and raise naming its task."""
-        # Any stopped worker counts: even an exit code of 0 is a crash
-        # if the task it announced never reported back (os._exit(0) in
-        # an executor, say).  Cleanly-finished workers are filtered out
-        # below because their last outcome is (or is about to be) in
-        # ``outcomes``.
-        dead = [
-            (worker_id, process)
-            for worker_id, process in enumerate(processes)
-            if not process.is_alive()
-        ]
-        if not dead:
-            return
-        # Flush results the feeder threads managed to push out so the
-        # crash report only names genuinely lost work.
-        while True:
-            try:
-                position, outcome, worker_id, elapsed = result_queue.get(
-                    timeout=0.2
-                )
-            except queue_module.Empty:
-                break
-            task_id = tasks[position].id
-            outcomes[task_id] = outcome
-            if metrics is not None:
-                metrics.record_task(worker_id, elapsed, outcome == SKIPPED)
-            if on_result is not None:
-                on_result(task_id, outcome)
-        lost = []
-        for worker_id, process in dead:
-            position = announce[worker_id]
-            if position >= 0 and tasks[position].id not in outcomes:
-                lost.append((worker_id, process, tasks[position].id))
-        if not lost:
-            # The worker died between tasks; its queued work is still
-            # reachable by surviving workers, unless none remain.
-            if any(process.is_alive() for process in processes):
-                return
-            unreported = [t.id for t in tasks if t.id not in outcomes]
-            if not unreported:
-                return
-            raise WorkerCrashed(
-                "every pool worker died; "
-                f"task(s) {unreported} never reported",
-                unreported=unreported,
-            )
-        descriptions = ", ".join(
-            f"worker {worker_id} (pid {process.pid}, "
-            f"exit code {process.exitcode}) died while running "
-            f"task {task_id!r}"
-            for worker_id, process, task_id in lost
+        return self.transport.run(
+            tasks,
+            self.jobs,
+            on_result=on_result,
+            metrics=metrics,
+            worker_exit=worker_exit,
         )
-        unreported = [t.id for t in tasks if t.id not in outcomes]
-        raise WorkerCrashed(
-            descriptions,
-            in_flight=[task_id for _, _, task_id in lost],
-            unreported=unreported,
-        )
-
-    # ------------------------------------------------------------------
-    # Thread fallback
-    # ------------------------------------------------------------------
-
-    def _run_threaded(self, tasks, on_result, metrics=None) -> Dict[Hashable, object]:
-        import threading
-
-        workers = min(self.jobs, len(tasks))
-        # Positions in the queue, like fork mode: user task ids never
-        # travel in-band, so no id can collide with a control signal.
-        task_queue: queue_module.Queue = queue_module.Queue()
-        result_queue: queue_module.Queue = queue_module.Queue()
-        for position in range(len(tasks)):
-            task_queue.put(position)
-        for _ in range(workers):
-            task_queue.put(-1)
-
-        def work(worker_id: int) -> None:
-            while True:
-                position = task_queue.get()
-                if position < 0:
-                    break
-                started = time.perf_counter()
-                try:
-                    outcome = _run_task(tasks[position])
-                except BaseException as err:  # noqa: BLE001 - crash parity
-                    # A thread cannot die like a process; model the
-                    # fork-mode crash so callers see one behaviour.
-                    result_queue.put(("crash", worker_id, position, err, 0.0))
-                    break
-                elapsed = time.perf_counter() - started
-                result_queue.put(("done", worker_id, position, outcome, elapsed))
-
-        threads = [
-            threading.Thread(target=work, args=(w,), daemon=True)
-            for w in range(workers)
-        ]
-        self.last_workers = threads
-        for thread in threads:
-            thread.start()
-        outcomes: Dict[Hashable, object] = {}
-        try:
-            while len(outcomes) < len(tasks):
-                if metrics is not None:
-                    metrics.sample_queue_depth(len(tasks) - len(outcomes))
-                try:
-                    # Poll like the fork loop: the timeout doubles as
-                    # the queue-depth sampling heartbeat while quiet.
-                    kind, worker_id, position, payload, elapsed = (
-                        result_queue.get(timeout=0.2)
-                    )
-                except queue_module.Empty:
-                    continue
-                task_id = tasks[position].id
-                if kind == "crash":
-                    # The announced task is lost; waiting for it would
-                    # deadlock, so abort the batch like fork mode does.
-                    unreported = [t.id for t in tasks if t.id not in outcomes]
-                    raise WorkerCrashed(
-                        f"worker {worker_id} died while running task "
-                        f"{task_id!r}: {payload!r}",
-                        in_flight=[task_id],
-                        unreported=unreported,
-                    ) from payload
-                outcomes[task_id] = payload
-                if metrics is not None:
-                    metrics.record_task(worker_id, elapsed, payload == SKIPPED)
-                if on_result is not None:
-                    on_result(task_id, payload)
-        finally:
-            # On abort, starve the surviving threads so they exit at the
-            # next queue read instead of working through dead campaigns.
-            try:
-                while True:
-                    task_queue.get_nowait()
-            except queue_module.Empty:
-                pass
-            for _ in threads:
-                task_queue.put(-1)
-            for thread in threads:
-                thread.join(timeout=1.0)
-        return outcomes
-
-
-def _run_task(task: PoolTask) -> object:
-    """Task body shared by both transports.
-
-    ``Exception`` is transported; ``KeyboardInterrupt``/``SystemExit``
-    are not caught -- they must take the worker down (the parent then
-    reports which task died).
-    """
-    if task.skip is not None and task.skip():
-        return SKIPPED
-    try:
-        return task.thunk()
-    except Exception as err:
-        return TaskFailure(err)

@@ -69,6 +69,11 @@ class CheckTarget:
     spec: object = None
     property: Optional[str] = None
     config: object = None
+    #: JSON-able runner descriptor for remote transports: where a
+    #: ``repro worker`` on another host finds the spec/property/app
+    #: (see :mod:`repro.api.transport.worker`).  ``None`` = this target
+    #: can only run on local transports.
+    remote: Optional[dict] = None
 
 
 @dataclass
@@ -177,8 +182,11 @@ class PooledScheduler:
     equivalence baseline.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self, jobs: Optional[int] = None, transport: object = None
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
+        self.transport = transport
 
     def run(
         self,
@@ -193,7 +201,11 @@ class PooledScheduler:
         for reporter in reporters:
             reporter.on_session_start(len(entries))
         started = time.perf_counter()
-        if self.jobs <= 1 or len(entries) == 0:
+        # A remote transport means the work leaves this host: route
+        # through the pool even at width 1 (its capacity lives on the
+        # workers, not in self.jobs).
+        remote = bool(getattr(self.transport, "remote", False))
+        if len(entries) == 0 or (self.jobs <= 1 and not remote):
             outcomes, metrics = self._run_serial(entries, reporters, reuse)
         else:
             outcomes, metrics = self._run_pooled(entries, reporters, reuse)
@@ -255,8 +267,8 @@ class PooledScheduler:
                     cache.release(runner.executor_factory)
         finally:
             cache.close()
-        metrics.warm_hits = cache.warm_hits.value
-        metrics.cold_starts = cache.cold_starts.value
+        metrics.warm_hits += cache.warm_hits.value
+        metrics.cold_starts += cache.cold_starts.value
         return outcomes, metrics
 
     # ------------------------------------------------------------------
@@ -266,7 +278,7 @@ class PooledScheduler:
     def _run_pooled(
         self, entries, reporters: Sequence[Reporter], reuse: bool
     ) -> Tuple[List[CampaignOutcome], PoolMetrics]:
-        pool = WorkerPool(self.jobs)
+        pool = WorkerPool(self.jobs, transport=self.transport)
         metrics = PoolMetrics()
         # Warm/cold counters live in shared memory so forked workers --
         # each owning a private copy-on-write ExecutorCache -- aggregate
@@ -351,8 +363,11 @@ class PooledScheduler:
                     f"campaign {merge.label!r} has unmerged tests"
                 )
             outcomes.append(CampaignOutcome(merge.label, merge.finish()))
-        metrics.warm_hits = warm_hits.value
-        metrics.cold_starts = cold_starts.value
+        # += not =: a remote transport already folded its workers'
+        # per-result warm/cold deltas into the metrics as they arrived
+        # (remote caches cannot share this process's counters).
+        metrics.warm_hits += warm_hits.value
+        metrics.cold_starts += cold_starts.value
         return outcomes, metrics
 
 

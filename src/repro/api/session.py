@@ -50,8 +50,10 @@ bit-for-bit identical to cold ones; pass ``reuse_executors=False`` (or
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import os
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..checker.config import RunnerConfig
@@ -60,12 +62,43 @@ from ..checker.runner import Runner
 from ..executors.domexec import DomExecutor
 from ..quickltl import DEFAULT_SUBSCRIPT
 from ..specstrom.module import CheckSpec, SpecModule, load_module_file
+from .config import SessionConfig
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
 from .pool import PoolMetrics, suggest_jobs
 from .reporters import Reporter
 from .scheduler import CampaignSet, CampaignSetResult, CheckTarget, PooledScheduler
+from .transport import PoolTransport
 
-__all__ = ["CheckSession", "AUTO_JOBS"]
+__all__ = ["CheckSession", "SessionConfig", "AUTO_JOBS"]
+
+#: Distinguishes "caller did not pass the legacy keyword" from any
+#: value they could have passed -- the deprecation shims must only warn
+#: (and only override ``session=``) for keywords actually supplied.
+_UNSET = object()
+
+
+def _fold_legacy(cfg: Optional[SessionConfig], **legacy) -> SessionConfig:
+    """Fold deprecated per-call keywords into a :class:`SessionConfig`.
+
+    Keeps the old ``jobs=`` / ``reporters=`` / ``reuse_executors=``
+    spellings working for one release: each supplied keyword raises a
+    ``DeprecationWarning`` and overrides the corresponding
+    ``SessionConfig`` field.
+    """
+    cfg = cfg if cfg is not None else SessionConfig()
+    supplied = {
+        name: value for name, value in legacy.items() if value is not _UNSET
+    }
+    if not supplied:
+        return cfg
+    names = ", ".join(sorted(supplied))
+    warnings.warn(
+        f"passing {names}= directly is deprecated; "
+        "use session=SessionConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return cfg.merged(**supplied)
 
 #: Sentinel accepted wherever ``jobs=`` is: pick the pool width
 #: adaptively from the previous batch's recorded
@@ -133,6 +166,7 @@ class CheckSession:
         *,
         property: Optional[str] = None,
         config: Optional[RunnerConfig] = None,
+        session: Optional[SessionConfig] = None,
     ) -> CampaignResult:
         """Check one property and return its campaign result.
 
@@ -140,9 +174,34 @@ class CheckSession:
         :class:`SpecModule`, or a single :class:`CheckSpec`.  For a
         module (or path), ``property`` names the check to run; it may be
         omitted when the module declares exactly one.
+
+        ``session`` (a :class:`SessionConfig`) overrides reporters and
+        runner flags for this call, and -- when it sets ``jobs`` or a
+        ``transport`` -- runs the campaign on a
+        :class:`~repro.api.engines.ParallelEngine` over that transport
+        instead of the session's engine.
         """
         check_spec = self._resolve(spec, property)
-        return self.engine.run(self._runner(check_spec, config), self.reporters)
+        if session is None:
+            return self.engine.run(
+                self._runner(check_spec, config), self.reporters
+            )
+        config = session.runner_config(config)
+        reporters = (
+            self.reporters if session.reporters is None
+            else list(session.reporters)
+        )
+        engine = self.engine
+        if session.jobs is not None or session.transport is not None:
+            jobs = session.jobs
+            _validate_jobs(jobs)
+            if jobs == AUTO_JOBS:
+                jobs = suggest_jobs(
+                    self.last_metrics,
+                    capacity=_transport_capacity(session.transport),
+                )
+            engine = ParallelEngine(jobs, transport=session.transport)
+        return engine.run(self._runner(check_spec, config), reporters)
 
     def check_many(
         self,
@@ -151,9 +210,10 @@ class CheckSession:
         spec: Optional[SpecLike] = None,
         property: Optional[str] = None,
         config: Optional[RunnerConfig] = None,
-        jobs: Optional[int] = None,
-        reporters: Optional[Sequence[Reporter]] = None,
-        reuse_executors: bool = True,
+        session: Optional[SessionConfig] = None,
+        jobs=_UNSET,
+        reporters=_UNSET,
+        reuse_executors=_UNSET,
     ) -> CampaignSetResult:
         """Check many targets as one batch on a shared worker pool.
 
@@ -163,22 +223,40 @@ class CheckSession:
         that individual targets may override; a target without its own
         ``app`` uses the session's application.
 
-        ``jobs`` bounds the pool across the whole batch (default: the
-        session's ``jobs``, else 1 -- i.e. the exact serial loop).
-        Pass :data:`AUTO_JOBS` (``"auto"``) -- here or to the session --
-        to have the width picked from the previous batch's recorded
-        queue-depth/utilisation metrics
-        (:func:`~repro.api.pool.suggest_jobs`).  The pool is forked
-        once, reused across campaigns, and torn down when the batch
-        completes; verdicts are identical to sequential :meth:`check`
-        calls with the same seeds.
+        ``session`` (a :class:`SessionConfig`) carries the batch knobs:
 
-        ``reuse_executors`` keeps each worker's executor warm between
-        consecutive tests of the same target (reset instead of
-        reconstructed; see :mod:`repro.api.lease`).  Warm and cold runs
-        produce identical verdicts; disable it only to benchmark the
-        cold baseline or to isolate a suspected reset bug.
+        * ``jobs`` bounds the pool across the whole batch (default: the
+          session's ``jobs``, else 1 -- i.e. the exact serial loop).
+          :data:`AUTO_JOBS` (``"auto"``) picks the width from the
+          previous batch's recorded queue-depth/utilisation metrics
+          (:func:`~repro.api.pool.suggest_jobs`), clamped to the
+          transport's reported capacity.
+        * ``transport`` picks task delivery: ``None``/"fork"/"thread"
+          run locally; a live
+          :class:`~repro.api.transport.TcpTransport` shards the batch
+          over connected ``repro worker`` processes -- targets then
+          need a ``remote`` descriptor saying where a remote host finds
+          their spec/property/app.
+        * ``reuse_executors`` keeps each worker's executor warm between
+          consecutive tests of the same target (reset instead of
+          reconstructed; see :mod:`repro.api.lease`).  Warm and cold
+          runs produce identical verdicts.
+
+        The pool is started once, reused across campaigns, and torn
+        down when the batch completes; verdicts are identical to
+        sequential :meth:`check` calls with the same seeds, whichever
+        transport runs them.
+
+        The bare ``jobs=`` / ``reporters=`` / ``reuse_executors=``
+        keywords are deprecated spellings of the same knobs (one
+        release of ``DeprecationWarning``-ing compatibility).
         """
+        cfg = _fold_legacy(
+            session,
+            jobs=jobs,
+            reporters=reporters,
+            reuse_executors=reuse_executors,
+        )
         campaign_set = CampaignSet()
         batch_check: Optional[CheckSpec] = None  # resolved once
         modules: Dict[str, SpecModule] = {}  # loaded .strom files, by path
@@ -212,30 +290,57 @@ class CheckSession:
                     f"target {target.name!r} has no app and the session was "
                     "constructed without one"
                 )
-            target_config = target.config if target.config is not None else config
-            campaign_set.add(
-                target.name, Runner(check_spec, factory, target_config)
+            target_config = cfg.runner_config(
+                target.config if target.config is not None else config
             )
+            remote = None
+            if target.remote is not None:
+                # Complete the target's descriptor with the batch-level
+                # facts a remote worker needs to rebuild the runner:
+                # which property, which subscript convention, and the
+                # *effective* RunnerConfig (seed included -- that is
+                # what makes the remote verdicts identical).
+                remote = dict(target.remote)
+                remote.setdefault("property", check_spec.name)
+                remote.setdefault("subscript", self.default_subscript)
+                remote.setdefault(
+                    "config",
+                    dataclasses.asdict(
+                        target_config
+                        if target_config is not None
+                        else RunnerConfig()
+                    ),
+                )
+            campaign_set.add(
+                target.name,
+                Runner(check_spec, factory, target_config, remote=remote),
+            )
+        capacity = _transport_capacity(cfg.transport)
+        jobs = cfg.jobs
         _validate_jobs(jobs)
         if jobs == AUTO_JOBS:
-            jobs = suggest_jobs(self.last_metrics)
+            jobs = suggest_jobs(self.last_metrics, capacity=capacity)
         elif jobs is None:
             if self.auto_jobs:
-                jobs = suggest_jobs(self.last_metrics)
+                jobs = suggest_jobs(self.last_metrics, capacity=capacity)
             elif self.jobs is not None:
                 jobs = self.jobs
             elif isinstance(self.engine, ParallelEngine):
                 # A session configured with an explicit parallel engine
                 # asked for parallelism; honour its width for the batch.
                 jobs = self.engine.jobs
+            elif capacity is not None:
+                # A capacity-reporting transport (the TCP fabric) was
+                # handed over explicitly; use the width it advertises.
+                jobs = capacity
             else:
                 jobs = 1
-        scheduler = PooledScheduler(jobs)
+        scheduler = PooledScheduler(jobs, transport=cfg.transport)
         active_reporters = (
-            self.reporters if reporters is None else list(reporters)
+            self.reporters if cfg.reporters is None else list(cfg.reporters)
         )
         result = scheduler.run(campaign_set, active_reporters,
-                               reuse=reuse_executors)
+                               reuse=cfg.reuse_executors)
         self.last_metrics = result.metrics
         return result
 
@@ -259,9 +364,10 @@ class CheckSession:
         spec: SpecLike,
         *,
         config: Optional[RunnerConfig] = None,
-        jobs: Optional[int] = None,
-        reuse_executors: bool = True,
-        reporters: Optional[Sequence[Reporter]] = None,
+        session: Optional[SessionConfig] = None,
+        jobs=_UNSET,
+        reuse_executors=_UNSET,
+        reporters=_UNSET,
     ) -> List[CampaignResult]:
         """Check every property of a module, in declaration order.
 
@@ -279,10 +385,19 @@ class CheckSession:
         engine: each property runs through ``engine.run`` exactly as
         :meth:`check` would, one campaign at a time (the scheduler fast
         path only replaces the built-in engines it is equivalent to).
-        On that path the custom engine owns scheduling, so ``jobs`` and
-        ``reuse_executors`` do not apply; ``reporters`` still override
-        the session's.
+        On that path the custom engine owns scheduling, so the config's
+        ``jobs`` and ``reuse_executors`` do not apply; its ``reporters``
+        still override the session's.
+
+        The bare ``jobs=`` / ``reuse_executors=`` / ``reporters=``
+        keywords are deprecated -- pass ``session=SessionConfig(...)``.
         """
+        cfg = _fold_legacy(
+            session,
+            jobs=jobs,
+            reuse_executors=reuse_executors,
+            reporters=reporters,
+        )
         if self.executor_factory is None:
             raise ValueError(
                 "this session was constructed without an application; "
@@ -297,8 +412,10 @@ class CheckSession:
             # A user-supplied campaign strategy is an extension point;
             # never silently bypass it.
             active_reporters = (
-                self.reporters if reporters is None else list(reporters)
+                self.reporters if cfg.reporters is None
+                else list(cfg.reporters)
             )
+            config = cfg.runner_config(config)
             return [
                 self.engine.run(self._runner(check, config), active_reporters)
                 for check in checks
@@ -306,9 +423,7 @@ class CheckSession:
         batch = self.check_many(
             [CheckTarget(check.name, spec=check) for check in checks],
             config=config,
-            jobs=jobs,
-            reuse_executors=reuse_executors,
-            reporters=reporters,
+            session=cfg,
         )
         return batch.results
 
@@ -382,6 +497,15 @@ class CheckSession:
             f"the module declares {len(names)} properties {names}; "
             "pass property= to pick one (or use check_all)"
         )
+
+
+def _transport_capacity(transport) -> Optional[int]:
+    """The transport's parallel capacity, when it can report one --
+    what adaptive ``jobs="auto"`` clamps against instead of the local
+    CPU count (a TCP fabric's width lives on the worker hosts)."""
+    if isinstance(transport, PoolTransport):
+        return transport.capacity()
+    return None
 
 
 def _validate_jobs(jobs) -> None:

@@ -1,0 +1,49 @@
+"""Pool transports: how a batch of tasks reaches its workers.
+
+The schedulers (:class:`~repro.api.engines.ParallelEngine`,
+:class:`~repro.api.scheduler.PooledScheduler`) are transport-agnostic:
+they build :class:`~repro.api.transport.base.PoolTask` batches, hand
+them to a :class:`~repro.api.transport.base.PoolTransport`, and merge
+the collected ``(worker_id, elapsed, outcome)`` stream in deterministic
+campaign/index order.  This package provides the seam and its three
+implementations:
+
+* :class:`~repro.api.transport.local.ForkTransport` -- the classic
+  fork-once worker pool (POSIX; ships closures for free via CoW),
+* :class:`~repro.api.transport.local.ThreadTransport` -- identical
+  semantics on platforms without ``fork`` (less parallelism under the
+  GIL),
+* :class:`~repro.api.transport.tcp.TcpTransport` -- a coordinator-side
+  work queue serving remote ``repro worker --connect HOST:PORT``
+  processes over a length-prefixed JSON protocol, sharding a batch
+  across hosts while the coordinator's ordered merge keeps distributed
+  verdicts identical to serial ones.
+
+:mod:`~repro.api.transport.worker` (imported lazily -- it pulls in the
+spec front end) is the remote worker's half of the TCP protocol.
+"""
+
+from .base import (
+    SKIPPED,
+    PoolTask,
+    PoolTransport,
+    TaskFailure,
+    ThreadCounter,
+    WorkerCrashed,
+    resolve_transport,
+)
+from .local import ForkTransport, ThreadTransport
+from .tcp import TcpTransport
+
+__all__ = [
+    "SKIPPED",
+    "PoolTask",
+    "PoolTransport",
+    "TaskFailure",
+    "ThreadCounter",
+    "WorkerCrashed",
+    "resolve_transport",
+    "ForkTransport",
+    "ThreadTransport",
+    "TcpTransport",
+]

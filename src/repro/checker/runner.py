@@ -135,17 +135,26 @@ class QueryNarrower:
 
 
 class Runner:
-    """Checks one :class:`CheckSpec` against executors from a factory."""
+    """Checks one :class:`CheckSpec` against executors from a factory.
+
+    ``remote`` is an optional JSON-able descriptor of this runner --
+    which ``.strom`` file, property, application registry string and
+    config -- for transports whose workers cannot receive the factory
+    closure itself (see :mod:`repro.api.transport.worker`).  Runners
+    without one can only run on local (fork/thread/serial) engines.
+    """
 
     def __init__(
         self,
         spec: CheckSpec,
         executor_factory: Callable[[], object],
         config: Optional[RunnerConfig] = None,
+        remote: Optional[dict] = None,
     ) -> None:
         self.spec = spec
         self.executor_factory = executor_factory
         self.config = config or RunnerConfig()
+        self.remote = remote
         self._watched_events: Optional[Tuple[Tuple[str, PrimitiveEvent], ...]] = None
         self._compiled: Optional[CompiledSpec] = None
 

@@ -23,6 +23,7 @@ Usage (also via the ``quickstrom-repro`` console script)::
                             [--queue-size N] [--queue-policy block|drop]
                             [--no-batch] [--cache-entries N]
                             [--resolve-at-eof] [--format json]
+    python -m repro worker --connect HOST:PORT [--slots N]
     python -m repro list-implementations
 
 ``check`` loads a specification file and runs its properties against the
@@ -35,6 +36,13 @@ implementations), with verdicts identical to a serial audit.  Both
 commands reuse warm executors across consecutive tests of the same
 target by default (``--no-reuse`` restores cold per-test construction;
 verdicts are identical either way).
+
+Distributed checking (:mod:`repro.api.transport`): pass ``--transport
+tcp --listen HOST:PORT`` to ``check`` or ``audit`` and the command
+becomes a coordinator that shards its ``(campaign, index)`` tasks over
+``repro worker`` processes connected from any host -- verdicts,
+counterexamples and reporter streams are identical to a local run with
+the same seed.
 
 ``monitor`` is the online deployment mode (:mod:`repro.monitor`): it
 ingests framed session streams -- a JSONL file, stdin, or a TCP
@@ -58,6 +66,7 @@ from .api import (
     JUnitXmlReporter,
     ProgressReporter,
     Reporter,
+    SessionConfig,
 )
 from .apps.eggtimer import egg_timer_app
 from .apps.todomvc import all_implementations, implementation_named, todomvc_app
@@ -198,6 +207,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="human-readable lines, or one JSON object per "
                               "verdict plus a monitor_end summary")
 
+    worker = sub.add_parser(
+        "worker",
+        help="serve a distributed checking coordinator "
+             "(a check/audit run with --transport tcp)",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's --listen address")
+    worker.add_argument("--slots", type=_positive_int, default=1,
+                        metavar="N",
+                        help="parallel task slots to serve (each is its "
+                             "own process with a private executor cache)")
+    worker.add_argument("--connect-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="keep retrying the dial this long (workers "
+                             "are routinely launched before the "
+                             "coordinator binds)")
+
     sub.add_parser("list-implementations",
                    help="list the 43 TodoMVC implementations")
     return parser
@@ -237,6 +263,20 @@ def _campaign_options(parser: argparse.ArgumentParser, jobs_help: str) -> None:
                              "snapshot instead of narrowing to what the "
                              "progressed formula still reads (verdicts "
                              "are identical; this is the full baseline)")
+    parser.add_argument("--transport", choices=("fork", "thread", "tcp"),
+                        default=None,
+                        help="task delivery: fork/thread pools on this "
+                             "host (default: platform pick), or tcp -- "
+                             "become a coordinator sharding tasks over "
+                             "'repro worker' processes")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="with --transport tcp: bind the coordinator "
+                             "here (port 0 picks a free port, printed to "
+                             "stderr for workers to connect to)")
+    parser.add_argument("--min-workers", type=_positive_int, default=1,
+                        metavar="N",
+                        help="with --transport tcp: wait for N connected "
+                             "workers before dispatching")
 
 
 def _progress_reporters() -> list:
@@ -244,6 +284,41 @@ def _progress_reporters() -> list:
     if sys.stderr.isatty():
         return [ProgressReporter()]
     return []
+
+
+def _make_transport(args):
+    """The transport named by ``--transport`` (``None`` = platform
+    default).  ``tcp`` binds a live coordinator immediately so its
+    address is printable before any worker dials in."""
+    if args.transport != "tcp":
+        if args.listen is not None:
+            raise SystemExit("--listen requires --transport tcp")
+        return args.transport
+    from .api import TcpTransport
+
+    host, port = _parse_listen(args.listen or "127.0.0.1:0")
+    transport = TcpTransport(host=host, port=port,
+                             min_workers=args.min_workers)
+    print(f"[coordinator] listening on {transport.host}:{transport.port} "
+          f"-- start workers with: repro worker "
+          f"--connect {transport.host}:{transport.port}",
+          file=sys.stderr, flush=True)
+    return transport
+
+
+def _session_config(args) -> SessionConfig:
+    """The batch knobs shared by ``check`` and ``audit``."""
+    return SessionConfig(
+        jobs=args.jobs,
+        transport=_make_transport(args),
+        reuse_executors=not args.no_reuse,
+    )
+
+
+def _close_transport(cfg: SessionConfig) -> None:
+    close = getattr(cfg.transport, "close", None)
+    if close is not None:
+        close()
 
 
 def _validate_report_file(args) -> None:
@@ -278,15 +353,25 @@ def _cmd_check(args) -> int:
         shrink=not args.no_shrink,
         narrow_queries=not args.no_narrow,
     )
+    cfg = _session_config(args)
+    # A remote worker rebuilds each campaign from this descriptor: the
+    # .strom path and app registry string must resolve on *its* host.
+    remote = None
+    if getattr(cfg.transport, "remote", False):
+        remote = {"spec": args.spec, "app": args.app,
+                  "subscript": args.subscript}
     # Every property rides the cross-campaign scheduler as its own
     # campaign against the one app: --jobs spans (property, test) tasks
     # on one pool, and warm executor reuse crosses property boundaries.
-    batch = session.check_many(
-        [CheckTarget(check.name, spec=check) for check in checks],
-        config=config,
-        jobs=args.jobs,
-        reuse_executors=not args.no_reuse,
-    )
+    try:
+        batch = session.check_many(
+            [CheckTarget(check.name, spec=check, remote=remote)
+             for check in checks],
+            config=config,
+            session=cfg,
+        )
+    finally:
+        _close_transport(cfg)
     return 1 if batch.failures else 0
 
 
@@ -316,12 +401,27 @@ def _cmd_audit(args) -> int:
     if args.format == "junit":
         reporters.append(JUnitXmlReporter(path=args.report_file))
     session = CheckSession(reporters=reporters)
+    cfg = _session_config(args)
+    remote_spec = None
+    if getattr(cfg.transport, "remote", False):
+        from .specs import spec_path
+
+        remote_spec = str(spec_path("todomvc.strom"))
     targets = [
-        CheckTarget(impl.name, impl.app_factory()) for impl in implementations
+        CheckTarget(
+            impl.name,
+            impl.app_factory(),
+            remote=(None if remote_spec is None else
+                    {"spec": remote_spec, "app": f"todomvc:{impl.name}",
+                     "subscript": args.subscript}),
+        )
+        for impl in implementations
     ]
-    batch = session.check_many(targets, spec=spec, config=config,
-                               jobs=args.jobs,
-                               reuse_executors=not args.no_reuse)
+    try:
+        batch = session.check_many(targets, spec=spec, config=config,
+                                   session=cfg)
+    finally:
+        _close_transport(cfg)
 
     agreeing = len(implementations) - stream.disagreements
     if junit_to_stdout:
@@ -446,16 +546,16 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
-def _parse_listen(text: str):
+def _parse_listen(text: str, flag: str = "--listen"):
     host, separator, port_text = text.rpartition(":")
     if not separator or not host:
-        raise SystemExit(f"--listen needs HOST:PORT, got {text!r}")
+        raise SystemExit(f"{flag} needs HOST:PORT, got {text!r}")
     try:
         port = int(port_text)
     except ValueError:
-        raise SystemExit(f"--listen port must be an integer, got {port_text!r}")
+        raise SystemExit(f"{flag} port must be an integer, got {port_text!r}")
     if not 0 <= port <= 65535:
-        raise SystemExit(f"--listen port out of range: {port}")
+        raise SystemExit(f"{flag} port out of range: {port}")
     return host, port
 
 
@@ -545,6 +645,14 @@ def _cmd_monitor(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_worker(args) -> int:
+    from .api.transport.worker import run_worker
+
+    host, port = _parse_listen(args.connect, flag="--connect")
+    return run_worker(host, port, slots=args.slots,
+                      connect_timeout_s=args.connect_timeout)
+
+
 def _cmd_list(_args) -> int:
     for impl in all_implementations():
         label = "beta  " if impl.beta else "mature"
@@ -567,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "monitor":
             return _cmd_monitor(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         return _cmd_list(args)
     except BrokenPipeError:  # e.g. piping into `head`
         return 0

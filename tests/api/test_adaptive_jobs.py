@@ -78,6 +78,48 @@ class TestSuggestJobsHeuristic:
         assert suggest_jobs(busy_metrics(2, 2, 0.39), cpu=16) == 1
 
 
+class TestSuggestJobsCapacity:
+    """``capacity=`` replaces the CPU count as the clamp: a distributed
+    fabric's width lives on its worker hosts, not on the coordinator."""
+
+    def test_capacity_overrides_the_local_cpu_clamp(self):
+        # A 1-CPU coordinator fronting a 16-slot TCP fabric must be
+        # allowed to scale past its own core count.
+        metrics = busy_metrics(jobs=4, queue_depth=20, utilisation=0.9)
+        assert suggest_jobs(metrics, cpu=1, capacity=16) == 8
+
+    def test_no_history_defaults_to_the_capacity(self):
+        assert suggest_jobs(None, cpu=1, capacity=12) == 12
+
+    def test_scale_up_is_capped_at_the_capacity(self):
+        metrics = busy_metrics(jobs=6, queue_depth=30, utilisation=0.9)
+        assert suggest_jobs(metrics, cpu=64, capacity=8) == 8
+
+    def test_kept_width_is_clamped_to_the_capacity(self):
+        metrics = busy_metrics(jobs=12, queue_depth=4, utilisation=0.6)
+        assert suggest_jobs(metrics, cpu=64, capacity=4) == 4
+
+    def test_capacity_none_falls_back_to_cpu(self):
+        metrics = busy_metrics(jobs=6, queue_depth=30, utilisation=0.9)
+        assert suggest_jobs(metrics, cpu=8, capacity=None) == 8
+
+    def test_auto_session_clamps_to_transport_capacity(self):
+        """AUTO_JOBS over a PoolTransport asks the *transport* for its
+        capacity (pinned: a fat fake transport widens a 1-CPU box)."""
+        from repro.api.session import _transport_capacity
+        from repro.api.transport import ThreadTransport
+
+        class FatTransport(ThreadTransport):
+            def capacity(self):
+                return 32
+
+        assert _transport_capacity(FatTransport()) == 32
+        assert _transport_capacity(None) is None
+        assert _transport_capacity("fork") is None
+        assert suggest_jobs(None, cpu=1,
+                            capacity=FatTransport().capacity()) == 32
+
+
 class TestSessionAutoWiring:
     def _factory(self):
         defs, initial = parse_definitions(

@@ -237,9 +237,9 @@ class TestSchedulerConfiguration:
         observed = {}
         original = PooledScheduler.__init__
 
-        def spy(self, jobs=None):
+        def spy(self, jobs=None, transport=None):
             observed["jobs"] = jobs
-            original(self, jobs)
+            original(self, jobs, transport=transport)
 
         monkeypatch.setattr(PooledScheduler, "__init__", spy)
         CheckSession(jobs=3).check_many(three_targets()[:1])
@@ -251,9 +251,9 @@ class TestSchedulerConfiguration:
         observed = {}
         original = PooledScheduler.__init__
 
-        def spy(self, jobs=None):
+        def spy(self, jobs=None, transport=None):
             observed["jobs"] = jobs
-            original(self, jobs)
+            original(self, jobs, transport=transport)
 
         monkeypatch.setattr(PooledScheduler, "__init__", spy)
         session = CheckSession(engine=ParallelEngine(jobs=5))

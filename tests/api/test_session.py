@@ -224,3 +224,132 @@ class TestCustomEngineHonoured:
         results = session.check_all(load_eggtimer_spec(), config=QUICK)
         assert engine.runs == ["safety", "liveness", "timeUp"]
         assert [r.property_name for r in results] == engine.runs
+
+
+class TestSessionConfig:
+    """The consolidated knob bundle and its deprecation shims."""
+
+    def _spec(self):
+        return load_eggtimer_spec().check_named("safety")
+
+    def test_defaults(self):
+        from repro.api import SessionConfig
+
+        cfg = SessionConfig()
+        assert cfg.jobs is None
+        assert cfg.transport is None
+        assert cfg.reuse_executors is True
+        assert cfg.reporters is None
+        assert (cfg.stop_on_failure, cfg.narrow_queries, cfg.shrink) == \
+               (None, None, None)
+
+    def test_runner_config_overlay(self):
+        from repro.api import SessionConfig
+
+        base = RunnerConfig(tests=5, shrink=True)
+        # No overrides: the base comes back untouched (same object).
+        assert SessionConfig().runner_config(base) is base
+        overlaid = SessionConfig(shrink=False,
+                                 stop_on_failure=False).runner_config(base)
+        assert overlaid.shrink is False
+        assert overlaid.stop_on_failure is False
+        assert overlaid.tests == 5          # untouched fields survive
+        assert base.shrink is True          # the base is not mutated
+        # A None base overlays onto the default RunnerConfig.
+        from_none = SessionConfig(narrow_queries=False).runner_config(None)
+        assert from_none.narrow_queries is False
+
+    def test_merged_returns_an_updated_copy(self):
+        from repro.api import SessionConfig
+
+        cfg = SessionConfig(jobs=2)
+        updated = cfg.merged(jobs=4, reuse_executors=False)
+        assert (updated.jobs, updated.reuse_executors) == (4, False)
+        assert cfg.jobs == 2  # original untouched
+
+    def test_session_kwarg_does_not_warn(self, recwarn):
+        import warnings
+
+        from repro.api import SessionConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            batch = CheckSession(egg_timer_app()).check_many(
+                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
+                session=SessionConfig(jobs=1, reuse_executors=False),
+            )
+        assert batch.passed
+
+    def test_legacy_jobs_kwarg_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            batch = CheckSession(egg_timer_app()).check_many(
+                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
+                jobs=1,
+            )
+        assert batch.passed
+        assert batch.metrics.jobs == 1
+
+    def test_legacy_kwargs_override_the_session_config(self):
+        from repro.api import SessionConfig
+
+        with pytest.warns(DeprecationWarning, match="reuse_executors"):
+            batch = CheckSession(egg_timer_app()).check_many(
+                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
+                session=SessionConfig(jobs=1, reuse_executors=True),
+                reuse_executors=False,
+            )
+        assert batch.metrics.warm_hits == 0  # reuse really was off
+
+    def test_legacy_reporters_kwarg_warns(self):
+        from repro.api import Reporter
+
+        seen = []
+
+        class Probe(Reporter):
+            api_version = 2
+
+            def on_session_end(self, outcomes, metrics=None):
+                seen.append(len(outcomes))
+
+        with pytest.warns(DeprecationWarning, match="reporters"):
+            CheckSession(egg_timer_app()).check_many(
+                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
+                reporters=[Probe()],
+            )
+        assert seen == [1]
+
+    def test_check_all_folds_legacy_kwargs_once(self):
+        module = load_eggtimer_spec()
+        with pytest.warns(DeprecationWarning) as caught:
+            CheckSession(egg_timer_app()).check_all(
+                module, config=QUICK, jobs=1
+            )
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1  # no re-warn inside check_many
+
+    def test_config_runner_overrides_reach_the_campaign(self):
+        from repro.api import SessionConfig
+
+        spec = self._spec()
+        cfg = RunnerConfig(tests=2, scheduled_actions=8, demand_allowance=5,
+                           seed=3, shrink=True)
+        batch = CheckSession(egg_timer_app(decrement=2)).check_many(
+            [("faulty", egg_timer_app(decrement=2))], spec=spec, config=cfg,
+            session=SessionConfig(jobs=1, shrink=False),
+        )
+        result = batch[0].result
+        assert not result.passed
+        # shrink=False overlay: a counterexample, but no shrunk one.
+        assert result.counterexample is not None
+        assert result.shrunk_counterexample is None
+
+    def test_check_accepts_a_session_config(self):
+        from repro.api import SessionConfig
+
+        result = CheckSession(egg_timer_app()).check(
+            self._spec(), config=QUICK,
+            session=SessionConfig(jobs=2, transport="thread"),
+        )
+        assert result.passed
+        assert result.tests_run == QUICK.tests

@@ -1,0 +1,17 @@
+"""App factories importable by remote ``repro worker`` processes.
+
+The TCP transport ships *strings*, not closures: a worker turns
+``import:tests.api.transport_apps:faulty_egg`` back into a factory via
+:func:`repro.api.transport.worker.resolve_app`.  This module is the
+conformance suite's registry -- the attributes here must stay importable
+with the repository root on ``PYTHONPATH``.
+"""
+
+from repro.apps.eggtimer import egg_timer_app
+
+#: The bundled egg timer, unmodified (a passing campaign).
+ok_egg = egg_timer_app()
+
+#: An egg timer that decrements twice per tick -- violates the safety
+#: property, so campaigns against it fail with a counterexample.
+faulty_egg = egg_timer_app(decrement=2)
