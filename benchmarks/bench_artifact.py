@@ -1,0 +1,124 @@
+"""Ahead-of-time artifact load vs. the full spec front end.
+
+The artifact pipeline (``src/repro/artifact``) claims that loading a
+versioned ``.qsa`` artifact -- re-interning the pickled formula DAG
+into the live hash-consing tables and re-attaching the pre-seeded
+progression caches -- is substantially cheaper than re-running the
+front end (parse, elaborate, compile, warm) on every process start.
+That is the whole point of shipping artifact bytes to remote workers
+instead of spec sources.
+
+Correctness gates run before any timing counts:
+
+* a campaign checked from the loaded artifact must produce verdicts
+  identical to one checked from source (the same acceptance bar as
+  ``tests/artifact/test_campaigns.py``), and
+* the loaded bundle must expose the same properties and source hash as
+  the compiled one.
+
+The guard then requires artifact load to be at least
+``REPRO_BENCH_ARTIFACT_TOLERANCE`` times faster than the front end
+(default 2.0; recorded ratios sit at 5x+ on both bundled specs).
+
+Results land in ``benchmarks/out/artifact.json`` (a CI artifact).
+
+Environment knobs: ``REPRO_BENCH_ARTIFACT_ROUNDS`` (timing rounds per
+spec, best-of, default 5), ``REPRO_BENCH_ARTIFACT_TOLERANCE`` (minimum
+load speedup over compile, default 2.0).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.api import CheckSession
+from repro.apps.eggtimer import egg_timer_app
+from repro.artifact import (
+    artifact_bytes,
+    compile_spec,
+    load_artifact_bytes,
+    save_artifact,
+)
+from repro.checker import RunnerConfig
+from repro.specs import spec_path
+
+from .harness import write_json
+
+ROUNDS = int(os.environ.get("REPRO_BENCH_ARTIFACT_ROUNDS", "5"))
+TOLERANCE = float(os.environ.get("REPRO_BENCH_ARTIFACT_TOLERANCE", "2.0"))
+
+SPECS = ("eggtimer.strom", "todomvc.strom")
+
+_IDENTITY_CONFIG = RunnerConfig(
+    tests=4, scheduled_actions=12, demand_allowance=8,
+    seed="bench-artifact", shrink=False,
+)
+
+
+def _best_of(measure, rounds: int = ROUNDS) -> float:
+    return min(measure() for _ in range(rounds))
+
+
+@pytest.mark.benchmark(group="artifact")
+def test_artifact_load_beats_the_front_end(tmp_path):
+    # -- correctness gate: artifact and source campaigns agree --------
+    artifact_path = str(tmp_path / "egg.qsa")
+    egg_bundle = compile_spec(spec_path("eggtimer.strom"))
+    save_artifact(egg_bundle, artifact_path)
+    from_source = CheckSession(egg_timer_app()).check(
+        spec_path("eggtimer.strom"), property="safety",
+        config=_IDENTITY_CONFIG,
+    )
+    from_artifact = CheckSession(egg_timer_app()).check(
+        artifact_path, property="safety", config=_IDENTITY_CONFIG,
+    )
+    assert (
+        [r.verdict for r in from_artifact.results]
+        == [r.verdict for r in from_source.results]
+    ), "artifact-checked campaign diverged from the source-checked one"
+
+    report = {"rounds": ROUNDS, "tolerance": TOLERANCE, "specs": {}}
+    worst_speedup = float("inf")
+    for name in SPECS:
+        path = spec_path(name)
+        data = artifact_bytes(compile_spec(path))
+
+        def measure_compile():
+            start = time.perf_counter()
+            compile_spec(path)
+            return time.perf_counter() - start
+
+        def measure_load():
+            start = time.perf_counter()
+            bundle = load_artifact_bytes(data)
+            seconds = time.perf_counter() - start
+            # The load is only a win if it restores the whole bundle.
+            assert len(bundle.caches) > 0  # pre-seeded, not rebuilt
+            return seconds
+
+        # A loaded bundle must be the same module the compiler built.
+        compiled, loaded = compile_spec(path), load_artifact_bytes(data)
+        assert set(loaded.properties) == set(compiled.properties)
+        assert loaded.source_hash == compiled.source_hash
+
+        compile_s = _best_of(measure_compile)
+        load_s = _best_of(measure_load)
+        speedup = compile_s / load_s if load_s else float("inf")
+        worst_speedup = min(worst_speedup, speedup)
+        report["specs"][name] = {
+            "artifact_bytes": len(data),
+            "checks": len(compiled.module.checks),
+            "compile_ms": round(compile_s * 1000, 3),
+            "load_ms": round(load_s * 1000, 3),
+            "speedup": round(speedup, 2),
+        }
+    report["worst_speedup"] = round(worst_speedup, 2)
+    write_json("artifact.json", report)
+
+    assert worst_speedup >= TOLERANCE, (
+        f"artifact load only {worst_speedup:.2f}x the front end "
+        f"(floor x{TOLERANCE}); see benchmarks/out/artifact.json"
+    )

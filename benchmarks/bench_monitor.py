@@ -18,7 +18,7 @@ the real ``safety`` property of ``src/repro/specs/eggtimer.strom``:
   (session, state), fresh unroll memo each -- what a per-session
   :class:`~repro.quickltl.FormulaChecker` farm would do;
 * **batched** (the default): cohort-grouped stepping through the shared
-  :class:`~repro.checker.compiled.CompiledSpec` caches.
+  :class:`~repro.checker.compiled.CompiledProperty` caches.
 
 Both runs must produce **identical per-session verdicts** (verdict,
 forced flag and disposition) -- correctness is asserted before any

@@ -11,9 +11,10 @@ hand.  :class:`SessionConfig` is that bundle as one value::
                         narrow_queries=False)
     session.check_many(targets, spec=spec, session=cfg)
 
-The old keywords still work for one release (they fold into a
-``SessionConfig`` internally and raise ``DeprecationWarning``); new
-code -- and the CLI -- passes ``session=``.
+The old bare keywords (``jobs=`` / ``reporters=`` /
+``reuse_executors=`` on the check methods) went through one release of
+``DeprecationWarning`` and are gone; ``session=`` is the only
+spelling.
 
 Two kinds of knob live here, deliberately together because every
 caller sets them together:
@@ -82,6 +83,5 @@ class SessionConfig:
         )
 
     def merged(self, **updates) -> "SessionConfig":
-        """A copy with ``updates`` applied (the deprecation shims fold
-        legacy keyword arguments in through this)."""
+        """A copy with ``updates`` applied."""
         return dataclasses.replace(self, **updates)

@@ -104,9 +104,12 @@ def campaign_tasks(
     warm_watched = getattr(runner, "watched_events", None)
     if warm_watched is not None:
         warm_watched()
-    # Likewise compile the spec (action footprint + shared progression
-    # caches) before the fork, so every worker inherits the artifact
-    # copy-on-write instead of rebuilding it per process.
+    # Likewise warm the compiled property (action footprint + shared
+    # progression caches) before the fork, so every worker inherits it
+    # copy-on-write instead of rebuilding per process.  A runner that
+    # came through the artifact pipeline adopted the artifact's
+    # pre-seeded bundle at construction, so this warms *from the
+    # artifact* -- a no-op returning the loaded caches.
     warm_compiled = getattr(runner, "compiled_spec", None)
     if warm_compiled is not None:
         warm_compiled()

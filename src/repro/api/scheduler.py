@@ -72,7 +72,13 @@ class CheckTarget:
     #: JSON-able runner descriptor for remote transports: where a
     #: ``repro worker`` on another host finds the spec/property/app
     #: (see :mod:`repro.api.transport.worker`).  ``None`` = this target
-    #: can only run on local transports.
+    #: can only run on local transports.  The session completes partial
+    #: descriptors with the effective property/subscript/config, and --
+    #: when the spec path is readable locally -- with the compiled
+    #: artifact (``artifact_b64`` + ``source_hash``,
+    #: :mod:`repro.artifact`) so workers load instead of
+    #: re-elaborating; hand-built descriptors may pre-set any of these
+    #: fields to override that.
     remote: Optional[dict] = None
 
 

@@ -53,15 +53,16 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import os
-import warnings
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..artifact import ArtifactError, CompiledSpec, SpecResolver
+from ..checker.compiled import CompiledProperty
 from ..checker.config import RunnerConfig
 from ..checker.result import CampaignResult
 from ..checker.runner import Runner
 from ..executors.domexec import DomExecutor
 from ..quickltl import DEFAULT_SUBSCRIPT
-from ..specstrom.module import CheckSpec, SpecModule, load_module_file
+from ..specstrom.module import CheckSpec, SpecModule
 from .config import SessionConfig
 from .engines import CampaignEngine, ParallelEngine, SerialEngine
 from .pool import PoolMetrics, suggest_jobs
@@ -71,35 +72,6 @@ from .transport import PoolTransport
 
 __all__ = ["CheckSession", "SessionConfig", "AUTO_JOBS"]
 
-#: Distinguishes "caller did not pass the legacy keyword" from any
-#: value they could have passed -- the deprecation shims must only warn
-#: (and only override ``session=``) for keywords actually supplied.
-_UNSET = object()
-
-
-def _fold_legacy(cfg: Optional[SessionConfig], **legacy) -> SessionConfig:
-    """Fold deprecated per-call keywords into a :class:`SessionConfig`.
-
-    Keeps the old ``jobs=`` / ``reporters=`` / ``reuse_executors=``
-    spellings working for one release: each supplied keyword raises a
-    ``DeprecationWarning`` and overrides the corresponding
-    ``SessionConfig`` field.
-    """
-    cfg = cfg if cfg is not None else SessionConfig()
-    supplied = {
-        name: value for name, value in legacy.items() if value is not _UNSET
-    }
-    if not supplied:
-        return cfg
-    names = ", ".join(sorted(supplied))
-    warnings.warn(
-        f"passing {names}= directly is deprecated; "
-        "use session=SessionConfig(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return cfg.merged(**supplied)
-
 #: Sentinel accepted wherever ``jobs=`` is: pick the pool width
 #: adaptively from the previous batch's recorded
 #: :class:`~repro.api.pool.PoolMetrics` (queue depth + utilisation, see
@@ -107,7 +79,7 @@ def _fold_legacy(cfg: Optional[SessionConfig], **legacy) -> SessionConfig:
 #: starts at the CPU count.
 AUTO_JOBS = "auto"
 
-SpecLike = Union[str, "os.PathLike[str]", SpecModule, CheckSpec]
+SpecLike = Union[str, "os.PathLike[str]", SpecModule, CheckSpec, CompiledSpec]
 
 TargetLike = Union[CheckTarget, Tuple[str, Callable], Callable]
 
@@ -152,6 +124,11 @@ class CheckSession:
         self.jobs = jobs
         self.reporters: List[Reporter] = list(reporters)
         self.default_subscript = default_subscript
+        #: The one seam everything in this session resolves specs
+        #: through: ``.strom`` source and compiled artifacts are both
+        #: accepted, memoized by content hash, and re-encoded at most
+        #: once for remote shipping.
+        self.resolver = SpecResolver(default_subscript=default_subscript)
         #: PoolMetrics of the session's most recent scheduled batch --
         #: what ``jobs="auto"`` learns the next batch's width from.
         self.last_metrics: Optional[PoolMetrics] = None
@@ -170,10 +147,12 @@ class CheckSession:
     ) -> CampaignResult:
         """Check one property and return its campaign result.
 
-        ``spec`` may be a ``.strom`` file path, an elaborated
-        :class:`SpecModule`, or a single :class:`CheckSpec`.  For a
-        module (or path), ``property`` names the check to run; it may be
-        omitted when the module declares exactly one.
+        ``spec`` may be a ``.strom`` file path, a compiled-artifact path
+        (``repro compile`` output -- the first four bytes decide), a
+        loaded :class:`~repro.artifact.CompiledSpec` bundle, an
+        elaborated :class:`SpecModule`, or a single :class:`CheckSpec`.
+        For anything module-shaped, ``property`` names the check to run;
+        it may be omitted when the module declares exactly one.
 
         ``session`` (a :class:`SessionConfig`) overrides reporters and
         runner flags for this call, and -- when it sets ``jobs`` or a
@@ -181,10 +160,10 @@ class CheckSession:
         :class:`~repro.api.engines.ParallelEngine` over that transport
         instead of the session's engine.
         """
-        check_spec = self._resolve(spec, property)
+        check_spec, compiled = self._resolve(spec, property)
         if session is None:
             return self.engine.run(
-                self._runner(check_spec, config), self.reporters
+                self._runner(check_spec, config, compiled), self.reporters
             )
         config = session.runner_config(config)
         reporters = (
@@ -201,7 +180,7 @@ class CheckSession:
                     capacity=_transport_capacity(session.transport),
                 )
             engine = ParallelEngine(jobs, transport=session.transport)
-        return engine.run(self._runner(check_spec, config), reporters)
+        return engine.run(self._runner(check_spec, config, compiled), reporters)
 
     def check_many(
         self,
@@ -211,9 +190,6 @@ class CheckSession:
         property: Optional[str] = None,
         config: Optional[RunnerConfig] = None,
         session: Optional[SessionConfig] = None,
-        jobs=_UNSET,
-        reporters=_UNSET,
-        reuse_executors=_UNSET,
     ) -> CampaignSetResult:
         """Check many targets as one batch on a shared worker pool.
 
@@ -246,20 +222,10 @@ class CheckSession:
         down when the batch completes; verdicts are identical to
         sequential :meth:`check` calls with the same seeds, whichever
         transport runs them.
-
-        The bare ``jobs=`` / ``reporters=`` / ``reuse_executors=``
-        keywords are deprecated spellings of the same knobs (one
-        release of ``DeprecationWarning``-ing compatibility).
         """
-        cfg = _fold_legacy(
-            session,
-            jobs=jobs,
-            reporters=reporters,
-            reuse_executors=reuse_executors,
-        )
+        cfg = session if session is not None else SessionConfig()
         campaign_set = CampaignSet()
-        batch_check: Optional[CheckSpec] = None  # resolved once
-        modules: Dict[str, SpecModule] = {}  # loaded .strom files, by path
+        batch_pair: Optional[Tuple[CheckSpec, Optional[CompiledProperty]]] = None
         for position, target in enumerate(targets):
             target = self._coerce_target(target, position)
             target_spec = target.spec if target.spec is not None else spec
@@ -270,16 +236,18 @@ class CheckSession:
                 )
             if target.spec is None and target.property is None:
                 # The common audit shape: every target shares the batch
-                # spec.  Resolve (and for a path, parse) it exactly once.
-                if batch_check is None:
-                    batch_check = self._resolve(spec, property, modules)
-                check_spec = batch_check
+                # spec.  Resolve (and for a path, elaborate) it exactly
+                # once.
+                if batch_pair is None:
+                    batch_pair = self._resolve(spec, property)
+                check_spec, compiled = batch_pair
             else:
                 # A target overriding only `property` still reads the
-                # batch spec; the module cache makes sure a .strom file
-                # is parsed once per batch, not once per target.
-                check_spec = self._resolve(
-                    target_spec, target.property or property, modules
+                # batch spec; the resolver's content-hash memo makes
+                # sure a spec file is elaborated once per batch, not
+                # once per target.
+                check_spec, compiled = self._resolve(
+                    target_spec, target.property or property
                 )
             if target.app is not None:
                 factory = _coerce_executor_factory(target.app)
@@ -311,9 +279,25 @@ class CheckSession:
                         else RunnerConfig()
                     ),
                 )
+                if "artifact_b64" not in remote and isinstance(
+                    remote.get("spec"), str
+                ):
+                    # Ship the compiled artifact alongside the path so
+                    # remote workers load instead of re-elaborating
+                    # (encoded once per spec, memoized in the resolver).
+                    # A path the coordinator cannot read stays a bare
+                    # path -- it may only resolve on the worker's host.
+                    try:
+                        for field, value in self.resolver.remote_fields(
+                            remote["spec"]
+                        ).items():
+                            remote.setdefault(field, value)
+                    except (OSError, ArtifactError):
+                        pass
             campaign_set.add(
                 target.name,
-                Runner(check_spec, factory, target_config, remote=remote),
+                Runner(check_spec, factory, target_config,
+                       remote=remote, compiled=compiled),
             )
         capacity = _transport_capacity(cfg.transport)
         jobs = cfg.jobs
@@ -365,9 +349,6 @@ class CheckSession:
         *,
         config: Optional[RunnerConfig] = None,
         session: Optional[SessionConfig] = None,
-        jobs=_UNSET,
-        reuse_executors=_UNSET,
-        reporters=_UNSET,
     ) -> List[CampaignResult]:
         """Check every property of a module, in declaration order.
 
@@ -388,26 +369,20 @@ class CheckSession:
         On that path the custom engine owns scheduling, so the config's
         ``jobs`` and ``reuse_executors`` do not apply; its ``reporters``
         still override the session's.
-
-        The bare ``jobs=`` / ``reuse_executors=`` / ``reporters=``
-        keywords are deprecated -- pass ``session=SessionConfig(...)``.
         """
-        cfg = _fold_legacy(
-            session,
-            jobs=jobs,
-            reuse_executors=reuse_executors,
-            reporters=reporters,
-        )
+        cfg = session if session is not None else SessionConfig()
         if self.executor_factory is None:
             raise ValueError(
                 "this session was constructed without an application; "
                 "pass one to CheckSession(...) or use check_many with "
                 "targets that carry their own apps"
             )
+        bundle: Optional[CompiledSpec] = None
         if isinstance(spec, CheckSpec):
             checks = [spec]
         else:
-            checks = self._load(spec).checks
+            bundle = self._bundle(spec)
+            checks = (bundle.module if bundle is not None else self._load(spec)).checks
         if type(self.engine) not in (SerialEngine, ParallelEngine):
             # A user-supplied campaign strategy is an extension point;
             # never silently bypass it.
@@ -417,11 +392,25 @@ class CheckSession:
             )
             config = cfg.runner_config(config)
             return [
-                self.engine.run(self._runner(check, config), active_reporters)
+                self.engine.run(
+                    self._runner(
+                        check,
+                        config,
+                        bundle.properties[check.name] if bundle else None,
+                    ),
+                    active_reporters,
+                )
                 for check in checks
             ]
         batch = self.check_many(
-            [CheckTarget(check.name, spec=check) for check in checks],
+            [
+                CheckTarget(
+                    check.name,
+                    spec=bundle if bundle is not None else check,
+                    property=check.name if bundle is not None else None,
+                )
+                for check in checks
+            ],
             config=config,
             session=cfg,
         )
@@ -435,68 +424,81 @@ class CheckSession:
         config: Optional[RunnerConfig] = None,
     ) -> Runner:
         """The underlying single-test engine (for replay/shrink access)."""
-        return self._runner(self._resolve(spec, property), config)
+        check_spec, compiled = self._resolve(spec, property)
+        return self._runner(check_spec, config, compiled)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _runner(self, check_spec: CheckSpec, config: Optional[RunnerConfig]) -> Runner:
+    def _runner(
+        self,
+        check_spec: CheckSpec,
+        config: Optional[RunnerConfig],
+        compiled: Optional[CompiledProperty] = None,
+    ) -> Runner:
         if self.executor_factory is None:
             raise ValueError(
                 "this session was constructed without an application; "
                 "pass one to CheckSession(...) or use check_many with "
                 "targets that carry their own apps"
             )
-        return Runner(check_spec, self.executor_factory, config)
+        return Runner(check_spec, self.executor_factory, config, compiled=compiled)
 
-    def _load(
-        self,
-        spec: SpecLike,
-        module_cache: Optional[Dict[str, SpecModule]] = None,
-    ) -> SpecModule:
-        """Load a spec; ``module_cache`` memoizes parsed ``.strom``
-        files by path so a batch parses each file at most once."""
-        if isinstance(spec, SpecModule):
+    def _bundle(self, spec: SpecLike) -> Optional[CompiledSpec]:
+        """The artifact-grade bundle for ``spec``, when one exists.
+
+        Paths (source or artifact) resolve through the session's
+        :class:`SpecResolver`; already-compiled bundles pass through;
+        modules and bare checks have no bundle (``None``) and keep the
+        runner-compiles-its-own behaviour.
+        """
+        if isinstance(spec, CompiledSpec):
             return spec
         if isinstance(spec, (str, os.PathLike)):
-            path = os.fspath(spec)
-            if module_cache is not None and path in module_cache:
-                return module_cache[path]
-            module = load_module_file(
-                path, default_subscript=self.default_subscript
-            )
-            if module_cache is not None:
-                module_cache[path] = module
-            return module
+            return self.resolver.load(os.fspath(spec))
+        return None
+
+    def _load(self, spec: SpecLike) -> SpecModule:
+        """The module view of any spec-like input (elaborating through
+        the resolver's content-hash memo for paths)."""
+        if isinstance(spec, SpecModule):
+            return spec
+        bundle = self._bundle(spec)
+        if bundle is not None:
+            return bundle.module
         raise TypeError(
             f"cannot load a specification from {type(spec).__name__}; "
-            "pass a .strom path, a SpecModule or a CheckSpec"
+            "pass a .strom or artifact path, a SpecModule, a CompiledSpec "
+            "or a CheckSpec"
         )
 
     def _resolve(
-        self,
-        spec: SpecLike,
-        property: Optional[str],
-        module_cache: Optional[Dict[str, SpecModule]] = None,
-    ) -> CheckSpec:
+        self, spec: SpecLike, property: Optional[str]
+    ) -> Tuple[CheckSpec, Optional[CompiledProperty]]:
+        """Pick the property to check and, when the spec came through
+        the artifact pipeline, its pre-compiled bundle."""
         if isinstance(spec, CheckSpec):
             if property is not None and property != spec.name:
                 raise ValueError(
                     f"property {property!r} does not match the CheckSpec "
                     f"{spec.name!r}"
                 )
-            return spec
-        module = self._load(spec, module_cache)
+            return spec, None
+        bundle = self._bundle(spec)
+        module = bundle.module if bundle is not None else self._load(spec)
         if property is not None:
-            return module.check_named(property)
-        if len(module.checks) == 1:
-            return module.checks[0]
-        names = [c.name for c in module.checks]
-        raise ValueError(
-            f"the module declares {len(names)} properties {names}; "
-            "pass property= to pick one (or use check_all)"
-        )
+            check = module.check_named(property)
+        elif len(module.checks) == 1:
+            check = module.checks[0]
+        else:
+            names = [c.name for c in module.checks]
+            raise ValueError(
+                f"the module declares {len(names)} properties {names}; "
+                "pass property= to pick one (or use check_all)"
+            )
+        compiled = bundle.properties[check.name] if bundle is not None else None
+        return check, compiled
 
 
 def _transport_capacity(transport) -> Optional[int]:

@@ -12,11 +12,15 @@ A task ``body`` is the JSON descriptor built by
 :func:`~repro.api.engines.campaign_tasks` on the coordinator: which
 ``.strom`` file, which property, which application (a registry string,
 see :func:`resolve_app`), the full ``RunnerConfig``, and the test
-index.  The worker re-runs the spec front end itself -- a remote
-process cannot inherit the coordinator's parsed/compiled artifacts by
-fork copy-on-write -- but only **once per (spec, property, app,
-config)** per process: runners are cached by descriptor, so a
-1000-test campaign parses and compiles exactly once per host.
+index.  A remote process cannot inherit the coordinator's compiled
+state by fork copy-on-write, so the descriptor ships the compiled
+**artifact bytes** (``artifact_b64`` + ``source_hash``, see
+:mod:`repro.artifact`) and the worker *loads* instead of re-running the
+front end; descriptors without artifact bytes fall back to elaborating
+the spec path locally, memoized by ``(path, content-hash, subscript)``
+so a 1000-test campaign -- or a rebuilt campaign for the same unchanged
+file -- compiles at most once per host, while an *edited* file under
+the same path is never served stale.
 
 Determinism: the worker seeds each test with the same
 ``f"{seed}/{index}"`` string every other engine uses, so a task's
@@ -101,41 +105,64 @@ def resolve_app(spec: str):
 
 
 class _RunnerCache:
-    """Per-process runner cache: the front end runs once per descriptor.
+    """Per-process runner cache: the front end runs at most once per
+    spec *content*, and never at all when artifact bytes arrive.
 
-    The cache key is the canonical JSON of the runner descriptor, so two
-    campaigns differing only in test count or seed still share nothing
-    they shouldn't -- and the 43-target audit builds one runner per
-    implementation, not one per test.
+    The runner key is the canonical JSON of the descriptor minus the
+    artifact payload (its ``source_hash`` stands in for the bytes), so
+    two campaigns differing only in test count or seed still share
+    nothing they shouldn't -- and the 43-target audit builds one runner
+    per implementation, not one per test.  Spec resolution delegates to
+    a :class:`~repro.artifact.SpecResolver`: inline ``artifact_b64``
+    bytes are decoded once per ``source_hash``, and bare paths are
+    elaborated once per ``(path, content-hash, subscript)`` -- a rebuilt
+    campaign for the same unchanged file is a memo hit, an edited file
+    is a recompile, never a stale serve.
     """
 
     def __init__(self) -> None:
-        self._modules: Dict[str, object] = {}
+        from ...artifact import SpecResolver
+
+        self._resolver = SpecResolver()
         self._runners: Dict[str, object] = {}
 
+    def resolver_stats(self):
+        """``(hits, misses)`` of the spec-content memo (tests)."""
+        return self._resolver.stats()
+
     def runner_for(self, descriptor: dict):
+        import base64
+
         from ...checker.config import RunnerConfig
         from ...checker.runner import Runner
         from ...quickltl import DEFAULT_SUBSCRIPT
-        from ...specstrom.module import load_module_file
         from ..session import _coerce_executor_factory
 
-        key = json.dumps(descriptor, sort_keys=True)
+        keyed = {
+            name: value
+            for name, value in descriptor.items()
+            if name != "artifact_b64"
+        }
+        key = json.dumps(keyed, sort_keys=True)
         runner = self._runners.get(key)
         if runner is not None:
             return runner
         subscript = int(descriptor.get("subscript", DEFAULT_SUBSCRIPT))
-        module_key = f"{descriptor['spec']}\x00{subscript}"
-        module = self._modules.get(module_key)
-        if module is None:
-            module = load_module_file(
+        if descriptor.get("artifact_b64"):
+            bundle = self._resolver.load_bytes(
+                base64.b64decode(descriptor["artifact_b64"]),
+                source_hash=descriptor.get("source_hash"),
+                default_subscript=subscript,
+            )
+        else:
+            bundle = self._resolver.load(
                 descriptor["spec"], default_subscript=subscript
             )
-            self._modules[module_key] = module
-        check = module.check_named(descriptor["property"])
+        check = bundle.check_named(descriptor["property"])
+        compiled = bundle.property_named(descriptor["property"])
         factory = _coerce_executor_factory(resolve_app(descriptor["app"]))
         config = RunnerConfig(**descriptor.get("config", {}))
-        runner = Runner(check, factory, config)
+        runner = Runner(check, factory, config, compiled=compiled)
         # Pay the per-runner warm-up now, outside any test's clock --
         # the same pre-fork warming the local pools do.
         runner.watched_events()

@@ -1,12 +1,13 @@
 """The Quickstrom checker: test loop, results, shrinking."""
 
-from .compiled import CompiledSpec
+from .compiled import CompiledProperty, CompiledSpec
 from .config import RunnerConfig
 from .result import TestResult, Counterexample, CampaignResult
 from .runner import Runner, check_spec
 from .shrink import shrink_counterexample
 
 __all__ = [
+    "CompiledProperty",
     "CompiledSpec",
     "RunnerConfig",
     "TestResult",

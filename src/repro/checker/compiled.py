@@ -1,13 +1,13 @@
 """The compiled form of a :class:`~repro.specstrom.module.CheckSpec`.
 
-``CompiledSpec`` is the per-spec artifact the compiled evaluation
+``CompiledProperty`` is the per-property evaluation bundle the compiled
 pipeline hangs its shared state off:
 
 * one :class:`~repro.quickltl.ProgressionCaches` bundle, shared by every
-  :class:`~repro.quickltl.FormulaChecker` the spec's campaign creates --
-  simplify/step/valuation are pure over hash-consed nodes, so the
-  second test of a campaign replays the first test's progression work
-  as dict hits.  The bundle is plain per-process state: the pooled
+  :class:`~repro.quickltl.FormulaChecker` the property's campaign
+  creates -- simplify/step/valuation are pure over hash-consed nodes, so
+  the second test of a campaign replays the first test's progression
+  work as dict hits.  The bundle is plain per-process state: the pooled
   schedulers compile *before* the worker pool forks, so every forked
   worker inherits a warm copy-on-write instance (fork-safe by
   construction; the thread fallback shares one, which is safe because
@@ -20,7 +20,13 @@ pipeline hangs its shared state off:
   session's ``Start`` set.
 
 Building one is cheap (one footprint walk over the action expressions);
-:class:`~repro.checker.runner.Runner` memoizes it per runner.
+:class:`~repro.checker.runner.Runner` memoizes it per runner, and the
+ahead-of-time pipeline (:mod:`repro.artifact`) persists one per check
+with its caches pre-seeded so cold processes skip even that.
+
+``CompiledSpec`` remains as an alias for the old per-property name; the
+whole-module bundle that an artifact stores lives in
+:class:`repro.artifact.build.CompiledSpec`.
 """
 
 from __future__ import annotations
@@ -31,11 +37,11 @@ from ..quickltl import Formula, FormulaChecker, ProgressionCaches
 from ..specstrom.analysis import expr_selector_footprint, live_queries
 from ..specstrom.module import CheckSpec
 
-__all__ = ["CompiledSpec"]
+__all__ = ["CompiledProperty", "CompiledSpec"]
 
 
-class CompiledSpec:
-    """Shared evaluation state for one spec (see module docs)."""
+class CompiledProperty:
+    """Shared evaluation state for one checked property (see module docs)."""
 
     __slots__ = ("spec", "caches", "action_dependencies")
 
@@ -83,3 +89,8 @@ class CompiledSpec:
         return frozenset(
             (self.action_dependencies | live) & self.spec.dependencies
         )
+
+
+#: Backwards-compatible alias (the name ``CompiledSpec`` now primarily
+#: refers to the artifact-level module bundle).
+CompiledSpec = CompiledProperty

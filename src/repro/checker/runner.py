@@ -34,7 +34,7 @@ from ..specstrom.eval import EvalContext, evaluate
 from ..specstrom.module import CheckSpec
 from ..specstrom.state import StateSnapshot
 from ..specstrom.values import ActionValue
-from .compiled import CompiledSpec
+from .compiled import CompiledProperty
 from .config import RunnerConfig
 from .result import CampaignResult, TestResult
 
@@ -102,7 +102,7 @@ class QueryNarrower:
 
     __slots__ = ("compiled", "executor", "checker", "full", "active", "enabled")
 
-    def __init__(self, compiled: CompiledSpec, executor, checker) -> None:
+    def __init__(self, compiled: CompiledProperty, executor, checker) -> None:
         self.compiled = compiled
         self.executor = executor
         self.checker = checker
@@ -142,6 +142,12 @@ class Runner:
     config -- for transports whose workers cannot receive the factory
     closure itself (see :mod:`repro.api.transport.worker`).  Runners
     without one can only run on local (fork/thread/serial) engines.
+
+    ``compiled`` is an optional pre-built :class:`CompiledProperty` for
+    the same spec -- the ahead-of-time pipeline (:mod:`repro.artifact`)
+    passes the artifact's property bundle here so the runner starts
+    with the pre-seeded progression caches instead of compiling its
+    own.
     """
 
     def __init__(
@@ -150,13 +156,14 @@ class Runner:
         executor_factory: Callable[[], object],
         config: Optional[RunnerConfig] = None,
         remote: Optional[dict] = None,
+        compiled: Optional[CompiledProperty] = None,
     ) -> None:
         self.spec = spec
         self.executor_factory = executor_factory
         self.config = config or RunnerConfig()
         self.remote = remote
         self._watched_events: Optional[Tuple[Tuple[str, PrimitiveEvent], ...]] = None
-        self._compiled: Optional[CompiledSpec] = None
+        self._compiled: Optional[CompiledProperty] = compiled
 
     # ------------------------------------------------------------------
     # Campaign
@@ -205,13 +212,14 @@ class Runner:
             watched.append((event.name, primitive))
         return tuple(watched)
 
-    def compiled_spec(self) -> CompiledSpec:
+    def compiled_spec(self) -> CompiledProperty:
         """The spec's compiled form (shared progression caches, action
-        footprint), built once per runner.  The pooled schedulers call
+        footprint), built once per runner unless an artifact-provided
+        bundle was adopted at construction.  The pooled schedulers call
         this before forking so every worker inherits the warm artifact
         copy-on-write."""
         if self._compiled is None:
-            self._compiled = CompiledSpec(self.spec)
+            self._compiled = CompiledProperty(self.spec)
         return self._compiled
 
     def _start_message(self) -> Start:

@@ -9,6 +9,8 @@ line appears automatically on a TTY).
 
 Usage (also via the ``quickstrom-repro`` console script)::
 
+    python -m repro compile SPEC.strom [-o OUT.qsa]
+    python -m repro inspect OUT.qsa
     python -m repro check SPEC.strom --app todomvc[:implementation]
     python -m repro check SPEC.strom --app eggtimer [--property NAME]
                                      [--jobs N] [--format json|junit]
@@ -23,6 +25,7 @@ Usage (also via the ``quickstrom-repro`` console script)::
                             [--queue-size N] [--queue-policy block|drop]
                             [--no-batch] [--cache-entries N]
                             [--resolve-at-eof] [--format json]
+                            [--checkpoint DIR [--restore]]
     python -m repro worker --connect HOST:PORT [--slots N]
     python -m repro list-implementations
 
@@ -72,7 +75,6 @@ from .apps.eggtimer import egg_timer_app
 from .apps.todomvc import all_implementations, implementation_named, todomvc_app
 from .checker import RunnerConfig
 from .quickltl import DEFAULT_SUBSCRIPT
-from .specstrom.module import load_module_file
 
 __all__ = ["main"]
 
@@ -96,8 +98,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="check a .strom spec against an app")
-    check.add_argument("spec", help="path to the Specstrom file")
+    compile_ = sub.add_parser(
+        "compile",
+        help="ahead-of-time compile a .strom spec to a versioned "
+             "artifact (load skips the whole front end)",
+    )
+    compile_.add_argument("spec", help="path to the Specstrom file")
+    compile_.add_argument("-o", "--output", default=None, metavar="PATH",
+                          help="artifact path (default: SPEC.qsa next to "
+                               "the source)")
+    compile_.add_argument("--subscript", type=int, default=DEFAULT_SUBSCRIPT,
+                          help="default temporal subscript baked into the "
+                               "artifact (paper default: 100)")
+
+    inspect_ = sub.add_parser(
+        "inspect",
+        help="print a compiled artifact's header: version, source "
+             "hash, and the checks manifest",
+    )
+    inspect_.add_argument("artifact", help="path to a .qsa artifact")
+
+    check = sub.add_parser("check", help="check a .strom spec (or "
+                                         "compiled .qsa artifact) "
+                                         "against an app")
+    check.add_argument("spec", help="path to the Specstrom file or a "
+                                    "compiled artifact")
     check.add_argument("--app", required=True,
                        help="todomvc[:implementation] or eggtimer")
     check.add_argument("--property", dest="property_name", default=None,
@@ -153,7 +178,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="online monitoring: stream concurrent sessions through a "
              "spec's compiled formula engine",
     )
-    monitor.add_argument("spec", help="path to the Specstrom file")
+    monitor.add_argument("spec", help="path to the Specstrom file or a "
+                                      "compiled artifact")
     monitor.add_argument("--property", dest="property_name", default=None,
                          help="monitor this property (default: the spec's "
                               "first check)")
@@ -206,6 +232,19 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="console",
                          help="human-readable lines, or one JSON object per "
                               "verdict plus a monitor_end summary")
+    monitor.add_argument("--checkpoint", default=None, metavar="DIR",
+                         help="periodically snapshot the session table "
+                              "there (atomic write-then-rename); EOF "
+                              "suspends open sessions into the final "
+                              "checkpoint instead of resolving them "
+                              "inconclusive")
+    monitor.add_argument("--checkpoint-period", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="how often to checkpoint (default: 5)")
+    monitor.add_argument("--restore", action="store_true",
+                         help="resume from the checkpoint in --checkpoint "
+                              "DIR before ingesting; verdict counts pick "
+                              "up exactly where the dead process stopped")
 
     worker = sub.add_parser(
         "worker",
@@ -329,9 +368,31 @@ def _validate_report_file(args) -> None:
         )
 
 
+def _cmd_compile(args) -> int:
+    from .artifact import compile_spec, default_artifact_path, save_artifact
+
+    bundle = compile_spec(args.spec, default_subscript=args.subscript)
+    output = args.output or default_artifact_path(args.spec)
+    save_artifact(bundle, output)
+    checks = ", ".join(check.name for check in bundle.module.checks)
+    print(f"compiled {args.spec} -> {output} "
+          f"({len(bundle.module.checks)} check(s): {checks})")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .artifact import ArtifactError, inspect_artifact
+
+    try:
+        header = inspect_artifact(args.artifact)
+    except ArtifactError as error:
+        raise SystemExit(f"{args.artifact}: {error}")
+    print(json.dumps(header, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_check(args) -> int:
     _validate_report_file(args)
-    module = load_module_file(args.spec, default_subscript=args.subscript)
     reporters = list(_progress_reporters())
     if args.format == "json":
         reporters.append(JsonlReporter())
@@ -341,10 +402,15 @@ def _cmd_check(args) -> int:
             reporters.append(ConsoleReporter())
     else:
         reporters.append(ConsoleReporter())
-    session = CheckSession(_app_factory(args.app), reporters=reporters)
-    checks = module.checks
+    session = CheckSession(_app_factory(args.app), reporters=reporters,
+                           default_subscript=args.subscript)
+    # The resolver accepts source and compiled-artifact paths alike
+    # (and memoizes by content, so the remote descriptors below reuse
+    # this compile instead of re-running the front end).
+    bundle = session.resolver.load(args.spec)
+    checks = bundle.module.checks
     if args.property_name is not None:
-        checks = [module.check_named(args.property_name)]
+        checks = [bundle.module.check_named(args.property_name)]
     config = RunnerConfig(
         tests=args.tests,
         scheduled_actions=args.actions or args.subscript,
@@ -365,7 +431,8 @@ def _cmd_check(args) -> int:
     # on one pool, and warm executor reuse crosses property boundaries.
     try:
         batch = session.check_many(
-            [CheckTarget(check.name, spec=check, remote=remote)
+            [CheckTarget(check.name, spec=bundle, property=check.name,
+                         remote=remote)
              for check in checks],
             config=config,
             session=cfg,
@@ -567,7 +634,13 @@ def _cmd_monitor(args) -> int:
         StreamProducer,
     )
 
-    module = load_module_file(args.spec, default_subscript=args.subscript)
+    from .artifact import SpecResolver
+
+    if args.restore and args.checkpoint is None:
+        raise SystemExit("--restore requires --checkpoint DIR")
+    bundle = SpecResolver().load(args.spec,
+                                 default_subscript=args.subscript)
+    module = bundle.module
     if args.property_name is not None:
         check = module.check_named(args.property_name)
     elif module.checks:
@@ -596,6 +669,13 @@ def _cmd_monitor(args) -> int:
         resolve_at_eof=args.resolve_at_eof,
         on_verdict=emit,
     )
+    if args.restore:
+        header = monitor.restore_from(args.checkpoint)
+        print(f"[monitor] restored {header.get('sessions_live', 0)} live "
+              f"session(s) from {args.checkpoint} "
+              f"(stream position: {header.get('records_ingested', 0)} "
+              "record(s))",
+              file=sys.stderr, flush=True)
     queue = IngestQueue(maxsize=args.queue_size, policy=args.queue_policy)
     server = None
     stream = None
@@ -617,11 +697,17 @@ def _cmd_monitor(args) -> int:
     heartbeat_s = args.heartbeat if args.heartbeat > 0 else None
     try:
         report = monitor.run_queue(
-            queue, heartbeat_s=heartbeat_s, heartbeat_stream=sys.stderr
+            queue, heartbeat_s=heartbeat_s, heartbeat_stream=sys.stderr,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_period_s=args.checkpoint_period,
         )
     except KeyboardInterrupt:
         queue.close()
-        report = monitor.finish()
+        if args.checkpoint is not None:
+            report = monitor.suspend()
+            monitor.checkpoint_to(args.checkpoint)
+        else:
+            report = monitor.finish()
     finally:
         if server is not None:
             server.stop()
@@ -667,6 +753,10 @@ def _cmd_list(_args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "compile":
+            return _cmd_compile(args)
+        if args.command == "inspect":
+            return _cmd_inspect(args)
         if args.command == "check":
             return _cmd_check(args)
         if args.command == "audit":

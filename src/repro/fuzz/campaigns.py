@@ -41,6 +41,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..api.config import SessionConfig
 from ..api.scheduler import CampaignSetResult, CheckTarget
 from ..api.session import CheckSession
 from ..checker.config import RunnerConfig
@@ -208,8 +209,7 @@ def _run_paths(
             targets,
             spec=check,
             config=path_config,
-            jobs=path_jobs,
-            reuse_executors=reuse,
+            session=SessionConfig(jobs=path_jobs, reuse_executors=reuse),
         )
         runs[path] = (batch, recorder)
     return runs

@@ -5,7 +5,7 @@ and checks it; the monitor is the other deployment mode the progression
 semantics make almost free -- *observe* arbitrarily many already-running
 sessions and progress each one's residual formula as its states stream
 in.  Everything heavy is shared through one
-:class:`~repro.checker.compiled.CompiledSpec`: hash-consed residuals,
+:class:`~repro.checker.compiled.CompiledProperty`: hash-consed residuals,
 memoized progression, and batch stepping (sessions in the same
 (residual, state) cohort cost a single progression step).
 
@@ -17,6 +17,8 @@ Layers, bottom up:
 * :mod:`.batch`   -- cohort-grouped progression;
 * :mod:`.metrics` -- counters, heartbeat, JSON summary;
 * :mod:`.service` -- the :class:`Monitor` orchestrator;
+* :mod:`.checkpoint` -- atomic snapshot/restore of the session table
+  (``repro monitor --checkpoint DIR`` / ``--restore``);
 * :mod:`.replay`  -- recorded traces through the real ingest path (the
   monitor == checker equivalence harness, also the fuzzer's fifth leg);
 * :mod:`.synth`   -- deterministic synthetic egg-timer streams for
@@ -26,6 +28,12 @@ Driven by ``repro monitor`` (see :mod:`repro.cli`).
 """
 
 from .batch import BatchProgressor, StepOutcome
+from .checkpoint import (
+    CHECKPOINT_FILENAME,
+    checkpoint_path,
+    read_checkpoint_header,
+    save_checkpoint,
+)
 from .ingest import IngestQueue, SocketIngestServer, StreamProducer, feed_lines
 from .metrics import MonitorMetrics
 from .records import (
@@ -45,6 +53,10 @@ from .table import SessionEntry, SessionTable
 __all__ = [
     "BatchProgressor",
     "StepOutcome",
+    "CHECKPOINT_FILENAME",
+    "checkpoint_path",
+    "read_checkpoint_header",
+    "save_checkpoint",
     "IngestQueue",
     "SocketIngestServer",
     "StreamProducer",

@@ -1,0 +1,231 @@
+"""Monitor checkpoint/restore: crash-safe snapshots of the session table.
+
+A long-running monitor accumulates state that is expensive to lose: the
+residual formula of every live session (the whole point of online
+checking -- a session observed for an hour cannot be re-observed), the
+retired ring that distinguishes *late* records from *new* sessions, and
+the run's metrics.  A checkpoint captures exactly that, in the artifact
+container format (:mod:`repro.artifact.format`, ``QSRC`` magic) with
+the artifact codec's re-interning payload encoding
+(:mod:`repro.artifact.codec`) -- restored residuals land in the
+process-wide hash-cons table, so a million structurally identical
+restored sessions still intern to one node.
+
+Discipline:
+
+* **atomic**: :func:`save_checkpoint` writes tmp + fsync + rename, so a
+  crash mid-write leaves the previous checkpoint intact, never a torn
+  one;
+* **quiescent**: a checkpoint is taken between processing rounds (the
+  service flushes first), so there is no in-flight record to lose --
+  the header's ``records_ingested`` is exact;
+* **cumulative**: restored metrics are *baselines*, not resets -- a
+  restored run's final report counts the whole logical stream, so
+  ``kill -9`` + restore reports the same totals an uninterrupted run
+  would;
+* **rebased**: ``last_active`` clocks are rebased to the restoring
+  process's clock (monotonic clocks do not survive a process), so the
+  idle TTL measures observed idleness, not downtime.
+
+The header is readable without decoding the payload
+(:func:`read_checkpoint_header`), so an operator -- or the CI
+kill-and-restore test -- can poll ``records_ingested`` to know exactly
+how much of the stream a checkpoint covers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..artifact.codec import decode, encode
+from ..artifact.errors import ArtifactFormatError
+from ..artifact.format import CHECKPOINT_MAGIC, pack, sniff, unpack, write_atomic
+from ..quickltl import Verdict
+from .table import SessionEntry
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "checkpoint_bytes",
+    "checkpoint_path",
+    "read_checkpoint_header",
+    "restore_monitor",
+    "restore_snapshot",
+    "save_checkpoint",
+    "snapshot_monitor",
+]
+
+#: The well-known filename inside a ``--checkpoint DIR``.
+CHECKPOINT_FILENAME = "monitor.qsc"
+
+#: Counters that checkpoint and restore verbatim (the service-derived
+#: ones -- intern/cache deltas and wall clock -- restore as *baselines*
+#: instead, see :func:`restore_snapshot`).
+_COUNTER_FIELDS = (
+    "records_ingested",
+    "malformed_records",
+    "dropped_records",
+    "late_records",
+    "states_applied",
+    "cohort_steps",
+    "sessions_started",
+    "sessions_live",
+    "sessions_finished",
+    "sessions_evicted",
+    "evicted_lru",
+    "evicted_idle",
+    "sessions_errored",
+    "max_formula_size",
+    "ticks",
+)
+
+
+def checkpoint_path(directory: str) -> str:
+    """The checkpoint file inside ``directory``."""
+    return os.path.join(directory, CHECKPOINT_FILENAME)
+
+
+def snapshot_monitor(monitor) -> dict:
+    """The monitor's restorable state as a payload dict.
+
+    The caller must have flushed: pending records are *not* captured
+    (the service's drivers checkpoint only between rounds).
+    """
+    report = monitor.report()  # folds intern/cache deltas into metrics
+    metrics = report.metrics
+    return {
+        "entries": [
+            {
+                "session_id": entry.session_id,
+                "residual": entry.residual,
+                "verdict": entry.verdict.name,
+                "states_seen": entry.states_seen,
+                "max_formula_size": entry.max_formula_size,
+                "idle_s": max(0.0, monitor._clock() - entry.last_active),
+            }
+            for entry in monitor.table.live_sessions()
+        ],
+        "retired": list(monitor.table._retired.items()),
+        "counters": {
+            name: getattr(metrics, name) for name in _COUNTER_FIELDS
+        },
+        "verdicts": dict(metrics.verdicts),
+        "queue_depth_samples": list(metrics.queue_depth_samples),
+        "intern_hits": metrics.intern_hits,
+        "intern_misses": metrics.intern_misses,
+        "cache_evictions": metrics.cache_evictions,
+        "cache_trims": metrics.cache_trims,
+        "wall_s": metrics.wall_s,
+        "quarantine": list(monitor._quarantine),
+    }
+
+
+def checkpoint_bytes(monitor) -> bytes:
+    """Serialize a flushed monitor to checkpoint container bytes."""
+    snapshot = snapshot_monitor(monitor)
+    header = {
+        "format": "repro-monitor-checkpoint",
+        "property": monitor.property_name,
+        "records_ingested": snapshot["counters"]["records_ingested"],
+        "sessions_live": len(snapshot["entries"]),
+    }
+    return pack(header, encode(snapshot), magic=CHECKPOINT_MAGIC)
+
+
+def save_checkpoint(monitor, directory: str) -> str:
+    """Atomically write ``monitor``'s checkpoint under ``directory``.
+
+    Returns the checkpoint path.  The directory is created on first
+    use; the write is tmp + fsync + rename so readers (and crashes)
+    only ever see a complete checkpoint.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory)
+    write_atomic(path, checkpoint_bytes(monitor))
+    return path
+
+
+def read_checkpoint_header(path: str) -> dict:
+    """The checkpoint's JSON header, without decoding the payload.
+
+    This is the cheap liveness probe: ``records_ingested`` says exactly
+    how much of the stream the checkpoint covers.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    from ..artifact.format import read_header
+
+    _version, header, _offset = read_header(data, magic=CHECKPOINT_MAGIC)
+    return header
+
+
+def restore_snapshot(monitor, snapshot: dict, header: dict) -> None:
+    """Load a decoded snapshot into a freshly constructed monitor.
+
+    The monitor must be new (same spec, empty table); restored state
+    *replaces* its table and rebases its metrics:
+
+    * live sessions re-enter the table with their residuals (already
+      re-interned by the codec) and their observed idle time, measured
+      against the restoring clock -- downtime does not count as idle;
+    * counters restore verbatim; intern/cache deltas and wall clock
+      restore as baselines the new process's deltas add to, so the
+      final report covers the whole logical stream.
+    """
+    expected = monitor.property_name
+    if header.get("property") not in (None, expected):
+        raise ArtifactFormatError(
+            f"checkpoint is for property {header.get('property')!r}, "
+            f"monitor checks {expected!r}"
+        )
+    now = monitor._clock()
+    for item in snapshot["entries"]:
+        entry = SessionEntry(
+            session_id=item["session_id"],
+            residual=item["residual"],
+            verdict=Verdict[item["verdict"]],
+            states_seen=item["states_seen"],
+            max_formula_size=item["max_formula_size"],
+            last_active=now - item.get("idle_s", 0.0),
+        )
+        monitor.table._entries[entry.session_id] = entry
+    for session_id, reason in snapshot["retired"]:
+        monitor.table._remember(session_id, reason)
+    metrics = monitor.metrics
+    for name, value in snapshot["counters"].items():
+        setattr(metrics, name, value)
+    metrics.verdicts.update(snapshot["verdicts"])
+    metrics.queue_depth_samples.extend(snapshot["queue_depth_samples"])
+    metrics.sessions_live = len(monitor.table)
+    # Deltas measured against process-wide tables restart at zero in a
+    # new process; fold the checkpointed totals in as baselines.
+    monitor._intern_base_hits = snapshot["intern_hits"]
+    monitor._intern_base_misses = snapshot["intern_misses"]
+    monitor._cache_base_evictions = snapshot["cache_evictions"]
+    monitor._cache_base_trims = snapshot["cache_trims"]
+    monitor._started = now - snapshot["wall_s"]
+    # The batcher's counters are the metrics' source of truth for
+    # states_applied/cohort_steps on the next round; seed them.
+    monitor.batcher.session_steps = snapshot["counters"]["states_applied"]
+    monitor.batcher.cohort_steps = snapshot["counters"]["cohort_steps"]
+    monitor._quarantine.extend(
+        (line, error) for line, error in snapshot["quarantine"]
+    )
+
+
+def restore_monitor(monitor, directory: str) -> dict:
+    """Restore ``monitor`` from the checkpoint under ``directory``.
+
+    Returns the checkpoint header.  Raises
+    :class:`~repro.artifact.ArtifactFormatError` /
+    :class:`~repro.artifact.ArtifactCorruptError` on a missing, foreign
+    or torn file -- a restore must never silently start empty.
+    """
+    path = checkpoint_path(directory)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not sniff(data, magic=CHECKPOINT_MAGIC):
+        raise ArtifactFormatError(f"{path} is not a monitor checkpoint")
+    header, payload = unpack(data, magic=CHECKPOINT_MAGIC)
+    restore_snapshot(monitor, decode(payload), header)
+    return header

@@ -3,7 +3,7 @@
 :class:`Monitor` is the online twin of the offline
 :class:`~repro.quickltl.FormulaChecker`: where the checker drives one
 session to a verdict, the monitor multiplexes *many* concurrent
-sessions through one shared :class:`~repro.checker.compiled.CompiledSpec`
+sessions through one shared :class:`~repro.checker.compiled.CompiledProperty`
 -- same formula, same progression semantics, same forced-verdict
 polarity rule, so replaying any recorded trace through the monitor
 yields exactly the offline verdict (asserted by ``tests/monitor`` and
@@ -33,7 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, IO, Iterable, List, Optional, Tuple
 
-from ..checker.compiled import CompiledSpec
+from ..checker.compiled import CompiledProperty
 from ..quickltl import ProgressionCaches, Verdict, force_verdict, intern_delta
 from ..specstrom.module import CheckSpec
 from .batch import BatchProgressor
@@ -127,8 +127,9 @@ class Monitor:
             if cache_entries is not None
             else None
         )
-        self.compiled = CompiledSpec(check, caches=caches)
+        self.compiled = CompiledProperty(check, caches=caches)
         self.formula = check.formula
+        self.property_name = check.name
         self.table = SessionTable(
             max_sessions=max_sessions, idle_ttl_s=idle_ttl_s
         )
@@ -143,6 +144,14 @@ class Monitor:
         self._quarantine: List[Tuple[str, str]] = []
         self._intern = intern_delta()
         self._finished = False
+        # Checkpoint-restore baselines: deltas measured against
+        # process-wide tables (intern, caches) and the process clock
+        # restart at zero after a restore; report() adds these so the
+        # final report covers the whole logical stream.
+        self._intern_base_hits = 0
+        self._intern_base_misses = 0
+        self._cache_base_evictions = 0
+        self._cache_base_trims = 0
 
     # -- feeding -------------------------------------------------------
 
@@ -294,7 +303,47 @@ class Monitor:
         if self.on_verdict is not None:
             self.on_verdict(verdict)
 
+    # -- checkpointing -------------------------------------------------
+
+    def checkpoint_to(self, directory: str) -> str:
+        """Flush, then atomically snapshot this monitor's state under
+        ``directory`` (see :mod:`repro.monitor.checkpoint`).
+
+        Returns the checkpoint path.  Safe to call on any cadence: the
+        flush makes the snapshot quiescent, the write is atomic, and a
+        crash mid-write leaves the previous checkpoint intact.
+        """
+        from .checkpoint import save_checkpoint
+
+        self.flush()
+        return save_checkpoint(self, directory)
+
+    def restore_from(self, directory: str) -> dict:
+        """Resume from the checkpoint under ``directory``.
+
+        Must be called on a *fresh* monitor for the same property:
+        live sessions re-enter the table with their residuals, the
+        retired ring still recognises late records, and metrics resume
+        cumulatively -- the eventual report counts the whole logical
+        stream, as if the process had never died.  Returns the
+        checkpoint header.
+        """
+        from .checkpoint import restore_monitor
+
+        return restore_monitor(self, directory)
+
     # -- finishing -----------------------------------------------------
+
+    def suspend(self) -> MonitorReport:
+        """Report without draining: open sessions stay open.
+
+        The checkpoint-enabled EOF path -- open sessions were just
+        checkpointed, so resolving them ``inconclusive`` would be a
+        lie; a later ``--restore`` run picks them up instead.
+        """
+        self.flush()
+        self.metrics.sessions_live = len(self.table)
+        return self.report()
 
     def finish(self) -> MonitorReport:
         """Flush, resolve/discard remaining sessions, freeze metrics."""
@@ -322,10 +371,16 @@ class Monitor:
         """The current report (finalised counters, live or finished)."""
         metrics = self.metrics
         metrics.wall_s = max(0.0, self._clock() - self._started)
-        metrics.intern_hits = self._intern.hits
-        metrics.intern_misses = self._intern.misses
-        metrics.cache_evictions = self.compiled.caches.evicted_entries
-        metrics.cache_trims = self.compiled.caches.trims
+        metrics.intern_hits = self._intern_base_hits + self._intern.hits
+        metrics.intern_misses = (
+            self._intern_base_misses + self._intern.misses
+        )
+        metrics.cache_evictions = (
+            self._cache_base_evictions + self.compiled.caches.evicted_entries
+        )
+        metrics.cache_trims = (
+            self._cache_base_trims + self.compiled.caches.trims
+        )
         return MonitorReport(
             metrics=metrics, quarantine=list(self._quarantine)
         )
@@ -345,18 +400,32 @@ class Monitor:
         heartbeat_s: Optional[float] = None,
         heartbeat_stream: Optional[IO[str]] = None,
         idle_wait_s: float = 0.5,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_period_s: float = 5.0,
     ) -> MonitorReport:
         """Drain an :class:`IngestQueue` until its producers close it.
 
         ``heartbeat_s`` emits :meth:`MonitorMetrics.heartbeat_line` to
         ``heartbeat_stream`` on that period; the idle wait bounds how
         long a quiet stream can defer TTL sweeps and heartbeats.
+
+        ``checkpoint_dir`` snapshots the monitor there every
+        ``checkpoint_period_s`` (between drains, so every checkpoint is
+        quiescent) and once more at EOF -- and switches EOF from
+        :meth:`finish` to :meth:`suspend`: open sessions live on in the
+        final checkpoint instead of resolving ``inconclusive``, so a
+        ``--restore`` run continues them seamlessly.
         """
+        from .checkpoint import save_checkpoint
+
         last_beat = self._clock()
+        last_checkpoint = self._clock()
         while True:
             wait = idle_wait_s
             if heartbeat_s is not None:
                 wait = min(wait, heartbeat_s)
+            if checkpoint_dir is not None:
+                wait = min(wait, checkpoint_period_s)
             batch = queue.get_batch(self.batch_size, timeout_s=wait)
             if batch is None:
                 break
@@ -368,6 +437,11 @@ class Monitor:
             # traffic.
             self.flush()
             self.metrics.dropped_records = queue.dropped
+            if checkpoint_dir is not None:
+                now = self._clock()
+                if now - last_checkpoint >= checkpoint_period_s:
+                    last_checkpoint = now
+                    save_checkpoint(self, checkpoint_dir)
             if heartbeat_s is not None and heartbeat_stream is not None:
                 now = self._clock()
                 if now - last_beat >= heartbeat_s:
@@ -378,4 +452,8 @@ class Monitor:
                         flush=True,
                     )
         self.metrics.dropped_records = queue.dropped
+        if checkpoint_dir is not None:
+            report = self.suspend()
+            save_checkpoint(self, checkpoint_dir)
+            return report
         return self.finish()

@@ -509,9 +509,16 @@ class Defer(Formula):
     leave it off and the analysis conservatively reports "everything".
     The result is computed at most once per node
     (:meth:`selector_footprint`).
+
+    ``provenance`` records *how* to rebuild the closures in another
+    process -- the Specstrom evaluator attaches a
+    :class:`repro.specstrom.eval.DeferProvenance` so the artifact codec
+    can serialize deferred formulas (closures themselves never pickle).
+    It is deliberately not part of ``_fields``: two defers with the same
+    provenance but different closures stay distinct nodes.
     """
 
-    __slots__ = ("name", "build", "footprint", "_footprint_cache")
+    __slots__ = ("name", "build", "footprint", "_footprint_cache", "provenance")
     _fields = ("name", "build", "footprint")
     _defaults = {"footprint": None}
 
@@ -525,6 +532,7 @@ class Defer(Formula):
         object.__setattr__(self, "build", build)
         object.__setattr__(self, "footprint", footprint)
         object.__setattr__(self, "_footprint_cache", _UNSET)
+        object.__setattr__(self, "provenance", None)
 
     def force(self, state: object) -> Formula:
         built = self.build(state)

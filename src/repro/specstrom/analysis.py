@@ -68,6 +68,8 @@ __all__ = [
     "selector_dependencies",
     "module_definition_table",
     "expr_selector_footprint",
+    "footprint_stats",
+    "reset_footprint_stats",
     "live_queries",
 ]
 
@@ -156,13 +158,69 @@ def expr_selector_footprint(
     Returns ``None`` when the footprint cannot be determined (e.g. the
     expression embeds a pre-built formula whose own live set is
     unknown); callers must then fall back to the full dependency set.
+
+    Results are memoized per ``(expr, env)`` *pair*: the evaluator
+    quotes a fresh :class:`~repro.quickltl.Defer` per unroll state, but
+    all of them share the same body expression and captured
+    environment, so in steady state :func:`live_queries` resolves every
+    defer's footprint from this cache without re-walking (or
+    allocating).  Keyed weakly on the expression and validated against
+    the environment's identity via a weak reference, so neither side is
+    kept alive by the cache.
     """
+    expr_key = id(expr)
+    env_key = id(env)
+    entry = _FOOTPRINT_CACHE.get(expr_key)
+    per_expr = None
+    if entry is not None and entry[0]() is expr:
+        per_expr = entry[1]
+        hit = per_expr.get(env_key)
+        if hit is not None and hit[0]() is env:
+            _FOOTPRINT_STATS[0] += 1
+            return hit[1]
+    _FOOTPRINT_STATS[1] += 1
+    result = _compute_footprint(expr, env)
+    try:
+        if per_expr is None:
+            per_expr = {}
+            _FOOTPRINT_CACHE[expr_key] = (
+                weakref.ref(expr, lambda _ref, key=expr_key: _FOOTPRINT_CACHE.pop(key, None)),
+                per_expr,
+            )
+        per_expr[env_key] = (weakref.ref(env), result)
+    except TypeError:
+        pass  # non-weakrefable expr or env: stay uncached
+    return result
+
+
+def _compute_footprint(expr: Expr, env: Environment) -> Optional[frozenset]:
     selectors: Set[str] = set()
     try:
         _walk_footprint_expr(expr, env, frozenset(), selectors, set())
     except _UnknownFootprint:
         return None
     return frozenset(selectors)
+
+
+#: ``id(expr) -> (weakref(expr), {id(env): (weakref(env), footprint)})``.
+#: AST nodes are unhashable (mutable dataclasses), so keys are object
+#: ids with the real objects held weakly: a dead or recycled id never
+#: serves a stale footprint (both weakrefs are validated on lookup),
+#: and dropping a spec module frees its entries via the ref callback.
+_FOOTPRINT_CACHE: Dict[int, tuple] = {}
+
+#: ``[hits, misses]`` -- mirrors :func:`repro.quickltl.intern_stats`.
+_FOOTPRINT_STATS = [0, 0]
+
+
+def footprint_stats() -> tuple:
+    """``(hits, misses)`` of the per-``(expr, env)`` footprint cache."""
+    return (_FOOTPRINT_STATS[0], _FOOTPRINT_STATS[1])
+
+
+def reset_footprint_stats() -> None:
+    _FOOTPRINT_STATS[0] = 0
+    _FOOTPRINT_STATS[1] = 0
 
 
 class _UnknownFootprint(Exception):

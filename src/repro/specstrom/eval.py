@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from ..quickltl import (
     Always,
@@ -74,12 +74,37 @@ from .values import (
     spec_repr,
 )
 
-__all__ = ["EvalContext", "evaluate", "to_formula", "make_property_formula", "HAPPENED"]
+__all__ = [
+    "DeferProvenance",
+    "EvalContext",
+    "evaluate",
+    "make_property_formula",
+    "rebuild_defer",
+    "to_formula",
+    "HAPPENED",
+]
 
 #: Sentinel bound to the name ``happened`` in the global environment.
 HAPPENED = object()
 
 _MAX_DEPTH = 300
+
+
+class DeferProvenance(NamedTuple):
+    """How a :class:`~repro.quickltl.Defer`'s closures were built.
+
+    ``build`` captures only ``(body, env)`` plus the context's
+    ``default_subscript`` -- it calls ``ctx.with_state(state)`` on every
+    force, so the context's own state and rng never leak into the
+    closure.  That makes this triple a complete recipe: the artifact
+    codec serializes it instead of the closures and calls
+    :func:`rebuild_defer` on load.
+    """
+
+    name: str
+    body: Expr
+    env: Environment
+    default_subscript: int
 
 
 @dataclass
@@ -473,7 +498,24 @@ def _defer(body: Expr, env: Environment, ctx: EvalContext, label: str) -> Defer:
 
         return expr_selector_footprint(body, env)
 
-    return Defer(label, build, footprint)
+    node = Defer(label, build, footprint)
+    object.__setattr__(
+        node, "provenance", DeferProvenance(label, body, env, ctx.default_subscript)
+    )
+    return node
+
+
+def rebuild_defer(provenance: DeferProvenance) -> Defer:
+    """Reconstruct a deferred formula from its provenance.
+
+    Used by :mod:`repro.artifact.codec` when decoding an artifact: the
+    pickled stream carries the provenance (AST body + captured
+    environment), and the closures are rebuilt here through the same
+    :func:`_defer` path the evaluator used originally, so a loaded
+    defer forces and narrows exactly like a freshly elaborated one.
+    """
+    ctx = EvalContext(default_subscript=provenance.default_subscript)
+    return _defer(provenance.body, provenance.env, ctx, provenance.name)
 
 
 def _temporal_unary(expr: TemporalUnary, env: Environment, ctx: EvalContext):

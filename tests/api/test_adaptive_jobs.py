@@ -6,7 +6,13 @@ table is pinned here -- changing the heuristic must be a deliberate,
 test-visible act, because audits tune their throughput around it.
 """
 
-from repro.api import AUTO_JOBS, CheckSession, PoolMetrics, suggest_jobs
+from repro.api import (
+    AUTO_JOBS,
+    CheckSession,
+    PoolMetrics,
+    SessionConfig,
+    suggest_jobs,
+)
 from repro.checker import RunnerConfig
 from repro.executors import CCSExecutor, parse_definitions
 from repro.specstrom import load_module
@@ -155,7 +161,7 @@ class TestSessionAutoWiring:
         session = CheckSession(self._factory())
         batch = session.check_many(
             [("a", self._factory())], spec=spec, config=self._config(),
-            jobs=AUTO_JOBS,
+            session=SessionConfig(jobs=AUTO_JOBS),
         )
         assert batch.passed
         # The width actually used came from suggest_jobs(None) = CPU.
@@ -203,7 +209,7 @@ class TestSerialBacklogSignal:
                               demand_allowance=4, seed=0, shrink=False)
         batch = CheckSession().check_many(
             [("a", defs_factory), ("b", defs_factory)],
-            spec=spec, config=config, jobs=1,
+            spec=spec, config=config, session=SessionConfig(jobs=1),
         )
         # 2 campaigns x 3 tests: the first sample sees the whole batch.
         assert batch.metrics.max_queue_depth == 6
@@ -224,17 +230,23 @@ class TestJobsValidation:
                 raise AssertionError(f"jobs={bogus!r} must be rejected")
 
     def test_typoed_auto_on_check_many_is_rejected(self):
-        from repro.api import CheckSession
+        from repro.api import CheckSession, SessionConfig
 
         factory = TestSessionAutoWiring()._factory()
         spec = load_module(SPEC).checks[0]
         session = CheckSession(factory)
         try:
-            session.check_many([("a", factory)], spec=spec, jobs="atuo")
+            session.check_many(
+                [("a", factory)], spec=spec,
+                session=SessionConfig(jobs="atuo"),
+            )
         except ValueError as err:
             assert "auto" in str(err)
         else:  # pragma: no cover
-            raise AssertionError("check_many(jobs='atuo') must be rejected")
+            raise AssertionError(
+                "check_many(session=SessionConfig(jobs='atuo')) "
+                "must be rejected"
+            )
 
     def test_non_integer_jobs_rejected(self):
         from repro.api import CheckSession

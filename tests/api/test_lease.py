@@ -214,7 +214,7 @@ class TestSchedulerReleasesFinishedTargets:
     def test_serial_batch_holds_at_most_one_live_executor_per_target_in_play(self):
         """A target's warm executor is stopped when its last campaign
         finishes, not kept until the end of the batch."""
-        from repro.api import CheckSession, CheckTarget
+        from repro.api import CheckSession, CheckTarget, SessionConfig
         from repro.apps.eggtimer import egg_timer_app
         from repro.checker import RunnerConfig
         from repro.executors import DomExecutor
@@ -252,7 +252,7 @@ class TestSchedulerReleasesFinishedTargets:
                 stops_so_far.append(list(stopped))
 
         CheckSession(reporters=[WatchingReporter()]).check_many(
-            targets, jobs=1
+            targets, session=SessionConfig(jobs=1)
         )
         # The first target's executor was stopped by the time the
         # second campaign ended (released at its last use), and both
@@ -263,7 +263,7 @@ class TestSchedulerReleasesFinishedTargets:
     def test_pooled_thread_batch_releases_finished_targets(self, monkeypatch):
         """Thread fallback shares the cache: a target's warm executor
         is freed when its last campaign merges, not at batch end."""
-        from repro.api import CheckSession, CheckTarget
+        from repro.api import CheckSession, CheckTarget, SessionConfig
         from repro.api.pool import WorkerPool
         from repro.apps.eggtimer import egg_timer_app
         from repro.checker import RunnerConfig
@@ -293,7 +293,7 @@ class TestSchedulerReleasesFinishedTargets:
             CheckTarget("first", tracked("first"), spec=spec, config=config),
             CheckTarget("second", tracked("second"), spec=spec, config=config),
         ]
-        CheckSession().check_many(targets, jobs=2)
+        CheckSession().check_many(targets, session=SessionConfig(jobs=2))
         # Both targets' warm executors were stopped by the end of the
         # batch (per-target release plus the final cache.close()).
         assert sorted(set(stopped)) == ["first", "second"]

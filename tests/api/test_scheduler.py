@@ -16,6 +16,7 @@ from repro.api import (
     CheckTarget,
     PooledScheduler,
     Reporter,
+    SessionConfig,
     WorkerCrashed,
 )
 from repro.apps.eggtimer import egg_timer_app
@@ -114,14 +115,14 @@ class TestPooledEqualsSerial:
 
     def test_three_campaigns_identical_verdicts(self):
         targets = three_targets()
-        serial = CheckSession().check_many(targets, jobs=1)
-        pooled = CheckSession().check_many(targets, jobs=3)
+        serial = CheckSession().check_many(targets, session=SessionConfig(jobs=1))
+        pooled = CheckSession().check_many(targets, session=SessionConfig(jobs=3))
         assert_batches_identical(serial, pooled)
         assert [outcome.passed for outcome in pooled] == [True, False, False]
 
     def test_check_many_agrees_with_individual_check_calls(self):
         targets = three_targets()
-        pooled = CheckSession().check_many(targets, jobs=2)
+        pooled = CheckSession().check_many(targets, session=SessionConfig(jobs=2))
         for target, outcome in zip(targets, pooled):
             single = CheckSession(target.app).check(
                 target.spec, config=target.config
@@ -135,8 +136,8 @@ class TestPooledEqualsSerial:
     def test_reporter_event_stream_is_deterministic(self):
         targets = three_targets()
         serial, pooled = RecordingReporter(), RecordingReporter()
-        CheckSession(reporters=[serial]).check_many(targets, jobs=1)
-        CheckSession(reporters=[pooled]).check_many(targets, jobs=3)
+        CheckSession(reporters=[serial]).check_many(targets, session=SessionConfig(jobs=1))
+        CheckSession(reporters=[pooled]).check_many(targets, session=SessionConfig(jobs=3))
         assert serial.events == pooled.events
         kinds = [event[0] for event in pooled.events]
         assert kinds[0] == "session_start"
@@ -152,7 +153,8 @@ class TestTargetCoercion:
         spec = load_eggtimer_spec().check_named("safety")
         batch = CheckSession().check_many(
             [("timer-a", egg_timer_app()), egg_timer_app()],
-            spec=spec, config=eggtimer_config(tests=2), jobs=1,
+            spec=spec, config=eggtimer_config(tests=2),
+            session=SessionConfig(jobs=1),
         )
         assert [outcome.target for outcome in batch][0] == "timer-a"
         assert batch.passed
@@ -162,7 +164,8 @@ class TestTargetCoercion:
         batch = CheckSession(egg_timer_app()).check_many(
             [CheckTarget("safety-run", property="safety"),
              CheckTarget("liveness-run", property="liveness")],
-            spec=spec, config=eggtimer_config(tests=2), jobs=1,
+            spec=spec, config=eggtimer_config(tests=2),
+            session=SessionConfig(jobs=1),
         )
         assert [o.result.property_name for o in batch] == [
             "safety", "liveness",
@@ -214,7 +217,7 @@ class TestCampaignSet:
 
     def test_set_result_helpers(self):
         batch = CheckSession().check_many(
-            three_targets()[:2], jobs=1
+            three_targets()[:2], session=SessionConfig(jobs=1)
         )
         assert isinstance(batch, CampaignSetResult)
         assert len(batch) == 2
@@ -230,7 +233,7 @@ class TestSchedulerConfiguration:
             PooledScheduler(jobs=0)
         with pytest.raises(ValueError, match="at least 1"):
             CheckSession().check_many(
-                three_targets()[:1], jobs=0
+                three_targets()[:1], session=SessionConfig(jobs=0)
             )
 
     def test_session_jobs_is_the_default_pool_width(self, monkeypatch):
@@ -277,7 +280,7 @@ class TestCrashAttribution:
                         config=eggtimer_config(tests=2)),
         ]
         with pytest.raises(WorkerCrashed) as excinfo:
-            CheckSession().check_many(targets, jobs=2)
+            CheckSession().check_many(targets, session=SessionConfig(jobs=2))
         assert "killer" in str(excinfo.value)
         assert any(
             task_id[0] == "killer" for task_id in excinfo.value.in_flight
@@ -303,15 +306,15 @@ class TestEngineMetrics:
         assert metrics.mean_query_width > 0.0
 
     def test_serial_batch_records_engine_stats(self):
-        batch = CheckSession().check_many(self._one_target(), jobs=1)
+        batch = CheckSession().check_many(self._one_target(), session=SessionConfig(jobs=1))
         self._assert_engine_stats(batch.metrics)
 
     def test_pooled_batch_records_engine_stats(self):
-        batch = CheckSession().check_many(self._one_target(), jobs=2)
+        batch = CheckSession().check_many(self._one_target(), session=SessionConfig(jobs=2))
         self._assert_engine_stats(batch.metrics)
 
     def test_engine_stats_are_in_the_json_payload(self):
-        batch = CheckSession().check_many(self._one_target(), jobs=1)
+        batch = CheckSession().check_many(self._one_target(), session=SessionConfig(jobs=1))
         payload = batch.metrics.to_dict()
         for key in ("intern_hits", "intern_misses", "intern_hit_ratio",
                     "max_formula_size", "mean_query_width"):

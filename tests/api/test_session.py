@@ -143,26 +143,27 @@ class TestLegacyCompat:
 
 
 class TestSpecModuleMemoization:
-    """A batch parses each .strom file once, even when targets override
-    only `property` (which used to re-parse the file per target)."""
+    """The session's ``SpecResolver`` runs the front end once per spec
+    *content*: batches share one parse across property overrides, and
+    repeated check() calls on an unchanged file are memo hits."""
 
-    def _counting_loader(self, monkeypatch):
-        import repro.api.session as session_module
+    def _counting_front_end(self, monkeypatch):
+        import repro.artifact.resolver as resolver_module
 
         calls = []
-        original = session_module.load_module_file
+        original = resolver_module.compile_source
 
-        def counting(path, **kwargs):
-            calls.append(path)
-            return original(path, **kwargs)
+        def counting(source, **kwargs):
+            calls.append(kwargs.get("source_path"))
+            return original(source, **kwargs)
 
-        monkeypatch.setattr(session_module, "load_module_file", counting)
+        monkeypatch.setattr(resolver_module, "compile_source", counting)
         return calls
 
     def test_property_overrides_share_one_parse(self, monkeypatch):
-        from repro.api import CheckTarget
+        from repro.api import CheckTarget, SessionConfig
 
-        calls = self._counting_loader(monkeypatch)
+        calls = self._counting_front_end(monkeypatch)
         batch = CheckSession(egg_timer_app()).check_many(
             [
                 CheckTarget("safety-a", property="safety"),
@@ -171,15 +172,15 @@ class TestSpecModuleMemoization:
             ],
             spec=spec_path("eggtimer.strom"),
             config=QUICK,
-            jobs=1,
+            session=SessionConfig(jobs=1),
         )
         assert len(batch) == 3
         assert len(calls) == 1
 
     def test_mixed_batch_shares_one_parse_too(self, monkeypatch):
-        from repro.api import CheckTarget
+        from repro.api import CheckTarget, SessionConfig
 
-        calls = self._counting_loader(monkeypatch)
+        calls = self._counting_front_end(monkeypatch)
         CheckSession(egg_timer_app()).check_many(
             [
                 CheckTarget("plain"),  # batch spec + batch property
@@ -188,20 +189,27 @@ class TestSpecModuleMemoization:
             spec=spec_path("eggtimer.strom"),
             property="safety",
             config=QUICK,
-            jobs=1,
+            session=SessionConfig(jobs=1),
         )
         assert len(calls) == 1
 
-    def test_single_check_calls_still_parse_fresh(self, monkeypatch):
-        """The memo is batch-scoped: separate check() calls re-read the
-        file (so edits between runs are picked up)."""
-        calls = self._counting_loader(monkeypatch)
+    def test_unchanged_file_is_a_memo_hit_but_edits_recompile(
+        self, monkeypatch, tmp_path
+    ):
+        """The memo keys on content, not call boundaries: re-checking
+        an unchanged file skips the front end, while an edit under the
+        same path recompiles (never a stale serve)."""
+        calls = self._counting_front_end(monkeypatch)
+        spec_file = tmp_path / "egg.strom"
+        source = open(spec_path("eggtimer.strom")).read()
+        spec_file.write_text(source)
         session = CheckSession(egg_timer_app())
-        session.check(spec_path("eggtimer.strom"), property="safety",
-                      config=QUICK)
-        session.check(spec_path("eggtimer.strom"), property="safety",
-                      config=QUICK)
-        assert len(calls) == 2
+        session.check(str(spec_file), property="safety", config=QUICK)
+        session.check(str(spec_file), property="safety", config=QUICK)
+        assert len(calls) == 1  # memo hit on identical bytes
+        spec_file.write_text(source + "\n// touched\n")
+        session.check(str(spec_file), property="safety", config=QUICK)
+        assert len(calls) == 2  # edited content recompiles
 
 
 class TestCustomEngineHonoured:
@@ -280,28 +288,24 @@ class TestSessionConfig:
             )
         assert batch.passed
 
-    def test_legacy_jobs_kwarg_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="jobs"):
-            batch = CheckSession(egg_timer_app()).check_many(
-                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
-                jobs=1,
-            )
-        assert batch.passed
-        assert batch.metrics.jobs == 1
+    def test_legacy_bare_kwargs_are_gone(self):
+        """The one-release ``DeprecationWarning`` shims for bare
+        ``jobs=`` / ``reuse_executors=`` / ``reporters=`` on the check
+        methods were removed; ``session=SessionConfig(...)`` is the
+        only spelling now."""
+        session = CheckSession(egg_timer_app())
+        for kwargs in ({"jobs": 1}, {"reuse_executors": False},
+                       {"reporters": []}):
+            with pytest.raises(TypeError):
+                session.check_many(
+                    [("egg", egg_timer_app())], spec=self._spec(),
+                    config=QUICK, **kwargs,
+                )
+        with pytest.raises(TypeError):
+            session.check_all(load_eggtimer_spec(), config=QUICK, jobs=1)
 
-    def test_legacy_kwargs_override_the_session_config(self):
-        from repro.api import SessionConfig
-
-        with pytest.warns(DeprecationWarning, match="reuse_executors"):
-            batch = CheckSession(egg_timer_app()).check_many(
-                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
-                session=SessionConfig(jobs=1, reuse_executors=True),
-                reuse_executors=False,
-            )
-        assert batch.metrics.warm_hits == 0  # reuse really was off
-
-    def test_legacy_reporters_kwarg_warns(self):
-        from repro.api import Reporter
+    def test_session_config_is_the_only_spelling(self):
+        from repro.api import Reporter, SessionConfig
 
         seen = []
 
@@ -311,22 +315,15 @@ class TestSessionConfig:
             def on_session_end(self, outcomes, metrics=None):
                 seen.append(len(outcomes))
 
-        with pytest.warns(DeprecationWarning, match="reporters"):
-            CheckSession(egg_timer_app()).check_many(
-                [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
-                reporters=[Probe()],
-            )
+        batch = CheckSession(egg_timer_app()).check_many(
+            [("egg", egg_timer_app())], spec=self._spec(), config=QUICK,
+            session=SessionConfig(jobs=1, reuse_executors=False,
+                                  reporters=[Probe()]),
+        )
+        assert batch.passed
+        assert batch.metrics.jobs == 1
+        assert batch.metrics.warm_hits == 0  # reuse really was off
         assert seen == [1]
-
-    def test_check_all_folds_legacy_kwargs_once(self):
-        module = load_eggtimer_spec()
-        with pytest.warns(DeprecationWarning) as caught:
-            CheckSession(egg_timer_app()).check_all(
-                module, config=QUICK, jobs=1
-            )
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1  # no re-warn inside check_many
 
     def test_config_runner_overrides_reach_the_campaign(self):
         from repro.api import SessionConfig

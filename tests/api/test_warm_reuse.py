@@ -11,7 +11,7 @@ path.
 
 import random
 
-from repro.api import CheckSession, CheckTarget, ExecutorCache
+from repro.api import CheckSession, CheckTarget, ExecutorCache, SessionConfig
 from repro.api.lease import ExecutorLease
 from repro.apps.eggtimer import egg_timer_app
 from repro.checker import Runner, RunnerConfig
@@ -132,7 +132,8 @@ class TestBatchEquivalence:
     def _run(self, reuse, jobs):
         reporter = RecordingReporter()
         batch = CheckSession(reporters=[reporter]).check_many(
-            three_targets(), jobs=jobs, reuse_executors=reuse
+            three_targets(),
+            session=SessionConfig(jobs=jobs, reuse_executors=reuse),
         )
         return batch, reporter
 
@@ -176,10 +177,12 @@ class TestManyPropertiesOneApp:
     def test_check_all_warm_equals_cold(self):
         module = load_eggtimer_spec()
         warm = CheckSession(egg_timer_app()).check_all(
-            module, config=QUICK, reuse_executors=True
+            module, config=QUICK,
+            session=SessionConfig(reuse_executors=True),
         )
         cold = CheckSession(egg_timer_app()).check_all(
-            module, config=QUICK, reuse_executors=False
+            module, config=QUICK,
+            session=SessionConfig(reuse_executors=False),
         )
         assert [r.property_name for r in warm] == [
             r.property_name for r in cold
@@ -196,10 +199,10 @@ class TestManyPropertiesOneApp:
     def test_check_all_pooled_equals_serial(self):
         module = load_eggtimer_spec()
         serial = CheckSession(egg_timer_app()).check_all(
-            module, config=QUICK, jobs=1
+            module, config=QUICK, session=SessionConfig(jobs=1)
         )
         pooled = CheckSession(egg_timer_app()).check_all(
-            module, config=QUICK, jobs=3
+            module, config=QUICK, session=SessionConfig(jobs=3)
         )
         for a, b in zip(serial, pooled):
             assert a.passed == b.passed
@@ -214,7 +217,7 @@ class TestManyPropertiesOneApp:
         checks = load_eggtimer_spec().checks
         batch = session.check_many(
             [CheckTarget(check.name, spec=check) for check in checks],
-            config=QUICK, jobs=1,
+            config=QUICK, session=SessionConfig(jobs=1),
         )
         total_tests = sum(o.result.tests_run for o in batch.outcomes)
         assert batch.metrics.cold_starts == 1

@@ -2,7 +2,7 @@
 
 import dataclasses
 
-from repro.api import CheckSession
+from repro.api import CheckSession, SessionConfig
 from repro.checker import RunnerConfig
 from repro.fuzz.machine import generate_machine, machine_app
 from repro.fuzz.oracles import (
@@ -92,7 +92,7 @@ class TestPathComparison:
         recorder = RecordingReporter()
         batch = CheckSession(reporters=[recorder]).check_many(
             [("m", machine_app(machine))], spec=check, config=config,
-            jobs=jobs, reuse_executors=reuse,
+            session=SessionConfig(jobs=jobs, reuse_executors=reuse),
         )
         return batch, recorder
 

@@ -64,6 +64,110 @@ class TestCheck:
             )
 
 
+class TestCompileInspect:
+    def test_compile_then_inspect(self, capsys, tmp_path):
+        import json
+
+        artifact = str(tmp_path / "egg.qsa")
+        code = main(
+            ["compile", spec_path("eggtimer.strom"), "-o", artifact]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 check(s): safety, liveness, timeUp" in out
+
+        assert main(["inspect", artifact]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert {c["name"] for c in header["checks"]} == {
+            "safety", "liveness", "timeUp",
+        }
+        assert header["artifact_version"] >= 1
+
+    def test_compile_default_output_is_qsa_sibling(self, capsys, tmp_path):
+        source = open(spec_path("eggtimer.strom")).read()
+        spec_file = tmp_path / "egg.strom"
+        spec_file.write_text(source)
+        assert main(["compile", str(spec_file)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "egg.qsa").exists()
+
+    def test_check_accepts_an_artifact(self, capsys, tmp_path):
+        artifact = str(tmp_path / "egg.qsa")
+        main(["compile", spec_path("eggtimer.strom"), "-o", artifact])
+        capsys.readouterr()
+        code = main(
+            [
+                "check", artifact,
+                "--app", "eggtimer",
+                "--property", "safety",
+                "--tests", "2",
+                "--actions", "15",
+                "--subscript", "400",
+                "--seed", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "safety: PASSED" in out
+
+    def test_inspect_rejects_a_non_artifact(self, tmp_path):
+        junk = tmp_path / "junk.qsa"
+        junk.write_bytes(b"not an artifact")
+        with pytest.raises(SystemExit):
+            main(["inspect", str(junk)])
+
+
+class TestMonitorCheckpointCLI:
+    def test_split_run_with_restore_matches_full_run(self, capsys, tmp_path):
+        from repro.monitor.synth import synth_lines
+
+        lines = list(synth_lines(sessions=8, seed=3))
+        cut = len(lines) // 2
+        for name, chunk in (("full", lines), ("part1", lines[:cut]),
+                            ("part2", lines[cut:])):
+            (tmp_path / f"{name}.jsonl").write_text(
+                "".join(line + "\n" for line in chunk)
+            )
+        base = ["monitor", spec_path("eggtimer.strom"),
+                "--property", "safety", "--format", "json"]
+        ckpt = str(tmp_path / "ckpt")
+
+        import json
+
+        def verdict_lines(out):
+            records = [json.loads(line) for line in out.splitlines() if line]
+            return [r for r in records if "event" not in r]
+
+        def end_event(out):
+            records = [json.loads(line) for line in out.splitlines() if line]
+            return records[-1]
+
+        assert main(base + ["--input", str(tmp_path / "full.jsonl")]) == 0
+        full_out = capsys.readouterr().out
+
+        assert main(base + ["--input", str(tmp_path / "part1.jsonl"),
+                            "--checkpoint", ckpt]) == 0
+        part1_out = capsys.readouterr().out
+        assert main(base + ["--input", str(tmp_path / "part2.jsonl"),
+                            "--checkpoint", ckpt, "--restore"]) == 0
+        part2_out = capsys.readouterr().out
+        # The verdict stream is byte-identical across the split; the
+        # trailing monitor_end metrics line differs only in
+        # restart-sensitive counters (wall clock, cache warmth).
+        assert (verdict_lines(part1_out) + verdict_lines(part2_out)
+                == verdict_lines(full_out))
+        full_end = end_event(full_out)["metrics"]
+        resumed_end = end_event(part2_out)["metrics"]
+        for key in ("records_ingested", "sessions_started",
+                    "sessions_finished", "states_applied", "verdicts"):
+            assert resumed_end[key] == full_end[key], key
+
+    def test_restore_without_checkpoint_dir_is_rejected(self):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["monitor", spec_path("eggtimer.strom"), "--restore",
+                  "--input", "-"])
+
+
 class TestAudit:
     def test_audit_named_implementations(self, capsys):
         code = main(
