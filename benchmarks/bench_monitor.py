@@ -29,6 +29,20 @@ acceptance floor) and its residual-sharing ratio to exceed
 guarantee).
 
 Results land in ``benchmarks/out/monitor.json`` (a CI artifact).
+
+A second bench measures the sharded monitor (``repro monitor --shards``,
+``src/repro/monitor/shard.py``): the same wire stream dispatched to 1,
+2 and 4 worker processes, each running the batched monitor over shipped
+artifact bytes.  Per-session verdicts must be identical to the
+single-process run at every width (the sharding invariant) before any
+timing counts; the curve (lines/second per width, plus its flattening
+point) lands in ``benchmarks/out/monitor_shards.json``.  Guards:
+the best sharded wall-clock must not lose to single-process beyond
+``REPRO_BENCH_MONITOR_SHARD_TOLERANCE`` (default 4.0 -- a one-core box
+pays fork, pickling and dispatch with no parallelism to win back), and
+the speedup at the widest point must reach
+``REPRO_BENCH_MONITOR_SHARD_SPEEDUP`` (default 0.0; multi-core CI pins
+it to 1.0 -- sharding must actually pay there).
 """
 
 from __future__ import annotations
@@ -49,6 +63,21 @@ TOLERANCE = float(os.environ.get("REPRO_BENCH_MONITOR_TOLERANCE", "2.0"))
 SHARING_FLOOR = float(os.environ.get("REPRO_BENCH_MONITOR_SHARING", "0.9"))
 FAULT_RATE = 0.1
 SEED = 0
+
+SHARD_SESSIONS = int(os.environ.get("REPRO_BENCH_SHARD_SESSIONS", "10000"))
+SHARD_CURVE = tuple(
+    int(x)
+    for x in os.environ.get("REPRO_BENCH_MONITOR_SHARDS", "1,2,4").split(",")
+)
+SHARD_TOLERANCE = float(
+    os.environ.get("REPRO_BENCH_MONITOR_SHARD_TOLERANCE", "4.0")
+)
+SHARD_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MONITOR_SHARD_SPEEDUP", "0.0")
+)
+
+#: Marginal-gain threshold under which the shard curve counts as flat.
+FLAT_GAIN = 0.10
 
 
 def _run(check, records, *, batch: bool):
@@ -125,4 +154,112 @@ def test_batched_monitor_beats_per_session_stepping():
         f"residual-sharing ratio {metrics.sharing_ratio:.3f} at or below "
         f"the {SHARING_FLOOR} floor for a homogeneous stream; see "
         "benchmarks/out/monitor.json"
+    )
+
+
+def _flattening_point(curve):
+    """First shard width whose marginal throughput gain over the
+    previous curve point is below ``FLAT_GAIN`` (the last width if the
+    curve is still climbing everywhere measured)."""
+    for prev, point in zip(curve, curve[1:]):
+        if point["lines_per_s"] < prev["lines_per_s"] * (1.0 + FLAT_GAIN):
+            return point["shards"]
+    return curve[-1]["shards"]
+
+
+@pytest.mark.benchmark(group="monitor")
+def test_sharded_monitor_throughput_curve():
+    from repro.artifact import SpecResolver
+    from repro.monitor import ShardedMonitor
+    from repro.specs import spec_path
+
+    resolver = SpecResolver()
+    bundle = resolver.load(spec_path("eggtimer.strom"))
+    lines = list(synth_lines(SEED, SHARD_SESSIONS, FAULT_RATE))
+
+    def collect_into(verdicts):
+        def collect(verdict):
+            verdicts[verdict.session_id] = (
+                verdict.verdict, verdict.forced, verdict.disposition
+            )
+        return collect
+
+    # Single-process baseline over the same *wire* lines: each shard
+    # worker pays the line parse, so the baseline must too.
+    single_verdicts = {}
+    monitor = Monitor(
+        bundle.check_named("safety"),
+        compiled=bundle.property_named("safety"),
+        on_verdict=collect_into(single_verdicts),
+    )
+    start = time.perf_counter()
+    for line in lines:
+        monitor.feed_line(line)
+    monitor.finish()
+    single_s = time.perf_counter() - start
+    assert len(single_verdicts) == SHARD_SESSIONS
+
+    curve = []
+    for shards in SHARD_CURVE:
+        verdicts = {}
+        # Worker cold-start (fork + artifact decode) is part of the
+        # honest cost sheet, so the clock starts before construction.
+        start = time.perf_counter()
+        sharded = ShardedMonitor(
+            bundle,
+            shards=shards,
+            property_name="safety",
+            resolver=resolver,
+            on_verdict=collect_into(verdicts),
+        )
+        sharded.feed_lines(lines)
+        sharded.finish()
+        elapsed = time.perf_counter() - start
+        # The sharding invariant, before any timing counts: identical
+        # per-session verdicts at every width.
+        assert verdicts == single_verdicts, (
+            f"sharded monitor (shards={shards}) disagrees with the "
+            "single-process monitor on session verdicts"
+        )
+        curve.append({
+            "shards": shards,
+            "wall_s": round(elapsed, 3),
+            "lines_per_s": round(len(lines) / elapsed, 1) if elapsed else 0.0,
+        })
+
+    best = min(point["wall_s"] for point in curve)
+    ratio = best / single_s if single_s else float("inf")
+    widest = curve[-1]
+    speedup_at_widest = (
+        single_s / widest["wall_s"] if widest["wall_s"] else float("inf")
+    )
+    report = {
+        "sessions": SHARD_SESSIONS,
+        "fault_rate": FAULT_RATE,
+        "lines": len(lines),
+        "cores": os.cpu_count() or 1,
+        "single_s": round(single_s, 3),
+        "single_lines_per_s": round(
+            len(lines) / single_s, 1
+        ) if single_s else 0.0,
+        "curve": curve,
+        "flattening_point_shards": _flattening_point(curve),
+        "best_sharded_s": round(best, 3),
+        "best_vs_single_ratio": round(ratio, 3),
+        "speedup_at_widest": round(speedup_at_widest, 3),
+        "tolerance": SHARD_TOLERANCE,
+        "speedup_floor": SHARD_SPEEDUP,
+        "verdicts_identical": True,
+    }
+    write_json("monitor_shards.json", report)
+
+    assert ratio <= SHARD_TOLERANCE, (
+        f"sharded wall-clock {best:.2f}s vs single-process "
+        f"{single_s:.2f}s (ratio {ratio:.2f}) exceeds tolerance "
+        f"{SHARD_TOLERANCE}; see benchmarks/out/monitor_shards.json"
+    )
+    assert speedup_at_widest >= SHARD_SPEEDUP, (
+        f"sharded monitor at {widest['shards']} shard(s) is only "
+        f"{speedup_at_widest:.2f}x single-process (floor "
+        f"x{SHARD_SPEEDUP}); see benchmarks/out/monitor_shards.json"
     )

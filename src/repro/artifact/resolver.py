@@ -137,20 +137,27 @@ class SpecResolver:
         bundle = self.load(os.fspath(spec_like))
         return bundle.check_named(property), bundle.property_named(property)
 
-    def remote_fields(self, path: str) -> Dict[str, str]:
-        """The artifact fields of a remote descriptor for ``path``:
-        ``{"artifact_b64": ..., "source_hash": ...}``.
+    def encoded(self, bundle: CompiledSpec) -> bytes:
+        """``bundle`` as artifact container bytes, memoized per content.
 
-        Encoding is memoized per bundle, so fanning one spec out to N
-        workers serializes it once.
+        The ship-to-worker seam: remote checker workers and shard
+        monitor workers both receive these bytes and load them with
+        :meth:`load_bytes` instead of re-elaborating, and fanning one
+        spec out to N workers serializes it once.
         """
-        bundle = self.load(path)
         encoded = self._encoded.get(bundle.source_hash)
         if encoded is None:
             encoded = artifact_bytes(bundle)
             self._encoded[bundle.source_hash] = encoded
+        return encoded
+
+    def remote_fields(self, path: str) -> Dict[str, str]:
+        """The artifact fields of a remote descriptor for ``path``:
+        ``{"artifact_b64": ..., "source_hash": ...}``.
+        """
+        bundle = self.load(path)
         return {
-            "artifact_b64": base64.b64encode(encoded).decode("ascii"),
+            "artifact_b64": base64.b64encode(self.encoded(bundle)).decode("ascii"),
             "source_hash": bundle.source_hash,
         }
 

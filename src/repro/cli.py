@@ -24,7 +24,7 @@ Usage (also via the ``quickstrom-repro`` console script)::
                             [--max-sessions N] [--idle-ttl SECONDS]
                             [--queue-size N] [--queue-policy block|drop]
                             [--no-batch] [--cache-entries N]
-                            [--resolve-at-eof] [--format json]
+                            [--shards N] [--resolve-at-eof] [--format json]
                             [--checkpoint DIR [--restore]]
     python -m repro worker --connect HOST:PORT [--slots N]
     python -m repro list-implementations
@@ -51,7 +51,9 @@ the same seed.
 ingests framed session streams -- a JSONL file, stdin, or a TCP
 listener -- and progresses every session's residual through one shared
 compiled spec, emitting a verdict per session and a metrics summary at
-the end.
+the end.  ``--shards N`` scales it across N worker processes (sessions
+are routed by a hash of their id; the merged verdict multiset is
+identical to a single-process run).
 """
 
 from __future__ import annotations
@@ -212,6 +214,12 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--batch-size", type=_positive_int, default=4096,
                          metavar="N",
                          help="records processed per round")
+    monitor.add_argument("--shards", type=_positive_int, default=1,
+                         metavar="N",
+                         help="run N worker processes, each monitoring the "
+                              "sessions a hash of the session id routes to "
+                              "it; verdicts are merged and identical to a "
+                              "single-process run (1 disables)")
     monitor.add_argument("--no-batch", action="store_true",
                          help="step each session individually instead of "
                               "batching same-(residual, state) cohorts "
@@ -659,16 +667,34 @@ def _cmd_monitor(args) -> int:
                   f"after {verdict.states} state(s)"
                   f" -- {verdict.disposition}{detail}", flush=True)
 
-    monitor = Monitor(
-        check,
-        max_sessions=args.max_sessions,
-        idle_ttl_s=args.idle_ttl,
-        batch=not args.no_batch,
-        batch_size=args.batch_size,
-        cache_entries=args.cache_entries,
-        resolve_at_eof=args.resolve_at_eof,
-        on_verdict=emit,
-    )
+    if args.shards > 1:
+        from .monitor import ShardedMonitor
+
+        monitor = ShardedMonitor(
+            bundle,
+            shards=args.shards,
+            property_name=check.name,
+            max_sessions=args.max_sessions,
+            idle_ttl_s=args.idle_ttl,
+            batch=not args.no_batch,
+            batch_size=args.batch_size,
+            cache_entries=args.cache_entries,
+            resolve_at_eof=args.resolve_at_eof,
+            on_verdict=emit,
+            channel_policy=args.queue_policy,
+        )
+    else:
+        monitor = Monitor(
+            check,
+            compiled=bundle.property_named(check.name),
+            max_sessions=args.max_sessions,
+            idle_ttl_s=args.idle_ttl,
+            batch=not args.no_batch,
+            batch_size=args.batch_size,
+            cache_entries=args.cache_entries,
+            resolve_at_eof=args.resolve_at_eof,
+            on_verdict=emit,
+        )
     if args.restore:
         header = monitor.restore_from(args.checkpoint)
         print(f"[monitor] restored {header.get('sessions_live', 0)} live "
@@ -704,8 +730,7 @@ def _cmd_monitor(args) -> int:
     except KeyboardInterrupt:
         queue.close()
         if args.checkpoint is not None:
-            report = monitor.suspend()
-            monitor.checkpoint_to(args.checkpoint)
+            report = monitor.suspend(args.checkpoint)
         else:
             report = monitor.finish()
     finally:

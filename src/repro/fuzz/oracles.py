@@ -118,28 +118,35 @@ def monitor_oracle_mismatch(
     interleaved, so the monitor juggles them concurrently the way live
     traffic would.  Returns ``None`` when every session's verdict (and
     forced flag) equals the offline test's, else the first disagreement.
+
+    The same sessions replay a second time through a 2-way inline
+    :class:`~repro.monitor.shard.ShardedMonitor` -- the sharded(N) ≡
+    single-process invariant checked on every generated campaign, not
+    just the curated test streams.
     """
     sessions = {
         f"test{index:04d}": [entry.state for entry in result.trace]
         for index, result in enumerate(results)
     }
-    verdicts = monitor_verdicts(spec, sessions)
-    for index, result in enumerate(results):
-        session = verdicts.get(f"test{index:04d}")
-        if session is None:
-            return f"test {index}: the monitor emitted no verdict"
-        if (
-            session.verdict != result.verdict.name
-            or session.forced != result.forced
-        ):
-            return (
-                f"test {index}: offline verdict {result.verdict.name}"
-                f"{' (forced)' if result.forced else ''} but the monitor "
-                f"resolved the replayed session to {session.verdict}"
-                f"{' (forced)' if session.forced else ''} "
-                f"[{session.disposition}] over the same "
-                f"{len(result.trace)}-state trace"
-            )
+    for shards, flavour in ((None, "monitor"), (2, "2-shard monitor")):
+        verdicts = monitor_verdicts(spec, sessions, shards=shards)
+        for index, result in enumerate(results):
+            session = verdicts.get(f"test{index:04d}")
+            if session is None:
+                return f"test {index}: the {flavour} emitted no verdict"
+            if (
+                session.verdict != result.verdict.name
+                or session.forced != result.forced
+            ):
+                return (
+                    f"test {index}: offline verdict {result.verdict.name}"
+                    f"{' (forced)' if result.forced else ''} but the "
+                    f"{flavour} resolved the replayed session to "
+                    f"{session.verdict}"
+                    f"{' (forced)' if session.forced else ''} "
+                    f"[{session.disposition}] over the same "
+                    f"{len(result.trace)}-state trace"
+                )
     return None
 
 

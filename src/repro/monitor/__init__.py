@@ -19,6 +19,9 @@ Layers, bottom up:
 * :mod:`.service` -- the :class:`Monitor` orchestrator;
 * :mod:`.checkpoint` -- atomic snapshot/restore of the session table
   (``repro monitor --checkpoint DIR`` / ``--restore``);
+* :mod:`.shard`   -- the multi-process :class:`ShardedMonitor`: a
+  session-hash router over N worker processes, each running a
+  ``Monitor`` over shipped artifact bytes (``--shards N``);
 * :mod:`.replay`  -- recorded traces through the real ingest path (the
   monitor == checker equivalence harness, also the fuzzer's fifth leg);
 * :mod:`.synth`   -- deterministic synthetic egg-timer streams for
@@ -48,6 +51,12 @@ from .records import (
 )
 from .replay import interleave_sessions, monitor_verdicts
 from .service import Monitor, MonitorReport, SessionVerdict
+from .shard import (
+    ShardRouter,
+    ShardedMonitor,
+    ShardedMonitorReport,
+    peek_session_id,
+)
 from .table import SessionEntry, SessionTable
 
 __all__ = [
@@ -77,4 +86,8 @@ __all__ = [
     "SessionVerdict",
     "SessionEntry",
     "SessionTable",
+    "ShardRouter",
+    "ShardedMonitor",
+    "ShardedMonitorReport",
+    "peek_session_id",
 ]

@@ -36,7 +36,8 @@ how much of the stream a checkpoint covers.
 from __future__ import annotations
 
 import os
-from typing import Optional
+import re
+from typing import List, Optional, Tuple
 
 from ..artifact.codec import decode, encode
 from ..artifact.errors import ArtifactFormatError
@@ -48,15 +49,24 @@ __all__ = [
     "CHECKPOINT_FILENAME",
     "checkpoint_bytes",
     "checkpoint_path",
+    "list_shard_checkpoints",
+    "load_checkpoint_payload",
+    "merge_snapshots",
+    "prune_shard_checkpoints",
     "read_checkpoint_header",
     "restore_monitor",
     "restore_snapshot",
     "save_checkpoint",
+    "save_shard_checkpoint",
+    "shard_checkpoint_path",
     "snapshot_monitor",
 ]
 
 #: The well-known filename inside a ``--checkpoint DIR``.
 CHECKPOINT_FILENAME = "monitor.qsc"
+
+#: Per-shard checkpoint files inside the same directory.
+_SHARD_PATTERN = re.compile(r"^shard-(\d+)\.qsc$")
 
 #: Counters that checkpoint and restore verbatim (the service-derived
 #: ones -- intern/cache deltas and wall clock -- restore as *baselines*
@@ -83,6 +93,44 @@ _COUNTER_FIELDS = (
 def checkpoint_path(directory: str) -> str:
     """The checkpoint file inside ``directory``."""
     return os.path.join(directory, CHECKPOINT_FILENAME)
+
+
+def shard_checkpoint_path(directory: str, index: int) -> str:
+    """Shard ``index``'s checkpoint file inside ``directory``."""
+    return os.path.join(directory, f"shard-{index:02d}.qsc")
+
+
+def list_shard_checkpoints(directory: str) -> List[Tuple[int, str]]:
+    """``(shard_index, path)`` pairs present under ``directory``, sorted."""
+    found: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return found
+    for name in names:
+        match = _SHARD_PATTERN.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def prune_shard_checkpoints(
+    directory: str, keep: Tuple[int, ...] = ()
+) -> None:
+    """Delete shard checkpoint files not in ``keep``.
+
+    Called only after a complete checkpoint round has been written:
+    stale files from a previous (wider) shard layout -- or from a
+    single-process run that later switched to sharded -- must not
+    survive to poison a future restore.
+    """
+    for index, path in list_shard_checkpoints(directory):
+        if index not in keep:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - raced by another pruner
+                pass
 
 
 def snapshot_monitor(monitor) -> dict:
@@ -120,7 +168,7 @@ def snapshot_monitor(monitor) -> dict:
     }
 
 
-def checkpoint_bytes(monitor) -> bytes:
+def checkpoint_bytes(monitor, extra_header: Optional[dict] = None) -> bytes:
     """Serialize a flushed monitor to checkpoint container bytes."""
     snapshot = snapshot_monitor(monitor)
     header = {
@@ -129,6 +177,8 @@ def checkpoint_bytes(monitor) -> bytes:
         "records_ingested": snapshot["counters"]["records_ingested"],
         "sessions_live": len(snapshot["entries"]),
     }
+    if extra_header:
+        header.update(extra_header)
     return pack(header, encode(snapshot), magic=CHECKPOINT_MAGIC)
 
 
@@ -137,11 +187,32 @@ def save_checkpoint(monitor, directory: str) -> str:
 
     Returns the checkpoint path.  The directory is created on first
     use; the write is tmp + fsync + rename so readers (and crashes)
-    only ever see a complete checkpoint.
+    only ever see a complete checkpoint.  Shard checkpoint files from a
+    previous sharded run are pruned once the whole-monitor file is
+    down: the single file now owns every session.
     """
     os.makedirs(directory, exist_ok=True)
     path = checkpoint_path(directory)
     write_atomic(path, checkpoint_bytes(monitor))
+    prune_shard_checkpoints(directory)
+    return path
+
+
+def save_shard_checkpoint(
+    monitor, directory: str, index: int, shards: int
+) -> str:
+    """Atomically write one shard's checkpoint under ``directory``.
+
+    The header carries ``{"shard": index, "shards": shards}`` so a
+    restore can tell whether the on-disk layout matches the requested
+    width (mismatches re-shard through the router instead).
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = shard_checkpoint_path(directory, index)
+    write_atomic(
+        path,
+        checkpoint_bytes(monitor, {"shard": index, "shards": shards}),
+    )
     return path
 
 
@@ -157,6 +228,63 @@ def read_checkpoint_header(path: str) -> dict:
 
     _version, header, _offset = read_header(data, magic=CHECKPOINT_MAGIC)
     return header
+
+
+def load_checkpoint_payload(path: str) -> Tuple[dict, dict]:
+    """Read one checkpoint file: ``(header, decoded_snapshot)``.
+
+    Raises on a missing, foreign or torn file, like
+    :func:`restore_monitor` -- a restore must never silently start
+    empty.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not sniff(data, magic=CHECKPOINT_MAGIC):
+        raise ArtifactFormatError(f"{path} is not a monitor checkpoint")
+    header, payload = unpack(data, magic=CHECKPOINT_MAGIC)
+    return header, decode(payload)
+
+
+def merge_snapshots(parts: List[dict]) -> dict:
+    """Fold per-shard snapshots into one whole-monitor snapshot.
+
+    Sessions are disjoint across shards (the router partitions by id),
+    so entries and retired rings concatenate; counters and verdict
+    tallies sum; ``wall_s`` and ``max_formula_size`` take the max;
+    quarantine samples concatenate (the restoring monitor re-caps).
+    """
+    merged: dict = {
+        "entries": [],
+        "retired": [],
+        "counters": {name: 0 for name in _COUNTER_FIELDS},
+        "verdicts": {},
+        "queue_depth_samples": [],
+        "intern_hits": 0,
+        "intern_misses": 0,
+        "cache_evictions": 0,
+        "cache_trims": 0,
+        "wall_s": 0.0,
+        "quarantine": [],
+    }
+    for part in parts:
+        merged["entries"].extend(part["entries"])
+        merged["retired"].extend(part["retired"])
+        for name, value in part["counters"].items():
+            if name in ("max_formula_size",):
+                if value > merged["counters"][name]:
+                    merged["counters"][name] = value
+            else:
+                merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for label, count in part["verdicts"].items():
+            merged["verdicts"][label] = merged["verdicts"].get(label, 0) + count
+        merged["queue_depth_samples"].extend(part["queue_depth_samples"])
+        for name in ("intern_hits", "intern_misses",
+                     "cache_evictions", "cache_trims"):
+            merged[name] += part[name]
+        if part["wall_s"] > merged["wall_s"]:
+            merged["wall_s"] = part["wall_s"]
+        merged["quarantine"].extend(part["quarantine"])
+    return merged
 
 
 def restore_snapshot(monitor, snapshot: dict, header: dict) -> None:
@@ -208,9 +336,12 @@ def restore_snapshot(monitor, snapshot: dict, header: dict) -> None:
     # states_applied/cohort_steps on the next round; seed them.
     monitor.batcher.session_steps = snapshot["counters"]["states_applied"]
     monitor.batcher.cohort_steps = snapshot["counters"]["cohort_steps"]
-    monitor._quarantine.extend(
-        (line, error) for line, error in snapshot["quarantine"]
-    )
+    from .service import _QUARANTINE_SAMPLES
+
+    for line, error in snapshot["quarantine"]:
+        if len(monitor._quarantine) >= _QUARANTINE_SAMPLES:
+            break
+        monitor._quarantine.append((line, error))
 
 
 def restore_monitor(monitor, directory: str) -> dict:
@@ -220,8 +351,31 @@ def restore_monitor(monitor, directory: str) -> dict:
     :class:`~repro.artifact.ArtifactFormatError` /
     :class:`~repro.artifact.ArtifactCorruptError` on a missing, foreign
     or torn file -- a restore must never silently start empty.
+
+    When ``monitor.qsc`` is absent but per-shard files exist (the
+    directory was last written by a sharded run), the shard snapshots
+    merge into one whole-monitor restore -- switching between sharded
+    and single-process across a restart is always legal.
     """
     path = checkpoint_path(directory)
+    if not os.path.exists(path):
+        shard_files = list_shard_checkpoints(directory)
+        if shard_files:
+            headers: List[dict] = []
+            snapshots: List[dict] = []
+            for _index, shard_path in shard_files:
+                header, snapshot = load_checkpoint_payload(shard_path)
+                headers.append(header)
+                snapshots.append(snapshot)
+            merged = merge_snapshots(snapshots)
+            restore_snapshot(monitor, merged, headers[0])
+            return {
+                "format": "repro-monitor-checkpoint",
+                "property": headers[0].get("property"),
+                "records_ingested": merged["counters"]["records_ingested"],
+                "sessions_live": len(merged["entries"]),
+                "shards": len(shard_files),
+            }
     with open(path, "rb") as handle:
         data = handle.read()
     if not sniff(data, magic=CHECKPOINT_MAGIC):

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from collections import deque
 from typing import IO, Iterable, List, Optional, Tuple
 
@@ -84,10 +85,23 @@ class IngestQueue:
         Blocks until at least one line is available, the queue closes,
         or the timeout lapses.  Returns ``[]`` on timeout (the service's
         heartbeat/TTL tick) and ``None`` once closed *and* drained.
+
+        The wait re-checks its predicate in a loop: a spurious wakeup --
+        or another consumer winning the race for the lines that
+        triggered the notify -- must not masquerade as a timeout, and
+        under ``timeout_s=None`` the call keeps blocking until there is
+        a real line or the queue closes.
         """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
         with self._lock:
-            if not self._lines and not self._closed:
-                self._not_empty.wait(timeout_s)
+            while not self._lines and not self._closed:
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
             if not self._lines:
                 return None if self._closed else []
             batch = []
@@ -171,6 +185,9 @@ class SocketIngestServer:
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True, name="monitor-ingest-accept"
         )
+        #: Guards ``_live``/``_readers``: readers prune themselves on
+        #: close while ``stop()`` iterates from another thread.
+        self._conn_lock = threading.Lock()
         self._readers: List[threading.Thread] = []
         self._live: List[socket.socket] = []
         self.connections = 0
@@ -188,14 +205,15 @@ class SocketIngestServer:
             except OSError:
                 break
             self.connections += 1
-            self._live.append(connection)
             reader = threading.Thread(
                 target=self._read_connection,
                 args=(connection,),
                 daemon=True,
                 name="monitor-ingest-conn",
             )
-            self._readers.append(reader)
+            with self._conn_lock:
+                self._live.append(connection)
+                self._readers.append(reader)
             reader.start()
         try:
             self._server.close()
@@ -231,6 +249,18 @@ class SocketIngestServer:
                 connection.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+            # Prune this connection's bookkeeping: a long-running server
+            # must not leak one socket and one dead thread handle per
+            # reconnect.
+            with self._conn_lock:
+                try:
+                    self._live.remove(connection)
+                except ValueError:  # pragma: no cover - stop() raced us
+                    pass
+                try:
+                    self._readers.remove(threading.current_thread())
+                except ValueError:  # pragma: no cover - stop() raced us
+                    pass
             self.disconnects += 1
 
     def stop(self) -> None:
@@ -240,7 +270,10 @@ class SocketIngestServer:
             self._server.close()
         except OSError:  # pragma: no cover - already closed
             pass
-        for connection in self._live:
+        with self._conn_lock:
+            live = list(self._live)
+            readers = list(self._readers)
+        for connection in live:
             try:
                 connection.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -249,5 +282,5 @@ class SocketIngestServer:
                 connection.close()
             except OSError:  # pragma: no cover - already closed
                 pass
-        for reader in self._readers:
+        for reader in readers:
             reader.join(timeout=2.0)

@@ -19,6 +19,28 @@ __all__ = ["MonitorMetrics"]
 #: Queue-depth sample cap (mirrors PoolMetrics' bound).
 _MAX_QUEUE_SAMPLES = 10_000
 
+#: Counter fields summed when merging per-shard metrics.
+_SUMMED_FIELDS = (
+    "records_ingested",
+    "malformed_records",
+    "dropped_records",
+    "late_records",
+    "states_applied",
+    "cohort_steps",
+    "sessions_started",
+    "sessions_live",
+    "sessions_finished",
+    "sessions_evicted",
+    "evicted_lru",
+    "evicted_idle",
+    "sessions_errored",
+    "intern_hits",
+    "intern_misses",
+    "cache_evictions",
+    "cache_trims",
+    "ticks",
+)
+
 
 @dataclass
 class MonitorMetrics:
@@ -77,6 +99,34 @@ class MonitorMetrics:
     def sample_queue_depth(self, depth: int) -> None:
         if len(self.queue_depth_samples) < _MAX_QUEUE_SAMPLES:
             self.queue_depth_samples.append(depth)
+
+    # -- merging -------------------------------------------------------
+
+    @classmethod
+    def merged(cls, parts: "List[MonitorMetrics]") -> "MonitorMetrics":
+        """Combine per-shard metrics into one whole-stream view.
+
+        Counters and verdict tallies sum; ``max_formula_size`` takes
+        the max; ``wall_s`` takes the max (shards run concurrently, so
+        the slowest shard *is* the run's wall clock); queue-depth
+        samples concatenate up to the usual cap (the sharded report
+        additionally keeps them tagged per shard).
+        """
+        out = cls()
+        for part in parts:
+            for name in _SUMMED_FIELDS:
+                setattr(out, name, getattr(out, name) + getattr(part, name))
+            for label, count in part.verdicts.items():
+                out.verdicts[label] = out.verdicts.get(label, 0) + count
+            if part.max_formula_size > out.max_formula_size:
+                out.max_formula_size = part.max_formula_size
+            if part.wall_s > out.wall_s:
+                out.wall_s = part.wall_s
+            for depth in part.queue_depth_samples:
+                if len(out.queue_depth_samples) >= _MAX_QUEUE_SAMPLES:
+                    break
+                out.queue_depth_samples.append(depth)
+        return out
 
     # -- derived views -------------------------------------------------
 

@@ -59,6 +59,7 @@ def monitor_verdicts(
     batch: bool = True,
     max_sessions: Optional[int] = None,
     cache_entries: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, SessionVerdict]:
     """Stream recorded traces through a monitor; per-session verdicts.
 
@@ -67,6 +68,12 @@ def monitor_verdicts(
     closed with an end record, so a session whose formula still demands
     states resolves by the same polarity rule as a finished offline
     test.
+
+    ``shards`` > 1 replays through an inline-transport
+    :class:`~repro.monitor.shard.ShardedMonitor` instead -- the same
+    router and merge logic as ``--shards N`` without worker processes,
+    which is how the equivalence tests and the fuzzer's monitor oracle
+    assert sharded ≡ single-process verdicts.
     """
     encoded = {
         session: trace_records(session, trace, end=True)
@@ -77,13 +84,26 @@ def monitor_verdicts(
     def collect(verdict: SessionVerdict) -> None:
         verdicts[verdict.session_id] = verdict
 
-    monitor = Monitor(
-        check,
-        batch=batch,
-        max_sessions=max_sessions,
-        cache_entries=cache_entries,
-        on_verdict=collect,
-    )
+    if shards is not None and shards > 1:
+        from .shard import ShardedMonitor
+
+        monitor = ShardedMonitor(
+            check,
+            shards=shards,
+            transport="inline",
+            batch=batch,
+            max_sessions=max_sessions,
+            cache_entries=cache_entries,
+            on_verdict=collect,
+        )
+    else:
+        monitor = Monitor(
+            check,
+            batch=batch,
+            max_sessions=max_sessions,
+            cache_entries=cache_entries,
+            on_verdict=collect,
+        )
     lines: List[str] = list(interleave_sessions(encoded))
     monitor.run_lines(lines)
     return verdicts

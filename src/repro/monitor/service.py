@@ -121,13 +121,19 @@ class Monitor:
         resolve_at_eof: bool = False,
         on_verdict: Optional[Callable[[SessionVerdict], None]] = None,
         clock: Callable[[], float] = time.monotonic,
+        compiled: Optional[CompiledProperty] = None,
     ) -> None:
-        caches = (
-            ProgressionCaches(max_entries=cache_entries)
-            if cache_entries is not None
-            else None
-        )
-        self.compiled = CompiledProperty(check, caches=caches)
+        if compiled is not None and cache_entries is None:
+            # An artifact-shipped property: reuse its pre-seeded caches
+            # instead of re-elaborating (the shard-worker path).
+            self.compiled = compiled
+        else:
+            caches = (
+                ProgressionCaches(max_entries=cache_entries)
+                if cache_entries is not None
+                else None
+            )
+            self.compiled = CompiledProperty(check, caches=caches)
         self.formula = check.formula
         self.property_name = check.name
         self.table = SessionTable(
@@ -334,14 +340,21 @@ class Monitor:
 
     # -- finishing -----------------------------------------------------
 
-    def suspend(self) -> MonitorReport:
+    def suspend(self, checkpoint_dir: Optional[str] = None) -> MonitorReport:
         """Report without draining: open sessions stay open.
 
         The checkpoint-enabled EOF path -- open sessions were just
         checkpointed, so resolving them ``inconclusive`` would be a
-        lie; a later ``--restore`` run picks them up instead.
+        lie; a later ``--restore`` run picks them up instead.  Passing
+        ``checkpoint_dir`` saves a final checkpoint before reporting
+        (the same shape :class:`~repro.monitor.shard.ShardedMonitor`
+        exposes, so drivers treat both uniformly).
         """
         self.flush()
+        if checkpoint_dir is not None:
+            from .checkpoint import save_checkpoint
+
+            save_checkpoint(self, checkpoint_dir)
         self.metrics.sessions_live = len(self.table)
         return self.report()
 
@@ -453,7 +466,5 @@ class Monitor:
                     )
         self.metrics.dropped_records = queue.dropped
         if checkpoint_dir is not None:
-            report = self.suspend()
-            save_checkpoint(self, checkpoint_dir)
-            return report
+            return self.suspend(checkpoint_dir)
         return self.finish()

@@ -91,6 +91,12 @@ class SessionTable:
         Returns the new entry plus the evicted entries (already retired
         as ``evicted:lru``; the caller emits their dispositions).
         """
+        # Re-opening a live id replaces its entry without growing the
+        # table, so it must not trigger eviction (which could victimise
+        # an innocent LRU entry -- or the very id being re-opened) nor
+        # leave the fresh entry parked at the old entry's stale LRU
+        # position.
+        self._entries.pop(session_id, None)
         evicted: List[SessionEntry] = []
         if self.max_sessions is not None:
             while len(self._entries) >= self.max_sessions:
@@ -136,11 +142,17 @@ class SessionTable:
             evicted.append(entry)
         return evicted
 
-    def drain(self) -> List[SessionEntry]:
-        """Remove and return every live session (stream EOF)."""
+    def drain(self, reason: str = "eof") -> List[SessionEntry]:
+        """Remove and return every live session (stream EOF).
+
+        Drained sessions are remembered under ``reason`` (default
+        ``"eof"``, matching the disposition the service emits for them)
+        so a record arriving after EOF is attributed correctly rather
+        than counted as a completed session's late record.
+        """
         remaining = list(self._entries.values())
         for entry in remaining:
-            self._remember(entry.session_id, "finished")
+            self._remember(entry.session_id, reason)
         self._entries.clear()
         return remaining
 

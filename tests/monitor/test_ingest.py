@@ -89,6 +89,78 @@ class TestQueue:
         assert queue.dropped == 1
         assert queue.depth() == 0
 
+    def test_get_batch_honours_the_deadline_across_wakeups(self):
+        # A notify that delivers no line (someone else won the race)
+        # must resume waiting for the *remaining* time, not restart or
+        # give up early.
+        queue = IngestQueue()
+
+        def spurious_notify():
+            for _ in range(3):
+                time.sleep(0.02)
+                with queue._lock:
+                    queue._not_empty.notify_all()
+
+        thread = threading.Thread(target=spurious_notify, daemon=True)
+        started = time.monotonic()
+        thread.start()
+        assert queue.get_batch(10, timeout_s=0.25) == []
+        elapsed = time.monotonic() - started
+        thread.join(timeout=2.0)
+        assert elapsed >= 0.25  # the empty notifies did not fake a timeout
+
+    def test_get_batch_without_timeout_blocks_through_empty_wakeups(self):
+        # timeout_s=None promises to block until a real line or close;
+        # a spurious wakeup must not surface as a premature [].
+        queue = IngestQueue()
+        results = []
+
+        def consumer():
+            results.append(queue.get_batch(10, timeout_s=None))
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        with queue._lock:
+            queue._not_empty.notify_all()  # spurious: no line, no close
+        time.sleep(0.1)
+        assert not results  # still blocked, as promised
+        queue.put("real")
+        thread.join(timeout=2.0)
+        assert results == [["real"]]
+
+    def test_multi_consumer_batches_partition_the_stream(self):
+        # The shard dispatcher makes a second consumer routine: no line
+        # may be lost or duplicated, and a losing consumer under
+        # timeout_s=None must keep blocking instead of returning [].
+        queue = IngestQueue(maxsize=64)
+        total = 2000
+        received = []
+        lock = threading.Lock()
+
+        def consumer():
+            while True:
+                batch = queue.get_batch(7, timeout_s=None)
+                if batch is None:
+                    return
+                assert batch != []  # None-timeout never fakes a timeout
+                with lock:
+                    received.extend(batch)
+
+        consumers = [
+            threading.Thread(target=consumer, daemon=True) for _ in range(4)
+        ]
+        for thread in consumers:
+            thread.start()
+        for index in range(total):
+            queue.put(f"line-{index}")
+        queue.close()
+        for thread in consumers:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        assert sorted(received) == sorted(f"line-{i}" for i in range(total))
+        assert queue.dropped == 0
+
 
 class TestStreamProducer:
     def test_eof_closes_the_queue(self):
@@ -153,5 +225,31 @@ class TestSocketServer:
                 '{"session": "y", "end": true}',
             }
             assert server.connections == 2
+        finally:
+            server.stop()
+
+    def test_reconnect_churn_does_not_leak_connections_or_readers(self):
+        # One socket object and one dead thread handle per reconnect
+        # must not accumulate in a long-running server.
+        queue = IngestQueue()
+        server = SocketIngestServer("127.0.0.1", 0, queue)
+        server.start()
+        try:
+            churn = 10
+            for index in range(churn):
+                with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=2.0
+                ) as client:
+                    client.sendall(
+                        f'{{"session": "s{index}", "end": true}}\n'.encode()
+                    )
+            deadline = time.monotonic() + 5.0
+            while server.disconnects < churn and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.disconnects == churn
+            with server._conn_lock:
+                assert len(server._live) == 0
+                assert len(server._readers) == 0
+            assert len(drain(queue)) == churn
         finally:
             server.stop()

@@ -162,6 +162,20 @@ class TestEof:
         monitor.finish()
         assert len(verdicts) == 1
 
+    def test_late_record_after_eof_is_attributed_to_eof(self, safety):
+        # An EOF-inconclusive session was never "finished"; the retired
+        # ring must say "eof" so a record trickling in afterwards is a
+        # late record of an EOF-drained session, not of a completed one.
+        monitor, verdicts = collect(safety)
+        monitor.run_lines(trace_records("h", _countdown(3), end=False))
+        assert verdicts[0].disposition == "inconclusive"
+        assert monitor.table.retired_reason("h") == "eof"
+        late = trace_records("h", _countdown(1), end=False)[0]
+        monitor.feed_line(late)
+        monitor.flush()
+        assert monitor.metrics.late_records == 1
+        assert len(verdicts) == 1  # late record resurrects nothing
+
 
 class TestQuarantine:
     def test_malformed_lines_quarantine_and_fail_ok(self, safety):

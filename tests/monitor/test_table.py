@@ -32,6 +32,29 @@ class TestCapacity:
         with pytest.raises(ValueError):
             SessionTable(idle_ttl_s=0)
 
+    def test_reopening_live_id_at_capacity_evicts_nothing(self):
+        # Re-opening a live id replaces its entry without growing the
+        # table, so no innocent LRU victim may be evicted for it.
+        table = SessionTable(max_sessions=2)
+        table.open("a", F, now=1.0)
+        table.open("b", F, now=2.0)
+        _, evicted = table.open("a", F, now=3.0)
+        assert evicted == []
+        assert "a" in table and "b" in table
+        # The replacement entry takes the *fresh* LRU position: "b" is
+        # now the oldest, so the next admission evicts it, not "a".
+        _, evicted = table.open("c", F, now=4.0)
+        assert [e.session_id for e in evicted] == ["b"]
+        assert "a" in table and "c" in table
+
+    def test_reopening_sole_id_never_evicts_itself(self):
+        table = SessionTable(max_sessions=1)
+        table.open("a", F, now=1.0)
+        entry, evicted = table.open("a", F, now=2.0)
+        assert evicted == []
+        assert table.get("a") is entry
+        assert table.retired_reason("a") is None
+
 
 class TestIdleTtl:
     def test_sweep_evicts_only_stale_entries(self):
@@ -82,4 +105,13 @@ class TestRetirement:
         drained = {e.session_id for e in table.drain()}
         assert drained == {"a", "b"}
         assert len(table) == 0
+        # EOF-drained sessions were never *finished* -- the ring must
+        # say "eof" so late records are attributed to the right cause.
+        assert table.retired_reason("a") == "eof"
+        assert table.retired_reason("b") == "eof"
+
+    def test_drain_reason_is_overridable(self):
+        table = SessionTable()
+        table.open("a", F, now=0.0)
+        table.drain(reason="finished")
         assert table.retired_reason("a") == "finished"

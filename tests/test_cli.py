@@ -168,6 +168,45 @@ class TestMonitorCheckpointCLI:
                   "--input", "-"])
 
 
+class TestMonitorShardedCLI:
+    def test_sharded_run_matches_single_process(self, capsys, tmp_path):
+        import json
+
+        from repro.monitor.synth import synth_lines
+
+        lines = list(synth_lines(sessions=12, seed=3, fault_rate=0.2))
+        stream = tmp_path / "stream.jsonl"
+        stream.write_text("".join(line + "\n" for line in lines))
+        base = ["monitor", spec_path("eggtimer.strom"),
+                "--property", "safety", "--format", "json",
+                "--input", str(stream)]
+
+        def split(out):
+            records = [json.loads(line) for line in out.splitlines() if line]
+            verdicts = sorted(
+                (r["session"], r["verdict"], r["forced"], r["disposition"])
+                for r in records if r.get("event") == "verdict"
+            )
+            assert records[-1]["event"] == "monitor_end"
+            return verdicts, records[-1]
+
+        assert main(base) == 0
+        single_verdicts, single_end = split(capsys.readouterr().out)
+        assert main(base + ["--shards", "2"]) == 0
+        sharded_verdicts, sharded_end = split(capsys.readouterr().out)
+        # Shards interleave the stream order, never the verdict multiset.
+        assert sharded_verdicts == single_verdicts
+        assert sharded_end["shards"] == 2
+        assert len(sharded_end["shard_metrics"]) == 2
+        for key in ("records_ingested", "sessions_started", "verdicts"):
+            assert sharded_end["metrics"][key] == single_end["metrics"][key]
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["monitor", spec_path("eggtimer.strom"), "--input", "-",
+                  "--shards", "0"])
+
+
 class TestAudit:
     def test_audit_named_implementations(self, capsys):
         code = main(
