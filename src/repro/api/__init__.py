@@ -20,8 +20,8 @@ available as the single-test engine underneath.
 """
 
 from .config import SessionConfig
-from .engines import CampaignEngine, ParallelEngine, SerialEngine
-from .lease import ExecutorCache, ExecutorLease
+from .engines import AsyncEngine, CampaignEngine, ParallelEngine, SerialEngine
+from .lease import AsyncExecutorLease, ExecutorCache, ExecutorLease
 from .pool import (
     PoolMetrics,
     PoolTask,
@@ -59,6 +59,7 @@ __all__ = [
     "CheckSession",
     "SessionConfig",
     "suggest_jobs",
+    "AsyncEngine",
     "CampaignEngine",
     "SerialEngine",
     "ParallelEngine",
@@ -68,6 +69,7 @@ __all__ = [
     "CheckTarget",
     "PooledScheduler",
     "ExecutorCache",
+    "AsyncExecutorLease",
     "ExecutorLease",
     "PoolMetrics",
     "PoolTask",

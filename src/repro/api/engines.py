@@ -27,6 +27,7 @@ under parallel execution.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import time
 from abc import ABC, abstractmethod
@@ -37,6 +38,7 @@ from ..checker.runner import Runner
 from .lease import ExecutorCache
 from .pool import (
     SKIPPED,
+    PoolMetrics,
     PoolTask,
     TaskFailure,
     WorkerCrashed,
@@ -45,7 +47,13 @@ from .pool import (
 )
 from .reporters import Reporter
 
-__all__ = ["CampaignEngine", "SerialEngine", "ParallelEngine", "CampaignMerge"]
+__all__ = [
+    "AsyncEngine",
+    "CampaignEngine",
+    "SerialEngine",
+    "ParallelEngine",
+    "CampaignMerge",
+]
 
 
 def _test_seed(seed: object, index: int) -> str:
@@ -115,6 +123,8 @@ def campaign_tasks(
         warm_compiled()
     remote_descriptor = getattr(runner, "remote", None)
     reuse = cache is not None and cache.enabled
+    # (getattr: duck-typed runner stand-ins predate the async driver.)
+    run_async = getattr(runner, "run_single_test_async", None)
 
     def make_task(index: int) -> PoolTask:
         def record(result: object) -> None:
@@ -130,6 +140,19 @@ def campaign_tasks(
             record(result)
             return result
 
+        athunk = None
+        if run_async is not None:
+            async def athunk() -> TestResult:
+                rng = random.Random(_test_seed(config.seed, index))
+                if cache is not None:
+                    result = await run_async(
+                        rng, lease=cache.async_lease(runner.executor_factory)
+                    )
+                else:
+                    result = await run_async(rng)
+                record(result)
+                return result
+
         def past_first_failure() -> bool:
             return index > first_fail.value
 
@@ -143,7 +166,7 @@ def campaign_tasks(
                 "runner": remote_descriptor,
             }
         return PoolTask(task_id, thunk, skip=skip, payload=payload,
-                        record=record)
+                        record=record, athunk=athunk)
 
     return [make_task(index) for index in range(config.tests)]
 
@@ -246,21 +269,154 @@ class ParallelEngine(CampaignEngine):
         outcomes: Dict[int, object],
         reporters: Sequence[Reporter],
     ) -> CampaignResult:
+        return _merge_outcomes(runner, outcomes, reporters)
+
+
+class AsyncEngine(CampaignEngine):
+    """Runs test indices as concurrent sessions on one asyncio loop.
+
+    Where :class:`ParallelEngine` buys throughput with *processes* --
+    right when the work is CPU-bound -- this engine multiplexes up to
+    ``concurrency`` sessions on a single loop, which is what I/O-bound
+    executors need: while one session awaits a (real or injected)
+    wire round-trip, the loop drives the others, so wall-clock tracks
+    the *longest* session instead of the summed latency.  Results merge
+    by index through the same :class:`CampaignMerge`, so verdicts,
+    counterexamples and reporter streams are identical to the serial
+    engine for the same seed.
+
+    ``wrap`` optionally decorates each factory-built executor (e.g.
+    ``lambda ex: LatencyExecutor(ex, latency_ms=5)``) before it is
+    adapted for the async driver; ``metrics`` (a
+    :class:`~repro.api.pool.PoolMetrics`) receives the in-flight gauges
+    (``inflight_sessions``, ``mean_concurrency``, ``await_ratio``).
+    """
+
+    def __init__(
+        self,
+        concurrency: int = 8,
+        wrap=None,
+        metrics: Optional[PoolMetrics] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(
+                f"concurrency must be at least 1, got {concurrency}"
+            )
+        self.concurrency = concurrency
+        self.wrap = wrap
+        self.metrics = metrics
+
+    def run(
+        self,
+        runner: Runner,
+        reporters: Sequence[Reporter] = (),
+        cache: Optional[ExecutorCache] = None,
+    ) -> CampaignResult:
+        return asyncio.run(self.run_async(runner, reporters, cache=cache))
+
+    async def run_async(
+        self,
+        runner: Runner,
+        reporters: Sequence[Reporter] = (),
+        cache: Optional[ExecutorCache] = None,
+    ) -> CampaignResult:
+        """:meth:`run` for callers that already own a loop (the
+        multiplexed remote worker drives one engine per slot)."""
+        for reporter in reporters:
+            reporter.on_campaign_start(runner.spec.name, runner.config.tests)
+        outcomes = await self._gather(runner, cache)
+        return _merge_outcomes(runner, outcomes, reporters)
+
+    async def _gather(
+        self, runner: Runner, cache: Optional[ExecutorCache]
+    ) -> Dict[int, object]:
         config = runner.config
-        merge = CampaignMerge(runner, reporters)
-        for index in range(config.tests):
-            if merge.complete:
-                break
-            seed = _test_seed(config.seed, index)
-            for reporter in reporters:
-                reporter.on_test_start(runner.spec.name, index, seed)
-            merge.step_outcome(outcomes[index])
-        return merge.finish()
+        metrics = self.metrics
+        wrap = self.wrap
+        factory = runner.executor_factory
+        # Warm the shared spec state once, before sessions interleave
+        # (same reason the pooled schedulers warm before forking).
+        warm_watched = getattr(runner, "watched_events", None)
+        if warm_watched is not None:
+            warm_watched()
+        warm_compiled = getattr(runner, "compiled_spec", None)
+        if warm_compiled is not None:
+            warm_compiled()
+
+        def session_factory():
+            executor = factory()
+            return executor if wrap is None else wrap(executor)
+
+        semaphore = asyncio.Semaphore(self.concurrency)
+        first_fail = [config.tests]
+        inflight = [0]
+
+        async def run_index(index: int):
+            async with semaphore:
+                if config.stop_on_failure and index > first_fail[0]:
+                    # Unreachable in the serial loop; the merge stops at
+                    # the failing index and never consumes this outcome.
+                    return index, SKIPPED
+                inflight[0] += 1
+                if metrics is not None:
+                    metrics.sample_inflight(inflight[0])
+                try:
+                    rng = random.Random(_test_seed(config.seed, index))
+                    try:
+                        if cache is not None:
+                            result = await runner.run_single_test_async(
+                                rng,
+                                lease=cache.async_lease(
+                                    session_factory, key=factory
+                                ),
+                            )
+                        else:
+                            result = await runner.run_single_test_async(
+                                rng, executor_factory=session_factory
+                            )
+                    except Exception as err:
+                        return index, TaskFailure(err)
+                    if result.failed:
+                        first_fail[0] = min(first_fail[0], index)
+                    return index, result
+                finally:
+                    inflight[0] -= 1
+                    if metrics is not None:
+                        metrics.sample_inflight(inflight[0])
+
+        active0 = time.perf_counter()
+        cpu0 = time.process_time()
+        pairs = await asyncio.gather(
+            *(run_index(index) for index in range(config.tests))
+        )
+        if metrics is not None:
+            metrics.session_active_s += time.perf_counter() - active0
+            metrics.session_cpu_s += time.process_time() - cpu0
+        return dict(pairs)
 
 
 # ----------------------------------------------------------------------
 # Shared plumbing
 # ----------------------------------------------------------------------
+
+
+def _merge_outcomes(
+    runner: Runner,
+    outcomes: Dict[int, object],
+    reporters: Sequence[Reporter],
+) -> CampaignResult:
+    """Replay the serial loop over index-keyed pool outcomes (shared by
+    the parallel and async engines)."""
+    config = runner.config
+    merge = CampaignMerge(runner, reporters)
+    for index in range(config.tests):
+        if merge.complete:
+            break
+        seed = _test_seed(config.seed, index)
+        for reporter in reporters:
+            reporter.on_test_start(runner.spec.name, index, seed)
+        merge.step_outcome(outcomes[index])
+    return merge.finish()
 
 
 class CampaignMerge:

@@ -28,6 +28,7 @@ re-exports it for compatibility.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
@@ -41,6 +42,7 @@ __all__ = [
     "WorkerCrashed",
     "resolve_transport",
     "run_task",
+    "run_task_async",
 ]
 
 
@@ -99,9 +101,16 @@ class PoolTask:
     remote worker cannot touch the coordinator's counters, so the
     transport calls ``record(result)`` as each remote result arrives
     (local transports never call it -- their thunks already ran it).
+
+    ``athunk`` is the task's awaitable face, for workers multiplexing
+    several sessions on one event loop (``concurrency > 1``): an async
+    callable that produces the *same* outcome as ``thunk``.  Tasks
+    without one still run under a multiplexed worker -- the thunk is
+    shipped to the loop's thread pool by :func:`run_task_async` -- they
+    just cannot interleave at protocol-call granularity.
     """
 
-    __slots__ = ("id", "thunk", "skip", "payload", "record")
+    __slots__ = ("id", "thunk", "skip", "payload", "record", "athunk")
 
     def __init__(
         self,
@@ -110,12 +119,14 @@ class PoolTask:
         skip: Optional[Callable[[], bool]] = None,
         payload: Optional[dict] = None,
         record: Optional[Callable[[object], None]] = None,
+        athunk: Optional[Callable[[], object]] = None,
     ) -> None:
         self.id = id
         self.thunk = thunk
         self.skip = skip
         self.payload = payload
         self.record = record
+        self.athunk = athunk
 
 
 class TaskFailure:
@@ -158,6 +169,23 @@ def run_task(task: PoolTask) -> object:
         return SKIPPED
     try:
         return task.thunk()
+    except Exception as err:
+        return TaskFailure(err)
+
+
+async def run_task_async(task: PoolTask) -> object:
+    """:func:`run_task` for multiplexed workers: prefers the task's
+    ``athunk`` (true protocol-level interleaving); tasks that only have
+    a sync thunk run it on the loop's thread pool so the lane still
+    frees the loop while it blocks.  Outcome vocabulary is identical.
+    """
+    if task.skip is not None and task.skip():
+        return SKIPPED
+    try:
+        if task.athunk is not None:
+            return await task.athunk()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, task.thunk)
     except Exception as err:
         return TaskFailure(err)
 

@@ -54,15 +54,19 @@ __all__ = ["TcpTransport"]
 class _RemoteWorker:
     """Coordinator-side record of one connected worker slot."""
 
-    __slots__ = ("sock", "worker_id", "host", "pid", "slots", "last_seen",
-                 "in_flight", "alive")
+    __slots__ = ("sock", "worker_id", "host", "pid", "slots", "concurrency",
+                 "last_seen", "in_flight", "alive")
 
-    def __init__(self, sock, worker_id, host, pid, slots, now) -> None:
+    def __init__(self, sock, worker_id, host, pid, slots, now,
+                 concurrency: int = 1) -> None:
         self.sock = sock
         self.worker_id = worker_id
         self.host = host
         self.pid = pid
         self.slots = slots
+        #: sessions this worker multiplexes per slot (hello-reported);
+        #: it keeps that many ``next`` requests outstanding at once.
+        self.concurrency = concurrency
         self.last_seen = now
         #: wire ids (batch positions) dispatched but not yet reported.
         self.in_flight: Dict[int, None] = {}
@@ -101,6 +105,9 @@ class TcpTransport(PoolTransport):
         self._epoch = 0
         self._closing = False
         self._lock = threading.Lock()
+        #: Wakes ``_await_workers`` the instant a worker joins (shares
+        #: ``_lock``, so waiting drops it and notification is race-free).
+        self._join_condition = threading.Condition(self._lock)
         # Bind eagerly so ``self.port`` is knowable before any worker
         # process is launched (port=0 asks the OS for a free one).
         self._listener = socket.create_server((host, port))
@@ -153,14 +160,28 @@ class TcpTransport(PoolTransport):
             pid=int(hello.get("pid", 0)),
             slots=max(1, int(hello.get("slots", 1))),
             now=self._now(),
+            concurrency=max(1, int(hello.get("concurrency", 1))),
         )
         try:
             send_frame(sock, {"type": "welcome", "worker_id": worker_id})
         except OSError:
             sock.close()
             return
-        with self._lock:
-            self._workers.append(worker)
+        with self._join_condition:
+            # A worker completing its handshake after close() snapshot
+            # the list would otherwise be orphaned: nothing ever sends
+            # it a shutdown, and it hangs until this process dies.
+            joined = not self._closing
+            if joined:
+                self._workers.append(worker)
+                self._join_condition.notify_all()
+        if not joined:
+            try:
+                send_frame(sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            sock.close()
+            return
         self._events.put(("join", worker, None))
         try:
             while True:
@@ -195,10 +216,12 @@ class TcpTransport(PoolTransport):
     # ------------------------------------------------------------------
 
     def capacity(self) -> int:
-        """Summed slots of currently-connected workers (min 1 so the
-        adaptive clamp never suggests zero before anyone joins)."""
+        """Summed slots x per-slot concurrency of currently-connected
+        workers (min 1 so the adaptive clamp never suggests zero before
+        anyone joins): a multiplexing worker genuinely absorbs that many
+        in-flight sessions, so ``--jobs auto`` may feed it that wide."""
         with self._lock:
-            return max(1, sum(w.slots for w in self._workers))
+            return max(1, sum(w.slots * w.concurrency for w in self._workers))
 
     def run(
         self,
@@ -321,22 +344,27 @@ class TcpTransport(PoolTransport):
         return outcomes
 
     def _await_workers(self) -> None:
-        """Block until at least ``min_workers`` slots have joined."""
+        """Block until at least ``min_workers`` slots have joined.
+
+        Joins notify ``_join_condition`` directly, so the wait returns
+        the instant the quorum lands -- batch start-up pays the TCP
+        handshake, not a sleep-poll period (the old loop dozed up to
+        half a heartbeat past the final join).
+        """
         deadline = self._now() + self.connect_timeout_s
-        while True:
-            with self._lock:
+        with self._join_condition:
+            while True:
                 joined = sum(w.slots for w in self._workers)
-            if joined >= self.min_workers:
-                return
-            if self._now() > deadline:
-                raise WorkerCrashed(
-                    f"only {joined} of {self.min_workers} remote worker "
-                    f"slot(s) connected to {self.host}:{self.port} within "
-                    f"{self.connect_timeout_s:.0f}s"
-                )
-            # Joins arrive via the event queue too, but _workers is the
-            # authority; just sleep-poll the short heartbeat interval.
-            threading.Event().wait(self._heartbeat_wait() / 2)
+                if joined >= self.min_workers:
+                    return
+                remaining = deadline - self._now()
+                if remaining <= 0:
+                    raise WorkerCrashed(
+                        f"only {joined} of {self.min_workers} remote worker "
+                        f"slot(s) connected to {self.host}:{self.port} within "
+                        f"{self.connect_timeout_s:.0f}s"
+                    )
+                self._join_condition.wait(timeout=remaining)
 
     def _check_heartbeats(self, reap) -> None:
         now = self._now()
@@ -372,8 +400,10 @@ class TcpTransport(PoolTransport):
 
     def close(self) -> None:
         """Tell every worker to exit, then tear the sockets down."""
-        self._closing = True
         with self._lock:
+            # Under the lock: a handshake is either in the snapshot
+            # (shut down below) or sees ``_closing`` and self-rejects.
+            self._closing = True
             workers = list(self._workers)
             self._workers = []
         for worker in workers:

@@ -35,6 +35,18 @@ boundaries.  ``--slots N`` forks N serving processes (threads where
 ``fork`` is unavailable), each with its own connection, cache and
 runner cache.
 
+``--concurrency M`` multiplexes M sessions on *one* connection: the
+slot runs an event loop with M lanes, each holding one ``next`` ->
+frame exchange in flight, and drives tests through
+``run_single_test_async`` so wire waits interleave instead of
+serialising.  The slot announces ``concurrency`` in its hello, so the
+coordinator's ``capacity()`` (and ``--jobs auto``) sees slots x
+concurrency.  ``--latency-ms D`` wraps every session in a
+:class:`~repro.executors.base.LatencyExecutor` -- deterministic
+wall-clock round-trip injection that never touches virtual time, so
+verdicts stay byte-identical while the worker behaves like one talking
+to a real remote browser.
+
 This module is imported lazily (the CLI's ``worker`` command, tests):
 it pulls in the spec front end and the session layer, which the
 transport package itself must not.
@@ -42,6 +54,7 @@ transport package itself must not.
 
 from __future__ import annotations
 
+import asyncio
 import importlib
 import json
 import os
@@ -189,12 +202,18 @@ def _serve_slot(
     port: int,
     connect_timeout_s: float,
     log,
+    concurrency: int = 1,
+    latency_ms: float = 0.0,
 ) -> int:
-    """One slot: one connection, one pull loop.  Returns an exit code."""
+    """One slot: one connection, one pull loop (or, with ``concurrency
+    > 1`` / injected latency, one event loop multiplexing that many
+    lanes).  Returns an exit code."""
     from ..lease import ExecutorCache
 
+    # The dial timeout stays armed through the handshake: a coordinator
+    # that accepts but never welcomes (e.g. torn down mid-join) must
+    # not park this process forever.  Blocking mode begins after.
     sock = _connect(host, port, connect_timeout_s)
-    sock.settimeout(None)
     send_lock = threading.Lock()
 
     def send(message: dict) -> None:
@@ -205,16 +224,26 @@ def _serve_slot(
         "type": "hello",
         "version": PROTOCOL_VERSION,
         "slots": 1,
+        "concurrency": concurrency,
         "host": socket.gethostname(),
         "pid": os.getpid(),
     })
-    welcome = recv_frame(sock)
+    try:
+        welcome = recv_frame(sock)
+    except socket.timeout:
+        log("coordinator accepted but never welcomed us")
+        return 2
     if welcome.get("type") == "error":
         log(f"coordinator rejected us: {welcome.get('reason')}")
         return 2
+    if welcome.get("type") == "shutdown":
+        # We joined just as the fabric was closing; a clean goodbye.
+        log("coordinator said shutdown")
+        return 0
     if welcome.get("type") != "welcome":
         log(f"unexpected handshake reply: {welcome!r}")
         return 2
+    sock.settimeout(None)
     worker_id = welcome.get("worker_id")
     log(f"connected as worker {worker_id}")
 
@@ -231,8 +260,15 @@ def _serve_slot(
                      name=f"worker-{worker_id}-ping").start()
 
     runners = _RunnerCache()
-    cache = ExecutorCache(enabled=True)
+    multiplexed = concurrency > 1 or latency_ms > 0
+    cache = ExecutorCache(
+        enabled=True, depth=concurrency if multiplexed else 1
+    )
     try:
+        if multiplexed:
+            return asyncio.run(_serve_multiplexed(
+                sock, send, runners, cache, log, concurrency, latency_ms
+            ))
         while True:
             send({"type": "next"})
             message = recv_frame(sock)
@@ -302,12 +338,167 @@ def _run_one(message: dict, runners: _RunnerCache, cache, send, log) -> None:
     })
 
 
+async def _serve_multiplexed(
+    sock,
+    send,
+    runners: _RunnerCache,
+    cache,
+    log,
+    concurrency: int,
+    latency_ms: float,
+) -> int:
+    """The multiplexed pull loop: ``concurrency`` lanes on one event
+    loop, one connection.
+
+    Each lane keeps exactly one ``next`` outstanding and consumes
+    exactly one reply frame, so the wire stays 1:1 even though replies
+    land in a shared inbox (any lane may run any task -- results carry
+    the task id).  A reader thread pumps frames into the inbox through
+    ``call_soon_threadsafe``; a lost connection becomes a synthetic
+    ``_lost`` frame.  ``shutdown``/``_lost`` frames are re-put before a
+    lane returns, so the one frame wakes every sibling no matter how
+    their sends and sleeps interleave.
+    """
+    import concurrent.futures
+
+    loop = asyncio.get_running_loop()
+    # Lanes running sync-executor protocol calls (and sends) through
+    # run_in_executor must never starve for threads behind each other.
+    loop.set_default_executor(concurrent.futures.ThreadPoolExecutor(
+        max_workers=2 * concurrency + 4,
+        thread_name_prefix="worker-lane",
+    ))
+    inbox: asyncio.Queue = asyncio.Queue()
+
+    def reader() -> None:
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except (OSError, FrameError) as err:
+                frame = {"type": "_lost", "error": repr(err)}
+            try:
+                loop.call_soon_threadsafe(inbox.put_nowait, frame)
+            except RuntimeError:  # loop closed during teardown
+                return
+            if frame.get("type") in ("shutdown", "_lost"):
+                return
+
+    threading.Thread(target=reader, daemon=True,
+                     name="worker-reader").start()
+
+    async def asend(message: dict) -> None:
+        await loop.run_in_executor(None, send, message)
+
+    saw_shutdown = False
+
+    async def lane(lane_id: int) -> int:
+        nonlocal saw_shutdown
+        try:
+            while True:
+                await asend({"type": "next"})
+                frame = await inbox.get()
+                ftype = frame.get("type")
+                if ftype == "wait":
+                    await asyncio.sleep(float(frame.get("for_s", 0.2)))
+                    continue
+                if ftype == "shutdown":
+                    if not saw_shutdown:
+                        log("coordinator said shutdown")
+                    saw_shutdown = True
+                    inbox.put_nowait(frame)
+                    return 0
+                if ftype == "_lost":
+                    inbox.put_nowait(frame)
+                    if saw_shutdown:
+                        return 0
+                    log(f"connection lost: {frame.get('error')}")
+                    return 1
+                if ftype != "task":
+                    log(f"ignoring unexpected frame {ftype!r}")
+                    continue
+                await _run_one_async(
+                    frame, runners, cache, asend, latency_ms
+                )
+        except (OSError, FrameError) as err:
+            # A send failing after shutdown is the normal close race.
+            if saw_shutdown:
+                return 0
+            log(f"connection lost: {err!r}")
+            return 1
+
+    codes = await asyncio.gather(*(lane(i) for i in range(concurrency)))
+    return max(codes)
+
+
+async def _run_one_async(
+    message: dict, runners: _RunnerCache, cache, asend, latency_ms: float
+) -> None:
+    """:func:`_run_one` on the event loop: same frames, same seeds, but
+    the session runs under ``run_single_test_async`` so this lane's
+    wire waits interleave with its siblings'."""
+    from ...executors import LatencyExecutor
+    from ..engines import _test_seed
+
+    body = message.get("body") or {}
+    started = time.perf_counter()
+    warm_delta = cold_delta = 0
+    try:
+        runner = runners.runner_for(body["runner"])
+        index = int(body["index"])
+        rng = random.Random(_test_seed(runner.config.seed, index))
+        base = runner.executor_factory
+        if latency_ms > 0:
+            def factory(base=base, seed=index):
+                return LatencyExecutor(
+                    base(), latency_ms=latency_ms, seed=seed
+                )
+        else:
+            factory = base
+        if body.get("reuse", True):
+            # The lease's own warm flag, not counter deltas: with
+            # lanes interleaving, a shared counter's delta would count
+            # the siblings' checkouts too.
+            lease = cache.async_lease(factory, key=base)
+            result = await runner.run_single_test_async(rng, lease=lease)
+            warm_delta = 1 if lease.warm else 0
+            cold_delta = 1 - warm_delta
+        else:
+            result = await runner.run_single_test_async(
+                rng, executor_factory=factory
+            )
+    except Exception as err:
+        try:
+            payload = pack(err)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            payload = pack(RuntimeError(repr(err)))
+        await asend({
+            "type": "failure",
+            "id": message["id"],
+            "epoch": message.get("epoch"),
+            "elapsed": time.perf_counter() - started,
+            "error": repr(err),
+            "payload": payload,
+        })
+        return
+    await asend({
+        "type": "result",
+        "id": message["id"],
+        "epoch": message.get("epoch"),
+        "elapsed": time.perf_counter() - started,
+        "warm_hits": warm_delta,
+        "cold_starts": cold_delta,
+        "payload": pack(result),
+    })
+
+
 def run_worker(
     host: str,
     port: int,
     slots: int = 1,
     connect_timeout_s: float = 30.0,
     log_stream=None,
+    concurrency: int = 1,
+    latency_ms: float = 0.0,
 ) -> int:
     """Serve a coordinator at ``host:port`` with ``slots`` parallel
     slots until it says shutdown (or the connection dies).
@@ -315,6 +506,9 @@ def run_worker(
     Each slot is its own process (forked; threads where ``fork`` is
     unavailable) with a private connection, executor cache and runner
     cache -- the same isolation discipline as the local fork pool.
+    ``concurrency`` multiplexes that many sessions per slot on one
+    event loop; ``latency_ms`` injects deterministic wall-clock
+    round-trip latency into every session (testing/benchmarks).
     Returns a process exit code: 0 on clean shutdown, non-zero when any
     slot lost its connection or was rejected.
     """
@@ -325,9 +519,18 @@ def run_worker(
 
     if slots < 1:
         raise ValueError(f"slots must be at least 1, got {slots}")
+    if concurrency < 1:
+        raise ValueError(
+            f"concurrency must be at least 1, got {concurrency}"
+        )
+    if latency_ms < 0:
+        raise ValueError(f"latency_ms must be >= 0, got {latency_ms}")
     if slots == 1:
         try:
-            return _serve_slot(host, port, connect_timeout_s, log)
+            return _serve_slot(
+                host, port, connect_timeout_s, log,
+                concurrency=concurrency, latency_ms=latency_ms,
+            )
         except KeyboardInterrupt:
             log("interrupted")
             return 130
@@ -346,13 +549,19 @@ def run_worker(
 
         with concurrent.futures.ThreadPoolExecutor(max_workers=slots) as pool:
             codes = list(pool.map(
-                lambda _: _serve_slot(host, port, connect_timeout_s, log),
+                lambda _: _serve_slot(
+                    host, port, connect_timeout_s, log,
+                    concurrency=concurrency, latency_ms=latency_ms,
+                ),
                 range(slots),
             ))
         return max(codes)
 
     def child() -> None:
-        sys.exit(_serve_slot(host, port, connect_timeout_s, log))
+        sys.exit(_serve_slot(
+            host, port, connect_timeout_s, log,
+            concurrency=concurrency, latency_ms=latency_ms,
+        ))
 
     processes = [ctx.Process(target=child, daemon=True) for _ in range(slots)]
     for process in processes:

@@ -24,10 +24,16 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from ..executors.base import ActionFailed
+from ..executors.base import ActionFailed, AsyncExecutor, ensure_async_executor
 from ..protocol.messages import Acted, Act, Narrow, Start, Timeout
 from ..protocol.session import TraceEntry
-from ..quickltl import FormulaChecker, Verdict, intern_stats
+from ..quickltl import (
+    FormulaChecker,
+    Verdict,
+    intern_stats,
+    pop_intern_counter,
+    push_intern_counter,
+)
 from ..specstrom.actions import PrimitiveAction, PrimitiveEvent, ResolvedAction
 from ..specstrom.errors import SpecEvalError
 from ..specstrom.eval import EvalContext, evaluate
@@ -74,7 +80,12 @@ class TraceAccumulator:
         self.query_width_sum = 0
 
     def absorb(self, executor) -> None:
-        for message in executor.drain():
+        self.absorb_messages(executor.drain())
+
+    def absorb_messages(self, messages) -> None:
+        """Feed an already-drained message batch (the async driver
+        awaits the drain itself and hands the batch over)."""
+        for message in messages:
             state = message.state
             kind = (
                 "acted"
@@ -113,14 +124,22 @@ class QueryNarrower:
             and getattr(executor, "narrow", None) is not None
         )
 
-    def update(self) -> None:
-        """Re-narrow (or re-widen) for the checker's current residual."""
+    def _pending_target(self):
+        """The capture set to request now, or None when there is
+        nothing to say (narrowing disabled, or the set is unchanged)."""
         if not self.enabled:
-            return
+            return None
         target = self.compiled.narrowed_dependencies(self.checker.residual)
         if target is None:
             target = self.full
         if target == self.active:
+            return None
+        return target
+
+    def update(self) -> None:
+        """Re-narrow (or re-widen) for the checker's current residual."""
+        target = self._pending_target()
+        if target is None:
             return
         if self.executor.narrow(Narrow(target)):
             self.active = target
@@ -132,6 +151,101 @@ class QueryNarrower:
             Narrow(self.full)
         ):
             self.active = self.full
+
+    async def update_async(self) -> None:
+        """:meth:`update` against an :class:`AsyncExecutor` -- same
+        decisions, awaited ``Narrow`` round-trips."""
+        target = self._pending_target()
+        if target is None:
+            return
+        if await self.executor.narrow(Narrow(target)):
+            self.active = target
+            return
+        self.enabled = False
+        if self.active != self.full and await self.executor.narrow(
+            Narrow(self.full)
+        ):
+            self.active = self.full
+
+
+class _InlineAsyncExecutor(AsyncExecutor):
+    """A synchronous executor presented through the async protocol
+    without ever yielding: every coroutine method completes inline, so
+    :func:`_drive_inline` runs the async driver to completion with a
+    single ``send``.  This is how the sync entry point shares the async
+    driver's code path while paying no event-loop tax -- and why the
+    two are byte-identical by construction rather than by testing.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    async def start(self, start: Start) -> None:
+        self.inner.start(start)
+
+    async def drain(self) -> List[object]:
+        return self.inner.drain()
+
+    async def act(self, act: Act) -> bool:
+        return self.inner.act(act)
+
+    async def pass_time(self, delta_ms: float) -> None:
+        self.inner.pass_time(delta_ms)
+
+    async def await_events(self, timeout_ms: float) -> None:
+        self.inner.await_events(timeout_ms)
+
+    async def stop(self) -> None:
+        self.inner.stop()
+
+    def stop_nowait(self) -> None:
+        self.inner.stop()
+
+    async def narrow(self, narrow: Narrow) -> bool:
+        fn = getattr(self.inner, "narrow", None)
+        if fn is None:
+            return False
+        return fn(narrow)
+
+    async def reset(self, reset) -> bool:
+        fn = getattr(self.inner, "reset", None)
+        if fn is None:
+            return False
+        return fn(reset)
+
+    @property
+    def version(self) -> int:
+        return self.inner.version
+
+    @property
+    def now_ms(self) -> float:
+        return self.inner.now_ms
+
+    @property
+    def recorder(self):
+        return getattr(self.inner, "recorder", None)
+
+
+def _drive_inline(coro):
+    """Run a coroutine that never awaits anything to completion.
+
+    The async test driver only suspends inside executor protocol calls;
+    over an :class:`_InlineAsyncExecutor` none of those yield, so the
+    whole drive resolves on the first ``send``.  A yield here would mean
+    a synchronous entry point was handed an executor that actually
+    blocks -- a programming error worth failing loudly on.
+    """
+    try:
+        coro.send(None)
+    except StopIteration as stop:
+        return stop.value
+    coro.close()
+    raise RuntimeError(
+        "synchronous test drive suspended; use run_single_test_async for "
+        "executors that await"
+    )
 
 
 class Runner:
@@ -237,113 +351,165 @@ class Runner:
         possibly-warm executor out of its cache and parks it again after
         the test; without one, a fresh executor is constructed and
         stopped, exactly as before.  Verdicts are identical either way.
+
+        This is the synchronous face of :meth:`run_single_test_async`:
+        the same driver coroutine runs over an inline (never-yielding)
+        adapter, so there is exactly one session loop in the codebase.
         """
         if lease is not None:
             executor = lease.checkout(self._start_message())
         else:
             executor = self.executor_factory()
+            if isinstance(executor, AsyncExecutor):
+                raise TypeError(
+                    "executor_factory produced an AsyncExecutor; drive it "
+                    "with run_single_test_async instead"
+                )
             executor.start(self._start_message())
         try:
-            return self._drive_test(executor, rng, lease)
+            result = _drive_inline(
+                self._drive_test_async(_InlineAsyncExecutor(executor), rng)
+            )
         except BaseException:
             # The session is in an unknown state (e.g. ActionFailed from
             # a vanished target): never park it warm, never leak it.
             executor.stop()
             raise
-
-    def _drive_test(self, executor, rng: random.Random, lease) -> TestResult:
-        checker = self.compiled_spec().checker()
-        config = self.config
-        narrower = self._narrower(executor, checker)
-        intern_hits0, intern_misses0 = intern_stats()
-
-        acc = TraceAccumulator(checker)
-        fired: List[_FiredAction] = []
-        actions_taken = 0
-        stall_reason: Optional[str] = None
-        start_ms = executor.now_ms
-
-        acc.absorb(executor)
-        while True:
-            if acc.verdict.is_definitive:
-                break
-            if narrower is not None:
-                # Every state the executor snapshots from here on only
-                # needs what the progressed formula (and the actions)
-                # can still read.
-                narrower.update()
-            if acc.states >= config.max_states:
-                stall_reason = "max states reached"
-                break
-            budget_spent = actions_taken >= config.scheduled_actions
-            if budget_spent and acc.verdict is not Verdict.DEMAND:
-                break
-            if actions_taken >= config.scheduled_actions + config.demand_allowance:
-                break
-            if acc.current_state is None:
-                stall_reason = "no initial state"
-                break
-            enabled = self._enabled_actions(acc.current_state, rng)
-            if not enabled:
-                # Nothing to do: wait for application events instead.
-                before = acc.states
-                executor.await_events(config.idle_wait_ms)
-                acc.absorb(executor)
-                if acc.states == before or acc.trace[-1].kind == "timeout":
-                    stall_reason = "no enabled actions and no events"
-                    break
-                continue
-            action_value, primitive = enabled[rng.randrange(len(enabled))]
-            resolved = primitive.resolve(acc.current_state, rng)
-            decision_version = acc.states
-            # The checker "thinks" for a while; asynchronous events during
-            # that window make the upcoming Act stale (Figure 10).
-            executor.pass_time(config.decision_latency_ms)
-            accepted = executor.act(
-                Act(resolved, action_value.name, decision_version,
-                    action_value.timeout_ms)
-            )
-            if not accepted:
-                acc.absorb(executor)  # pick up the events that made us stale
-                continue
-            actions_taken += 1
-            fired.append(
-                _FiredAction(action_value.name, resolved, action_value.timeout_ms)
-            )
-            acc.absorb(executor)
-            if action_value.timeout_ms is not None:
-                executor.await_events(action_value.timeout_ms)
-            executor.pass_time(config.settle_ms)
-            acc.absorb(executor)
-
-        verdict = acc.verdict
-        forced = False
-        if verdict is Verdict.DEMAND:
-            verdict = checker.force()
-            forced = True
-        intern_hits1, intern_misses1 = intern_stats()
-        result = TestResult(
-            verdict=verdict,
-            forced=forced,
-            states_observed=acc.states,
-            actions_taken=actions_taken,
-            stale_rejections=getattr(
-                getattr(executor, "recorder", None), "stale_rejections", 0
-            ),
-            elapsed_virtual_ms=executor.now_ms - start_ms,
-            trace=acc.trace,
-            actions=[(f.name, f.resolved) for f in fired],
-            stall_reason=stall_reason,
-            max_formula_size=checker.max_formula_size,
-            intern_hits=intern_hits1 - intern_hits0,
-            intern_misses=intern_misses1 - intern_misses0,
-            query_width_sum=acc.query_width_sum,
-        )
         if lease is not None:
             lease.checkin(executor)
         else:
             executor.stop()
         return result
+
+    async def run_single_test_async(
+        self, rng: random.Random, lease=None, executor_factory=None
+    ) -> TestResult:
+        """Run one generated test from an event loop.
+
+        The asynchronous face of :meth:`run_single_test`: same driver,
+        awaited protocol calls, so hundreds of I/O-bound sessions can
+        share one loop.  ``lease`` is an
+        :class:`~repro.api.lease.AsyncExecutorLease`; without one,
+        ``executor_factory`` (default: the runner's own) is called and
+        its product adapted via
+        :func:`~repro.executors.base.ensure_async_executor`.
+        """
+        if lease is not None:
+            executor = await lease.checkout(self._start_message())
+        else:
+            factory = executor_factory or self.executor_factory
+            executor = ensure_async_executor(factory())
+            await executor.start(self._start_message())
+        try:
+            result = await self._drive_test_async(executor, rng)
+        except BaseException:
+            await executor.stop()
+            raise
+        if lease is not None:
+            await lease.checkin(executor)
+        else:
+            await executor.stop()
+        return result
+
+    async def _drive_test_async(self, executor, rng: random.Random) -> TestResult:
+        """THE session loop (paper, Sections 2.3 and 3.4), written once
+        against :class:`AsyncExecutor`.  Synchronous callers reach it
+        through :class:`_InlineAsyncExecutor`, where no call yields and
+        the coroutine resolves in a single ``send``.
+
+        Interning is counted on a task-local counter (not the global
+        table deltas) so concurrent sessions multiplexed on one loop
+        each report their own work.
+        """
+        checker = self.compiled_spec().checker()
+        config = self.config
+        narrower = self._narrower(executor, checker)
+        counter, token = push_intern_counter()
+        try:
+            acc = TraceAccumulator(checker)
+            fired: List[_FiredAction] = []
+            actions_taken = 0
+            stall_reason: Optional[str] = None
+            start_ms = executor.now_ms
+
+            acc.absorb_messages(await executor.drain())
+            while True:
+                if acc.verdict.is_definitive:
+                    break
+                if narrower is not None:
+                    # Every state the executor snapshots from here on only
+                    # needs what the progressed formula (and the actions)
+                    # can still read.
+                    await narrower.update_async()
+                if acc.states >= config.max_states:
+                    stall_reason = "max states reached"
+                    break
+                budget_spent = actions_taken >= config.scheduled_actions
+                if budget_spent and acc.verdict is not Verdict.DEMAND:
+                    break
+                if actions_taken >= config.scheduled_actions + config.demand_allowance:
+                    break
+                if acc.current_state is None:
+                    stall_reason = "no initial state"
+                    break
+                enabled = self._enabled_actions(acc.current_state, rng)
+                if not enabled:
+                    # Nothing to do: wait for application events instead.
+                    before = acc.states
+                    await executor.await_events(config.idle_wait_ms)
+                    acc.absorb_messages(await executor.drain())
+                    if acc.states == before or acc.trace[-1].kind == "timeout":
+                        stall_reason = "no enabled actions and no events"
+                        break
+                    continue
+                action_value, primitive = enabled[rng.randrange(len(enabled))]
+                resolved = primitive.resolve(acc.current_state, rng)
+                decision_version = acc.states
+                # The checker "thinks" for a while; asynchronous events during
+                # that window make the upcoming Act stale (Figure 10).
+                await executor.pass_time(config.decision_latency_ms)
+                accepted = await executor.act(
+                    Act(resolved, action_value.name, decision_version,
+                        action_value.timeout_ms)
+                )
+                if not accepted:
+                    # pick up the events that made us stale
+                    acc.absorb_messages(await executor.drain())
+                    continue
+                actions_taken += 1
+                fired.append(
+                    _FiredAction(action_value.name, resolved, action_value.timeout_ms)
+                )
+                acc.absorb_messages(await executor.drain())
+                if action_value.timeout_ms is not None:
+                    await executor.await_events(action_value.timeout_ms)
+                await executor.pass_time(config.settle_ms)
+                acc.absorb_messages(await executor.drain())
+
+            verdict = acc.verdict
+            forced = False
+            if verdict is Verdict.DEMAND:
+                verdict = checker.force()
+                forced = True
+            return TestResult(
+                verdict=verdict,
+                forced=forced,
+                states_observed=acc.states,
+                actions_taken=actions_taken,
+                stale_rejections=getattr(
+                    getattr(executor, "recorder", None), "stale_rejections", 0
+                ),
+                elapsed_virtual_ms=executor.now_ms - start_ms,
+                trace=acc.trace,
+                actions=[(f.name, f.resolved) for f in fired],
+                stall_reason=stall_reason,
+                max_formula_size=checker.max_formula_size,
+                intern_hits=counter[0],
+                intern_misses=counter[1],
+                query_width_sum=acc.query_width_sum,
+            )
+        finally:
+            pop_intern_counter(token)
 
     # ------------------------------------------------------------------
     # Action selection

@@ -1,6 +1,13 @@
 """Executors: the systems the checker can drive."""
 
-from .base import ActionFailed, Executor
+from .base import (
+    ActionFailed,
+    AsyncExecutor,
+    Executor,
+    LatencyExecutor,
+    SyncExecutorAdapter,
+    ensure_async_executor,
+)
 from .domexec import DomExecutor
 from .ccs import (
     CCSDefinitions,
@@ -23,6 +30,10 @@ from .ccsexec import CCSExecutor
 
 __all__ = [
     "Executor",
+    "AsyncExecutor",
+    "SyncExecutorAdapter",
+    "LatencyExecutor",
+    "ensure_async_executor",
     "DomExecutor",
     "ActionFailed",
     "CCSDefinitions",

@@ -17,12 +17,22 @@ the staleness scenario of Figure 10 arises.
 
 from __future__ import annotations
 
+import asyncio
+import functools
+import random
 from abc import ABC, abstractmethod
-from typing import List
+from typing import List, Optional
 
 from ..protocol.messages import Act, Narrow, Reset, Start
 
-__all__ = ["ActionFailed", "Executor"]
+__all__ = [
+    "ActionFailed",
+    "AsyncExecutor",
+    "Executor",
+    "LatencyExecutor",
+    "SyncExecutorAdapter",
+    "ensure_async_executor",
+]
 
 
 class ActionFailed(RuntimeError):
@@ -102,3 +112,272 @@ class Executor(ABC):
         is always an optimisation, never a semantics change.
         """
         return False
+
+
+# ----------------------------------------------------------------------
+# The async protocol
+# ----------------------------------------------------------------------
+
+
+class AsyncExecutor(ABC):
+    """One test session driven from an event loop.
+
+    The awaitable mirror of :class:`Executor`: same messages, same
+    contracts, but every protocol call is a coroutine, so a single
+    worker can keep hundreds of I/O-bound sessions in flight -- the
+    shape real WebDriver (or network-service) backends need, where each
+    round-trip is wire latency rather than CPU.  Virtual time remains
+    the *session's* clock: wall-clock waits introduced by a backend
+    (see :class:`LatencyExecutor`) never advance ``now_ms``, so async
+    verdicts are byte-identical to synchronous ones.
+
+    ``version`` / ``now_ms`` stay plain properties -- they read local
+    bookkeeping, never the wire.
+    """
+
+    @abstractmethod
+    async def start(self, start: Start) -> None:
+        """Load the system and begin observing (see
+        :meth:`Executor.start`)."""
+
+    @abstractmethod
+    async def drain(self) -> List[object]:
+        """Return (and clear) the pending executor->checker messages."""
+
+    @abstractmethod
+    async def act(self, act: Act) -> bool:
+        """Perform the action unless the request is stale (Figure 10)."""
+
+    @abstractmethod
+    async def pass_time(self, delta_ms: float) -> None:
+        """Advance *virtual* time (see :meth:`Executor.pass_time`)."""
+
+    @abstractmethod
+    async def await_events(self, timeout_ms: float) -> None:
+        """Advance time until an event batch occurs or ``timeout_ms``
+        (virtual) elapses."""
+
+    @property
+    @abstractmethod
+    def version(self) -> int:
+        """Current trace length (number of states reported)."""
+
+    @property
+    @abstractmethod
+    def now_ms(self) -> float:
+        """Current virtual time, for running-time accounting."""
+
+    async def stop(self) -> None:
+        """Tear the session down (default: nothing to do)."""
+
+    def stop_nowait(self) -> None:
+        """Best-effort synchronous teardown, for contexts that cannot
+        await (an :class:`~repro.api.lease.ExecutorCache` retiring a
+        mismatched-loop entry).  Wrappers around synchronous executors
+        stop the inner executor directly; purely-async backends should
+        override with whatever non-blocking release they can manage."""
+
+    async def narrow(self, narrow: Narrow) -> bool:
+        """Restrict subsequent snapshots (see :meth:`Executor.narrow`);
+        the default declines."""
+        return False
+
+    async def reset(self, reset: Reset) -> bool:
+        """Begin a fresh session on this warm executor (see
+        :meth:`Executor.reset`); the default declines."""
+        return False
+
+
+class SyncExecutorAdapter(AsyncExecutor):
+    """Runs a synchronous executor's protocol calls on the event loop's
+    default thread pool.
+
+    This is how the simulated Dom/CCS backends (and any other
+    :class:`Executor`) join an async session engine: each protocol call
+    becomes ``loop.run_in_executor``, so while one session blocks in a
+    (real or injected) wait, the loop keeps every other session moving.
+    Per-call semantics are untouched -- one call in flight per session
+    at a time, exactly the order the driver issues them -- so verdicts,
+    traces and event streams are byte-identical to the sync runner.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Executor) -> None:
+        self.inner = inner
+
+    async def _call(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        if args:
+            fn = functools.partial(fn, *args)
+        return await loop.run_in_executor(None, fn)
+
+    async def start(self, start: Start) -> None:
+        await self._call(self.inner.start, start)
+
+    async def drain(self) -> List[object]:
+        return await self._call(self.inner.drain)
+
+    async def act(self, act: Act) -> bool:
+        return await self._call(self.inner.act, act)
+
+    async def pass_time(self, delta_ms: float) -> None:
+        await self._call(self.inner.pass_time, delta_ms)
+
+    async def await_events(self, timeout_ms: float) -> None:
+        await self._call(self.inner.await_events, timeout_ms)
+
+    async def stop(self) -> None:
+        await self._call(self.inner.stop)
+
+    def stop_nowait(self) -> None:
+        self.inner.stop()
+
+    async def narrow(self, narrow: Narrow) -> bool:
+        fn = getattr(self.inner, "narrow", None)
+        if fn is None:
+            return False
+        return await self._call(fn, narrow)
+
+    async def reset(self, reset: Reset) -> bool:
+        fn = getattr(self.inner, "reset", None)
+        if fn is None:
+            return False
+        return await self._call(fn, reset)
+
+    @property
+    def version(self) -> int:
+        return self.inner.version
+
+    @property
+    def now_ms(self) -> float:
+        return self.inner.now_ms
+
+    @property
+    def recorder(self):
+        """The inner executor's recorder, if any (stale-rejection
+        accounting reads it through the adapter)."""
+        return getattr(self.inner, "recorder", None)
+
+
+class LatencyExecutor(AsyncExecutor):
+    """Deterministic wall-clock latency injection around an executor.
+
+    Models WebDriver round-trips for the simulated backends: every
+    *wire* call (``start``/``drain``/``act``/``await_events``/
+    ``narrow``/``reset``) first sleeps a pseudo-random real-time delay
+    drawn from a private seeded RNG -- uniform in ``latency_ms * [1 -
+    jitter, 1 + jitter]``.  The delay is **wall-clock only**: virtual
+    time (``now_ms``), the trace, and the test's own RNG are never
+    touched, so latency-injected verdicts are identical to plain runs
+    by construction -- which is what lets benchmarks hard-assert
+    verdict identity before timing the concurrency curve.
+
+    ``inner`` may be a synchronous :class:`Executor` (called inline
+    after the sleep -- simulated backends are CPU-cheap) or another
+    :class:`AsyncExecutor` (awaited).  ``latency_ms=0`` disables the
+    sleeps entirely, leaving a pass-through used by differential legs
+    that only want the async code path exercised.
+    """
+
+    __slots__ = ("inner", "latency_ms", "jitter", "_rng", "_async")
+
+    def __init__(
+        self,
+        inner,
+        latency_ms: float = 5.0,
+        jitter: float = 0.5,
+        seed: object = 0,
+    ) -> None:
+        if latency_ms < 0:
+            raise ValueError(f"latency_ms must be >= 0, got {latency_ms}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1], got {jitter}")
+        self.inner = inner
+        self.latency_ms = latency_ms
+        self.jitter = jitter
+        self._rng = random.Random(f"latency/{seed}")
+        self._async = isinstance(inner, AsyncExecutor)
+
+    def next_delay_ms(self) -> float:
+        """The next injected delay (milliseconds); 0 when disabled.
+        Drawing advances the private RNG, exactly as a wire call
+        would."""
+        if self.latency_ms <= 0:
+            return 0.0
+        spread = self.latency_ms * self.jitter
+        return self._rng.uniform(
+            self.latency_ms - spread, self.latency_ms + spread
+        )
+
+    async def _round_trip(self, name: str, *args):
+        delay_ms = self.next_delay_ms()
+        if delay_ms > 0:
+            await asyncio.sleep(delay_ms / 1000.0)
+        fn = getattr(self.inner, name)
+        result = fn(*args)
+        if self._async:
+            result = await result
+        return result
+
+    async def start(self, start: Start) -> None:
+        await self._round_trip("start", start)
+
+    async def drain(self) -> List[object]:
+        return await self._round_trip("drain")
+
+    async def act(self, act: Act) -> bool:
+        return await self._round_trip("act", act)
+
+    async def pass_time(self, delta_ms: float) -> None:
+        # Virtual-time bookkeeping, not a wire call: no injected delay.
+        result = self.inner.pass_time(delta_ms)
+        if self._async:
+            await result
+
+    async def await_events(self, timeout_ms: float) -> None:
+        await self._round_trip("await_events", timeout_ms)
+
+    async def stop(self) -> None:
+        result = self.inner.stop()
+        if self._async:
+            await result
+
+    def stop_nowait(self) -> None:
+        if self._async:
+            self.inner.stop_nowait()
+        else:
+            self.inner.stop()
+
+    async def narrow(self, narrow: Narrow) -> bool:
+        fn = getattr(self.inner, "narrow", None)
+        if fn is None:
+            return False
+        return await self._round_trip("narrow", narrow)
+
+    async def reset(self, reset: Reset) -> bool:
+        fn = getattr(self.inner, "reset", None)
+        if fn is None:
+            return False
+        return await self._round_trip("reset", reset)
+
+    @property
+    def version(self) -> int:
+        return self.inner.version
+
+    @property
+    def now_ms(self) -> float:
+        return self.inner.now_ms
+
+    @property
+    def recorder(self):
+        return getattr(self.inner, "recorder", None)
+
+
+def ensure_async_executor(executor) -> AsyncExecutor:
+    """Adapt ``executor`` for the async driver: :class:`AsyncExecutor`
+    instances pass through, synchronous executors are wrapped in a
+    :class:`SyncExecutorAdapter`."""
+    if isinstance(executor, AsyncExecutor):
+        return executor
+    return SyncExecutorAdapter(executor)

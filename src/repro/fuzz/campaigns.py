@@ -24,7 +24,13 @@ full run must agree with the direct-semantics trace oracle.  A fifth
 differential leg then replays the full leg's recorded traces through
 the *online monitor* (:func:`~repro.fuzz.oracles.monitor_oracle_mismatch`):
 each test becomes one concurrent monitor session, and the per-session
-verdicts must equal the offline per-test verdicts.  Model-spec
+verdicts must equal the offline per-test verdicts.  A sixth leg
+(``async``) runs every target through the
+:class:`~repro.api.engines.AsyncEngine` -- each session driven by the
+awaitable protocol through a
+:class:`~repro.executors.base.SyncExecutorAdapter` under a
+pass-through :class:`~repro.executors.base.LatencyExecutor` -- and its
+campaign results must equal the serial leg's exactly.  Model-spec
 campaigns
 additionally feed the fault-detection scoreboard (the generated
 analogue of the paper's Table 2): the correct twin must pass, and a
@@ -180,6 +186,54 @@ class CampaignOutcomeSummary:
     nonreplayable: int = 0
 
 
+class _AsyncOutcome:
+    """Target/result pair shaped like a ``CampaignSet`` outcome, so the
+    async leg zips against the serial batch like every other path."""
+
+    __slots__ = ("target", "result")
+
+    def __init__(self, target: str, result) -> None:
+        self.target = target
+        self.result = result
+
+
+def _async_leg(
+    machine: MachineSpec,
+    named_faults,
+    check: CheckSpec,
+    config: RunnerConfig,
+) -> Tuple[List[_AsyncOutcome], None]:
+    """The sixth leg: every target's campaign on the
+    :class:`~repro.api.engines.AsyncEngine`.
+
+    Sessions go through the full async stack -- ``SyncExecutorAdapter``
+    (protocol calls hop through the loop's thread pool) under a
+    pass-through ``LatencyExecutor`` -- with several sessions genuinely
+    interleaving on the loop, so any verdict drift the async driver
+    could introduce shows up as a campaign-result difference against
+    serial.  The reporter stream is engine-shaped rather than
+    batch-shaped, so only results are compared (the stream oracle
+    already runs on the pooled/warm/full legs).
+    """
+    from ..api.engines import AsyncEngine
+    from ..api.session import _coerce_executor_factory
+    from ..checker.runner import Runner
+    from ..executors import LatencyExecutor, SyncExecutorAdapter
+
+    engine = AsyncEngine(
+        concurrency=4,
+        wrap=lambda executor: LatencyExecutor(
+            SyncExecutorAdapter(executor), latency_ms=0
+        ),
+    )
+    outcomes = []
+    for name, fault in named_faults:
+        factory = _coerce_executor_factory(machine_app(machine, fault))
+        runner = Runner(check, factory, config)
+        outcomes.append(_AsyncOutcome(name, engine.run(runner)))
+    return outcomes, None
+
+
 def _run_paths(
     machine: MachineSpec,
     named_faults,
@@ -187,7 +241,7 @@ def _run_paths(
     config: RunnerConfig,
     jobs: int,
 ) -> Dict[str, Tuple[CampaignSetResult, RecordingReporter]]:
-    """The same batch on the four legs under comparison."""
+    """The same batch on the legs under comparison."""
     runs: Dict[str, Tuple[CampaignSetResult, RecordingReporter]] = {}
     full_config = (
         config if not config.narrow_queries
@@ -212,6 +266,7 @@ def _run_paths(
             session=SessionConfig(jobs=path_jobs, reuse_executors=reuse),
         )
         runs[path] = (batch, recorder)
+    runs["async"] = _async_leg(machine, named_faults, check, config)
     return runs
 
 
@@ -304,6 +359,17 @@ def _campaign_divergences(
         mismatch = monitor_oracle_mismatch(check, outcome.result.results)
         if mismatch is not None:
             record(outcome.target, "monitor", mismatch)
+    # The sixth leg: the async session engine must reproduce the serial
+    # schedule exactly (verdicts, per-test results, counterexamples).
+    async_batch, _ = runs["async"]
+    for baseline, candidate in zip(serial_batch, async_batch):
+        difference = compare_campaigns(
+            f"async vs serial on {baseline.target!r}",
+            baseline.result,
+            candidate.result,
+        )
+        if difference is not None:
+            record(baseline.target, "async", difference)
     return divergences
 
 
@@ -372,13 +438,13 @@ def _target_diverges(entry: CorpusEntry, jobs: Optional[int] = None) -> bool:
     named = _entry_batch(entry)
     runs = _run_paths(entry.machine, named, check, config, jobs)
     serial_batch, serial_recorder = runs["serial"]
-    for path in ("pooled", "warm", "full"):
+    for path in ("pooled", "warm", "full", "async"):
         batch, recorder = runs[path]
         for baseline, candidate in zip(serial_batch, batch):
             if compare_campaigns("replay", baseline.result,
                                  candidate.result) is not None:
                 return True
-        if recorder.events != serial_recorder.events:
+        if recorder is not None and recorder.events != serial_recorder.events:
             return True
     full_batch, _ = runs["full"]
     for full_outcome, narrowed_outcome in zip(full_batch, serial_batch):

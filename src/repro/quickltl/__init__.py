@@ -39,6 +39,8 @@ from .syntax import (
     intern_stats,
     intern_table_size,
     intern_delta,
+    push_intern_counter,
+    pop_intern_counter,
     InternDelta,
     DEFAULT_SUBSCRIPT,
 )
@@ -96,6 +98,8 @@ __all__ = [
     "intern_stats",
     "intern_table_size",
     "intern_delta",
+    "push_intern_counter",
+    "pop_intern_counter",
     "InternDelta",
     "DEFAULT_SUBSCRIPT",
     "unroll",

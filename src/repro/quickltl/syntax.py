@@ -48,6 +48,7 @@ report as the intern-table hit rate.
 
 from __future__ import annotations
 
+import contextvars
 import weakref
 from typing import Callable, Optional, Tuple
 
@@ -78,6 +79,8 @@ __all__ = [
     "intern_stats",
     "intern_table_size",
     "intern_delta",
+    "push_intern_counter",
+    "pop_intern_counter",
     "InternDelta",
     "DEFAULT_SUBSCRIPT",
 ]
@@ -95,6 +98,37 @@ _INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
 #: ``[hits, misses]`` of the intern table, per process.
 _STATS = [0, 0]
+
+#: Optional *task-local* ``[hits, misses]`` counter.  The async runner
+#: multiplexes many tests on one event loop, so the classic "subtract
+#: two :func:`intern_stats` snapshots" trick would attribute every
+#: concurrent test's constructions to every other test.  A counter
+#: installed here (via :func:`push_intern_counter`) is bumped alongside
+#: the global stats but lives in the ambient :mod:`contextvars` context
+#: -- each asyncio task gets its own copy, so per-test deltas stay
+#: exact under interleaving.  ``None`` (the default) costs one
+#: ``ContextVar.get`` per construction and nothing else.
+_LOCAL_STATS: "contextvars.ContextVar[Optional[list]]" = contextvars.ContextVar(
+    "quickltl_intern_local", default=None
+)
+
+
+def push_intern_counter() -> Tuple[list, object]:
+    """Install a fresh task-local ``[hits, misses]`` counter.
+
+    Returns ``(counter, token)``; pass the token to
+    :func:`pop_intern_counter` when the region ends.  The counter sees
+    exactly the constructions made by this task (thread / coroutine)
+    between push and pop, regardless of what other tasks intern
+    concurrently -- unlike the global :func:`intern_stats` deltas.
+    """
+    counter = [0, 0]
+    return counter, _LOCAL_STATS.set(counter)
+
+
+def pop_intern_counter(token: object) -> None:
+    """Uninstall a counter installed by :func:`push_intern_counter`."""
+    _LOCAL_STATS.reset(token)
 
 
 def intern_stats() -> Tuple[int, int]:
@@ -218,10 +252,15 @@ class _InternedMeta(type):
             node = _INTERN.get(key)
         except TypeError:  # unhashable field value
             return _uninterned(cls, args, {})
+        local = _LOCAL_STATS.get()
         if node is not None:
             _STATS[0] += 1
+            if local is not None:
+                local[0] += 1
             return node
         _STATS[1] += 1
+        if local is not None:
+            local[1] += 1
         node = type.__call__(cls, *args)
         object.__setattr__(node, "_hash", hash(key))
         _INTERN[key] = node

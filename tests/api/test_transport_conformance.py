@@ -69,11 +69,17 @@ def worker_env() -> dict:
     return env
 
 
-def start_worker(port: int, slots: int = 1) -> subprocess.Popen:
+def start_worker(
+    port: int, slots: int = 1, concurrency: int = 1, latency_ms: float = 0.0
+) -> subprocess.Popen:
+    argv = [sys.executable, "-m", "repro", "worker",
+            "--connect", f"127.0.0.1:{port}", "--slots", str(slots)]
+    if concurrency != 1:
+        argv += ["--concurrency", str(concurrency)]
+    if latency_ms:
+        argv += ["--latency-ms", str(latency_ms)]
     return subprocess.Popen(
-        [sys.executable, "-m", "repro", "worker",
-         "--connect", f"127.0.0.1:{port}", "--slots", str(slots)],
-        env=worker_env(), cwd=str(REPO_ROOT),
+        argv, env=worker_env(), cwd=str(REPO_ROOT),
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
 
@@ -123,12 +129,15 @@ def tcp_fabric():
     subprocesses, torn down (and reaped) after the test."""
     transports, procs = [], []
 
-    def make(workers: int = 2, slots: int = 1, **kwargs) -> TcpTransport:
+    def make(workers: int = 2, slots: int = 1, concurrency: int = 1,
+             latency_ms: float = 0.0, **kwargs) -> TcpTransport:
         kwargs.setdefault("min_workers", workers * slots)
         transport = TcpTransport(**kwargs)
         transports.append(transport)
         for _ in range(workers):
-            procs.append(start_worker(transport.port, slots))
+            procs.append(
+                start_worker(transport.port, slots, concurrency, latency_ms)
+            )
         return transport
 
     yield make
@@ -202,6 +211,43 @@ class TestTransportIdentity:
         host_tasks = batch.metrics.host_tasks()
         assert len(host_tasks) == 2
         assert all(count > 0 for count in host_tasks.values())
+        assert sum(host_tasks.values()) == batch.metrics.tasks_completed
+
+    @pytest.mark.parametrize("kind", ["fork", "thread"])
+    def test_multiplexed_local_transports_match_serial(self, kind, serial):
+        """concurrency > 1 on the local transports: each worker slot
+        multiplexes sessions on an event loop, verdicts unchanged."""
+        import multiprocessing
+
+        from repro.api.transport import ForkTransport, ThreadTransport
+
+        serial_batch, serial_events = serial
+        if kind == "fork":
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                pytest.skip("fork start method unavailable")
+            transport = ForkTransport(ctx, concurrency=4)
+        else:
+            transport = ThreadTransport(concurrency=4)
+        batch, events = run_batch(SessionConfig(jobs=2, transport=transport))
+        assert_batches_identical(serial_batch, batch)
+        assert events == serial_events
+
+    def test_multiplexed_tcp_workers_match_serial(self, serial, tcp_fabric):
+        """The headline acceptance test: 2 remote workers x concurrency
+        4 with injected wire latency must reproduce the serial batch --
+        verdicts, shrunk counterexamples and reporter stream -- while
+        capacity() reports the full multiplexed width."""
+        serial_batch, serial_events = serial
+        transport = tcp_fabric(workers=2, concurrency=4, latency_ms=3.0)
+        _await(lambda: len(transport._workers) == 2, timeout_s=30.0)
+        assert transport.capacity() == 8
+        batch, events = run_batch(SessionConfig(jobs=2, transport=transport))
+        assert_batches_identical(serial_batch, batch)
+        assert events == serial_events
+        assert batch.metrics.transport == "tcp"
+        host_tasks = batch.metrics.host_tasks()
         assert sum(host_tasks.values()) == batch.metrics.tasks_completed
 
     def test_one_transport_serves_many_batches(self, serial, tcp_fabric):
@@ -323,6 +369,24 @@ class TestTcpCapacity:
         finally:
             transport.close()
 
+    def test_capacity_multiplies_slots_by_concurrency(self):
+        """A multiplexing worker announces its per-slot concurrency in
+        the hello; capacity() admits the full slots x concurrency width
+        (the --jobs auto clamp reads this)."""
+        transport = TcpTransport(min_workers=1)
+        try:
+            mux = socket.create_connection(("127.0.0.1", transport.port))
+            mux.settimeout(10.0)
+            send_frame(mux, {"type": "hello",
+                             "version": PROTOCOL_VERSION,
+                             "slots": 2, "concurrency": 3,
+                             "host": "mux", "pid": 2})
+            assert recv_frame(mux)["type"] == "welcome"
+            _await(lambda: transport.capacity() == 6)
+            mux.close()
+        finally:
+            transport.close()
+
     def test_version_mismatch_is_rejected(self):
         transport = TcpTransport(min_workers=1)
         try:
@@ -336,6 +400,50 @@ class TestTcpCapacity:
             sock.close()
         finally:
             transport.close()
+
+
+class TestCoordinatorWakeup:
+    def test_await_workers_wakes_on_join_not_on_a_poll_tick(self):
+        """``_await_workers`` waits on the join condition: a worker
+        landing half a second in must unblock the batch immediately,
+        not after a sleep-poll period (the old loop dozed up to half a
+        heartbeat -- seconds -- past the final join)."""
+        transport = TcpTransport(min_workers=1, connect_timeout_s=30.0)
+        workers = []
+        try:
+            def late_join():
+                time.sleep(0.5)
+                workers.append(FakeWorker(transport.port))
+
+            thread = threading.Thread(target=late_join)
+            thread.start()
+            started = time.monotonic()
+            transport._await_workers()
+            elapsed = time.monotonic() - started
+            thread.join()
+            assert elapsed < 2.0, (
+                f"_await_workers returned {elapsed:.2f}s after start; the "
+                "join should have woken it at ~0.5s"
+            )
+        finally:
+            for worker in workers:
+                worker.die()
+            transport.close()
+
+    def test_handshake_completing_after_close_is_shut_down(self):
+        """The join/close race: a connection whose handshake straddles
+        ``close()`` must still be told to shut down -- a worker orphaned
+        off the snapshot list would otherwise hang forever."""
+        transport = TcpTransport(min_workers=1)
+        sock = socket.create_connection(("127.0.0.1", transport.port))
+        sock.settimeout(10.0)
+        time.sleep(0.3)  # the handler is now blocked reading our hello
+        transport.close()
+        send_frame(sock, {"type": "hello", "version": PROTOCOL_VERSION,
+                          "slots": 1, "host": "late", "pid": 3})
+        assert recv_frame(sock)["type"] == "welcome"
+        assert recv_frame(sock)["type"] == "shutdown"
+        sock.close()
 
 
 def _await(condition, timeout_s: float = 10.0) -> None:
